@@ -1,0 +1,61 @@
+"""Ablation (section 7.7) — CHash strict verification vs LHash-style
+lazy verification.
+
+The paper: "The LHash algorithm ... gave much better performance than
+the CHash algorithm and thus will also be very effective in SENSS."
+This bench quantifies that claim on our substrate: the lazy scheme
+removes the hash-tree fetch traffic and its L2 pollution entirely.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.smp.metrics import (average, slowdown_percent,
+                               traffic_increase_percent)
+
+from conftest import baseline_config, run, senss_config, splash2_names
+
+CPUS = 4
+L2_MB = 1
+
+
+def integrity_config(lazy: bool):
+    return senss_config(CPUS, L2_MB).with_memprotect(
+        encryption_enabled=True, integrity_enabled=True,
+        lazy_verification=lazy)
+
+
+def collect():
+    rows = []
+    chash_slow, lhash_slow = [], []
+    for name in splash2_names():
+        base = run(name, baseline_config(CPUS, L2_MB))
+        chash = run(name, integrity_config(lazy=False))
+        lhash = run(name, integrity_config(lazy=True))
+        chash_slow.append(slowdown_percent(base, chash))
+        lhash_slow.append(slowdown_percent(base, lhash))
+        rows.append([
+            name,
+            f"{chash_slow[-1]:+.2f}",
+            f"{traffic_increase_percent(base, chash):+.2f}",
+            str(chash.stat("memprotect.hash_fetches")),
+            f"{lhash_slow[-1]:+.2f}",
+            f"{traffic_increase_percent(base, lhash):+.2f}",
+            str(lhash.stat("memprotect.lazy_hash_updates")),
+        ])
+    rows.append(["average", f"{average(chash_slow):+.2f}", "", "",
+                 f"{average(lhash_slow):+.2f}", "", ""])
+    return rows, average(chash_slow), average(lhash_slow)
+
+
+def test_ablation_lhash(benchmark, emit):
+    rows, chash_avg, lhash_avg = collect()
+    table = format_table(
+        "Ablation (sec 7.7) — CHash vs lazy (LHash-style) verification "
+        "(1M L2, 4P)",
+        ["workload", "CHash slow%", "CHash traf%", "hash fetches",
+         "LHash slow%", "LHash traf%", "multiset updates"], rows)
+    emit(table, "ablation_lhash.txt")
+    # The paper's claim: lazy verification is much cheaper.
+    assert lhash_avg < chash_avg / 2
+    benchmark.pedantic(lambda: collect, rounds=1, iterations=1)

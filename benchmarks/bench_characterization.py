@@ -1,0 +1,41 @@
+"""Supporting table — workload characterization (§7.2 methodology).
+
+Profiles the five SPLASH-2 stand-ins on the Figure-5 machine so the
+per-workload differences across Figures 6-10 can be read off directly
+(e.g. lu's high cache-to-cache share explains its interval-1 traffic;
+radix's memory-bound streaming explains its near-zero SENSS cost).
+"""
+
+import pytest
+
+from repro.analysis.characterize import WorkloadProfile, characterize
+from repro.analysis.report import format_table
+
+from conftest import baseline_config, splash2_names, workload
+
+
+def collect():
+    config = baseline_config(4, 1)
+    profiles = [characterize(workload(name, 4), config)
+                for name in splash2_names()]
+    rows = []
+    for profile in profiles:
+        rows.extend(profile.rows())
+    return profiles, rows
+
+
+def test_characterization(benchmark, emit):
+    profiles, rows = collect()
+    table = format_table(
+        "Workload characterization (insecure Figure-5 machine, 4P, "
+        "1M L2)", WorkloadProfile.header(), rows)
+    emit(table, "characterization.txt")
+    by_name = {profile.name: profile for profile in profiles}
+    # The properties the figures depend on:
+    assert by_name["lu"].cache_to_cache_share == max(
+        profile.cache_to_cache_share for profile in profiles)
+    for profile in profiles:
+        assert profile.l2_miss_rate < 0.25
+        assert profile.bus_utilisation < 0.85
+        assert profile.cache_to_cache_share > 0
+    benchmark.pedantic(lambda: collect, rounds=1, iterations=1)

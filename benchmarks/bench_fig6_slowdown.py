@@ -1,0 +1,50 @@
+"""Figure 6 — SENSS performance slowdown vs. an insecure SMP.
+
+Paper setup: write-invalidate MESI, write-back L2 of 1 MB and 4 MB,
+2 and 4 processors, authentication interval 100, perfect masks.
+Reported: percentage slowdown per workload plus the average; all
+values well under 1% (paper max 0.18%).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.smp.metrics import average, slowdown_percent
+
+from conftest import (baseline_config, run, senss_config, splash2_names,
+                      workload)
+
+
+def figure6_rows(l2_mb: int):
+    rows = []
+    for num_cpus in (2, 4):
+        row = [f"{num_cpus}P"]
+        slowdowns = []
+        for name in splash2_names():
+            base = run(name, baseline_config(num_cpus, l2_mb))
+            secured = run(name, senss_config(num_cpus, l2_mb))
+            slowdowns.append(slowdown_percent(base, secured))
+            row.append(f"{slowdowns[-1]:+.3f}")
+        row.append(f"{average(slowdowns):+.3f}")
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("l2_mb", [1, 4])
+def test_fig6_slowdown(benchmark, emit, l2_mb):
+    rows = figure6_rows(l2_mb)
+    table = format_table(
+        f"Figure 6 — % slowdown, write-invalidate + {l2_mb}M write-back "
+        f"L2 (auth interval 100, perfect masks)",
+        ["config"] + splash2_names() + ["average"], rows)
+    emit(table, f"fig6_slowdown_{l2_mb}mb.txt")
+    # Shape assertions: the paper's regime is sub-percent slowdowns.
+    for row in rows:
+        for value in row[1:]:
+            assert abs(float(value)) < 3.0
+    # Time one representative secured run.
+    config = senss_config(4, l2_mb)
+    benchmark.pedantic(
+        lambda: __import__("conftest").build_system(config).run(
+            workload("lu", 4)),
+        rounds=1, iterations=1)

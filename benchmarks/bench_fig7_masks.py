@@ -1,0 +1,60 @@
+"""Figure 7 — impact of the number of masks (perfect / 4 / 2 / 1).
+
+Paper setup: 4 MB L2, auth interval 100. Reported: % slowdown and %
+bus-activity increase per workload for each mask supply. Expected
+shape: 4 masks ~ perfect, 2 masks close, 1 mask visibly worse.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.smp.metrics import (average, slowdown_percent,
+                               traffic_increase_percent)
+
+from conftest import baseline_config, run, senss_config, splash2_names
+
+MASK_CONFIGS = [("perfect", None), ("4 masks", 4), ("2 masks", 2),
+                ("1 mask", 1)]
+L2_MB = 4
+CPUS = 4
+
+
+def collect():
+    slowdown_rows, traffic_rows, stall_totals = [], [], {}
+    for label, masks in MASK_CONFIGS:
+        slow_row, traffic_row = [label], [label]
+        stalls = 0
+        for name in splash2_names():
+            base = run(name, baseline_config(CPUS, L2_MB))
+            secured = run(name, senss_config(CPUS, L2_MB,
+                                             num_masks=masks))
+            slow_row.append(f"{slowdown_percent(base, secured):+.3f}")
+            traffic_row.append(
+                f"{traffic_increase_percent(base, secured):+.3f}")
+            stalls += secured.stat("senss.mask_wait_cycles")
+        slow_avg = average([float(v) for v in slow_row[1:]])
+        traffic_avg = average([float(v) for v in traffic_row[1:]])
+        slow_row.append(f"{slow_avg:+.3f}")
+        traffic_row.append(f"{traffic_avg:+.3f}")
+        slowdown_rows.append(slow_row)
+        traffic_rows.append(traffic_row)
+        stall_totals[label] = stalls
+    return slowdown_rows, traffic_rows, stall_totals
+
+
+def test_fig7_masks(benchmark, emit):
+    slowdown_rows, traffic_rows, stall_totals = collect()
+    header = ["masks"] + splash2_names() + ["average"]
+    text = "\n\n".join([
+        format_table("Figure 7a — % slowdown vs mask count "
+                     "(4M L2, 4P, interval 100)", header, slowdown_rows),
+        format_table("Figure 7b — % bus activity increase vs mask count",
+                     header, traffic_rows),
+    ])
+    emit(text, "fig7_masks.txt")
+    # Shape: stall cycles monotone in mask count; 4 masks ~ perfect.
+    assert stall_totals["perfect"] == 0
+    assert stall_totals["4 masks"] <= stall_totals["2 masks"]
+    assert stall_totals["2 masks"] <= stall_totals["1 mask"]
+    assert stall_totals["1 mask"] > stall_totals["4 masks"]
+    benchmark.pedantic(lambda: collect, rounds=1, iterations=1)

@@ -1,0 +1,44 @@
+"""Figure 8 — bus traffic increase of SENSS over the insecure SMP.
+
+Paper setup: interval 100, 1 MB and 4 MB L2, 2 and 4 processors.
+Reported: % increase in total bus transactions; everything well below
+1% (paper max 0.46%) because one MAC broadcast per 100 c2c transfers
+is a drop in the total transaction count.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.smp.metrics import average, traffic_increase_percent
+
+from conftest import baseline_config, run, senss_config, splash2_names
+
+
+def figure8_rows(l2_mb: int):
+    rows = []
+    for num_cpus in (2, 4):
+        row = [f"{num_cpus}P"]
+        increases = []
+        for name in splash2_names():
+            base = run(name, baseline_config(num_cpus, l2_mb))
+            secured = run(name, senss_config(num_cpus, l2_mb))
+            increases.append(traffic_increase_percent(base, secured))
+            row.append(f"{increases[-1]:+.3f}")
+        row.append(f"{average(increases):+.3f}")
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("l2_mb", [1, 4])
+def test_fig8_traffic(benchmark, emit, l2_mb):
+    rows = figure8_rows(l2_mb)
+    table = format_table(
+        f"Figure 8 — % bus activity increase, {l2_mb}M write-back L2 "
+        f"(auth interval 100)",
+        ["config"] + splash2_names() + ["average"], rows)
+    emit(table, f"fig8_traffic_{l2_mb}mb.txt")
+    for row in rows:
+        for value in row[1:]:
+            assert abs(float(value)) < 5.0  # interval-100 regime
+    benchmark.pedantic(lambda: figure8_rows(l2_mb), rounds=1,
+                       iterations=1)

@@ -1,0 +1,78 @@
+"""Section 2 — the uniprocessor background SENSS builds on.
+
+Section 2.1: direct memory encryption "imposes significant performance
+overhead" (~17% in [29]) because every read serializes behind AES;
+fast (OTP pad) encryption overlaps pad generation with the fetch and
+cuts the cost to ~1.3%. Section 2.2: CHash tree verification costs
+~25% [7]; LHash-style lazy verification ~5% [25].
+
+This bench reproduces those *orderings and magnitudes-of-separation*
+on a single-processor machine so the multiprocessor results of
+Figures 6-10 sit on a calibrated baseline.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.config import e6000_config
+from repro.core.senss import build_secure_system
+from repro.smp.metrics import slowdown_percent
+from repro.smp.system import SmpSystem
+from repro.workloads.registry import generate
+
+WORKLOAD = "radix"  # memory-bound: the worst case for encryption
+
+
+def config_for(mode=None, integrity=False, lazy=False):
+    config = e6000_config(num_processors=1, l2_mb=1,
+                          senss_enabled=False)
+    if mode is None and not integrity:
+        return config
+    return config.with_memprotect(
+        encryption_enabled=mode is not None,
+        encryption_mode=mode or "otp",
+        integrity_enabled=integrity,
+        lazy_verification=lazy)
+
+
+def run_one(config, workload):
+    if (config.memprotect.encryption_enabled
+            or config.memprotect.integrity_enabled):
+        system = build_secure_system(config)
+    else:
+        system = SmpSystem(config)
+    return system.run(workload)
+
+
+def collect():
+    workload = generate(WORKLOAD, 1, scale=0.5)
+    base = run_one(config_for(), workload)
+    results = {}
+    for label, config in [
+        ("direct encryption", config_for(mode="direct")),
+        ("fast (OTP) encryption", config_for(mode="otp")),
+        ("CHash integrity", config_for(integrity=True)),
+        ("lazy (LHash) integrity",
+         config_for(integrity=True, lazy=True)),
+    ]:
+        results[label] = slowdown_percent(base,
+                                          run_one(config, workload))
+    return results
+
+
+def test_sec2_uniprocessor(benchmark, emit):
+    results = collect()
+    rows = [[label, f"{value:+.2f}"]
+            for label, value in results.items()]
+    rows.append(["(paper's cited points)",
+                 "direct ~17%, OTP ~1.3%, CHash ~25%, LHash ~5%"])
+    table = format_table(
+        f"Section 2 — uniprocessor protection costs ({WORKLOAD}, 1P, "
+        f"1M L2)", ["mechanism", "slowdown %"], rows)
+    emit(table, "sec2_uniprocessor.txt")
+    # Orderings the section reports:
+    assert results["direct encryption"] > \
+        5 * max(0.1, results["fast (OTP) encryption"])
+    assert results["CHash integrity"] > \
+        2 * max(0.1, results["lazy (LHash) integrity"])
+    benchmark.pedantic(lambda: collect, rounds=1, iterations=1)

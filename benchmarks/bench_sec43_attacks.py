@@ -1,0 +1,126 @@
+"""Section 4.3 — attack detection matrix: SENSS vs non-chained baseline.
+
+Runs every attack class of section 3.2 against (a) the SENSS chained
+CBC-MAC scheme and (b) the non-chained per-message-MAC scheme of Shi
+et al. [20], and prints who detects what. Expected: SENSS detects all;
+the baseline misses the split-group drop (Type 1) and the
+replay/spoof (Type 3) — exactly the paper's security argument.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.attacks import (DropAttack, SecureBusFabric, SpoofAttack,
+                                SwapAttack)
+from repro.core.authentication import (AuthenticationManager,
+                                       NonChainedAuthenticator)
+from repro.core.shu import SecurityHardwareUnit
+from repro.errors import AuthenticationFailure, SpoofDetected
+
+SESSION_KEY = bytes(range(16))
+ENC_IV = bytes([0xA0 + i for i in range(16)])
+AUTH_IV = bytes([0x50 + i for i in range(16)])
+GID = 1
+
+
+def make_fabric(attacker):
+    members = set(range(4))
+    shus = [SecurityHardwareUnit(pid, max_processors=8)
+            for pid in range(4)]
+    for shu in shus:
+        shu.join_group(GID, members, SESSION_KEY, ENC_IV, AUTH_IV,
+                       num_masks=2, auth_interval=8)
+    manager = AuthenticationManager(sorted(members), 8, GID)
+    return SecureBusFabric(shus, GID, manager, attacker)
+
+
+def senss_detects(attacker) -> bool:
+    fabric = make_fabric(attacker)
+    try:
+        for index in range(16):
+            fabric.transmit(index % 4, bytes([index] * 32))
+        fabric.finish()
+    except (AuthenticationFailure, SpoofDetected):
+        return True
+    return False
+
+
+def baseline_split_drop_detected() -> bool:
+    """Non-chained scheme under the paper's split drop: every
+    per-message MAC verifies, so no alarm is ever raised."""
+    auth = NonChainedAuthenticator(SESSION_KEY)
+    wires = [auth.send(bytes([tag] * 32)) for tag in range(4)]
+    # Receivers 0,1 miss message 2; receivers 2,3 miss message 3.
+    for receiver in (0, 1):
+        for index in (0, 1, 3):
+            if auth.receive(receiver, *wires[index]) is None:
+                return True
+    for receiver in (2, 3):
+        for index in (0, 1, 2):
+            if auth.receive(receiver, *wires[index]) is None:
+                return True
+    return auth.per_message_failures > 0
+
+
+def baseline_swap_detected() -> bool:
+    """Swapped messages decrypt with the wrong local-sequence pads but
+    the ciphertext MACs still verify: silent corruption, no alarm."""
+    auth = NonChainedAuthenticator(SESSION_KEY)
+    first = auth.send(bytes([1] * 32))
+    second = auth.send(bytes([2] * 32))
+    alarms = 0
+    for wire, mac in (second, first):  # swapped order
+        if auth.receive(0, wire, mac) is None:
+            alarms += 1
+    return alarms > 0
+
+
+def baseline_replay_detected() -> bool:
+    auth = NonChainedAuthenticator(SESSION_KEY)
+    wire, mac = auth.send(bytes([7] * 32))
+    auth.receive(0, wire, mac)
+    # Replay to a victim whose local sequence still matches.
+    return auth.receive(1, wire, mac) is None
+
+
+def collect():
+    scenarios = [
+        ("Type 1: simple drop",
+         senss_detects(DropAttack({3: [2]})), None),
+        ("Type 1: split-group drop",
+         senss_detects(DropAttack({3: [2, 3], 4: [0, 1]})),
+         baseline_split_drop_detected()),
+        ("Type 2: swap",
+         senss_detects(SwapAttack(first_index=2)),
+         baseline_swap_detected()),
+        ("Type 3: spoof to claimed PID",
+         senss_detects(SpoofAttack(1, GID, 2, bytes(32), [2])), None),
+        ("Type 3: spoof/replay to other member",
+         senss_detects(SpoofAttack(1, GID, 2, bytes(32), [3])),
+         baseline_replay_detected()),
+    ]
+    return scenarios
+
+
+def render(scenarios):
+    def cell(value):
+        if value is None:
+            return "-"
+        return "DETECTED" if value else "missed"
+    return [[name, cell(senss), cell(baseline)]
+            for name, senss, baseline in scenarios]
+
+
+def test_sec43_attack_matrix(benchmark, emit):
+    scenarios = collect()
+    table = format_table(
+        "Section 4.3 — attack detection: SENSS chained CBC-MAC vs "
+        "non-chained per-message MAC (Shi et al. [20])",
+        ["attack", "SENSS", "non-chained"], render(scenarios))
+    emit(table, "sec43_attacks.txt")
+    # SENSS detects every attack.
+    assert all(senss for _, senss, _ in scenarios)
+    # The baseline misses split-drop, swap-of-valid-MACs and replay.
+    baseline_results = [b for _, _, b in scenarios if b is not None]
+    assert not any(baseline_results)
+    benchmark.pedantic(collect, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Section 4.4 — "Multiple masks for higher bus speed".
+
+"At the peak traffic volume of high throughput buses ... a mask is
+consumed every bus cycle and a new mask is needed after each bus
+cycle. ... The number of masks necessary is AES latency / bus cycle."
+
+This bench sweeps the bus cycle time and finds, empirically, the
+smallest mask-array size that sustains a peak-rate burst with zero
+stalls — which must equal the paper's formula — and shows the stall
+penalty of undershooting by one.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.masks import MaskTimingArray, max_useful_masks
+
+AES_LATENCY = 80
+BURST = 64  # messages at peak rate
+
+
+def stall_cycles(num_masks, bus_cycle):
+    array = MaskTimingArray(num_masks, AES_LATENCY)
+    return sum(array.consume(t)
+               for t in range(0, BURST * bus_cycle, bus_cycle))
+
+
+def minimum_masks(bus_cycle):
+    for count in range(1, 65):
+        if stall_cycles(count, bus_cycle) == 0:
+            return count
+    return None
+
+
+def collect():
+    rows = []
+    outcomes = {}
+    for bus_cycle in (5, 8, 10, 16, 20, 40, 80):
+        formula = max_useful_masks(AES_LATENCY, bus_cycle)
+        empirical = minimum_masks(bus_cycle)
+        shortfall = stall_cycles(max(1, empirical - 1), bus_cycle)
+        rows.append([f"{bus_cycle} cy", formula, empirical,
+                     shortfall])
+        outcomes[bus_cycle] = (formula, empirical)
+    return rows, outcomes
+
+
+def test_sec44_bus_speed(benchmark, emit):
+    rows, outcomes = collect()
+    table = format_table(
+        f"Section 4.4 — masks needed vs bus cycle time "
+        f"(AES latency {AES_LATENCY} cy, {BURST}-message peak burst)",
+        ["bus cycle", "formula ceil(AES/bus)", "empirical minimum",
+         "stalls with one fewer"], rows)
+    emit(table, "sec44_bus_speed.txt")
+    for bus_cycle, (formula, empirical) in outcomes.items():
+        assert empirical == formula, bus_cycle
+    # Faster buses need more masks; the Figure-5 machine needs 8.
+    assert outcomes[5][0] == 16
+    assert outcomes[10][0] == 8
+    assert outcomes[80][0] == 1
+    benchmark.pedantic(lambda: collect, rounds=1, iterations=1)

@@ -1,0 +1,24 @@
+"""Section 7.1 — hardware overhead of the SHU.
+
+Regenerates the paper's cost accounting exactly: 640-byte bit matrix,
+1161 bits per group-table entry (148.6 KB total), +11 bus lines
+(+3.1%), 3 cycles per message, 8 masks maximum.
+"""
+
+from repro.analysis.overhead import compute_overhead
+from repro.analysis.report import format_table
+from repro.config import e6000_config
+
+
+def test_sec71_overhead(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: compute_overhead(e6000_config()), rounds=5, iterations=1)
+    table = format_table("Section 7.1 — SHU hardware overhead",
+                         ["quantity", "value"], list(report.rows()))
+    emit(table, "sec71_overhead.txt")
+    assert report.bit_matrix_bytes == 640
+    assert report.table_bits_per_entry == 1161
+    assert abs(report.table_total_kb - 148.6) < 0.05
+    assert abs(report.bus_line_increase_percent - 3.17) < 0.1
+    assert report.per_message_cycles == 3
+    assert report.max_masks == 8

@@ -1,0 +1,62 @@
+"""Section 7.8 — variability across workload instances (seed study).
+
+Alameldeen & Wood [4] (the paper's methodology reference) quantify
+multiprocessor simulation variability by running multiple perturbed
+instances of each workload. We do the trace-driven analogue: the same
+generator with different seeds produces statistically identical but
+microscopically different traces; the spread of the measured SENSS
+slowdown across seeds bounds how much of any single number is noise.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.senss import build_secure_system
+from repro.smp.metrics import slowdown_percent
+from repro.smp.system import SmpSystem
+from repro.workloads.registry import generate
+
+from conftest import baseline_config, senss_config, splash2_names
+
+CPUS = 4
+L2_MB = 1
+SEEDS = [0, 1, 2, 3]
+SCALE = 0.3
+
+
+def collect():
+    rows = []
+    spreads = {}
+    for name in splash2_names():
+        slowdowns = []
+        for seed in SEEDS:
+            workload = generate(name, CPUS, scale=SCALE, seed=seed)
+            base = SmpSystem(baseline_config(CPUS, L2_MB)).run(workload)
+            secured = build_secure_system(
+                senss_config(CPUS, L2_MB)).run(workload)
+            slowdowns.append(slowdown_percent(base, secured))
+        mean = sum(slowdowns) / len(slowdowns)
+        spread = max(slowdowns) - min(slowdowns)
+        spreads[name] = (mean, spread)
+        rows.append([name,
+                     " ".join(f"{value:+.3f}" for value in slowdowns),
+                     f"{mean:+.3f}", f"{spread:.3f}"])
+    return rows, spreads
+
+
+def test_sec78_seed_variability(benchmark, emit):
+    rows, spreads = collect()
+    table = format_table(
+        f"Section 7.8 — SENSS slowdown across {len(SEEDS)} workload "
+        f"seeds ({L2_MB}M L2, {CPUS}P, interval 100)",
+        ["workload", "per-seed slowdown %", "mean", "spread"], rows)
+    emit(table, "sec78_seeds.txt")
+    for name, (mean, spread) in spreads.items():
+        # The regime claim survives the noise: interval-100 slowdowns
+        # stay small for every seed of every workload...
+        assert abs(mean) < 2.0, name
+        assert spread < 3.0, name
+    # ...and the spread is non-zero somewhere: the measurements do
+    # carry the variability the paper warns about.
+    assert any(spread > 0 for _, spread in spreads.values())
+    benchmark.pedantic(lambda: collect, rounds=1, iterations=1)

@@ -1,0 +1,89 @@
+"""Shared bench harness: cached simulation runs + figure printing.
+
+Every bench regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports (via ``capsys.disabled()`` so
+the tables appear in the terminal and in ``bench_output.txt``). The
+``benchmark`` fixture times one representative simulation per figure
+so ``pytest benchmarks/ --benchmark-only`` has real timings to report.
+
+Scale: ``BENCH_SCALE`` trades fidelity for wall time; 0.5 keeps the
+whole suite within a few minutes while staying in the paper's
+cache-behaviour regime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.config import SystemConfig, e6000_config
+from repro.core.senss import build_secure_system
+from repro.smp.metrics import SimulationResult
+from repro.smp.system import SmpSystem
+from repro.workloads.registry import SPLASH2_NAMES, generate
+
+BENCH_SCALE = 0.5
+BENCH_SEED = 0
+
+_workload_cache: Dict[Tuple[str, int], object] = {}
+_result_cache: Dict[tuple, SimulationResult] = {}
+
+
+def workload(name: str, num_cpus: int):
+    key = (name, num_cpus)
+    if key not in _workload_cache:
+        _workload_cache[key] = generate(name, num_cpus,
+                                        scale=BENCH_SCALE,
+                                        seed=BENCH_SEED)
+    return _workload_cache[key]
+
+
+def build_system(config: SystemConfig):
+    if (config.senss.enabled or config.memprotect.encryption_enabled
+            or config.memprotect.integrity_enabled):
+        return build_secure_system(config)
+    return SmpSystem(config)
+
+
+def run(name: str, config: SystemConfig,
+        cache_key: Optional[tuple] = None) -> SimulationResult:
+    """Run `name` on a fresh machine built from `config`, memoized."""
+    key = cache_key or (name, config)
+    if key not in _result_cache:
+        system = build_system(config)
+        _result_cache[key] = system.run(workload(name,
+                                                 config.num_processors))
+    return _result_cache[key]
+
+
+def baseline_config(num_cpus: int = 4, l2_mb: int = 1) -> SystemConfig:
+    return e6000_config(num_processors=num_cpus, l2_mb=l2_mb,
+                        senss_enabled=False)
+
+
+def senss_config(num_cpus: int = 4, l2_mb: int = 1,
+                 auth_interval: int = 100,
+                 num_masks=None) -> SystemConfig:
+    config = e6000_config(num_processors=num_cpus, l2_mb=l2_mb,
+                          auth_interval=auth_interval)
+    return config.with_masks(num_masks)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a figure table to the real terminal and archive it."""
+    def _emit(text: str, archive_name: Optional[str] = None):
+        with capsys.disabled():
+            print()
+            print(text)
+        if archive_name:
+            import pathlib
+            results = pathlib.Path(__file__).parent / "results"
+            results.mkdir(exist_ok=True)
+            (results / archive_name).write_text(text + "\n")
+    return _emit
+
+
+def splash2_names():
+    return list(SPLASH2_NAMES)

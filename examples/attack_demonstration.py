@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Bus attack demonstration — sections 3.2 and 4.3.
+
+Launches each attack class against a running group and shows SENSS
+raising the alarm, then replays the same attacks against the
+non-chained baseline (Shi et al. [20] style) to show what slips
+through.
+"""
+
+from repro.core.attacks import (DropAttack, SecureBusFabric, SpoofAttack,
+                                SwapAttack)
+from repro.core.authentication import (AuthenticationManager,
+                                       NonChainedAuthenticator)
+from repro.core.shu import SecurityHardwareUnit
+from repro.errors import AuthenticationFailure, SpoofDetected
+
+KEY = bytes(range(16))
+ENC_IV = bytes([0xA0 + i for i in range(16)])
+AUTH_IV = bytes([0x50 + i for i in range(16)])
+GID = 1
+
+
+def fresh_fabric(attacker):
+    members = set(range(4))
+    shus = [SecurityHardwareUnit(pid, max_processors=8)
+            for pid in range(4)]
+    for shu in shus:
+        shu.join_group(GID, members, KEY, ENC_IV, AUTH_IV,
+                       num_masks=2, auth_interval=8)
+    manager = AuthenticationManager(sorted(members), 8, GID)
+    return SecureBusFabric(shus, GID, manager, attacker)
+
+
+def attack_senss(label, attacker):
+    fabric = fresh_fabric(attacker)
+    try:
+        for index in range(16):
+            fabric.transmit(index % 4, bytes([index] * 32))
+        fabric.finish()
+        print(f"   {label:<42s} NOT DETECTED (!)")
+    except SpoofDetected as alarm:
+        print(f"   {label:<42s} ALARM (immediate): {alarm}")
+    except AuthenticationFailure as alarm:
+        print(f"   {label:<42s} ALARM (MAC round): {alarm}")
+
+
+def main() -> None:
+    print("SENSS under attack (4 CPUs, auth every 8 transfers)")
+    print("=" * 70)
+    attack_senss("Type 1: drop message #3 from CPU2",
+                 DropAttack({3: [2]}))
+    attack_senss("Type 1: split-group drop (#3 from 2,3; #4 from 0,1)",
+                 DropAttack({3: [2, 3], 4: [0, 1]}))
+    attack_senss("Type 2: swap messages #2 and #3",
+                 SwapAttack(first_index=2))
+    attack_senss("Type 3: spoof delivered to the claimed PID",
+                 SpoofAttack(1, GID, 2, bytes(32), victims=[2]))
+    attack_senss("Type 3: spoof with valid member PID to CPU3",
+                 SpoofAttack(1, GID, 2, bytes(32), victims=[3]))
+
+    print()
+    print("The non-chained baseline (per-message MAC, local sequences)")
+    print("=" * 70)
+    baseline = NonChainedAuthenticator(KEY)
+    wires = [baseline.send(bytes([tag] * 32)) for tag in range(4)]
+
+    # Split-group drop: every delivered message passes its MAC check.
+    for receiver, indices in ((0, (0, 1, 3)), (1, (0, 1, 3)),
+                              (2, (0, 1, 2)), (3, (0, 1, 2))):
+        for index in indices:
+            assert baseline.receive(receiver, *wires[index]) is not None
+    print(f"   split-group drop: {baseline.per_message_failures} alarms "
+          f"raised -> attack NOT DETECTED (receivers silently hold "
+          f"garbage)")
+
+    # Replay: an old (wire, MAC) pair re-delivered where sequences align.
+    replayer = NonChainedAuthenticator(KEY)
+    wire, mac = replayer.send(bytes([7] * 32))
+    replayer.receive(0, wire, mac)
+    replayed = replayer.receive(1, wire, mac)
+    print(f"   replay to a fresh victim: accepted as "
+          f"{replayed[:4].hex()}... -> attack NOT DETECTED")
+
+    print()
+    print("Conclusion (paper section 4.3): chaining the MAC over the")
+    print("whole bus history, with the originator PID folded in, is")
+    print("what catches the split drop and the valid-PID spoof.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Mini evaluation sweep: one workload through every paper experiment.
+
+A compact version of the full bench suite (benchmarks/) that sweeps a
+single workload through the Figure 6/7/8/9/10 configurations and
+prints a one-screen summary. Useful as a smoke test of the whole
+reproduction pipeline.
+
+    python examples/figure_sweep.py [workload]
+"""
+
+import sys
+
+from repro import (SmpSystem, build_secure_system, e6000_config, generate,
+                   slowdown_percent, traffic_increase_percent)
+from repro.analysis.overhead import compute_overhead
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "ocean"
+    workload = generate(name, 4, scale=0.4)
+    rows = []
+
+    def measure(label, config):
+        base = SmpSystem(config.with_senss(False)).run(workload)
+        secured = build_secure_system(config).run(workload)
+        rows.append([label,
+                     f"{slowdown_percent(base, secured):+.3f}",
+                     f"{traffic_increase_percent(base, secured):+.3f}"])
+
+    for l2_mb in (1, 4):
+        measure(f"Fig 6/8: interval 100, {l2_mb}M L2",
+                e6000_config(4, l2_mb=l2_mb))
+    for masks in (4, 2, 1):
+        measure(f"Fig 7: {masks} mask(s), 4M L2",
+                e6000_config(4, l2_mb=4).with_masks(masks))
+    for interval in (32, 10, 1):
+        measure(f"Fig 9: interval {interval}, 4M L2",
+                e6000_config(4, l2_mb=4, auth_interval=interval))
+    measure("Fig 10: +Mem_OTP_CHash, 1M L2",
+            e6000_config(4, l2_mb=1).with_memprotect(
+                encryption_enabled=True, integrity_enabled=True))
+
+    print(format_table(
+        f"SENSS experiment sweep — workload '{name}', 4 processors",
+        ["configuration", "slowdown %", "traffic %"], rows))
+    print()
+    report = compute_overhead(e6000_config())
+    print(format_table("Hardware overhead (section 7.1)",
+                       ["quantity", "value"], list(report.rows())))
+
+
+if __name__ == "__main__":
+    main()

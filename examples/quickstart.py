@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: measure SENSS overhead on the paper's default machine.
+
+Builds the Figure-5 Sun E6000-class SMP twice — once insecure, once
+with SENSS bus encryption + authentication — runs the same SPLASH-2
+style workload on both, and reports the paper's two headline metrics.
+
+    python examples/quickstart.py [workload] [num_cpus]
+"""
+
+import sys
+
+from repro import (SmpSystem, build_secure_system, e6000_config, generate,
+                   slowdown_percent, traffic_increase_percent)
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "lu"
+    num_cpus = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    config = e6000_config(num_processors=num_cpus, l2_mb=1,
+                          auth_interval=100)
+    print("Machine (Figure 5 parameters)")
+    print("-" * 40)
+    print(config.describe())
+    print()
+
+    workload = generate(workload_name, num_cpus, scale=0.5)
+    print(f"Workload: {workload.name}, "
+          f"{workload.total_accesses} memory references "
+          f"across {workload.num_cpus} CPUs")
+    print()
+
+    baseline = SmpSystem(config.with_senss(False)).run(workload)
+    secured = build_secure_system(config).run(workload)
+
+    print("Baseline :", baseline.summary())
+    print("SENSS    :", secured.summary())
+    print()
+    print(f"Performance slowdown : "
+          f"{slowdown_percent(baseline, secured):+.3f}%")
+    print(f"Bus traffic increase : "
+          f"{traffic_increase_percent(baseline, secured):+.3f}%")
+    print(f"MAC broadcasts       : {secured.auth_messages}")
+    print(f"Mask stalls          : {secured.stat('senss.mask_stalls')}")
+    print()
+    print("The paper's Figure 6/8 regime: both numbers well under 1%")
+    print("at authentication interval 100.")
+
+
+if __name__ == "__main__":
+    main()

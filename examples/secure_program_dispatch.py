@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Program dispatch walkthrough — section 4.1 / Figure 1 end to end.
+
+A software distributor encrypts a program under a session key K, wraps
+K for a trusted *group* of processors (excluding one untrusted CPU),
+the group establishes shared bus-crypto state, and the members then
+exchange encrypted cache-to-cache messages that the outsider cannot
+read — with periodic chained-MAC authentication.
+"""
+
+from repro.core.attacks import SecureBusFabric
+from repro.core.authentication import AuthenticationManager
+from repro.core.dispatch import (ProgramDistributor, decrypt_program,
+                                 establish_group, recover_session_key)
+from repro.core.shu import SecurityHardwareUnit
+from repro.sim.rng import DeterministicRng
+
+PROGRAM = b"""
+.text   ; toy banking application
+    load  r1, balance
+    add   r1, r1, deposit
+    store balance, r1
+"""
+
+GROUP_ID = 7
+TRUSTED = [0, 1, 2]       # processor 3 handles the network stack:
+UNTRUSTED = 3             # the distributor does not trust it (sec 4.1)
+
+
+def main() -> None:
+    print("1. Machine: four processors, each with a sealed key pair")
+    machine = [SecurityHardwareUnit(pid, rng=DeterministicRng(40 + pid))
+               for pid in range(4)]
+    for shu in machine:
+        modulus = shu.keypair.public.modulus
+        print(f"   CPU{shu.pid}: RSA modulus {str(modulus)[:24]}...")
+
+    print("\n2. Distributor packages the program for the trusted group")
+    distributor = ProgramDistributor(DeterministicRng(2026))
+    package = distributor.package("banking", PROGRAM, machine, TRUSTED,
+                                  auth_interval=4, num_masks=2)
+    print(f"   encrypted program: {len(package.encrypted_program)} bytes")
+    print(f"   wrapped session keys for PIDs {package.member_pids}")
+
+    print("\n3. Members unwrap K and decrypt the program on-chip")
+    key = recover_session_key(machine[0], package)
+    program = decrypt_program(key, package)
+    assert program == PROGRAM
+    print(f"   CPU0 recovered K = {key.hex()} and the program text")
+    try:
+        package.key_for(UNTRUSTED)
+    except Exception as error:
+        print(f"   CPU{UNTRUSTED} has no wrapped key: {error}")
+
+    print("\n4. Group establishment: smallest PID broadcasts fresh IVs")
+    establish_group(machine, GROUP_ID, package, DeterministicRng(99))
+    print(f"   GID {GROUP_ID} installed on CPUs {TRUSTED}; "
+          f"CPU{UNTRUSTED} only marks the GID occupied")
+
+    print("\n5. Secure cache-to-cache traffic with periodic MAC rounds")
+    manager = AuthenticationManager(TRUSTED, interval=4,
+                                    group_id=GROUP_ID)
+    fabric = SecureBusFabric(machine, GROUP_ID, manager)
+    for index in range(12):
+        sender = TRUSTED[index % len(TRUSTED)]
+        data = bytes([index] * 32)
+        received = fabric.transmit(sender, data)
+        got = sorted(received)
+        assert UNTRUSTED not in received
+        if index < 3:
+            print(f"   CPU{sender} -> CPUs {got}: "
+                  f"32B line delivered, outsider saw ciphertext only")
+    print(f"   ... {fabric.transmitted} transfers, "
+          f"{manager.rounds_completed} MAC rounds, 0 alarms")
+
+    print("\nDone: confidentiality via chained masks, integrity via")
+    print("chained CBC-MAC, key distribution via per-processor RSA.")
+
+
+if __name__ == "__main__":
+    main()

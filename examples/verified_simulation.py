@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Verified simulation: real cryptography inside the timing simulator.
+
+The figures are produced by a timing model that charges cycles without
+moving bytes. This example attaches the *functional-security bridge*:
+one genuine SHU per processor, driven by every cache-to-cache transfer
+the simulator grants. At the end we cross-check the timing layer's
+accounting against the functional reality — same protected-transfer
+count, same MAC-broadcast count, all replicas in cryptographic lock
+step, every authentication round passed with real chained CBC-MACs.
+"""
+
+from repro import build_secure_system, e6000_config, generate
+from repro.core.functional_bridge import attach_functional_bridge
+
+
+def main() -> None:
+    config = e6000_config(num_processors=4, l2_mb=1, auth_interval=25)
+    system = build_secure_system(config)
+    bridge = attach_functional_bridge(system)
+
+    workload = generate("lu", 4, scale=0.2)
+    print(f"Running {workload.name} ({workload.total_accesses} refs) "
+          f"with REAL AES under the timing model...")
+    result = system.run(workload)
+
+    summary = bridge.verify_against_layer(system.bus.security_layer)
+    print(f"\nTiming model: {result.cycles} cycles, "
+          f"{result.cache_to_cache_transfers} cache-to-cache "
+          f"transfers, {result.auth_messages} MAC broadcasts")
+    print("Functional cross-check:")
+    print(f"  protected transfers mirrored : "
+          f"{summary['protected_transfers']}")
+    print(f"  authentication rounds passed : {summary['auth_rounds']}")
+    print(f"  MAC broadcast transactions   : "
+          f"{summary['mac_broadcasts']}")
+    channel = bridge.shus[0].channel(0)
+    print(f"  final chained MAC            : "
+          f"{channel.mac_digest().hex()}")
+    print(f"  AES invocations per member   : "
+          f"{channel.aes_invocations}")
+    print("\nEvery counter matches and every replica agrees: the")
+    print("timing layer's books correspond one-for-one to genuine")
+    print("SENSS cryptography on this transaction stream.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""SENSS: Security Enhancement to Symmetric Shared Memory
+Multiprocessors — a full reproduction of the HPCA 2005 paper.
+
+Public API tour
+---------------
+
+Configuration and machines::
+
+    from repro import e6000_config, build_secure_system, SmpSystem
+    config = e6000_config(num_processors=4, l2_mb=4, auth_interval=100)
+    secure = build_secure_system(config)
+    baseline = SmpSystem(config.with_senss(False))
+
+Workloads and metrics::
+
+    from repro import generate, slowdown_percent
+    workload = generate("fft", num_cpus=4, scale=0.5)
+    base_result = baseline.run(workload)
+    senss_result = secure.run(workload)
+    print(slowdown_percent(base_result, senss_result))
+
+Functional security stack (real AES, real chained MACs, attacks)::
+
+    from repro.core import SecurityHardwareUnit, ProgramDistributor
+    from repro.core.attacks import SecureBusFabric, DropAttack
+
+See DESIGN.md for the complete system inventory and the experiment
+index mapping every paper figure/table to a bench target.
+"""
+
+from .config import (BusConfig, CacheConfig, CryptoConfig, MemProtectConfig,
+                     SenssConfig, SystemConfig, e6000_config)
+from .core.senss import SenssBusLayer, build_secure_system
+from .errors import (AuthenticationFailure, BusError, CoherenceError,
+                     ConfigError, CryptoError, GroupTableFull,
+                     IntegrityViolation, ReproError, SimulationError,
+                     SpoofDetected, TraceError)
+from .smp.metrics import (SimulationResult, slowdown_percent,
+                          traffic_increase_percent)
+from .smp.system import SmpSystem
+from .smp.trace import MemoryAccess, Workload
+from .workloads.registry import SPLASH2_NAMES, generate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthenticationFailure",
+    "BusConfig",
+    "BusError",
+    "CacheConfig",
+    "CoherenceError",
+    "ConfigError",
+    "CryptoConfig",
+    "CryptoError",
+    "GroupTableFull",
+    "IntegrityViolation",
+    "MemProtectConfig",
+    "MemoryAccess",
+    "ReproError",
+    "SPLASH2_NAMES",
+    "SenssBusLayer",
+    "SenssConfig",
+    "SimulationError",
+    "SimulationResult",
+    "SmpSystem",
+    "SpoofDetected",
+    "SystemConfig",
+    "TraceError",
+    "Workload",
+    "build_secure_system",
+    "e6000_config",
+    "generate",
+    "slowdown_percent",
+    "traffic_increase_percent",
+]

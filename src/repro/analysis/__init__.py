@@ -1,0 +1,9 @@
+"""Analysis helpers: hardware-overhead accounting, report tables,
+variability studies."""
+
+from .overhead import HardwareOverheadReport, compute_overhead
+from .report import format_table
+from .variability import AccessRecorder, compare_orderings
+
+__all__ = ["AccessRecorder", "HardwareOverheadReport", "compare_orderings",
+           "compute_overhead", "format_table"]

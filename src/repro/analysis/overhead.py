@@ -1,0 +1,69 @@
+"""Hardware overhead accounting — section 7.1 of the paper.
+
+Reproduces the published numbers exactly, because they are arithmetic
+over the design parameters:
+
+- group-processor bit matrix: 1024 entries x 5 bits = **640 bytes**;
+- group information table: 1 + 128 + 8 + 8x128 = **1161 bits/entry**,
+  **148.6 KB** for 1024 entries;
+- bus lines: Gigaplane's 378 lines + 2 (message type) + 10 (GID)
+  = **+3.1%**;
+- per-message delay: 1 sender cycle + 2 receiver cycles = **3 cycles**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..core.groups import GroupInfoTable, GroupProcessorBitMatrix
+
+
+@dataclass(frozen=True)
+class HardwareOverheadReport:
+    bit_matrix_bytes: float
+    table_bits_per_entry: int
+    table_total_kb: float
+    baseline_bus_lines: int
+    extra_type_lines: int
+    extra_gid_lines: int
+    bus_line_increase_percent: float
+    per_message_cycles: int
+    max_masks: int
+
+    def rows(self):
+        return [
+            ("Group-processor bit matrix", f"{self.bit_matrix_bytes:.0f} B"),
+            ("Group info table (bits/entry)",
+             f"{self.table_bits_per_entry} bits"),
+            ("Group info table (total)", f"{self.table_total_kb:.1f} KB"),
+            ("Baseline bus lines", str(self.baseline_bus_lines)),
+            ("Extra lines (type + GID)",
+             f"{self.extra_type_lines} + {self.extra_gid_lines}"),
+            ("Bus line increase", f"{self.bus_line_increase_percent:.1f}%"),
+            ("Per-message bus delay", f"{self.per_message_cycles} cycles"),
+            ("Max useful masks", str(self.max_masks)),
+        ]
+
+
+def compute_overhead(config: SystemConfig) -> HardwareOverheadReport:
+    """Derive the section 7.1 hardware-cost table from a configuration."""
+    matrix = GroupProcessorBitMatrix(config.senss.max_groups,
+                                     config.senss.max_processors)
+    table = GroupInfoTable(config.senss.max_groups)
+    extra_type_lines = 2   # "00"/"01"/"10" message-type encodings
+    extra_gid_lines = (config.senss.max_groups - 1).bit_length()
+    baseline = config.bus.total_lines
+    increase = 100.0 * (extra_type_lines + extra_gid_lines) / baseline
+    return HardwareOverheadReport(
+        bit_matrix_bytes=matrix.storage_bits() / 8.0,
+        table_bits_per_entry=table.storage_bits_per_entry(),
+        # Decimal kilobytes, matching the paper's "148.6KB".
+        table_total_kb=table.storage_bytes_total() / 1000.0,
+        baseline_bus_lines=baseline,
+        extra_type_lines=extra_type_lines,
+        extra_gid_lines=extra_gid_lines,
+        bus_line_increase_percent=increase,
+        per_message_cycles=config.senss.per_message_overhead_cycles,
+        max_masks=config.max_masks,
+    )

@@ -1,0 +1,33 @@
+"""Plain-text table rendering for the bench harnesses.
+
+Every bench prints the same rows/series the paper's figure reports, so
+EXPERIMENTS.md can be filled by copying bench output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(title: str, header: Sequence[str],
+                 rows: List[Sequence[object]]) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(name) for name in header]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def line(row):
+        return "  ".join(value.ljust(widths[column])
+                         for column, value in enumerate(row)).rstrip()
+
+    rule = "-" * min(78, sum(widths) + 2 * (len(widths) - 1))
+    parts = [title, rule, line(header), rule]
+    parts.extend(line(row) for row in cells)
+    parts.append(rule)
+    return "\n".join(parts)
+
+
+def format_percent(value: float) -> str:
+    return f"{value:+.3f}%"

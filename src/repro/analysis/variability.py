@@ -1,0 +1,62 @@
+"""Simulation variability analysis (section 7.8, Figure 11).
+
+The paper stresses that multiprocessor timing simulations are not
+deterministic under parameter changes: a 3-cycle bus-delay increase
+reorders racy accesses, flipping hits to misses (and sometimes making
+the *secured* machine faster). Our simulator is deterministic for a
+fixed configuration, but changing the configuration (baseline vs
+SENSS) reorders the global interleaving exactly as Figure 11 shows.
+These helpers record and diff the interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..bus.transaction import BusTransaction
+
+
+@dataclass
+class AccessRecorder:
+    """Bus observer that logs (grant_cycle, cpu, type, address)."""
+
+    events: List[Tuple[int, int, str, int]] = field(default_factory=list)
+
+    def __call__(self, transaction: BusTransaction) -> None:
+        self.events.append((transaction.grant_cycle,
+                            transaction.source_pid,
+                            transaction.type.value,
+                            transaction.address))
+
+    def order_signature(self) -> List[Tuple[int, str, int]]:
+        """The global transaction order, timing stripped."""
+        return [(cpu, kind, address)
+                for _, cpu, kind, address in self.events]
+
+    def per_cpu_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for _, cpu, _, _ in self.events:
+            counts[cpu] = counts.get(cpu, 0) + 1
+        return counts
+
+
+def compare_orderings(base: AccessRecorder,
+                      secured: AccessRecorder) -> Dict[str, object]:
+    """Quantify how much the global bus order changed between runs."""
+    base_order = base.order_signature()
+    secured_order = secured.order_signature()
+    common = min(len(base_order), len(secured_order))
+    divergence_at = common
+    for index in range(common):
+        if base_order[index] != secured_order[index]:
+            divergence_at = index
+            break
+    return {
+        "base_transactions": len(base_order),
+        "secured_transactions": len(secured_order),
+        "first_divergence": divergence_at,
+        "identical_prefix_fraction":
+            divergence_at / common if common else 1.0,
+        "reordered": base_order != secured_order,
+    }

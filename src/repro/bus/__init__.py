@@ -1,0 +1,6 @@
+"""Shared snooping bus substrate."""
+
+from .bus import SharedBus
+from .transaction import BusTransaction, TransactionType
+
+__all__ = ["BusTransaction", "SharedBus", "TransactionType"]

@@ -1,0 +1,155 @@
+"""The shared snooping bus: arbitration, occupancy, traffic accounting.
+
+The model is an atomic split of *occupancy* and *latency*:
+
+- **Occupancy** is how long the bus is held by a transaction (an
+  address cycle plus data cycles at the 3.2 GB/s, 32 B-per-bus-cycle
+  rate of Figure 5). Occupancy serializes transactions and produces
+  contention.
+- **Latency** is when the *requester* gets its answer: 120 cycles for
+  an uncontended cache-to-cache transfer, 180 cycles for memory
+  (Figure 5), counted from grant.
+
+SENSS security hooks (per-message +3 cycles, mask-readiness stalls,
+MAC broadcasts) are layered on by :class:`repro.core.senss.SenssBusLayer`
+via the ``security_layer`` attachment so the baseline bus stays
+security-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..config import BusConfig
+from ..errors import BusError
+from ..sim.stats import StatsRegistry
+from .transaction import BusTransaction, TransactionType
+
+
+class SharedBus:
+    """Atomic snooping bus shared by all processors and the memory."""
+
+    def __init__(self, config: BusConfig,
+                 stats: Optional[StatsRegistry] = None):
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._free_at = 0
+        self._data_free_at = 0  # split-transaction mode only
+        self._sequence = 0
+        self._observers: List[Callable[[BusTransaction], None]] = []
+        self.security_layer = None  # set by SenssBusLayer.attach()
+
+    # -- observation -----------------------------------------------------
+
+    def add_observer(self, observer: Callable[[BusTransaction], None]) -> None:
+        """Observers see every granted transaction (snoopers, attackers,
+        metrics probes). Called after state effects are resolved."""
+        self._observers.append(observer)
+
+    # -- timing helpers ----------------------------------------------------
+
+    @property
+    def free_at(self) -> int:
+        return self._free_at
+
+    def occupancy_cycles(self, transaction_type: TransactionType,
+                         data_bytes: int) -> int:
+        """Bus hold time in CPU cycles: 1 address cycle + data cycles."""
+        cycles = self.config.cycle_cpu_cycles  # address/command cycle
+        if transaction_type.carries_data and data_bytes > 0:
+            data_cycles = -(-data_bytes // self.config.line_bytes)
+            cycles += data_cycles * self.config.cycle_cpu_cycles
+        return cycles
+
+    def base_latency(self, transaction: BusTransaction) -> int:
+        """Uncontended requester-visible latency from grant (Figure 5)."""
+        if transaction.type in (TransactionType.BUS_UPGRADE,
+                                TransactionType.PAD_INVALIDATE):
+            return 2 * self.config.cycle_cpu_cycles  # address-only
+        if transaction.type == TransactionType.AUTH_MAC:
+            return 2 * self.config.cycle_cpu_cycles
+        if transaction.supplied_by_cache:
+            return self.config.cache_to_cache_latency
+        return self.config.cache_to_memory_latency
+
+    # -- the one entry point ------------------------------------------------
+
+    def issue(self, transaction: BusTransaction, request_cycle: int,
+              data_bytes: int) -> BusTransaction:
+        """Arbitrate, occupy, snoop and complete one transaction.
+
+        Returns the transaction with ``grant_cycle`` / ``complete_cycle``
+        filled in. The caller has already resolved who supplies the data
+        (``supplied_by_cache``) by consulting the coherence protocol.
+        """
+        if request_cycle < 0:
+            raise BusError("request cycle must be non-negative")
+        transaction.issue_cycle = request_cycle
+        grant = max(request_cycle, self._free_at)
+        transaction.grant_cycle = grant
+        transaction.sequence = self._sequence
+        self._sequence += 1
+
+        latency = self.base_latency(transaction)
+        occupancy = self.occupancy_cycles(transaction.type, data_bytes)
+
+        if self.security_layer is not None:
+            # The security layer may stall the transfer (mask readiness)
+            # and adds its fixed per-message overhead; it also injects
+            # MAC broadcasts, which recursively occupy the bus.
+            latency += self.security_layer.before_transfer(transaction,
+                                                           grant)
+
+        if self.config.split_transaction:
+            # Gigaplane-style: the address bus is held for one cycle
+            # per transaction; the data phase queues on the separate
+            # data bus and the requester waits for its slot.
+            self._free_at = grant + self.config.cycle_cpu_cycles
+            if transaction.type.carries_data and data_bytes > 0:
+                data_cycles = (-(-data_bytes // self.config.line_bytes)
+                               * self.config.cycle_cpu_cycles)
+                data_start = max(grant, self._data_free_at)
+                self._data_free_at = data_start + data_cycles
+                latency += data_start - grant
+            transaction.complete_cycle = grant + latency
+        else:
+            self._free_at = grant + occupancy
+            transaction.complete_cycle = grant + latency
+
+        self._count(transaction)
+        for observer in self._observers:
+            observer(transaction)
+        if self.security_layer is not None:
+            self.security_layer.after_transfer(transaction)
+        return transaction
+
+    # -- statistics ----------------------------------------------------------
+
+    _MEMORY_DATA_TYPES = (TransactionType.BUS_READ,
+                          TransactionType.BUS_READ_EXCLUSIVE,
+                          TransactionType.WRITEBACK,
+                          TransactionType.HASH_FETCH,
+                          TransactionType.HASH_WRITEBACK)
+
+    def _count(self, transaction: BusTransaction) -> None:
+        self.stats.add("bus.transactions")
+        self.stats.add(f"bus.tx.{transaction.type.value}")
+        if transaction.is_cache_to_cache:
+            self.stats.add("bus.cache_to_cache")
+        elif transaction.type in self._MEMORY_DATA_TYPES:
+            # Line movement to/from memory. Security messages (MAC
+            # broadcasts, pad requests) are counted by type only.
+            self.stats.add("bus.with_memory")
+
+    @property
+    def total_transactions(self) -> int:
+        return self.stats.get("bus.transactions")
+
+    @property
+    def cache_to_cache_transfers(self) -> int:
+        return self.stats.get("bus.cache_to_cache")
+
+    def reset(self) -> None:
+        self._free_at = 0
+        self._data_free_at = 0
+        self._sequence = 0

@@ -1,0 +1,78 @@
+"""Bus transaction vocabulary.
+
+Baseline MESI transactions plus the three SENSS message types that
+section 7.1 adds to the command bus:
+
+- type "00": bus authentication message (MAC broadcast),
+- type "01": pad invalidate message,
+- type "10": pad request message.
+
+Hash-tree invalidation and requests ride on the normal coherence
+transactions because hashes live in L2 ("Hash invalidation and request
+do not need extra signals", section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class TransactionType(Enum):
+    # Baseline coherence traffic.
+    BUS_READ = "BusRd"              # read miss
+    BUS_READ_EXCLUSIVE = "BusRdX"   # write miss
+    BUS_UPGRADE = "BusUpgr"         # S->M, address-only
+    WRITEBACK = "WB"                # dirty eviction to memory
+    # SENSS additions (section 7.1 command encodings).
+    AUTH_MAC = "Auth00"             # MAC broadcast ("00")
+    PAD_INVALIDATE = "PadInv01"     # fast-memory-encryption pad inval ("01")
+    PAD_REQUEST = "PadReq10"        # pad fetch ("10")
+    # Memory-integrity hash tree traffic (normal reads, tagged for stats).
+    HASH_FETCH = "HashFetch"
+    HASH_WRITEBACK = "HashWB"
+
+    @property
+    def carries_data(self) -> bool:
+        """Whether a data block rides with the transaction."""
+        return self in (TransactionType.BUS_READ,
+                        TransactionType.BUS_READ_EXCLUSIVE,
+                        TransactionType.WRITEBACK,
+                        TransactionType.AUTH_MAC,
+                        TransactionType.PAD_REQUEST,
+                        TransactionType.HASH_FETCH,
+                        TransactionType.HASH_WRITEBACK)
+
+    @property
+    def command_encoding(self) -> Optional[str]:
+        """The SENSS 2-bit extra command encoding, if any (section 7.1)."""
+        return {TransactionType.AUTH_MAC: "00",
+                TransactionType.PAD_INVALIDATE: "01",
+                TransactionType.PAD_REQUEST: "10"}.get(self)
+
+
+@dataclass
+class BusTransaction:
+    """One atomic transaction granted on the shared bus."""
+
+    type: TransactionType
+    address: int
+    source_pid: int
+    group_id: int = 0
+    issue_cycle: int = 0
+    grant_cycle: int = 0
+    complete_cycle: int = 0
+    supplied_by_cache: bool = False   # cache-to-cache vs memory
+    payload: Optional[bytes] = None   # functional mode only
+    sequence: int = field(default=-1)
+
+    @property
+    def is_cache_to_cache(self) -> bool:
+        """A data block moved between processor caches on this grant."""
+        return self.type.carries_data and self.supplied_by_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BusTransaction({self.type.value}, addr={self.address:#x}, "
+                f"pid={self.source_pid}, gid={self.group_id}, "
+                f"seq={self.sequence})")

@@ -1,0 +1,8 @@
+"""Cache hierarchy substrate: MESI states, set-associative caches."""
+
+from .cache import SetAssociativeCache
+from .hierarchy import AccessResult, CacheHierarchy
+from .mesi import MesiState
+
+__all__ = ["AccessResult", "CacheHierarchy", "MesiState",
+           "SetAssociativeCache"]

@@ -1,0 +1,142 @@
+"""Set-associative, write-back cache tag store with LRU replacement.
+
+This is a *tag* model: the simulator tracks which lines are resident
+and in what MESI state, not the data bytes (the functional SENSS layer
+carries real bytes separately). Each instance models one cache level of
+one processor. Addresses are byte addresses; lookups are by line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..config import CacheConfig
+from ..errors import CoherenceError
+from .mesi import MesiState
+
+
+class CacheLine:
+    """Residency record for one cache line."""
+
+    __slots__ = ("tag", "state", "last_used")
+
+    def __init__(self, tag: int, state: MesiState, last_used: int):
+        self.tag = tag
+        self.state = state
+        self.last_used = last_used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheLine(tag={self.tag:#x}, {self.state})"
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over line-aligned addresses."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._num_sets = config.num_sets
+        # set index -> list of CacheLine (at most `associativity` long)
+        self._sets: Dict[int, List[CacheLine]] = {}
+        self._tick = 0
+
+    # -- address arithmetic --------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Align a byte address down to its line address."""
+        return address >> self._offset_bits << self._offset_bits
+
+    def _index_and_tag(self, line_address: int) -> Tuple[int, int]:
+        block = line_address >> self._offset_bits
+        return block % self._num_sets, block // self._num_sets
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line covering ``address``, or None.
+
+        Lines in state INVALID are treated as absent. ``touch`` updates
+        LRU recency (snoops pass touch=False so remote traffic does not
+        perturb the local replacement order).
+        """
+        index, tag = self._index_and_tag(self.line_address(address))
+        for line in self._sets.get(index, ()):
+            if line.tag == tag and line.state.is_valid:
+                if touch:
+                    self._tick += 1
+                    line.last_used = self._tick
+                return line
+        return None
+
+    def contains(self, address: int) -> bool:
+        return self.lookup(address, touch=False) is not None
+
+    def state_of(self, address: int) -> MesiState:
+        line = self.lookup(address, touch=False)
+        return line.state if line else MesiState.INVALID
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, address: int,
+               state: MesiState) -> Optional[Tuple[int, MesiState]]:
+        """Install a line; returns (victim_line_address, victim_state) if
+        a valid line had to be evicted, else None.
+
+        The caller is responsible for issuing the write-back bus
+        transaction when the victim is MODIFIED.
+        """
+        if not state.is_valid:
+            raise CoherenceError("cannot insert a line in state I")
+        line_address = self.line_address(address)
+        index, tag = self._index_and_tag(line_address)
+        ways = self._sets.setdefault(index, [])
+        self._tick += 1
+        for line in ways:
+            if line.tag == tag:
+                line.state = state
+                line.last_used = self._tick
+                return None
+        victim: Optional[Tuple[int, MesiState]] = None
+        if len(ways) >= self.config.associativity:
+            # Prefer replacing an INVALID way; else evict true LRU.
+            evict = min(ways, key=lambda l: (l.state.is_valid, l.last_used))
+            if evict.state.is_valid:
+                victim_block = evict.tag * self._num_sets + index
+                victim = (victim_block << self._offset_bits, evict.state)
+            ways.remove(evict)
+        ways.append(CacheLine(tag, state, self._tick))
+        return victim
+
+    def set_state(self, address: int, state: MesiState) -> None:
+        """Change the state of a resident line (I removes it logically)."""
+        index, tag = self._index_and_tag(self.line_address(address))
+        for line in self._sets.get(index, ()):
+            if line.tag == tag:
+                line.state = state
+                return
+        if state.is_valid:
+            raise CoherenceError(
+                f"set_state on non-resident line {address:#x}")
+
+    def invalidate(self, address: int) -> bool:
+        """Invalidate the line covering ``address``; True if it was valid."""
+        line = self.lookup(address, touch=False)
+        if line is None:
+            return False
+        line.state = MesiState.INVALID
+        return True
+
+    def iter_lines(self) -> Iterator[Tuple[int, CacheLine]]:
+        """Yield (line_address, line) for all valid resident lines."""
+        for index, ways in self._sets.items():
+            for line in ways:
+                if line.state.is_valid:
+                    block = line.tag * self._num_sets + index
+                    yield block << self._offset_bits, line
+
+    def valid_line_count(self) -> int:
+        return sum(1 for _ in self.iter_lines())
+
+    def flush(self) -> None:
+        self._sets.clear()
+        self._tick = 0

@@ -1,0 +1,153 @@
+"""Per-processor two-level cache hierarchy (Figure 5 geometry).
+
+Coherence state is tracked at L2 granularity (the L2 is inclusive of
+the L1, as in the modeled Sun machines); the L1 is a residency filter
+that only affects hit latency. On any L2 line invalidation or eviction,
+the covering L1 lines are invalidated to preserve inclusion.
+
+``access`` classifies a memory reference into one of the
+:class:`AccessResult` kinds; the SMP system then performs whatever bus
+transaction the classification requires and calls back into
+``fill``/``upgrade`` to commit the state change. Splitting classify and
+commit keeps the hierarchy free of bus knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..config import CacheConfig
+from ..errors import CoherenceError
+from ..sim.stats import StatsRegistry
+from .cache import SetAssociativeCache
+from .mesi import MesiState
+
+
+class AccessKind(Enum):
+    L1_HIT = "l1_hit"
+    L2_HIT = "l2_hit"
+    L2_HIT_NEEDS_UPGRADE = "l2_hit_needs_upgrade"
+    MISS = "miss"
+
+
+@dataclass
+class AccessResult:
+    """Classification of one memory reference against the local caches."""
+
+    kind: AccessKind
+    line_address: int
+    latency: int
+    writeback_victim: Optional[int] = None  # line address needing WB
+
+
+class CacheHierarchy:
+    """L1 (I/D combined residency) + inclusive write-back L2."""
+
+    def __init__(self, cpu_id: int, l1_config: CacheConfig,
+                 l2_config: CacheConfig,
+                 stats: Optional[StatsRegistry] = None):
+        self.cpu_id = cpu_id
+        self.l1 = SetAssociativeCache(l1_config)
+        self.l2 = SetAssociativeCache(l2_config)
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._prefix = f"cpu{cpu_id}."
+
+    # -- local access classification -----------------------------------
+
+    def access(self, is_write: bool, address: int) -> AccessResult:
+        """Classify a load/store; does not change coherence state except
+        recording LRU recency and the silent E->M upgrade on write hits."""
+        l2_line = self.l2.line_address(address)
+        l2_entry = self.l2.lookup(address)
+        if l2_entry is None:
+            self.stats.add(self._prefix + "l2_miss")
+            return AccessResult(AccessKind.MISS, l2_line,
+                                latency=0)
+        # L2 has the line; check write permission first.
+        if is_write and not l2_entry.state.can_write:
+            self.stats.add(self._prefix + "upgrade_needed")
+            return AccessResult(AccessKind.L2_HIT_NEEDS_UPGRADE, l2_line,
+                                latency=self.l2.config.hit_latency)
+        if is_write:
+            l2_entry.state = MesiState.MODIFIED  # includes silent E->M
+        l1_entry = self.l1.lookup(address)
+        if l1_entry is not None:
+            self.stats.add(self._prefix + "l1_hit")
+            return AccessResult(AccessKind.L1_HIT, l2_line,
+                                latency=self.l1.config.hit_latency)
+        # L1 refill from L2 (no bus traffic; inclusion preserved).
+        self.l1.insert(address, MesiState.SHARED)
+        self.stats.add(self._prefix + "l2_hit")
+        return AccessResult(AccessKind.L2_HIT, l2_line,
+                            latency=self.l2.config.hit_latency)
+
+    # -- commit points called by the SMP system -------------------------
+
+    def fill(self, line_address: int,
+             state: MesiState) -> Optional[Tuple[int, MesiState]]:
+        """Install a missed line in L2 (and L1); returns evicted victim."""
+        victim = self.l2.insert(line_address, state)
+        if victim is not None:
+            self._enforce_inclusion(victim[0])
+        self.l1.insert(line_address, MesiState.SHARED)
+        return victim
+
+    def upgrade(self, line_address: int) -> None:
+        """Commit an S->M upgrade after the invalidating bus transaction."""
+        entry = self.l2.lookup(line_address, touch=False)
+        if entry is None:
+            raise CoherenceError(
+                f"upgrade of non-resident line {line_address:#x}")
+        entry.state = MesiState.MODIFIED
+
+    # -- snooping (remote transactions) ---------------------------------
+
+    def snoop_read(self, line_address: int,
+                   dirty_to_owned: bool = False) -> MesiState:
+        """Remote BusRd: return prior state; downgrade M/E.
+
+        MESI flushes a MODIFIED line to memory and drops to SHARED;
+        MOESI (``dirty_to_owned``) keeps responsibility on-chip by
+        moving M to OWNED instead (memory stays stale).
+        """
+        entry = self.l2.lookup(line_address, touch=False)
+        if entry is None:
+            return MesiState.INVALID
+        prior = entry.state
+        if prior is MesiState.MODIFIED:
+            entry.state = (MesiState.OWNED if dirty_to_owned
+                           else MesiState.SHARED)
+        elif prior is MesiState.EXCLUSIVE:
+            entry.state = MesiState.SHARED
+        return prior
+
+    def snoop_read_exclusive(self, line_address: int) -> MesiState:
+        """Remote BusRdX/Upgrade: return prior state; invalidate."""
+        entry = self.l2.lookup(line_address, touch=False)
+        if entry is None:
+            return MesiState.INVALID
+        prior = entry.state
+        entry.state = MesiState.INVALID
+        self._enforce_inclusion(line_address)
+        return prior
+
+    # -- helpers ----------------------------------------------------------
+
+    def _enforce_inclusion(self, l2_line_address: int) -> None:
+        """Invalidate all L1 lines covered by an evicted/invalid L2 line."""
+        step = self.l1.config.line_bytes
+        for offset in range(0, self.l2.config.line_bytes, step):
+            self.l1.invalidate(l2_line_address + offset)
+
+    def state_of(self, address: int) -> MesiState:
+        return self.l2.state_of(address)
+
+    def flush(self) -> List[int]:
+        """Drop all lines; returns addresses of dirty lines (for WB)."""
+        dirty = [addr for addr, line in self.l2.iter_lines()
+                 if line.state.is_dirty]
+        self.l1.flush()
+        self.l2.flush()
+        return dirty

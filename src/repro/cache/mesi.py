@@ -1,0 +1,39 @@
+"""Cache line states (the paper's coherence protocol, section 7.2).
+
+The simulated machine uses the Illinois/MESI snooping write-invalidate
+protocol: Modified, Exclusive, Shared, Invalid. The OWNED state exists
+for the MOESI protocol-variant ablation (a dirty line shared out
+without updating memory; its holder stays responsible for the eventual
+write-back). State transitions are driven by
+:mod:`repro.coherence.protocol` and its variants.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MesiState(Enum):
+    MODIFIED = "M"
+    OWNED = "O"       # MOESI only: dirty but shared; owner supplies
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not MesiState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """Memory is stale: this copy must be written back on eviction."""
+        return self in (MesiState.MODIFIED, MesiState.OWNED)
+
+    @property
+    def can_write(self) -> bool:
+        """Writable without a bus transaction (M or E; E upgrades
+        silently; O must broadcast an upgrade like S)."""
+        return self in (MesiState.MODIFIED, MesiState.EXCLUSIVE)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

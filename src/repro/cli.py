@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``       simulate one workload on baseline + SENSS machines and
+              report slowdown / traffic increase.
+``sweep``     sweep the authentication interval (Figure 9 style).
+``overhead``  print the section-7.1 hardware cost table.
+``attacks``   run the Type 1/2/3 attack detection matrix.
+``workloads`` list available workload generators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.overhead import compute_overhead
+from .analysis.report import format_table
+from .config import e6000_config
+from .core.senss import build_secure_system
+from .smp.metrics import slowdown_percent, traffic_increase_percent
+from .smp.system import SmpSystem
+from .workloads.registry import SPLASH2_NAMES, generate
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SENSS (HPCA 2005) reproduction toolkit")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="simulate one workload")
+    run.add_argument("workload",
+                     help=f"one of {SPLASH2_NAMES} or a .trace file "
+                          f"(see repro.workloads.tracefile)")
+    run.add_argument("--cpus", type=int, default=4)
+    run.add_argument("--l2-mb", type=int, default=1, choices=[1, 4])
+    run.add_argument("--interval", type=int, default=100)
+    run.add_argument("--masks", type=int, default=0,
+                     help="mask count (0 = perfect supply)")
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--memprotect", action="store_true",
+                     help="add OTP memory encryption + CHash integrity")
+
+    sweep = commands.add_parser("sweep",
+                                help="authentication interval sweep")
+    sweep.add_argument("workload",
+                       help=f"one of {SPLASH2_NAMES} or a .trace file")
+    sweep.add_argument("--cpus", type=int, default=4)
+    sweep.add_argument("--scale", type=float, default=0.4)
+    sweep.add_argument("--intervals", type=int, nargs="+",
+                       default=[100, 32, 10, 1])
+
+    commands.add_parser("overhead",
+                        help="section 7.1 hardware cost table")
+    commands.add_parser("attacks", help="attack detection matrix")
+    commands.add_parser("workloads", help="list workload generators")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    config = e6000_config(num_processors=args.cpus, l2_mb=args.l2_mb,
+                          auth_interval=args.interval)
+    config = config.with_masks(args.masks or None)
+    if args.memprotect:
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True)
+    if args.workload.endswith(".trace"):
+        from .workloads.tracefile import load_workload
+        workload = load_workload(args.workload)
+        if workload.num_cpus > args.cpus:
+            config = config.with_processors(workload.num_cpus)
+    else:
+        workload = generate(args.workload, args.cpus, scale=args.scale)
+    baseline = SmpSystem(config.with_senss(False)).run(workload)
+    secured = build_secure_system(config).run(workload)
+    print(baseline.summary())
+    print(secured.summary())
+    print(f"slowdown         : "
+          f"{slowdown_percent(baseline, secured):+.3f}%")
+    print(f"traffic increase : "
+          f"{traffic_increase_percent(baseline, secured):+.3f}%")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    config = e6000_config(num_processors=args.cpus, l2_mb=4)
+    if args.workload.endswith(".trace"):
+        from .workloads.tracefile import load_workload
+        workload = load_workload(args.workload)
+        if workload.num_cpus > args.cpus:
+            config = config.with_processors(workload.num_cpus)
+    else:
+        workload = generate(args.workload, args.cpus, scale=args.scale)
+    baseline = SmpSystem(config.with_senss(False)).run(workload)
+    rows = []
+    for interval in args.intervals:
+        secured = build_secure_system(
+            config.with_auth_interval(interval)).run(workload)
+        rows.append([interval,
+                     f"{slowdown_percent(baseline, secured):+.3f}",
+                     f"{traffic_increase_percent(baseline, secured):+.3f}"])
+    print(format_table(
+        f"Authentication interval sweep — {args.workload}, "
+        f"{args.cpus}P, 4M L2",
+        ["interval", "slowdown %", "traffic %"], rows))
+    return 0
+
+
+def _cmd_overhead() -> int:
+    report = compute_overhead(e6000_config())
+    print(format_table("SHU hardware overhead (section 7.1)",
+                       ["quantity", "value"], list(report.rows())))
+    return 0
+
+
+def _cmd_attacks() -> int:
+    from repro.core.attacks import (DropAttack, SecureBusFabric,
+                                    SpoofAttack, SwapAttack)
+    from repro.core.authentication import AuthenticationManager
+    from repro.core.shu import SecurityHardwareUnit
+    from repro.errors import AuthenticationFailure, SpoofDetected
+
+    def detected(attacker) -> str:
+        members = set(range(4))
+        shus = [SecurityHardwareUnit(pid, max_processors=8)
+                for pid in range(4)]
+        key = bytes(range(16))
+        for shu in shus:
+            shu.join_group(1, members, key,
+                           bytes([0xA0 + i for i in range(16)]),
+                           bytes([0x50 + i for i in range(16)]),
+                           auth_interval=8)
+        manager = AuthenticationManager(sorted(members), 8, 1)
+        fabric = SecureBusFabric(shus, 1, manager, attacker)
+        try:
+            for index in range(16):
+                fabric.transmit(index % 4, bytes([index] * 32))
+            fabric.finish()
+        except (AuthenticationFailure, SpoofDetected):
+            return "DETECTED"
+        return "missed"
+
+    rows = [
+        ["Type 1: simple drop", detected(DropAttack({3: [2]}))],
+        ["Type 1: split-group drop",
+         detected(DropAttack({3: [2, 3], 4: [0, 1]}))],
+        ["Type 2: swap", detected(SwapAttack(first_index=2))],
+        ["Type 3: spoof to claimed PID",
+         detected(SpoofAttack(1, 1, 2, bytes(32), [2]))],
+        ["Type 3: spoof to other member",
+         detected(SpoofAttack(1, 1, 2, bytes(32), [3]))],
+    ]
+    print(format_table("SENSS attack detection", ["attack", "result"],
+                       rows))
+    return 0
+
+
+def _cmd_workloads() -> int:
+    for name in SPLASH2_NAMES:
+        workload = generate(name, 2, scale=0.05)
+        print(f"{name:8s} {workload.total_accesses:7d} refs at scale "
+              f"0.05; metadata: {workload.metadata}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "overhead":
+            return _cmd_overhead()
+        if args.command == "attacks":
+            return _cmd_attacks()
+        if args.command == "workloads":
+            return _cmd_workloads()
+    except BrokenPipeError:
+        # Output truncated by a closed pipe (e.g. `| head`): not an
+        # error from the user's point of view.
+        return 0
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Snooping write-invalidate coherence protocol (MESI)."""
+
+from .moesi import MoesiProtocol
+from .msi import MsiProtocol, make_protocol
+from .protocol import MesiProtocol, SnoopOutcome
+
+__all__ = ["MesiProtocol", "MoesiProtocol", "MsiProtocol",
+           "SnoopOutcome", "make_protocol"]

@@ -1,0 +1,42 @@
+"""MSI — the MESI variant without the Exclusive state.
+
+The paper's machine uses MESI (section 7.2). MSI is the classic
+ablation: without E, a processor that read a line *alone* still holds
+it SHARED, so its first write must issue an upgrade bus transaction
+that MESI's silent E->M transition avoids. Comparing the two isolates
+how much of the coherence traffic SENSS must protect is attributable
+to the protocol choice rather than to sharing itself.
+"""
+
+from __future__ import annotations
+
+from ..cache.mesi import MesiState
+from .protocol import MesiProtocol, SnoopOutcome
+
+
+class MsiProtocol(MesiProtocol):
+    """MESI with the Exclusive state disabled."""
+
+    def bus_read(self, requester: int, line_address: int) -> SnoopOutcome:
+        outcome = super().bus_read(requester, line_address)
+        # No E state: even a sole reader installs SHARED, paying an
+        # upgrade transaction on its first write.
+        if outcome.fill_state is MesiState.EXCLUSIVE:
+            return SnoopOutcome(
+                supplier_cpu=outcome.supplier_cpu,
+                had_modified_copy=outcome.had_modified_copy,
+                invalidated_cpus=outcome.invalidated_cpus,
+                fill_state=MesiState.SHARED)
+        return outcome
+
+
+def make_protocol(name: str, hierarchies) -> MesiProtocol:
+    """Factory used by :class:`repro.smp.system.SmpSystem`."""
+    if name == "MESI":
+        return MesiProtocol(hierarchies)
+    if name == "MSI":
+        return MsiProtocol(hierarchies)
+    if name == "MOESI":
+        from .moesi import MoesiProtocol
+        return MoesiProtocol(hierarchies)
+    raise ValueError(f"unknown coherence protocol {name!r}")

@@ -1,0 +1,130 @@
+"""Illinois-MESI snooping write-invalidate protocol.
+
+This module owns the global coherence decisions the bus cannot make
+locally: for a given BusRd/BusRdX, which remote cache (if any) supplies
+the line, what state every cache ends in, and whether the transfer is
+cache-to-cache or from memory.
+
+We model the Illinois variant of MESI (the classic SMP choice, and the
+one that maximizes the cache-to-cache transfers SENSS must protect): a
+remote cache with *any* valid copy supplies the block, memory supplies
+only when no cache has it. A remote MODIFIED supplier also updates
+memory (so its state can drop to SHARED).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..cache.hierarchy import CacheHierarchy
+from ..cache.mesi import MesiState
+from ..errors import CoherenceError
+
+
+@dataclass
+class SnoopOutcome:
+    """Result of broadcasting a coherence request to all remote caches."""
+
+    supplier_cpu: Optional[int]       # None -> memory supplies
+    had_modified_copy: bool           # supplier flushed a dirty line
+    invalidated_cpus: List[int]       # caches that lost their copy
+    fill_state: MesiState             # state the requester installs
+
+
+class MesiProtocol:
+    """Stateless coordinator over the per-CPU cache hierarchies."""
+
+    def __init__(self, hierarchies: Sequence[CacheHierarchy]):
+        self._hierarchies = list(hierarchies)
+
+    def _remotes(self, requester: int):
+        for cpu_id, hierarchy in enumerate(self._hierarchies):
+            if cpu_id != requester:
+                yield cpu_id, hierarchy
+
+    def bus_read(self, requester: int, line_address: int) -> SnoopOutcome:
+        """Remote effects of a read miss (BusRd)."""
+        supplier: Optional[int] = None
+        had_modified = False
+        any_shared = False
+        for cpu_id, hierarchy in self._remotes(requester):
+            prior = hierarchy.snoop_read(line_address)
+            if not prior.is_valid:
+                continue
+            any_shared = True
+            if supplier is None:
+                supplier = cpu_id
+            if prior is MesiState.MODIFIED:
+                had_modified = True
+                supplier = cpu_id  # dirty owner always supplies
+        fill_state = MesiState.SHARED if any_shared else MesiState.EXCLUSIVE
+        return SnoopOutcome(supplier_cpu=supplier,
+                            had_modified_copy=had_modified,
+                            invalidated_cpus=[],
+                            fill_state=fill_state)
+
+    def bus_read_exclusive(self, requester: int,
+                           line_address: int) -> SnoopOutcome:
+        """Remote effects of a write miss (BusRdX): fetch + invalidate."""
+        supplier: Optional[int] = None
+        had_modified = False
+        invalidated: List[int] = []
+        for cpu_id, hierarchy in self._remotes(requester):
+            prior = hierarchy.snoop_read_exclusive(line_address)
+            if not prior.is_valid:
+                continue
+            invalidated.append(cpu_id)
+            if supplier is None:
+                supplier = cpu_id
+            if prior is MesiState.MODIFIED:
+                had_modified = True
+                supplier = cpu_id
+        return SnoopOutcome(supplier_cpu=supplier,
+                            had_modified_copy=had_modified,
+                            invalidated_cpus=invalidated,
+                            fill_state=MesiState.MODIFIED)
+
+    #: states a requester may upgrade from (MOESI adds OWNED)
+    UPGRADABLE_STATES = (MesiState.SHARED,)
+
+    def bus_upgrade(self, requester: int, line_address: int) -> SnoopOutcome:
+        """Remote effects of an S->M upgrade: invalidate all sharers."""
+        requester_state = self._hierarchies[requester].state_of(line_address)
+        if requester_state not in self.UPGRADABLE_STATES:
+            raise CoherenceError(
+                f"upgrade from state {requester_state} on cpu {requester}")
+        invalidated: List[int] = []
+        for cpu_id, hierarchy in self._remotes(requester):
+            prior = hierarchy.snoop_read_exclusive(line_address)
+            if prior.is_valid:
+                invalidated.append(cpu_id)
+        return SnoopOutcome(supplier_cpu=None,
+                            had_modified_copy=False,
+                            invalidated_cpus=invalidated,
+                            fill_state=MesiState.MODIFIED)
+
+    # -- invariant checking (used by property tests) ---------------------
+
+    def check_invariants(self, line_address: int) -> None:
+        """SWMR: at most one M/E copy (excluding all others); at most
+        one OWNED copy, which may coexist only with SHARED copies."""
+        states = [h.state_of(line_address) for h in self._hierarchies]
+        exclusive_like = [s for s in states
+                          if s in (MesiState.MODIFIED, MesiState.EXCLUSIVE)]
+        owned = [s for s in states if s is MesiState.OWNED]
+        valid = [s for s in states if s.is_valid]
+        if len(exclusive_like) > 1:
+            raise CoherenceError(
+                f"multiple M/E copies of {line_address:#x}: {states}")
+        if exclusive_like and len(valid) > 1:
+            raise CoherenceError(
+                f"M/E copy coexists with other copies of "
+                f"{line_address:#x}: {states}")
+        if len(owned) > 1:
+            raise CoherenceError(
+                f"multiple OWNED copies of {line_address:#x}: {states}")
+        if owned and exclusive_like:
+            raise CoherenceError(
+                f"OWNED coexists with M/E on {line_address:#x}: "
+                f"{states}")

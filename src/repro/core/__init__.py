@@ -1,0 +1,48 @@
+"""SENSS core: the paper's primary contribution.
+
+- :mod:`repro.core.groups` — group-processor bit matrix and group
+  information table (section 5).
+- :mod:`repro.core.masks` — mask pair/array management (section 4.4).
+- :mod:`repro.core.bus_crypto` — the OTP/CBC-AES bus encryption of
+  Table 1 and Figure 2 (functional).
+- :mod:`repro.core.authentication` — chained CBC-MAC bus
+  authentication (section 4.3) plus the non-chained baseline of Shi et
+  al. [20] for comparison.
+- :mod:`repro.core.shu` — the per-processor Security Hardware Unit.
+- :mod:`repro.core.dispatch` — program packaging and key distribution
+  (section 4.1).
+- :mod:`repro.core.attacks` — Type 1/2/3 bus attack injectors
+  (section 3.2).
+- :mod:`repro.core.senss` — the timing-side SENSS bus layer and secure
+  system assembly.
+"""
+
+from .authentication import AuthenticationManager, NonChainedAuthenticator
+from .bus_crypto import GroupChannel, MESSAGE_BYTES, pid_block
+from .context import GroupContextManager, SwappedContext
+from .dispatch import ProgramDistributor, ProgramPackage
+from .gcm_channel import GcmGroupChannel
+from .groups import GroupInfoTable, GroupProcessorBitMatrix
+from .masks import MaskTimingArray
+from .senss import SenssBusLayer, build_secure_system
+from .shu import SecurityHardwareUnit, WireMessage
+
+__all__ = [
+    "AuthenticationManager",
+    "GcmGroupChannel",
+    "GroupChannel",
+    "GroupContextManager",
+    "GroupInfoTable",
+    "GroupProcessorBitMatrix",
+    "MESSAGE_BYTES",
+    "MaskTimingArray",
+    "NonChainedAuthenticator",
+    "ProgramDistributor",
+    "ProgramPackage",
+    "SecurityHardwareUnit",
+    "SenssBusLayer",
+    "SwappedContext",
+    "WireMessage",
+    "build_secure_system",
+    "pid_block",
+]

@@ -1,0 +1,241 @@
+"""Bus attack injectors and the functional secure-bus fabric.
+
+Section 3.2 defines three attack classes on the shared bus:
+
+- **Type 1 — message dropping**: a message destined to a processor is
+  blocked. The hard variant is the *split-group* drop of section 4.3:
+  transaction n is blocked from half the group and transaction n+1 from
+  the other half, so every member still receives one valid-looking
+  message and per-message checks all pass.
+- **Type 2 — message reordering**: e.g. two consecutive bus transfers
+  swapped.
+- **Type 3 — message spoofing**: a forged message injected with a valid
+  GID and a valid member PID, delivered to a strict subset of members.
+
+:class:`SecureBusFabric` is the functional broadcast medium connecting
+the SHUs; an attached :class:`BusAttacker` intercepts every wire
+message and decides, per receiver, what is actually delivered (possibly
+nothing, possibly extra forged messages). The periodic MAC-consistency
+round then shows which attacks SENSS detects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AuthenticationFailure, ReproError, SpoofDetected
+from .authentication import AuthenticationManager
+from .shu import SecurityHardwareUnit, WireMessage
+
+Delivery = Tuple[WireMessage, List[int]]  # (message, receiver PIDs)
+
+
+class BusAttacker:
+    """Identity interceptor; subclasses implement real attacks.
+
+    ``process`` sees each transmitted message with its intended
+    receiver set and returns the ordered list of actual deliveries.
+    ``flush`` releases anything still buffered (reorder attacks).
+    ``tamper_mac`` sees every authentication (type-"00") broadcast and
+    may corrupt the digest in flight.
+    """
+
+    def process(self, message: WireMessage,
+                receivers: List[int]) -> List[Delivery]:
+        return [(message, receivers)]
+
+    def flush(self) -> List[Delivery]:
+        return []
+
+    def tamper_mac(self, digest: bytes) -> bytes:
+        return digest
+
+
+class DropAttack(BusAttacker):
+    """Type 1: block selected transactions from selected receivers.
+
+    ``plan`` maps a global message index to the PIDs that must NOT
+    receive it. The paper's split-group scenario is two entries:
+    {n: [C, D], n+1: [A, B]}.
+    """
+
+    def __init__(self, plan: Dict[int, Sequence[int]]):
+        self.plan = {index: set(pids) for index, pids in plan.items()}
+        self._index = 0
+        self.dropped = 0
+
+    def process(self, message: WireMessage,
+                receivers: List[int]) -> List[Delivery]:
+        blocked = self.plan.get(self._index, set())
+        self._index += 1
+        kept = [pid for pid in receivers if pid not in blocked]
+        self.dropped += len(receivers) - len(kept)
+        return [(message, kept)] if kept else []
+
+
+class SwapAttack(BusAttacker):
+    """Type 2: swap transactions ``first_index`` and ``first_index+1``."""
+
+    def __init__(self, first_index: int):
+        self.first_index = first_index
+        self._index = 0
+        self._held: Optional[Delivery] = None
+        self.swapped = False
+
+    def process(self, message: WireMessage,
+                receivers: List[int]) -> List[Delivery]:
+        index = self._index
+        self._index += 1
+        if index == self.first_index:
+            self._held = (message, list(receivers))
+            return []
+        if index == self.first_index + 1 and self._held is not None:
+            held, self._held = self._held, None
+            self.swapped = True
+            return [(message, list(receivers)), held]
+        return [(message, list(receivers))]
+
+    def flush(self) -> List[Delivery]:
+        if self._held is not None:
+            held, self._held = self._held, None
+            return [held]
+        return []
+
+
+class MacTamperAttack(BusAttacker):
+    """Corrupt the authentication broadcast itself (section 4.3: "any
+    tampering of masks during authentication will also result in
+    failure since a mismatch would occur"). Flips one bit of the
+    ``target``-th MAC broadcast."""
+
+    def __init__(self, target: int = 0):
+        self.target = target
+        self._seen = 0
+        self.tampered = False
+
+    def tamper_mac(self, digest: bytes) -> bytes:
+        index = self._seen
+        self._seen += 1
+        if index == self.target:
+            self.tampered = True
+            return bytes([digest[0] ^ 0x80]) + digest[1:]
+        return digest
+
+
+class SpoofAttack(BusAttacker):
+    """Type 3: inject a forged message after ``after_index`` transfers.
+
+    The forged message carries a *valid* GID and a valid member PID
+    (``claimed_pid``) and is delivered to ``victims`` only — the
+    paper's "intelligent adversary" who singles out processor p with a
+    message tagged with p' (another valid member).
+    """
+
+    def __init__(self, after_index: int, group_id: int, claimed_pid: int,
+                 payload: bytes, victims: Sequence[int]):
+        self.after_index = after_index
+        self.forged = WireMessage(group_id, claimed_pid, payload)
+        self.victims = list(victims)
+        self._index = 0
+        self.injected = False
+
+    def process(self, message: WireMessage,
+                receivers: List[int]) -> List[Delivery]:
+        deliveries: List[Delivery] = [(message, list(receivers))]
+        if self._index == self.after_index and not self.injected:
+            deliveries.append((self.forged, list(self.victims)))
+            self.injected = True
+        self._index += 1
+        return deliveries
+
+
+class SecureBusFabric:
+    """Functional broadcast bus connecting the SHUs of one machine.
+
+    ``transmit`` runs one cache-to-cache transfer end to end: the
+    sender's SHU encrypts, the (possibly attacked) wire messages are
+    snooped by every other SHU, and when the authentication counter
+    saturates a MAC round executes. Spoof alarms raised by individual
+    SHUs propagate immediately.
+    """
+
+    def __init__(self, shus: Sequence[SecurityHardwareUnit],
+                 group_id: int, auth_manager: AuthenticationManager,
+                 attacker: Optional[BusAttacker] = None):
+        self.shus = list(shus)
+        self._by_pid = {shu.pid: shu for shu in self.shus}
+        self.group_id = group_id
+        self.auth = auth_manager
+        self.attacker = attacker or BusAttacker()
+        self.transmitted = 0
+        self.alarms: List[str] = []
+
+    def _member_channels(self):
+        return {pid: self._by_pid[pid].channel(self.group_id)
+                for pid in self.auth.member_pids}
+
+    def _deliver(self, deliveries: List[Delivery],
+                 sender_pid: int) -> Dict[int, bytes]:
+        received: Dict[int, bytes] = {}
+        for message, receiver_pids in deliveries:
+            for pid in receiver_pids:
+                if pid == sender_pid and message.pid == sender_pid:
+                    continue  # the sender consumed its copy at send time
+                shu = self._by_pid.get(pid)
+                if shu is None:
+                    raise ReproError(f"no SHU for PID {pid}")
+                plaintext = shu.snoop(message)
+                if plaintext is not None:
+                    received[pid] = plaintext
+        return received
+
+    def transmit(self, sender_pid: int,
+                 plaintext: bytes) -> Dict[int, bytes]:
+        """One data transfer; returns {receiver_pid: decrypted bytes}.
+
+        Raises :class:`SpoofDetected` or
+        :class:`AuthenticationFailure` when an attack is caught.
+        """
+        sender = self._by_pid.get(sender_pid)
+        if sender is None:
+            raise ReproError(f"no SHU for PID {sender_pid}")
+        message = sender.send(self.group_id, plaintext)
+        receivers = [shu.pid for shu in self.shus
+                     if shu.pid != sender_pid]
+        deliveries = self.attacker.process(message, receivers)
+        received = self._deliver(deliveries, sender_pid)
+        self.transmitted += 1
+        if self.auth.record_transfer():
+            self.run_authentication()
+        return received
+
+    def run_authentication(self) -> int:
+        """Force a MAC-consistency round now; returns the initiator.
+
+        The initiator's digest travels over the (attackable) bus: the
+        attacker may corrupt it, in which case every honest member's
+        comparison fails — tampering with the authentication itself is
+        self-defeating.
+        """
+        initiator = self.auth.next_initiator()
+        broadcast = self._by_pid[initiator].mac_digest(self.group_id)
+        on_the_wire = self.attacker.tamper_mac(broadcast)
+        if on_the_wire != broadcast:
+            self.auth.failures += 1
+            self.alarms.append("tampered MAC broadcast")
+            raise AuthenticationFailure(
+                f"bus authentication failed: broadcast from initiator "
+                f"{initiator} does not match any member's chain",
+                group_id=self.group_id)
+        try:
+            return self.auth.run_check(self._member_channels())
+        except AuthenticationFailure as failure:
+            self.alarms.append(str(failure))
+            raise
+
+    def finish(self) -> None:
+        """Flush buffered attacker messages and run a final check."""
+        received = self._deliver(self.attacker.flush(), sender_pid=-1)
+        if received:
+            self.transmitted += 1
+        self.run_authentication()

@@ -1,0 +1,213 @@
+"""Functional bus encryption — Table 1 and Figure 2 of the paper.
+
+Classic CBC sends the AES *output* C_i = AES_K(D_i XOR C_{i-1}), which
+cannot leave the chip until the ~80-cycle AES completes. SENSS instead
+sends the AES *input*:
+
+    send    B_i = D_i XOR M          (one XOR, one cycle)
+    update  M  <- AES_K(B_i XOR PID) (in the background)
+
+so the mask ``M`` for the *next* transfer is what takes 80 cycles, off
+the critical path. The receiver XORs the snooped B_i with its own copy
+of M (all group members hold identical mask state because everyone
+snoops every message) and performs the same background update.
+
+The PID of the originator is folded into the AES input so that spoofed
+messages carrying a *different* valid member's PID still desynchronize
+the victim's mask/MAC state (the Type-3 defence of section 4.3).
+
+A bus message is one 32-byte bus line = two AES blocks; each block
+consumes one mask block and contributes one block to the running
+chained MAC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..crypto.aes import AES, BLOCK_BYTES
+from ..crypto.cbcmac import CbcMac
+from ..crypto.otp import xor_bytes
+from ..errors import CryptoError
+
+MESSAGE_BYTES = 32  # one bus line (Figure 5)
+BLOCKS_PER_MESSAGE = MESSAGE_BYTES // BLOCK_BYTES
+
+
+def pid_block(pid: int) -> bytes:
+    """Encode an originating PID as a 16-byte XOR-able block."""
+    if pid < 0:
+        raise CryptoError("PID must be non-negative")
+    return pid.to_bytes(BLOCK_BYTES, "little")
+
+
+class GroupChannel:
+    """One group member's replica of the group's bus crypto state.
+
+    Every member of a group instantiates a :class:`GroupChannel` from
+    the same (session key, encryption IV, authentication IV) triple —
+    distributed at program dispatch (section 4.1) — and then keeps it in
+    lock step by processing every group message exactly once, either as
+    sender (:meth:`encrypt_message`) or as snooping receiver
+    (:meth:`decrypt_message`).
+
+    ``num_masks`` mask slots are rotated round-robin by global message
+    number, mirroring :class:`repro.core.masks.MaskTimingArray`.
+    """
+
+    def __init__(self, session_key: bytes, encryption_iv: bytes,
+                 authentication_iv: bytes, num_masks: int = 2,
+                 mac_prefix_bits: int = 128):
+        if len(encryption_iv) != BLOCK_BYTES:
+            raise CryptoError("encryption IV must be one AES block")
+        if len(authentication_iv) != BLOCK_BYTES:
+            raise CryptoError("authentication IV must be one AES block")
+        if encryption_iv == authentication_iv:
+            # Section 4.3: reusing the encryption IV for authentication
+            # lets swap (Type 2) attacks self-heal; forbid it outright.
+            raise CryptoError(
+                "authentication IV must differ from encryption IV")
+        if num_masks < 1:
+            raise CryptoError("need at least one mask slot")
+        self._aes = AES(session_key)
+        self.num_masks = num_masks
+        self.mac_prefix_bits = mac_prefix_bits
+        # Initial per-slot masks are derived from the broadcast IV so
+        # that every invocation of the program gets fresh mask traces.
+        self._masks: List[bytes] = [
+            self._derive_initial_mask(encryption_iv, slot)
+            for slot in range(num_masks)
+        ]
+        self._mac = CbcMac(self._aes, authentication_iv)
+        self._sequence = 0  # global message number within the group
+        # AES invocations spent so far (initial mask derivation), for
+        # the CBC-vs-GCM hardware-cost ablation of section 4.3.
+        self.aes_invocations = num_masks * BLOCKS_PER_MESSAGE
+
+    def _derive_initial_mask(self, iv: bytes, slot: int) -> bytes:
+        """One MESSAGE_BYTES mask per slot: AES(IV XOR slot||block)."""
+        parts = []
+        for block_index in range(BLOCKS_PER_MESSAGE):
+            tweak = (slot * BLOCKS_PER_MESSAGE
+                     + block_index + 1).to_bytes(BLOCK_BYTES, "little")
+            parts.append(self._aes.encrypt_block(xor_bytes(iv, tweak)))
+        return b"".join(parts)
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def sequence(self) -> int:
+        return self._sequence
+
+    def mac_digest(self) -> bytes:
+        """The current chained MAC (what the initiator broadcasts)."""
+        return self._mac.digest(self.mac_prefix_bits)
+
+    def mask_snapshot(self) -> List[bytes]:
+        """Copies of the live masks (tests verify member lock step)."""
+        return list(self._masks)
+
+    # -- the Table-1 algorithm --------------------------------------------
+
+    def _mask_update(self, slot: int, wire: bytes, pid: int) -> None:
+        """Background path: M_slot <- AES_K(B XOR PID), blockwise."""
+        pid_tweak = pid_block(pid)
+        parts = []
+        for block_index in range(BLOCKS_PER_MESSAGE):
+            begin = block_index * BLOCK_BYTES
+            block = wire[begin:begin + BLOCK_BYTES]
+            parts.append(self._aes.encrypt_block(xor_bytes(block,
+                                                           pid_tweak)))
+        self.aes_invocations += BLOCKS_PER_MESSAGE
+        self._masks[slot] = b"".join(parts)
+
+    def _mac_update(self, plaintext: bytes, pid: int) -> None:
+        """MAC absorbs the data block and its originating PID (the
+        inputs section 4.3 prescribes for the Type-1/Type-3 defences)."""
+        pid_tweak = pid_block(pid)
+        for block_index in range(BLOCKS_PER_MESSAGE):
+            begin = block_index * BLOCK_BYTES
+            block = plaintext[begin:begin + BLOCK_BYTES]
+            self._mac.update(xor_bytes(block, pid_tweak))
+        self.aes_invocations += BLOCKS_PER_MESSAGE
+
+    def encrypt_message(self, pid: int, plaintext: bytes) -> bytes:
+        """Sender path: returns the wire bytes B = D XOR M."""
+        if len(plaintext) != MESSAGE_BYTES:
+            raise CryptoError(
+                f"bus message must be {MESSAGE_BYTES} bytes")
+        slot = self._sequence % self.num_masks
+        wire = xor_bytes(plaintext, self._masks[slot])
+        self._mask_update(slot, wire, pid)
+        self._mac_update(plaintext, pid)
+        self._sequence += 1
+        return wire
+
+    def decrypt_message(self, pid: int, wire: bytes) -> bytes:
+        """Receiver path: D = B XOR M, then identical background update."""
+        if len(wire) != MESSAGE_BYTES:
+            raise CryptoError(
+                f"bus message must be {MESSAGE_BYTES} bytes")
+        slot = self._sequence % self.num_masks
+        plaintext = xor_bytes(wire, self._masks[slot])
+        self._mask_update(slot, wire, pid)
+        self._mac_update(plaintext, pid)
+        self._sequence += 1
+        return plaintext
+
+    def scrub(self) -> None:
+        """Zero the live secrets (group swapped out, section 4.2)."""
+        self._masks = [bytes(MESSAGE_BYTES)] * self.num_masks
+        self._mac.reset()
+        self._sequence = 0
+
+    def export_state(self) -> bytes:
+        """Serialize live state for group swap-out (section 4.2).
+
+        Layout: sequence (8B) || num_masks (2B) || masks || MAC state.
+        The caller encrypts this blob before it leaves the chip.
+        """
+        return (self._sequence.to_bytes(8, "little")
+                + self.num_masks.to_bytes(2, "little")
+                + b"".join(self._masks)
+                + self._mac.export_state())
+
+    def restore_state(self, blob: bytes) -> None:
+        """Restore state serialized by :meth:`export_state`."""
+        expected = 10 + self.num_masks * MESSAGE_BYTES + BLOCK_BYTES + 8
+        if len(blob) != expected:
+            raise CryptoError("malformed group channel state blob")
+        self._sequence = int.from_bytes(blob[:8], "little")
+        num_masks = int.from_bytes(blob[8:10], "little")
+        if num_masks != self.num_masks:
+            raise CryptoError("mask-count mismatch in channel state")
+        offset = 10
+        masks = []
+        for _ in range(num_masks):
+            masks.append(blob[offset:offset + MESSAGE_BYTES])
+            offset += MESSAGE_BYTES
+        self._masks = masks
+        self._mac.restore_state(blob[offset:])
+
+    def clone(self) -> "GroupChannel":
+        """Deep copy (attack tests snapshot honest state)."""
+        twin = object.__new__(GroupChannel)
+        twin._aes = self._aes
+        twin.num_masks = self.num_masks
+        twin.aes_invocations = self.aes_invocations
+        twin.mac_prefix_bits = self.mac_prefix_bits
+        twin._masks = list(self._masks)
+        twin._mac = self._mac.copy()
+        twin._sequence = self._sequence
+        return twin
+
+
+def channels_in_sync(channels: List[GroupChannel]) -> bool:
+    """True when all member replicas hold identical (mask, MAC) state."""
+    if not channels:
+        return True
+    reference = channels[0]
+    return all(channel._sequence == reference._sequence
+               and channel._masks == reference._masks
+               and channel.mac_digest() == reference.mac_digest()
+               for channel in channels[1:])

@@ -1,0 +1,144 @@
+"""Functional-security bridge: real crypto inside the timing simulator.
+
+The timing layer (:mod:`repro.core.senss`) charges cycles without
+touching bytes; the functional stack (:mod:`repro.core.shu`) moves
+real bytes without a clock. This bridge couples them: attached as a
+bus observer, it drives one genuine SHU per processor through every
+protected transaction the simulator grants — the sender's replica
+encrypts a (synthesized, deterministic) 32-byte payload, every other
+member snoops and decrypts, and MAC-consistency rounds run at the same
+authentication interval the timing layer uses.
+
+Running a workload with the bridge attached therefore *proves*, for
+that exact transaction stream, that:
+
+- all member SHUs stay in lock step (masks and chained MACs),
+- every authentication round passes on an honest bus,
+- the timing layer's protected-message and MAC-broadcast counters
+  match the functional reality one-for-one.
+
+It is deliberately slow (a real AES per block per member) — use it on
+reduced-scale workloads, as the validation tests do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..bus.transaction import BusTransaction, TransactionType
+from ..errors import ReproError
+from ..sim.rng import DeterministicRng
+from .authentication import AuthenticationManager
+from .bus_crypto import MESSAGE_BYTES, channels_in_sync
+from .shu import SecurityHardwareUnit
+
+
+def synthesize_payload(address: int, sequence: int) -> bytes:
+    """Deterministic 32-byte line contents for a (line, transfer)."""
+    material = (address.to_bytes(16, "little", signed=False)
+                + sequence.to_bytes(16, "little", signed=False))
+    return material[:MESSAGE_BYTES]
+
+
+class FunctionalSecurityBridge:
+    """Bus observer that mirrors protected traffic through real SHUs."""
+
+    def __init__(self, num_processors: int, group_id: int = 0,
+                 auth_interval: int = 100,
+                 member_pids: Optional[Sequence[int]] = None,
+                 rng: Optional[DeterministicRng] = None):
+        rng = rng or DeterministicRng(0xB21D6E)
+        self.group_id = group_id
+        members = (set(member_pids) if member_pids is not None
+                   else set(range(num_processors)))
+        session_key = rng.random_bytes(16)
+        encryption_iv = rng.random_bytes(16)
+        authentication_iv = rng.random_bytes(16)
+        while authentication_iv == encryption_iv:
+            authentication_iv = rng.random_bytes(16)
+        self.shus: List[SecurityHardwareUnit] = []
+        for pid in range(num_processors):
+            shu = SecurityHardwareUnit(
+                pid, max_processors=max(32, num_processors),
+                rng=rng.fork(pid + 1))
+            if pid in members:
+                shu.join_group(group_id, members, session_key,
+                               encryption_iv, authentication_iv,
+                               auth_interval=auth_interval)
+            else:
+                shu.observe_group(group_id)
+            self.shus.append(shu)
+        self.auth = AuthenticationManager(sorted(members),
+                                          auth_interval, group_id)
+        self.protected_transfers = 0
+        self.auth_rounds = 0
+        self.mac_broadcast_transactions = 0
+
+    # -- bus observation ---------------------------------------------------
+
+    def __call__(self, transaction: BusTransaction) -> None:
+        if transaction.type is TransactionType.AUTH_MAC:
+            # The timing layer injected a MAC broadcast: run the real
+            # comparison at exactly this point in the stream.
+            if transaction.group_id == self.group_id:
+                self.mac_broadcast_transactions += 1
+        elif (transaction.is_cache_to_cache
+              and transaction.group_id == self.group_id):
+            self._mirror_transfer(transaction)
+
+    def _mirror_transfer(self, transaction: BusTransaction) -> None:
+        sender = self.shus[transaction.source_pid]
+        if not sender.is_member(self.group_id):
+            raise ReproError(
+                f"protected transfer from non-member PID "
+                f"{transaction.source_pid}")
+        payload = synthesize_payload(transaction.address,
+                                     self.protected_transfers)
+        wire = sender.send(self.group_id, payload)
+        for shu in self.shus:
+            if shu.pid != sender.pid:
+                received = shu.snoop(wire)
+                if shu.is_member(self.group_id):
+                    assert received == payload
+        self.protected_transfers += 1
+        if self.auth.record_transfer():
+            self._run_auth_round()
+
+    def _run_auth_round(self) -> None:
+        channels = {pid: self.shus[pid].channel(self.group_id)
+                    for pid in self.auth.member_pids}
+        self.auth.run_check(channels)
+        self.auth_rounds += 1
+
+    # -- validation API ---------------------------------------------------------
+
+    def verify_against_layer(self, layer) -> Dict[str, int]:
+        """Cross-check the timing layer's books against functional
+        reality; raises AssertionError on any mismatch."""
+        state = layer.group_state(self.group_id)
+        assert state.protected_messages == self.protected_transfers, (
+            state.protected_messages, self.protected_transfers)
+        assert state.auth_broadcasts == self.mac_broadcast_transactions
+        assert state.auth_broadcasts == self.auth_rounds
+        member_channels = [self.shus[pid].channel(self.group_id)
+                           for pid in self.auth.member_pids]
+        assert channels_in_sync(member_channels)
+        return {
+            "protected_transfers": self.protected_transfers,
+            "auth_rounds": self.auth_rounds,
+            "mac_broadcasts": self.mac_broadcast_transactions,
+        }
+
+
+def attach_functional_bridge(system, auth_interval: Optional[int] = None,
+                             group_id: int = 0
+                             ) -> FunctionalSecurityBridge:
+    """Build a bridge matching the system's configuration and attach
+    it to the bus. Returns the bridge for post-run verification."""
+    interval = (auth_interval if auth_interval is not None
+                else system.config.senss.auth_interval)
+    bridge = FunctionalSecurityBridge(system.config.num_processors,
+                                      group_id=group_id,
+                                      auth_interval=interval)
+    system.bus.add_observer(bridge)
+    return bridge

@@ -1,0 +1,190 @@
+"""SHU group bookkeeping (section 5).
+
+Two hardware tables live in every processor's SHU:
+
+- The **group-processor bit matrix** (section 5.1): bit (g, p) set means
+  processor p belongs to group g. A processor snoops a message's GID and
+  PID and indexes the matrix in O(1) to decide whether to pick the
+  message up. A processor that is *not* a member of group g keeps row g
+  all-zero — it must not learn the group's membership.
+- The **group information table** (section 5.2): per-GID entry holding
+  the occupied bit, the 128-bit session key, the mask array, and the
+  authentication-interval counter ("ctr"). Section 7.1 sizes it at 1161
+  bits/entry, 148.6 KB for 1024 entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import GroupTableFull, ReproError
+
+
+class GroupProcessorBitMatrix:
+    """The O(1) snoop filter: GID x PID membership bits."""
+
+    def __init__(self, max_groups: int = 1024, max_processors: int = 32,
+                 owner_pid: Optional[int] = None):
+        self.max_groups = max_groups
+        self.max_processors = max_processors
+        self.owner_pid = owner_pid
+        self._rows: Dict[int, Set[int]] = {}
+
+    def _check(self, group_id: int, pid: int) -> None:
+        if not 0 <= group_id < self.max_groups:
+            raise ReproError(f"GID {group_id} out of range")
+        if not 0 <= pid < self.max_processors:
+            raise ReproError(f"PID {pid} out of range")
+
+    def set_membership(self, group_id: int, members: Set[int]) -> None:
+        """Install a group's membership row.
+
+        A processor only learns rows for groups it belongs to (the
+        "should not know the information about a group which it does
+        not belong to" rule): if this matrix has an owner and the owner
+        is not a member, the row is left all-zero.
+        """
+        for pid in members:
+            self._check(group_id, pid)
+        if self.owner_pid is not None and self.owner_pid not in members:
+            self._rows.pop(group_id, None)
+            return
+        self._rows[group_id] = set(members)
+
+    def is_member(self, group_id: int, pid: int) -> bool:
+        self._check(group_id, pid)
+        return pid in self._rows.get(group_id, ())
+
+    def members_of(self, group_id: int) -> Set[int]:
+        return set(self._rows.get(group_id, ()))
+
+    def clear_group(self, group_id: int) -> None:
+        self._rows.pop(group_id, None)
+
+    def storage_bits(self) -> int:
+        """Hardware cost: max_groups x ceil(log2(max_processors)) bits.
+
+        Section 7.1: "1024 entries x 5 bits per entry = 640 bytes,
+        assuming the maximum number of processors is 32". (The paper
+        counts 5 bits of PID index width per group entry.)
+        """
+        pid_bits = (self.max_processors - 1).bit_length()
+        return self.max_groups * pid_bits
+
+
+@dataclass
+class GroupEntry:
+    """One group information table entry (section 5.2)."""
+
+    occupied: bool = False
+    session_key: Optional[bytes] = None
+    masks: List[bytes] = field(default_factory=list)
+    auth_counter: int = 0
+    auth_interval: int = 100
+    is_member: bool = False
+
+    def reset(self) -> None:
+        self.occupied = False
+        self.session_key = None
+        self.masks = []
+        self.auth_counter = 0
+        self.is_member = False
+
+
+class GroupInfoTable:
+    """Per-processor table of group secrets, indexed by GID."""
+
+    # Section 7.1 field widths used for the storage computation.
+    OCCUPIED_BITS = 1
+    KEY_BITS = 128
+    COUNTER_BITS = 8
+    MASK_BITS = 128
+    # Section 7.1: "The number of masks we store for each group is 8
+    # for encryption and for authentication" — 8 mask registers serving
+    # both paths, giving 1 + 128 + 8 + 8*128 = 1161 bits per entry.
+    MASKS_PER_ENTRY = 8
+
+    def __init__(self, max_groups: int = 1024):
+        self.max_groups = max_groups
+        self._entries: List[GroupEntry] = [GroupEntry()
+                                           for _ in range(max_groups)]
+        # Applications waiting for a reclaimed GID (section 5.2: "the
+        # application is put into a queue waiting for the next
+        # available GID which is reclaimed upon completion").
+        self._waiting: List[object] = []
+
+    def entry(self, group_id: int) -> GroupEntry:
+        if not 0 <= group_id < self.max_groups:
+            raise ReproError(f"GID {group_id} out of range")
+        return self._entries[group_id]
+
+    def allocate(self) -> int:
+        """Find a free entry and mark it occupied; the OS-visible GID.
+
+        Raises :class:`GroupTableFull` when every entry is occupied (the
+        paper queues the application for the next reclaimed GID).
+        """
+        for group_id, entry in enumerate(self._entries):
+            if not entry.occupied:
+                entry.occupied = True
+                return group_id
+        raise GroupTableFull("all group IDs are occupied")
+
+    def mark_occupied(self, group_id: int) -> None:
+        """Non-members also mark the GID occupied (section 5.2) so the
+        same GID cannot be reused by a non-trusted application, but they
+        get no key or mask material."""
+        self.entry(group_id).occupied = True
+
+    def install(self, group_id: int, session_key: bytes,
+                masks: List[bytes], auth_interval: int) -> None:
+        entry = self.entry(group_id)
+        entry.occupied = True
+        entry.is_member = True
+        entry.session_key = session_key
+        entry.masks = list(masks)
+        entry.auth_counter = 0
+        entry.auth_interval = auth_interval
+
+    def allocate_or_wait(self, application: object) -> Optional[int]:
+        """Allocate a GID, or queue the application (section 5.2).
+
+        Returns the GID, or None when every entry is occupied — in
+        which case the application is remembered and handed the next
+        GID reclaimed by :meth:`release`.
+        """
+        try:
+            return self.allocate()
+        except GroupTableFull:
+            self._waiting.append(application)
+            return None
+
+    def waiting_count(self) -> int:
+        return len(self._waiting)
+
+    def release(self, group_id: int) -> Optional[tuple]:
+        """Reclaim a GID on program completion.
+
+        If applications are queued, the GID is immediately handed to
+        the oldest waiter: returns (application, group_id), else None.
+        """
+        self.entry(group_id).reset()
+        if self._waiting:
+            application = self._waiting.pop(0)
+            self.entry(group_id).occupied = True
+            return application, group_id
+        return None
+
+    def occupied_count(self) -> int:
+        return sum(1 for entry in self._entries if entry.occupied)
+
+    def storage_bits_per_entry(self) -> int:
+        """Bits per entry per section 7.1's accounting (1161 bits)."""
+        return (self.OCCUPIED_BITS + self.KEY_BITS + self.COUNTER_BITS
+                + self.MASKS_PER_ENTRY * self.MASK_BITS)
+
+    def storage_bytes_total(self) -> float:
+        """Total bytes: 1024 x 1161 / 8 = 148,608 — the paper's
+        "148.6KB" (decimal kilobytes)."""
+        return self.max_groups * self.storage_bits_per_entry() / 8.0

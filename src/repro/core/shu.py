@@ -1,0 +1,154 @@
+"""The Security Hardware Unit (SHU) — functional model (sections 4-5).
+
+One SHU per processor. It owns the processor's sealed RSA key pair, the
+group-processor bit matrix, the group information table, and one
+:class:`~repro.core.bus_crypto.GroupChannel` replica per group the
+processor belongs to. It is "solely controlled by hardware and cannot
+be accessed even by the OS" — in the model, nothing outside this class
+touches key or mask material.
+
+Message flow: when a processor sends, the SHU tags the wire message
+with its GID and PID and encrypts it; when any message appears on the
+bus, the SHU indexes the bit matrix with the snooped (GID, PID) and
+either picks the message up (decrypt + MAC update) or discards it.
+A message carrying the SHU's *own* PID is an immediate spoof alarm —
+"p should not receive its own message from the bus" (section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..crypto.rsa import RsaKeyPair, generate_keypair
+from ..errors import ReproError, SpoofDetected
+from ..sim.rng import DeterministicRng
+from .bus_crypto import MESSAGE_BYTES, GroupChannel
+from .groups import GroupInfoTable, GroupProcessorBitMatrix
+
+
+@dataclass
+class WireMessage:
+    """What actually travels on the (augmented) bus.
+
+    ``payload`` is the encrypted 32-byte data block for kind="data", or
+    a MAC digest for kind="mac" (the section 7.1 type-"00"
+    authentication transaction).
+    """
+
+    group_id: int
+    pid: int
+    payload: bytes
+    kind: str = "data"
+    sequence: int = -1
+
+    def tampered_copy(self, **overrides) -> "WireMessage":
+        """Copy with fields overridden (attack helper)."""
+        values = dict(group_id=self.group_id, pid=self.pid,
+                      payload=self.payload, kind=self.kind,
+                      sequence=self.sequence)
+        values.update(overrides)
+        return WireMessage(**values)
+
+
+class SecurityHardwareUnit:
+    """Per-processor SHU: keys, tables, and group channel replicas."""
+
+    def __init__(self, pid: int, max_groups: int = 1024,
+                 max_processors: int = 32,
+                 keypair: Optional[RsaKeyPair] = None,
+                 rng: Optional[DeterministicRng] = None):
+        if not 0 <= pid < max_processors:
+            raise ReproError(f"PID {pid} out of range")
+        self.pid = pid
+        rng = rng or DeterministicRng(0xC0FFEE + pid)
+        self.keypair = keypair or generate_keypair(
+            bits=256, rng=rng._random)  # small keys: setup-time only
+        self.bit_matrix = GroupProcessorBitMatrix(max_groups,
+                                                  max_processors,
+                                                  owner_pid=pid)
+        self.group_table = GroupInfoTable(max_groups)
+        self._channels: Dict[int, GroupChannel] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.messages_discarded = 0
+
+    # -- group management ---------------------------------------------------
+
+    def join_group(self, group_id: int, members: set, session_key: bytes,
+                   encryption_iv: bytes, authentication_iv: bytes,
+                   num_masks: int = 2, auth_interval: int = 100) -> None:
+        """Install a group this processor is a member of."""
+        if self.pid not in members:
+            raise ReproError(
+                f"processor {self.pid} is not in the member set")
+        self.bit_matrix.set_membership(group_id, members)
+        channel = GroupChannel(session_key, encryption_iv,
+                               authentication_iv, num_masks)
+        self._channels[group_id] = channel
+        self.group_table.install(group_id, session_key,
+                                 channel.mask_snapshot(), auth_interval)
+
+    def observe_group(self, group_id: int) -> None:
+        """Non-member: mark the GID occupied, learn nothing else."""
+        self.group_table.mark_occupied(group_id)
+
+    def leave_group(self, group_id: int) -> None:
+        self._channels.pop(group_id, None)
+        self.bit_matrix.clear_group(group_id)
+        self.group_table.release(group_id)
+
+    def channel(self, group_id: int) -> GroupChannel:
+        channel = self._channels.get(group_id)
+        if channel is None:
+            raise ReproError(
+                f"processor {self.pid} holds no channel for GID "
+                f"{group_id}")
+        return channel
+
+    def is_member(self, group_id: int) -> bool:
+        return group_id in self._channels
+
+    # -- bus send/snoop -------------------------------------------------------
+
+    def send(self, group_id: int, plaintext: bytes) -> WireMessage:
+        """Encrypt and tag an outgoing cache-to-cache data block."""
+        wire = self.channel(group_id).encrypt_message(self.pid, plaintext)
+        self.messages_sent += 1
+        return WireMessage(group_id, self.pid, wire)
+
+    def snoop(self, message: WireMessage) -> Optional[bytes]:
+        """Process a bus message; returns plaintext if picked up.
+
+        - Not my group (bit matrix row empty): discard, return None.
+        - My own PID on a message I did not send: raise SpoofDetected.
+        - Member message: decrypt, update masks and MAC, return data.
+        """
+        if message.kind == "mac":
+            # MAC broadcasts are compared by the AuthenticationManager;
+            # the SHU itself neither decrypts nor chains them.
+            return None
+        if not self.is_member(message.group_id):
+            self.messages_discarded += 1
+            return None
+        if not self.bit_matrix.is_member(message.group_id, message.pid):
+            # Valid GID but a PID outside the group: treat as spoof.
+            raise SpoofDetected(
+                f"PID {message.pid} is not a member of group "
+                f"{message.group_id}")
+        if message.pid == self.pid:
+            raise SpoofDetected(
+                f"processor {self.pid} snooped a message carrying its "
+                f"own PID")
+        plaintext = self.channel(message.group_id).decrypt_message(
+            message.pid, message.payload)
+        self.messages_received += 1
+        return plaintext
+
+    def mac_digest(self, group_id: int) -> bytes:
+        return self.channel(group_id).mac_digest()
+
+    def build_mac_broadcast(self, group_id: int) -> WireMessage:
+        """The type-"00" authentication transaction (section 7.1)."""
+        return WireMessage(group_id, self.pid,
+                           self.mac_digest(group_id), kind="mac")

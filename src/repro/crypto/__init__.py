@@ -1,0 +1,41 @@
+"""Cryptographic substrate for SENSS.
+
+Everything here is implemented from scratch on top of the Python
+standard library only:
+
+- :mod:`repro.crypto.aes` — FIPS-197 AES block cipher (128/192/256).
+- :mod:`repro.crypto.modes` — CBC and CTR modes of operation.
+- :mod:`repro.crypto.cbcmac` — the chained CBC-MAC of paper eq. (1).
+- :mod:`repro.crypto.otp` — one-time-pad helpers (XOR pads).
+- :mod:`repro.crypto.rsa` — textbook RSA for program dispatch.
+- :mod:`repro.crypto.hashes` — Merkle-tree node hashing.
+- :mod:`repro.crypto.engine` — a latency/throughput *model* of the
+  hardware AES / hash units used by the timing simulator.
+"""
+
+from .aes import AES, BLOCK_BYTES
+from .cbcmac import CbcMac
+from .engine import CryptoEngineModel
+from .gcm import AesGcm, Ghash
+from .modes import cbc_decrypt, cbc_encrypt, ctr_keystream, ctr_xcrypt
+from .otp import xor_bytes
+from .rsa import RsaKeyPair, generate_keypair
+from .sha256 import hmac_sha256, sha256
+
+__all__ = [
+    "AES",
+    "AesGcm",
+    "BLOCK_BYTES",
+    "CbcMac",
+    "CryptoEngineModel",
+    "Ghash",
+    "RsaKeyPair",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "ctr_keystream",
+    "ctr_xcrypt",
+    "generate_keypair",
+    "hmac_sha256",
+    "sha256",
+    "xor_bytes",
+]

@@ -1,0 +1,234 @@
+"""FIPS-197 AES block cipher, implemented from scratch.
+
+This is the functional model of the SHU's hardware AES unit (section
+4.2). It supports AES-128/192/256 and is validated against the FIPS-197
+appendix vectors in the test suite. The timing model of the unit (80
+cycles latency, 3.2 GB/s throughput in Figure 5) lives separately in
+:mod:`repro.crypto.engine` — the paper decouples function and timing the
+same way, and so do we.
+
+The implementation is a straightforward byte-oriented one (S-box +
+column mixing over GF(2^8)); it favours clarity over speed, which is
+fine because the *timing* simulator never invokes real encryption.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CryptoError
+
+BLOCK_BYTES = 16
+
+_SBOX: List[int] = []
+_INV_SBOX: List[int] = [0] * 256
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) modulo x^8+x^4+x^3+x+1."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> None:
+    """Construct the S-box from first principles (inverse + affine map).
+
+    Building it rather than pasting the 256 literals both documents the
+    construction and gives the tests something real to cross-check: the
+    test suite verifies spot values against FIPS-197.
+    """
+    # Multiplicative inverses via exponentiation by generator 3.
+    power = 1
+    log_table = [0] * 256
+    exp_table = [0] * 256
+    for exponent in range(255):
+        exp_table[exponent] = power
+        log_table[power] = exponent
+        power = _gf_mul(power, 3)
+    def inverse(value: int) -> int:
+        if value == 0:
+            return 0
+        # g^log(v) * g^(255-log(v)) = g^255 = 1, reduced mod 255 because
+        # log(1) == 0 would otherwise index past the 0..254 cycle.
+        return exp_table[(255 - log_table[value]) % 255]
+
+    for value in range(256):
+        inv = inverse(value)
+        # Affine transformation over GF(2).
+        transformed = 0
+        for bit in range(8):
+            parity = (
+                (inv >> bit) ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8)) ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8)) ^ (0x63 >> bit)
+            ) & 1
+            transformed |= parity << bit
+        _SBOX.append(transformed)
+    for value, sub in enumerate(_SBOX):
+        _INV_SBOX[sub] = value
+
+
+_build_sbox()
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+class AES:
+    """The AES block cipher over 16-byte blocks.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.decrypt_block(cipher.encrypt_block(b"0123456789abcdef"))
+    b'0123456789abcdef'
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise CryptoError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self._nk = len(key) // 4
+        self._rounds = self._nk + 6
+        self._round_keys = self._expand_key(self.key)
+
+    # -- key schedule -------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        """FIPS-197 key expansion into (rounds+1) 16-byte round keys."""
+        words = [list(key[4 * i:4 * i + 4]) for i in range(self._nk)]
+        for index in range(self._nk, 4 * (self._rounds + 1)):
+            word = list(words[index - 1])
+            if index % self._nk == 0:
+                word = word[1:] + word[:1]  # RotWord
+                word = [_SBOX[b] for b in word]  # SubWord
+                word[0] ^= _RCON[index // self._nk - 1]
+            elif self._nk > 6 and index % self._nk == 4:
+                word = [_SBOX[b] for b in word]
+            words.append([a ^ b for a, b in zip(words[index - self._nk],
+                                                word)])
+        round_keys = []
+        for round_index in range(self._rounds + 1):
+            flat: List[int] = []
+            for word in words[4 * round_index:4 * round_index + 4]:
+                flat.extend(word)
+            round_keys.append(flat)
+        return round_keys
+
+    # -- round primitives (operate on a 16-int state, column-major) ----
+
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # state[col*4 + row]; row r rotates left by r.
+        for row in range(1, 4):
+            rotated = [state[((col + row) % 4) * 4 + row]
+                       for col in range(4)]
+            for col in range(4):
+                state[col * 4 + row] = rotated[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for row in range(1, 4):
+            rotated = [state[((col - row) % 4) * 4 + row]
+                       for col in range(4)]
+            for col in range(4):
+                state[col * 4 + row] = rotated[col]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[col * 4:col * 4 + 4]
+            state[col * 4 + 0] = (_gf_mul(a[0], 2) ^ _gf_mul(a[1], 3)
+                                  ^ a[2] ^ a[3])
+            state[col * 4 + 1] = (a[0] ^ _gf_mul(a[1], 2)
+                                  ^ _gf_mul(a[2], 3) ^ a[3])
+            state[col * 4 + 2] = (a[0] ^ a[1] ^ _gf_mul(a[2], 2)
+                                  ^ _gf_mul(a[3], 3))
+            state[col * 4 + 3] = (_gf_mul(a[0], 3) ^ a[1] ^ a[2]
+                                  ^ _gf_mul(a[3], 2))
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[col * 4:col * 4 + 4]
+            state[col * 4 + 0] = (_gf_mul(a[0], 14) ^ _gf_mul(a[1], 11)
+                                  ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9))
+            state[col * 4 + 1] = (_gf_mul(a[0], 9) ^ _gf_mul(a[1], 14)
+                                  ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13))
+            state[col * 4 + 2] = (_gf_mul(a[0], 13) ^ _gf_mul(a[1], 9)
+                                  ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11))
+            state[col * 4 + 3] = (_gf_mul(a[0], 11) ^ _gf_mul(a[1], 13)
+                                  ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14))
+
+    # -- public block API ----------------------------------------------
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != BLOCK_BYTES:
+            raise CryptoError(
+                f"AES block must be {BLOCK_BYTES} bytes, "
+                f"got {len(plaintext)}")
+        state = list(plaintext)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self._rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != BLOCK_BYTES:
+            raise CryptoError(
+                f"AES block must be {BLOCK_BYTES} bytes, "
+                f"got {len(ciphertext)}")
+        state = list(ciphertext)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for round_index in range(self._rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+
+def sbox_value(index: int) -> int:
+    """Expose S-box entries for tests (e.g. SBOX[0x53] == 0xED)."""
+    return _SBOX[index]
+
+
+def inv_sbox_value(index: int) -> int:
+    return _INV_SBOX[index]

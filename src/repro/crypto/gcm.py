@@ -1,0 +1,126 @@
+"""AES-GCM — the paper's single-invocation alternative (section 4.3).
+
+"There are also newly developed algorithms that can provide encryption
+and fast MACs calculation involving only one invoking of AES such as
+the GCM [13] algorithm. In that case, the MACs are calculated using
+Galois Field GF(2^128) multiplication that takes the outputs of the
+counter mode of AES as inputs."
+
+This module implements GCM per McGrew & Viega / NIST SP 800-38D:
+CTR-mode encryption plus a GHASH authenticator over GF(2^128), with
+96-bit IVs. It backs the :class:`GcmGroupChannel` ablation in
+:mod:`repro.core.gcm_channel`, which quantifies the AES-invocation
+saving over the CBC-based SENSS scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import CryptoError
+from .aes import AES, BLOCK_BYTES
+
+# GHASH reduction polynomial: x^128 + x^7 + x^2 + x + 1, with the
+# GCM bit order (bit 0 = most significant).
+_R = 0xE1000000000000000000000000000000
+
+
+def _gf_mult(x: int, y: int) -> int:
+    """Multiply two GF(2^128) elements in GCM bit order."""
+    z = 0
+    v = x
+    for bit_index in range(127, -1, -1):
+        if (y >> bit_index) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def _block_to_int(block: bytes) -> int:
+    return int.from_bytes(block, "big")
+
+
+def _int_to_block(value: int) -> bytes:
+    return value.to_bytes(BLOCK_BYTES, "big")
+
+
+class Ghash:
+    """Incremental GHASH over 16-byte blocks."""
+
+    def __init__(self, subkey: bytes):
+        if len(subkey) != BLOCK_BYTES:
+            raise CryptoError("GHASH subkey must be one block")
+        self._h = _block_to_int(subkey)
+        self._state = 0
+
+    def update(self, block: bytes) -> None:
+        if len(block) != BLOCK_BYTES:
+            raise CryptoError("GHASH block must be 16 bytes")
+        self._state = _gf_mult(self._state ^ _block_to_int(block),
+                               self._h)
+
+    def update_padded(self, data: bytes) -> None:
+        """Absorb arbitrary-length data, zero-padded to blocks."""
+        for offset in range(0, len(data), BLOCK_BYTES):
+            chunk = data[offset:offset + BLOCK_BYTES]
+            self.update(chunk.ljust(BLOCK_BYTES, b"\x00"))
+
+    def digest(self) -> bytes:
+        return _int_to_block(self._state)
+
+
+class AesGcm:
+    """AES-GCM authenticated encryption (96-bit IVs)."""
+
+    def __init__(self, key: bytes):
+        self._aes = AES(key)
+        self._subkey = self._aes.encrypt_block(bytes(BLOCK_BYTES))
+
+    def _counter_block(self, iv: bytes, counter: int) -> bytes:
+        return iv + counter.to_bytes(4, "big")
+
+    def _ctr(self, iv: bytes, data: bytes) -> bytes:
+        out = bytearray()
+        counter = 2  # counter 1 is reserved for the tag mask
+        for offset in range(0, len(data), BLOCK_BYTES):
+            keystream = self._aes.encrypt_block(
+                self._counter_block(iv, counter))
+            chunk = data[offset:offset + BLOCK_BYTES]
+            out.extend(a ^ b for a, b in zip(chunk, keystream))
+            counter += 1
+        return bytes(out)
+
+    def _tag(self, iv: bytes, aad: bytes, ciphertext: bytes,
+             tag_bytes: int) -> bytes:
+        ghash = Ghash(self._subkey)
+        ghash.update_padded(aad)
+        ghash.update_padded(ciphertext)
+        lengths = ((len(aad) * 8).to_bytes(8, "big")
+                   + (len(ciphertext) * 8).to_bytes(8, "big"))
+        ghash.update(lengths)
+        mask = self._aes.encrypt_block(self._counter_block(iv, 1))
+        return bytes(a ^ b for a, b in zip(ghash.digest(),
+                                           mask))[:tag_bytes]
+
+    def encrypt(self, iv: bytes, plaintext: bytes, aad: bytes = b"",
+                tag_bytes: int = 16) -> Tuple[bytes, bytes]:
+        """Returns (ciphertext, tag)."""
+        if len(iv) != 12:
+            raise CryptoError("GCM IV must be 96 bits")
+        if not 4 <= tag_bytes <= 16:
+            raise CryptoError("GCM tag must be 4..16 bytes")
+        ciphertext = self._ctr(iv, plaintext)
+        return ciphertext, self._tag(iv, aad, ciphertext, tag_bytes)
+
+    def decrypt(self, iv: bytes, ciphertext: bytes, tag: bytes,
+                aad: bytes = b"") -> bytes:
+        """Verify-then-decrypt; raises CryptoError on a bad tag."""
+        if len(iv) != 12:
+            raise CryptoError("GCM IV must be 96 bits")
+        expected = self._tag(iv, aad, ciphertext, len(tag))
+        if expected != tag:
+            raise CryptoError("GCM authentication tag mismatch")
+        return self._ctr(iv, ciphertext)

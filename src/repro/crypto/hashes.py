@@ -1,0 +1,93 @@
+"""Hashing for memory integrity checking (sections 2.2 and 6.2).
+
+The Merkle hash tree (CHash [7]) needs a one-way compression function
+over memory blocks and over concatenated child hashes. We build a
+Matyas-Meyer-Oseas (MMO) style compression function out of our own AES
+implementation so the entire crypto stack is self-contained:
+
+    H_i = AES_{H_{i-1}}(m_i) XOR m_i
+
+MMO over an ideal cipher is a standard one-way construction; it also
+mirrors the hardware reality that the SHU's hash unit shares silicon
+with the AES datapath.
+"""
+
+from __future__ import annotations
+
+from ..errors import CryptoError
+from .aes import AES, BLOCK_BYTES
+from .otp import xor_bytes
+
+DIGEST_BYTES = BLOCK_BYTES
+
+_DEFAULT_IV = bytes(range(BLOCK_BYTES))
+
+
+def _pad(message: bytes) -> bytes:
+    """Merkle-Damgard strengthening: 0x80, zeros, 8-byte length."""
+    length = len(message).to_bytes(8, "big")
+    padded = message + b"\x80"
+    while (len(padded) + 8) % BLOCK_BYTES != 0:
+        padded += b"\x00"
+    return padded + length
+
+
+def mmo_hash(message: bytes, iv: bytes = _DEFAULT_IV) -> bytes:
+    """Hash an arbitrary-length message to a 16-byte digest."""
+    if len(iv) != BLOCK_BYTES:
+        raise CryptoError("hash IV must be one block")
+    state = bytes(iv)
+    padded = _pad(message)
+    for offset in range(0, len(padded), BLOCK_BYTES):
+        block = padded[offset:offset + BLOCK_BYTES]
+        state = xor_bytes(AES(state).encrypt_block(block), block)
+    return state
+
+
+def hash_node(children: list[bytes]) -> bytes:
+    """Hash a Merkle-tree internal node from its children's digests."""
+    if not children:
+        raise CryptoError("a tree node needs at least one child")
+    return mmo_hash(b"".join(children))
+
+
+def hash_leaf(address: int, data: bytes) -> bytes:
+    """Hash a memory block, binding it to its address.
+
+    Binding the address prevents relocation attacks (copying a valid
+    block+hash to a different address).
+    """
+    return mmo_hash(address.to_bytes(8, "big") + data)
+
+
+class MultisetHash:
+    """XOR-based multiset hash for lazy (LHash-style) verification.
+
+    Suh et al. [25] cluster memory accesses and verify them together
+    using a multiset hash kept in small trusted on-chip storage. We
+    model it as the XOR of MMO digests of (address, sequence, data)
+    triples: XOR is the canonical set-homomorphic combiner, and the
+    per-item digests come from the one-way MMO function, preserving the
+    scheme's structure (add items in any order; compare READ and WRITE
+    multisets at verification time).
+    """
+
+    def __init__(self) -> None:
+        self._state = bytes(DIGEST_BYTES)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, address: int, sequence: int, data: bytes) -> None:
+        item = (address.to_bytes(8, "big") + sequence.to_bytes(8, "big")
+                + data)
+        self._state = xor_bytes(self._state, mmo_hash(item))
+        self._count += 1
+
+    def digest(self) -> bytes:
+        return self._state
+
+    def matches(self, other: "MultisetHash") -> bool:
+        return self._state == other._state

@@ -1,0 +1,46 @@
+"""One-time-pad helpers (section 2.1 / 4.2).
+
+OTP-style encryption in SENSS and in the "fast memory encryption" of
+Suh/Yang et al. is a single XOR of data with a cryptographically
+generated pad. These helpers implement the XOR layer; pad *generation*
+is the AES unit's job (see :mod:`repro.crypto.aes` for function and
+:mod:`repro.crypto.engine` for timing).
+"""
+
+from __future__ import annotations
+
+from ..errors import CryptoError
+
+
+def xor_bytes(left: bytes, right: bytes) -> bytes:
+    """XOR two equal-length byte strings (the OTP en/decrypt primitive)."""
+    if len(left) != len(right):
+        raise CryptoError(
+            f"XOR operands must have equal length ({len(left)} vs "
+            f"{len(right)})")
+    return bytes(a ^ b for a, b in zip(left, right))
+
+
+def xor_into_blocks(data: bytes, pad: bytes) -> bytes:
+    """XOR ``data`` with ``pad`` repeated/truncated to the data length.
+
+    Bus messages are 32-byte lines while AES masks are 16-byte blocks;
+    the hardware applies the mask blockwise, which this models.
+    """
+    if not pad:
+        raise CryptoError("pad must be non-empty")
+    repeated = (pad * (len(data) // len(pad) + 1))[:len(data)]
+    return xor_bytes(data, repeated)
+
+
+def pad_for_address(aes, address: int, sequence: int,
+                    block_bytes: int = 16) -> bytes:
+    """Generate a fast-memory-encryption pad for a memory block.
+
+    The pad is a "cryptographic randomization of the address of the
+    data" (section 2.1) that must differ on every write of the same
+    address, hence the ``sequence`` number: pad = AES_K(address ||
+    sequence). Used by :mod:`repro.memprotect.pads`.
+    """
+    material = address.to_bytes(8, "little") + sequence.to_bytes(8, "little")
+    return aes.encrypt_block(material[:block_bytes])

@@ -1,0 +1,114 @@
+"""Textbook RSA for SENSS program dispatch (sections 2.1, 4.1).
+
+Each processor node holds a public/private key pair (Kp, Ks); the
+program distributor encrypts the program's symmetric session key K with
+every group member's Kp and bundles the ciphertexts with the encrypted
+program. This module implements exactly that mechanism: probabilistic
+prime generation (Miller-Rabin), key-pair construction, and raw RSA
+encryption of small payloads such as 128-bit AES keys.
+
+This is *textbook* RSA (no OAEP): the reproduction needs the key
+distribution code path, not padding-oracle resistance, and the paper's
+reference [18] is the original RSA construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import CryptoError
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+def _is_probable_prime(candidate: int, rng: random.Random,
+                       rounds: int = 24) -> bool:
+    """Miller-Rabin primality test."""
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate % prime == 0:
+            return candidate == prime
+    # Write candidate-1 = d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = rng.randrange(2, candidate - 1)
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with the top two bits set."""
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    modulus: int
+    exponent: int
+
+    def encrypt_int(self, message: int) -> int:
+        if not 0 <= message < self.modulus:
+            raise CryptoError("message out of range for RSA modulus")
+        return pow(message, self.exponent, self.modulus)
+
+    def encrypt_bytes(self, message: bytes) -> int:
+        return self.encrypt_int(int.from_bytes(message, "big"))
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """A processor node's sealed (Kp, Ks) pair (section 2.1)."""
+
+    public: RsaPublicKey
+    _private_exponent: int
+
+    def decrypt_int(self, ciphertext: int) -> int:
+        if not 0 <= ciphertext < self.public.modulus:
+            raise CryptoError("ciphertext out of range for RSA modulus")
+        return pow(ciphertext, self._private_exponent, self.public.modulus)
+
+    def decrypt_bytes(self, ciphertext: int, num_bytes: int) -> bytes:
+        return self.decrypt_int(ciphertext).to_bytes(num_bytes, "big")
+
+
+def generate_keypair(bits: int = 512,
+                     rng: random.Random | None = None) -> RsaKeyPair:
+    """Generate an RSA key pair of roughly ``bits`` modulus bits.
+
+    512-bit default keeps test and dispatch setup fast; dispatch runs
+    once per program (section 4.1 notes setup-time cost is acceptable).
+    """
+    if bits < 64:
+        raise CryptoError("RSA modulus must be at least 64 bits")
+    rng = rng or random.Random()
+    exponent = 65537
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % exponent == 0:
+            continue
+        modulus = p * q
+        private_exponent = pow(exponent, -1, phi)
+        return RsaKeyPair(RsaPublicKey(modulus, exponent), private_exponent)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the SENSS reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic primitive was misused (bad key/block size, etc.)."""
+
+
+class BusError(ReproError):
+    """An illegal bus operation (bad transaction, arbitration misuse)."""
+
+
+class CoherenceError(ReproError):
+    """A cache coherence protocol invariant was violated."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an inconsistency."""
+
+
+class AuthenticationFailure(ReproError):
+    """Raised when a SENSS bus authentication check fails (global alarm).
+
+    This is the library-level analogue of the paper's "global alarm ...
+    and the program is halted" (section 4.3).
+    """
+
+    def __init__(self, message: str, cycle: int = -1, group_id: int = -1):
+        super().__init__(message)
+        self.cycle = cycle
+        self.group_id = group_id
+
+
+class SpoofDetected(AuthenticationFailure):
+    """A processor snooped a message carrying its own PID (section 4.3).
+
+    Raised immediately (not at the next authentication interval) because
+    a processor "should not receive its own message from the bus".
+    """
+
+
+class IntegrityViolation(ReproError):
+    """Memory integrity check (hash tree) mismatch (section 2.2 / 6.2)."""
+
+
+class GroupTableFull(ReproError):
+    """All group information table entries are occupied (section 5.2)."""
+
+
+class TraceError(ReproError):
+    """A malformed access trace was supplied to the simulator."""

@@ -1,0 +1,5 @@
+"""Main memory substrate."""
+
+from .dram import MainMemory
+
+__all__ = ["MainMemory"]

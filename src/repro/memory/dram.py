@@ -1,0 +1,65 @@
+"""Main memory model.
+
+Timing is folded into the bus's cache-to-memory latency (Figure 5: 80 ns
+DRAM -> 180 ns requester-visible latency including control delay), so
+this module is primarily the *functional* backing store used by the
+functional SENSS mode and the memory-protection layer: line-granular
+byte storage plus write counting for pad sequence numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import SimulationError
+
+
+class MainMemory:
+    """Line-granular byte-addressable backing store."""
+
+    def __init__(self, line_bytes: int = 64):
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise SimulationError("line size must be a power of two")
+        self.line_bytes = line_bytes
+        self._lines: Dict[int, bytes] = {}
+        self._write_counts: Dict[int, int] = {}
+
+    def _align(self, address: int) -> int:
+        return address & ~(self.line_bytes - 1)
+
+    def read_line(self, address: int) -> bytes:
+        """Read the full line containing ``address`` (zero-filled)."""
+        return self._lines.get(self._align(address),
+                               bytes(self.line_bytes))
+
+    def write_line(self, address: int, data: bytes) -> None:
+        if len(data) != self.line_bytes:
+            raise SimulationError(
+                f"line write must be {self.line_bytes} bytes, "
+                f"got {len(data)}")
+        line = self._align(address)
+        self._lines[line] = bytes(data)
+        self._write_counts[line] = self._write_counts.get(line, 0) + 1
+
+    def write_count(self, address: int) -> int:
+        """How many times this line was written (pad sequence source)."""
+        return self._write_counts.get(self._align(address), 0)
+
+    def resident_lines(self) -> int:
+        return len(self._lines)
+
+    def corrupt_line(self, address: int, data: Optional[bytes] = None) -> None:
+        """Adversarially overwrite a line WITHOUT bumping the write count.
+
+        Models physical memory tampering (section 1): a legitimate write
+        goes through ``write_line``; this back door is used by attack
+        tests to verify that integrity checking catches the change.
+        """
+        line = self._align(address)
+        if data is None:
+            current = bytearray(self.read_line(line))
+            current[0] ^= 0xFF
+            data = bytes(current)
+        if len(data) != self.line_bytes:
+            raise SimulationError("corrupt data must be one line")
+        self._lines[line] = bytes(data)

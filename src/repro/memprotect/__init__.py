@@ -1,0 +1,37 @@
+"""Cache-to-memory protection (section 6 of the paper).
+
+Functional models:
+
+- :mod:`repro.memprotect.pads` — fast memory encryption (OTP pads with
+  per-line sequence numbers, Suh [25] / Yang [29] style).
+- :mod:`repro.memprotect.pad_cache` — the on-chip pad / sequence-number
+  cache and the cross-processor pad coherence of section 6.1.
+- :mod:`repro.memprotect.merkle` — the memory hash tree.
+- :mod:`repro.memprotect.chash` — CHash [7]: L2-cached tree
+  verification.
+- :mod:`repro.memprotect.lhash` — LHash [25]-style lazy multiset-hash
+  verification.
+
+Timing model:
+
+- :mod:`repro.memprotect.integrated` — the layer the SMP simulator
+  consults on memory fetches and write-backs (Figure 10's
+  "SENSS+Mem_OTP_Chash" configuration).
+"""
+
+from .chash import CachedHashTreeVerifier
+from .integrated import MemProtectLayer
+from .lhash import LazyVerifier
+from .merkle import MerkleTree
+from .pad_cache import PadCache, PadCoherenceDirectory
+from .pads import FastMemoryEncryption
+
+__all__ = [
+    "CachedHashTreeVerifier",
+    "FastMemoryEncryption",
+    "LazyVerifier",
+    "MemProtectLayer",
+    "MerkleTree",
+    "PadCache",
+    "PadCoherenceDirectory",
+]

@@ -1,0 +1,85 @@
+"""LHash-style lazy memory verification (Suh et al. [25]).
+
+Instead of verifying every memory access against the tree, cluster a
+sequence of accesses and check them together: keep two multiset hashes
+in trusted on-chip storage — one absorbing every (address, version,
+data) the processor WROTE to memory, one absorbing every triple it
+READ — and at verification time read back the outstanding lines so the
+two multisets must match. Any tampering between a write and the
+read-back perturbs the READ multiset and the epoch check fails. The
+paper cites LHash's ~5% overhead vs CHash's ~25% as the reason it
+"will also be very effective in SENSS" (section 7.7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..crypto.hashes import MultisetHash
+from ..errors import IntegrityViolation, ReproError
+from ..memory.dram import MainMemory
+
+
+class LazyVerifier:
+    """One trusted domain's lazy verification state."""
+
+    def __init__(self, memory: MainMemory):
+        self.memory = memory
+        self._write_set = MultisetHash()
+        self._read_set = MultisetHash()
+        # version per line within the current epoch
+        self._versions: Dict[int, int] = {}
+        self.epochs_verified = 0
+
+    # -- the per-access fast path ------------------------------------------
+
+    def write_line(self, address: int, data: bytes) -> None:
+        """Processor evicts a line to memory: log it in the WRITE set."""
+        version = self._versions.get(address, 0) + 1
+        self._versions[address] = version
+        self.memory.write_line(address, data)
+        self._write_set.add(address, version, data)
+
+    def read_line(self, address: int) -> bytes:
+        """Processor fetches a line: log what was actually read.
+
+        Reading consumes the line's current version and immediately
+        re-logs the value as a fresh write (the line remains live in
+        memory), mirroring LHash's read-pairs-with-write discipline.
+        """
+        if address not in self._versions:
+            raise ReproError(
+                f"line {address:#x} was never written in this epoch")
+        data = self.memory.read_line(address)
+        version = self._versions[address]
+        self._read_set.add(address, version, data)
+        version += 1
+        self._versions[address] = version
+        self._write_set.add(address, version, data)
+        return data
+
+    # -- the deferred check ---------------------------------------------------
+
+    def verify_epoch(self) -> None:
+        """Read back all live lines and compare the multisets.
+
+        On a clean history READ == WRITE afterwards; any corruption of
+        memory between a write and its read-back breaks the equality.
+        Raises :class:`IntegrityViolation` on mismatch and resets state
+        either way (a new epoch starts).
+        """
+        for address, version in list(self._versions.items()):
+            data = self.memory.read_line(address)
+            self._read_set.add(address, version, data)
+        matched = self._read_set.matches(self._write_set)
+        self._write_set = MultisetHash()
+        self._read_set = MultisetHash()
+        self._versions.clear()
+        if not matched:
+            raise IntegrityViolation(
+                "lazy verification failed: read/write multisets differ")
+        self.epochs_verified += 1
+
+    @property
+    def outstanding_lines(self) -> int:
+        return len(self._versions)

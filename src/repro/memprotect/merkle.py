@@ -1,0 +1,131 @@
+"""The memory integrity hash tree (section 2.2).
+
+Leaves are hashes of memory lines (bound to their addresses), internal
+nodes are hashes of their children, and the root is "the unique
+signature of the entire memory", stored on-chip where only the
+processor can update it. Any corruption of memory — including a replay
+of an old (block, hash) pair, which defeats flat per-block MACs — makes
+some recomputed node disagree with its parent.
+
+This is the *functional* tree used by tests and examples over a
+bounded address span; the timing behaviour (which node fetches hit the
+L2, etc.) is modeled separately in :mod:`repro.memprotect.integrated`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..crypto.hashes import hash_leaf, hash_node
+from ..errors import ConfigError, IntegrityViolation
+from ..memory.dram import MainMemory
+
+
+class MerkleTree:
+    """Hash tree over ``num_lines`` lines starting at ``base_address``."""
+
+    def __init__(self, memory: MainMemory, base_address: int,
+                 num_lines: int, arity: int = 4):
+        if num_lines < 1:
+            raise ConfigError("tree must cover at least one line")
+        if arity < 2:
+            raise ConfigError("tree arity must be >= 2")
+        if base_address % memory.line_bytes != 0:
+            raise ConfigError("base address must be line-aligned")
+        self.memory = memory
+        self.base_address = base_address
+        self.num_lines = num_lines
+        self.arity = arity
+        # levels[0] = leaf digests; levels[-1] = [root]
+        self.levels: List[List[bytes]] = []
+        self.rebuild()
+
+    # -- construction ------------------------------------------------------
+
+    def _leaf_digest(self, index: int) -> bytes:
+        address = self.base_address + index * self.memory.line_bytes
+        return hash_leaf(address, self.memory.read_line(address))
+
+    def rebuild(self) -> None:
+        """Recompute the whole tree from memory contents."""
+        current = [self._leaf_digest(index)
+                   for index in range(self.num_lines)]
+        self.levels = [current]
+        while len(current) > 1:
+            parents = []
+            for begin in range(0, len(current), self.arity):
+                parents.append(hash_node(current[begin:begin
+                                                 + self.arity]))
+            current = parents
+            self.levels.append(current)
+
+    @property
+    def root(self) -> bytes:
+        """The on-chip root signature."""
+        return self.levels[-1][0]
+
+    @property
+    def height(self) -> int:
+        """Number of levels above the leaves."""
+        return len(self.levels) - 1
+
+    # -- index helpers --------------------------------------------------------
+
+    def _line_index(self, address: int) -> int:
+        index = (address - self.base_address) // self.memory.line_bytes
+        if not 0 <= index < self.num_lines:
+            raise ConfigError(f"address {address:#x} outside the tree")
+        return index
+
+    # -- updates (legitimate writes) ----------------------------------------
+
+    def update_line(self, address: int) -> int:
+        """Re-hash after a legitimate write; returns nodes touched."""
+        index = self._line_index(address)
+        self.levels[0][index] = self._leaf_digest(index)
+        touched = 1
+        for level in range(1, len(self.levels)):
+            index //= self.arity
+            begin = index * self.arity
+            children = self.levels[level - 1][begin:begin + self.arity]
+            self.levels[level][index] = hash_node(children)
+            touched += 1
+        return touched
+
+    # -- verification ------------------------------------------------------
+
+    def verify_line(self, address: int) -> None:
+        """Check one line against the chain up to the root.
+
+        Raises :class:`IntegrityViolation` naming the level where the
+        recomputed digest disagrees with the stored one. A *legitimate*
+        state passes; any ``memory.corrupt_line`` (or a stored-digest
+        replay) fails.
+        """
+        index = self._line_index(address)
+        digest = self._leaf_digest(index)
+        if digest != self.levels[0][index]:
+            raise IntegrityViolation(
+                f"leaf digest mismatch for line {address:#x}")
+        for level in range(1, len(self.levels)):
+            parent_index = index // self.arity
+            begin = parent_index * self.arity
+            children = self.levels[level - 1][begin:begin + self.arity]
+            recomputed = hash_node(children)
+            if recomputed != self.levels[level][parent_index]:
+                raise IntegrityViolation(
+                    f"node digest mismatch at level {level} for line "
+                    f"{address:#x}")
+            index = parent_index
+
+    def verify_all(self) -> None:
+        for index in range(self.num_lines):
+            self.verify_line(self.base_address
+                             + index * self.memory.line_bytes)
+
+    # -- adversarial helpers (tests) -------------------------------------------
+
+    def forge_leaf_digest(self, address: int, digest: bytes) -> None:
+        """Overwrite a stored leaf digest (models tampering with the
+        in-memory part of the tree); the parent check must catch it."""
+        self.levels[0][self._line_index(address)] = digest

@@ -1,0 +1,124 @@
+"""On-chip pad caches and cross-processor pad coherence (section 6.1).
+
+Each processor keeps the latest pads (equivalently, sequence numbers)
+for memory lines in an on-chip cache — the "64KB pad cache" of [29] or
+the sequence-number cache (SNC) of section 7.7. On an SMP the cached
+pads can go stale: if processor A writes line D back (bumping D's
+sequence), B's cached pad for D is outdated. The paper resolves this
+exactly like data coherence: a **write-invalidate** or **write-update**
+protocol over pads, carried by the type-"01" (pad invalidate) and
+type-"10" (pad request) bus messages of section 7.1.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set
+
+from ..errors import ConfigError
+
+
+class PadCache:
+    """LRU cache of (line -> sequence) pads for one processor.
+
+    ``capacity=None`` is the "perfect SNC" of section 7.7 (the paper
+    notes the perfect/large difference is small [29], so Figure 10 uses
+    perfect).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ConfigError("pad cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, line_address: int) -> Optional[int]:
+        """Cached sequence for a line, refreshing LRU; None on miss."""
+        if line_address in self._entries:
+            self._entries.move_to_end(line_address)
+            self.hits += 1
+            return self._entries[line_address]
+        self.misses += 1
+        return None
+
+    def install(self, line_address: int, sequence: int) -> None:
+        self._entries[line_address] = sequence
+        self._entries.move_to_end(line_address)
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, line_address: int) -> bool:
+        if line_address in self._entries:
+            del self._entries[line_address]
+            self.invalidations += 1
+            return True
+        return False
+
+    def update(self, line_address: int, sequence: int) -> bool:
+        """Write-update path: refresh in place if present."""
+        if line_address in self._entries:
+            self._entries[line_address] = sequence
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PadCoherenceDirectory:
+    """System-wide pad coherence bookkeeping for the timing model.
+
+    Tracks, per memory line, the current pad version and which
+    processors hold a fresh copy. ``on_writeback`` returns the PIDs
+    whose copies went stale (write-invalidate) or need an update
+    message (write-update); ``on_fetch`` says whether the reader must
+    issue a pad request (type-"10") first.
+    """
+
+    def __init__(self, num_processors: int,
+                 protocol: str = "write-invalidate"):
+        if protocol not in ("write-invalidate", "write-update"):
+            raise ConfigError(f"unknown pad protocol {protocol!r}")
+        self.num_processors = num_processors
+        self.protocol = protocol
+        self._version: Dict[int, int] = {}
+        self._holders: Dict[int, Set[int]] = {}
+        self.invalidate_messages = 0
+        self.update_messages = 0
+        self.request_messages = 0
+
+    def on_writeback(self, writer: int, line_address: int) -> List[int]:
+        """Writer re-encrypted the line; returns affected remote PIDs."""
+        self._version[line_address] = self._version.get(line_address,
+                                                        0) + 1
+        holders = self._holders.setdefault(line_address, set())
+        affected = sorted(holders - {writer})
+        holders.add(writer)
+        if self.protocol == "write-invalidate":
+            if affected:
+                holders.difference_update(affected)
+                self.invalidate_messages += 1
+        else:  # write-update: everyone stays a holder, one data message
+            if affected:
+                self.update_messages += 1
+        return affected
+
+    def on_fetch(self, reader: int, line_address: int) -> bool:
+        """Reader decrypts a line from memory; True if a pad request
+        message must go on the bus first."""
+        holders = self._holders.setdefault(line_address, set())
+        if reader in holders:
+            return False
+        holders.add(reader)
+        if line_address not in self._version:
+            # Never written under encryption: the initial pad is
+            # derivable locally from (address, 0); no bus message.
+            return False
+        self.request_messages += 1
+        return True
+
+    def holders_of(self, line_address: int) -> Set[int]:
+        return set(self._holders.get(line_address, ()))

@@ -1,0 +1,77 @@
+"""Fast memory encryption — OTP pads over cache-to-memory traffic.
+
+Section 2.1: instead of running AES on the data (serializing the memory
+read behind decryption), the processor encrypts by XORing the line with
+a *pad* = AES_K(address, sequence). Pad generation overlaps the memory
+access, so decryption costs one XOR. The sequence number changes on
+every write of the line, otherwise two ciphertexts of the same address
+would XOR to the plaintext difference — precisely the break shown for
+naive bus encryption in section 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..crypto.aes import AES, BLOCK_BYTES
+from ..crypto.otp import xor_bytes
+from ..errors import CryptoError
+from ..memory.dram import MainMemory
+
+
+class FastMemoryEncryption:
+    """Functional OTP encryption engine for one trusted domain.
+
+    All processors of the group share the session key, so any of them
+    can regenerate any pad given (address, sequence); what they must
+    keep coherent is the *sequence number* of each line (section 6.1) —
+    modeled by :class:`repro.memprotect.pad_cache.PadCoherenceDirectory`.
+    """
+
+    def __init__(self, session_key: bytes, line_bytes: int = 64):
+        if line_bytes % BLOCK_BYTES != 0:
+            raise CryptoError("line size must be a block multiple")
+        self._aes = AES(session_key)
+        self.line_bytes = line_bytes
+        self._sequences: Dict[int, int] = {}
+
+    def sequence_of(self, line_address: int) -> int:
+        return self._sequences.get(line_address, 0)
+
+    def pad(self, line_address: int, sequence: int) -> bytes:
+        """AES_K(address || sequence || block#), one line's worth."""
+        parts = []
+        for block_index in range(self.line_bytes // BLOCK_BYTES):
+            material = (line_address.to_bytes(8, "little")
+                        + sequence.to_bytes(6, "little")
+                        + block_index.to_bytes(2, "little"))
+            parts.append(self._aes.encrypt_block(material))
+        return b"".join(parts)
+
+    def encrypt_line(self, line_address: int, plaintext: bytes) -> bytes:
+        """Encrypt for write-back; bumps the line's sequence number."""
+        if len(plaintext) != self.line_bytes:
+            raise CryptoError("plaintext must be one line")
+        sequence = self._sequences.get(line_address, 0) + 1
+        self._sequences[line_address] = sequence
+        return xor_bytes(plaintext, self.pad(line_address, sequence))
+
+    def decrypt_line(self, line_address: int, ciphertext: bytes,
+                     sequence: Optional[int] = None) -> bytes:
+        """Decrypt a fetched line with the (current or given) sequence."""
+        if len(ciphertext) != self.line_bytes:
+            raise CryptoError("ciphertext must be one line")
+        if sequence is None:
+            sequence = self._sequences.get(line_address, 0)
+        return xor_bytes(ciphertext, self.pad(line_address, sequence))
+
+    # -- round-trip helpers against a MainMemory --------------------------
+
+    def store(self, memory: MainMemory, line_address: int,
+              plaintext: bytes) -> None:
+        memory.write_line(line_address,
+                          self.encrypt_line(line_address, plaintext))
+
+    def load(self, memory: MainMemory, line_address: int) -> bytes:
+        return self.decrypt_line(line_address,
+                                 memory.read_line(line_address))

@@ -1,0 +1,7 @@
+"""Simulation kernel: statistics, deterministic randomness, event queue."""
+
+from .events import EventQueue
+from .rng import DeterministicRng
+from .stats import Counter, StatsRegistry
+
+__all__ = ["Counter", "DeterministicRng", "EventQueue", "StatsRegistry"]

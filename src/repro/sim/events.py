@@ -1,0 +1,69 @@
+"""A minimal discrete-event queue.
+
+The SMP timing model is mostly quasi-synchronous (processor clocks
+advance through an atomic bus), but background activities — posted
+write-backs, mask regeneration completions, deferred authentication —
+are naturally expressed as timestamped events. This queue provides
+deterministic FIFO tie-breaking for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class EventQueue:
+    """Priority queue of (time, callback) with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Callable[[], Any]]] = []
+        self._sequence = itertools.count()
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: int, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` to fire at absolute cycle ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, now is {self._now}")
+        heapq.heappush(self._heap, (time, next(self._sequence), callback))
+
+    def schedule_after(self, delay: int,
+                       callback: Callable[[], Any]) -> None:
+        self.schedule(self._now + delay, callback)
+
+    def peek_time(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def run_until(self, time: int) -> int:
+        """Fire all events with timestamp <= ``time``; returns count."""
+        fired = 0
+        while self._heap and self._heap[0][0] <= time:
+            event_time, _, callback = heapq.heappop(self._heap)
+            self._now = event_time
+            callback()
+            fired += 1
+        self._now = max(self._now, time)
+        return fired
+
+    def run_all(self, limit: int = 10_000_000) -> int:
+        """Drain the queue entirely (bounded against runaway loops)."""
+        fired = 0
+        while self._heap:
+            event_time, _, callback = heapq.heappop(self._heap)
+            self._now = event_time
+            callback()
+            fired += 1
+            if fired > limit:
+                raise SimulationError("event limit exceeded; likely a loop")
+        return fired

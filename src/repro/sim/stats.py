@@ -1,0 +1,74 @@
+"""Lightweight statistics counters for the simulator.
+
+Every subsystem (caches, bus, SHU, memory protection) registers named
+counters in a :class:`StatsRegistry`; benches and tests read them to
+compute the paper's metrics (slowdown, bus-activity increase, transfer
+mix).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class StatsRegistry:
+    """A flat namespace of counters, addressable by dotted names."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        existing = self._counters.get(name)
+        if existing is None:
+            existing = Counter(name)
+            self._counters[name] = existing
+        return existing
+
+    def get(self, name: str) -> int:
+        """Read a counter's value (0 if it was never touched)."""
+        counter = self._counters.get(name)
+        return counter.value if counter else 0
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counter(name).increment(amount)
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: value for name, value in self.items()}
+
+    def total(self, prefix: str) -> int:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(counter.value
+                   for name, counter in self._counters.items()
+                   if name.startswith(prefix))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{n}={v}" for n, v in self.items())
+        return f"StatsRegistry({body})"

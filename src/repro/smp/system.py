@@ -1,0 +1,191 @@
+"""The trace-driven SMP system simulator.
+
+``SmpSystem`` assembles the substrates — per-CPU cache hierarchies, the
+MESI snooping protocol, the shared bus, main memory — and executes a
+:class:`~repro.smp.trace.Workload`, producing a
+:class:`~repro.smp.metrics.SimulationResult`.
+
+Timing model (see DESIGN.md §6): per-CPU clocks advance through their
+traces; the atomic bus serializes transactions in request order.
+Non-memory instructions cost one cycle each; hits cost the Figure-5
+cache latencies; misses cost the bus round trip (120 cycles
+cache-to-cache, 180 to memory) plus contention. Dirty evictions post a
+write-back that occupies the bus without stalling the evicting CPU.
+
+Security layers plug in without the baseline knowing about them:
+
+- A SENSS bus layer attaches to ``bus.security_layer`` and charges the
+  per-message crypto overhead, mask-readiness stalls, and MAC
+  broadcasts (sections 4-5).
+- A memory-protection layer attaches via ``attach_memprotect`` and is
+  consulted on memory fetches and write-backs (section 6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..bus.bus import SharedBus
+from ..bus.transaction import BusTransaction, TransactionType
+from ..cache.hierarchy import AccessKind, CacheHierarchy
+from ..coherence.msi import make_protocol
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..memory.dram import MainMemory
+from ..sim.stats import StatsRegistry
+from .metrics import SimulationResult
+from .trace import Workload
+
+
+class SmpSystem:
+    """A complete simulated SMP machine."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.stats = StatsRegistry()
+        self.bus = SharedBus(config.bus, self.stats)
+        self.memory = MainMemory(config.l2.line_bytes)
+        self.hierarchies: List[CacheHierarchy] = [
+            CacheHierarchy(cpu_id, config.l1, config.l2, self.stats)
+            for cpu_id in range(config.num_processors)
+        ]
+        self.protocol = make_protocol(config.coherence_protocol,
+                                      self.hierarchies)
+        self.memprotect = None  # optional MemProtectLayer
+        # Per-CPU group IDs (section 4.1 grouping): default one group.
+        self._cpu_groups = [0] * config.num_processors
+
+    # -- attachment points ------------------------------------------------
+
+    def attach_security_layer(self, layer) -> None:
+        """Attach a SENSS bus layer (see repro.core.senss)."""
+        self.bus.security_layer = layer
+
+    def attach_memprotect(self, layer) -> None:
+        """Attach a cache-to-memory protection layer (repro.memprotect)."""
+        self.memprotect = layer
+
+    def set_cpu_groups(self, group_ids) -> None:
+        """Assign each CPU to a SENSS group (multiprogramming).
+
+        ``group_ids[cpu]`` tags every bus transaction that CPU issues,
+        so the security layer maintains per-group masks and counters
+        (section 4.2 "Maintaining the mask").
+        """
+        if len(group_ids) != self.config.num_processors:
+            raise SimulationError(
+                "need one group id per processor")
+        self._cpu_groups = list(group_ids)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, workload: Workload) -> SimulationResult:
+        """Execute the workload to completion and return metrics."""
+        if workload.num_cpus > self.config.num_processors:
+            raise SimulationError(
+                f"workload has {workload.num_cpus} traces but the machine "
+                f"has {self.config.num_processors} processors")
+        num_cpus = workload.num_cpus
+        clocks = [0] * num_cpus
+        cursors = [0] * num_cpus
+        traces = [workload.accesses_for(cpu) for cpu in range(num_cpus)]
+        lengths = [len(trace) for trace in traces]
+        active = [length > 0 for length in lengths]
+
+        while True:
+            # Next CPU = earliest pending *request* time (clock plus the
+            # compute gap preceding its next access) — request order is
+            # what the bus arbiter sees.
+            cpu = -1
+            best = None
+            for candidate in range(num_cpus):
+                if not active[candidate]:
+                    continue
+                pending = (clocks[candidate]
+                           + traces[candidate][cursors[candidate]].gap)
+                if best is None or pending < best:
+                    best = pending
+                    cpu = candidate
+            if cpu < 0:
+                break
+            access = traces[cpu][cursors[cpu]]
+            cursors[cpu] += 1
+            if cursors[cpu] >= lengths[cpu]:
+                active[cpu] = False
+            clocks[cpu] = self._execute(cpu, clocks[cpu] + access.gap,
+                                        access.is_write, access.address)
+
+        return SimulationResult(
+            workload=workload.name,
+            num_cpus=num_cpus,
+            cycles=max(clocks) if clocks else 0,
+            per_cpu_cycles=clocks,
+            stats=self.stats.as_dict(),
+        )
+
+    # -- single-access engine ---------------------------------------------
+
+    def _execute(self, cpu: int, clock: int, is_write: bool,
+                 address: int) -> int:
+        """Run one memory reference to completion; returns the new clock."""
+        hierarchy = self.hierarchies[cpu]
+        result = hierarchy.access(is_write, address)
+
+        if result.kind in (AccessKind.L1_HIT, AccessKind.L2_HIT):
+            return clock + result.latency
+
+        if result.kind is AccessKind.L2_HIT_NEEDS_UPGRADE:
+            outcome = self.protocol.bus_upgrade(cpu, result.line_address)
+            transaction = BusTransaction(TransactionType.BUS_UPGRADE,
+                                         result.line_address, cpu,
+                                         self._cpu_groups[cpu])
+            transaction = self.bus.issue(transaction, clock, data_bytes=0)
+            hierarchy.upgrade(result.line_address)
+            self.stats.add("coherence.invalidations",
+                           len(outcome.invalidated_cpus))
+            return transaction.complete_cycle
+
+        # Miss: consult the protocol, then transfer the line.
+        if is_write:
+            outcome = self.protocol.bus_read_exclusive(cpu,
+                                                       result.line_address)
+            tx_type = TransactionType.BUS_READ_EXCLUSIVE
+        else:
+            outcome = self.protocol.bus_read(cpu, result.line_address)
+            tx_type = TransactionType.BUS_READ
+
+        transaction = BusTransaction(
+            tx_type, result.line_address, cpu, self._cpu_groups[cpu],
+            supplied_by_cache=outcome.supplier_cpu is not None)
+        transaction = self.bus.issue(transaction, clock,
+                                     data_bytes=self.config.l2.line_bytes)
+        finish = transaction.complete_cycle
+        self.stats.add("coherence.invalidations",
+                       len(outcome.invalidated_cpus))
+
+        if outcome.had_modified_copy:
+            # Illinois MESI: the dirty supplier flushes; memory is
+            # updated as part of the same transaction (no extra tx).
+            self.stats.add("coherence.dirty_interventions")
+
+        if not transaction.supplied_by_cache and self.memprotect is not None:
+            finish += self.memprotect.on_memory_fetch(
+                cpu, result.line_address, finish)
+
+        victim = hierarchy.fill(result.line_address, outcome.fill_state)
+        if victim is not None and victim[1].is_dirty:
+            self._post_writeback(cpu, victim[0], finish)
+
+        return finish
+
+    def _post_writeback(self, cpu: int, line_address: int,
+                        clock: int) -> None:
+        """Posted write-back: occupies the bus, does not stall the CPU."""
+        transaction = BusTransaction(TransactionType.WRITEBACK,
+                                     line_address, cpu,
+                                     self._cpu_groups[cpu])
+        self.bus.issue(transaction, clock,
+                       data_bytes=self.config.l2.line_bytes)
+        self.stats.add("coherence.writebacks")
+        if self.memprotect is not None:
+            self.memprotect.on_writeback(cpu, line_address, clock)

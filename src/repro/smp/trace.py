@@ -1,0 +1,66 @@
+"""Memory access traces.
+
+A workload is one access trace per processor. Each access is
+``(is_write, address, gap)`` where ``gap`` is the number of
+non-memory instructions executed since the previous access (charged at
+one cycle each on the 1 GHz core). Traces substitute for the paper's
+Simics-executed SPLASH-2 binaries; the generators in
+:mod:`repro.workloads` produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, NamedTuple, Sequence
+
+from ..errors import TraceError
+
+
+class MemoryAccess(NamedTuple):
+    is_write: bool
+    address: int
+    gap: int
+
+
+@dataclass
+class Workload:
+    """Named per-CPU access traces plus generation metadata."""
+
+    name: str
+    traces: List[List[MemoryAccess]]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise TraceError("workload needs at least one CPU trace")
+        for cpu_id, trace in enumerate(self.traces):
+            for access in trace:
+                if access.address < 0:
+                    raise TraceError(
+                        f"negative address in cpu {cpu_id} trace")
+                if access.gap < 0:
+                    raise TraceError(f"negative gap in cpu {cpu_id} trace")
+
+    @property
+    def num_cpus(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(trace) for trace in self.traces)
+
+    def accesses_for(self, cpu_id: int) -> Sequence[MemoryAccess]:
+        return self.traces[cpu_id]
+
+    def iter_flat(self) -> Iterator[tuple]:
+        """Yield (cpu_id, access) pairs, CPU-major (analysis helper)."""
+        for cpu_id, trace in enumerate(self.traces):
+            for access in trace:
+                yield cpu_id, access
+
+    def truncated(self, max_per_cpu: int) -> "Workload":
+        """A shortened copy, for quick tests."""
+        return Workload(self.name + f"[:{max_per_cpu}]",
+                        [list(trace[:max_per_cpu])
+                         for trace in self.traces],
+                        dict(self.metadata))

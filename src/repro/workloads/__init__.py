@@ -1,0 +1,38 @@
+"""Workload trace generators.
+
+The paper runs five SPLASH-2 programs (fft, radix, barnes, lu, ocean)
+on Solaris under Simics. We substitute synthetic trace generators that
+model each program's *sharing and communication pattern* — the property
+that determines SENSS overhead (see DESIGN.md §2). ``generate`` is the
+registry entry point used by the benches.
+"""
+
+from .micro import (false_sharing, pad_churn, ping_pong, private_stream,
+                    producer_consumer)
+from .mixes import MIXES, mix
+from .multiprogram import combine, run_multiprogrammed
+from .registry import SPLASH2_NAMES, WORKLOADS, generate
+from .splash2 import barnes, fft, lu, ocean, radix
+from .tracefile import load_workload, save_workload
+
+__all__ = [
+    "MIXES",
+    "SPLASH2_NAMES",
+    "WORKLOADS",
+    "barnes",
+    "combine",
+    "load_workload",
+    "mix",
+    "run_multiprogrammed",
+    "save_workload",
+    "false_sharing",
+    "fft",
+    "generate",
+    "lu",
+    "ocean",
+    "pad_churn",
+    "ping_pong",
+    "private_stream",
+    "producer_consumer",
+    "radix",
+]

@@ -1,0 +1,139 @@
+"""Microbenchmark traces.
+
+- :func:`false_sharing` reproduces the Figure 11 scenario: two CPUs
+  touching different words of the same cache block, where small timing
+  shifts reorder the interleaving and change hit/miss outcomes.
+- :func:`ping_pong` migrates one line back and forth (worst case for
+  per-message overhead and mask pressure).
+- :func:`producer_consumer` and :func:`private_stream` bound the
+  sharing spectrum from "all cache-to-cache" to "no sharing at all".
+"""
+
+from __future__ import annotations
+
+from ..errors import TraceError
+from ..smp.trace import Workload
+from .base import SHARED_BASE, WORD_BYTES, assemble, make_builders, private_base
+
+
+def false_sharing(num_cpus: int = 2, rounds: int = 200,
+                  seed: int = 11) -> Workload:
+    """Figure 11: CPUs write/read different words of the same block."""
+    if num_cpus < 2:
+        raise TraceError("false sharing needs at least two CPUs")
+    builders = make_builders(num_cpus, seed, mean_gap=2.0)
+    block = SHARED_BASE
+    for round_index in range(rounds):
+        for cpu, builder in enumerate(builders):
+            word = block + cpu * WORD_BYTES  # different words, one line
+            if cpu == 0:
+                # CPU0's pattern from Figure 11: two writes...
+                builder.write(word, gap=3)
+                builder.write(word, gap=3)
+            else:
+                # ...while CPU1 issues a burst of reads of its word.
+                builder.read(word, gap=2)
+                builder.read(word, gap=2)
+                builder.read(word, gap=2)
+        # Private cooldown so rounds do not fully pipeline.
+        for cpu, builder in enumerate(builders):
+            builder.read(private_base(cpu) + (round_index % 256) * 64,
+                         gap=5)
+    return assemble("false_sharing", builders, rounds=rounds, seed=seed)
+
+
+def ping_pong(rounds: int = 500, seed: int = 12) -> Workload:
+    """Two CPUs alternately writing one line: maximal migration."""
+    builders = make_builders(2, seed, mean_gap=2.0)
+    line = SHARED_BASE + 4096
+    for round_index in range(rounds):
+        builders[0].write(line, gap=4)
+        builders[1].write(line, gap=4)
+    return assemble("ping_pong", builders, rounds=rounds, seed=seed)
+
+
+def producer_consumer(num_cpus: int = 2, items: int = 400,
+                      seed: int = 13) -> Workload:
+    """CPU0 produces buffer entries; the others consume them."""
+    if num_cpus < 2:
+        raise TraceError("producer/consumer needs at least two CPUs")
+    builders = make_builders(num_cpus, seed, mean_gap=2.5)
+    buffer_base = SHARED_BASE + (1 << 16)
+    slots = 256
+    for item in range(items):
+        slot = buffer_base + (item % slots) * 64
+        builders[0].write(slot, gap=3)
+        builders[0].write(slot + WORD_BYTES, gap=2)
+        for consumer in builders[1:]:
+            consumer.read(slot, gap=3)
+            consumer.read(slot + WORD_BYTES, gap=2)
+    return assemble("producer_consumer", builders, items=items,
+                    seed=seed)
+
+
+def private_stream(num_cpus: int = 2, refs_per_cpu: int = 2000,
+                   seed: int = 14) -> Workload:
+    """No sharing at all: SENSS overhead should be ~zero here."""
+    builders = make_builders(num_cpus, seed, mean_gap=3.0)
+    for cpu, builder in enumerate(builders):
+        base = private_base(cpu) + (1 << 20)
+        for ref in range(refs_per_cpu):
+            address = base + (ref * 64) % (1 << 21)
+            if ref % 4 == 3:
+                builder.write(address)
+            else:
+                builder.read(address)
+    return assemble("private_stream", builders,
+                    refs_per_cpu=refs_per_cpu, seed=seed)
+
+
+def pad_churn(num_cpus: int = 2, rounds: int = 60,
+              seed: int = 15) -> Workload:
+    """Migratory-through-memory lines: the pad-coherence stressor.
+
+    A rotating writer dirties blocks in the capacity-sensitive conflict
+    region (so they are evicted to memory almost immediately), and
+    another CPU re-reads them a few rounds later — after the write-back
+    — forcing the type-"01"/"10" pad coherence traffic of section 6.1.
+    """
+    from .base import conflict_block
+    if num_cpus < 2:
+        raise TraceError("pad churn needs at least two CPUs")
+    builders = make_builders(num_cpus, seed, mean_gap=6.0)
+    blocks = 12
+    for round_index in range(rounds):
+        writer = builders[round_index % num_cpus]
+        reader = builders[(round_index + 1) % num_cpus]
+        for line in range(8):
+            writer.write(conflict_block(round_index % blocks)
+                         + line * 64, gap=4)
+        stale = conflict_block((round_index - 6) % blocks)
+        for line in range(8):
+            reader.read(stale + line * 64, gap=4)
+        # Private churn keeps the rounds from fully overlapping.
+        for cpu, builder in enumerate(builders):
+            builder.read(private_base(cpu) + (round_index % 64) * 64,
+                         gap=8)
+    return assemble("pad_churn", builders, rounds=rounds, seed=seed)
+
+
+def snc_stream(passes: int = 30, blocks: int = 12,
+               lines_per_block: int = 8, seed: int = 16) -> Workload:
+    """Read-only conflict ring: the sequence-number-cache stressor.
+
+    One CPU repeatedly sweeps a ring of conflict-aliasing blocks that
+    the L2 cannot retain, so every pass re-fetches every line from
+    memory. With memory encryption on, each re-fetch needs the line's
+    pad: a sufficiently large SNC turns all but the first pass into
+    pad-cache hits, a tiny one keeps regenerating (section 7.7).
+    """
+    from .base import conflict_block
+    builders = make_builders(1, seed, mean_gap=8.0)
+    builder = builders[0]
+    for _ in range(passes):
+        for block in range(blocks):
+            base = conflict_block(block)
+            for line in range(lines_per_block):
+                builder.read(base + line * 64, gap=6)
+    return assemble("snc_stream", builders, passes=passes,
+                    blocks=blocks, seed=seed)

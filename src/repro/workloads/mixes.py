@@ -1,0 +1,53 @@
+"""Preset multiprogrammed mixes.
+
+Named combinations of the SPLASH-2-style generators and microbenchmarks
+for multi-group experiments (Figure 1 scenarios). Each mix returns the
+program list ready for
+:func:`repro.workloads.multiprogram.run_multiprogrammed`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import TraceError
+from ..smp.trace import Workload
+from .micro import ping_pong, producer_consumer
+from .registry import generate
+
+
+def compute_plus_service(scale: float = 0.3,
+                         seed: int = 0) -> List[Workload]:
+    """A scientific kernel next to a latency-sensitive service: lu on
+    two CPUs, producer/consumer messaging on the other two."""
+    return [generate("lu", 2, scale=scale, seed=seed),
+            producer_consumer(num_cpus=2, items=int(400 * scale + 40))]
+
+
+def bandwidth_rivals(scale: float = 0.3,
+                     seed: int = 0) -> List[Workload]:
+    """Two memory-hungry programs contending for the bus."""
+    return [generate("radix", 2, scale=scale, seed=seed),
+            generate("ocean", 2, scale=scale, seed=seed + 1)]
+
+
+def sharing_extremes(scale: float = 0.3,
+                     seed: int = 0) -> List[Workload]:
+    """Maximal line migration next to wide read sharing."""
+    return [ping_pong(rounds=int(500 * scale + 50), seed=seed + 12),
+            generate("barnes", 2, scale=scale, seed=seed)]
+
+
+MIXES: Dict[str, Callable[..., List[Workload]]] = {
+    "compute_plus_service": compute_plus_service,
+    "bandwidth_rivals": bandwidth_rivals,
+    "sharing_extremes": sharing_extremes,
+}
+
+
+def mix(name: str, scale: float = 0.3, seed: int = 0) -> List[Workload]:
+    factory = MIXES.get(name)
+    if factory is None:
+        raise TraceError(
+            f"unknown mix {name!r}; choose from {sorted(MIXES)}")
+    return factory(scale=scale, seed=seed)

@@ -1,0 +1,32 @@
+"""Name-based workload registry used by benches and the CLI examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import TraceError
+from ..smp.trace import Workload
+from .splash2 import barnes, fft, lu, ocean, radix
+
+SPLASH2_NAMES = ["fft", "radix", "barnes", "lu", "ocean"]
+
+WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "fft": fft,
+    "radix": radix,
+    "barnes": barnes,
+    "lu": lu,
+    "ocean": ocean,
+}
+
+
+def generate(name: str, num_cpus: int, scale: float = 1.0,
+             seed: int = 0) -> Workload:
+    """Build the named workload (paper ordering: fft radix barnes lu
+    ocean)."""
+    factory = WORKLOADS.get(name)
+    if factory is None:
+        raise TraceError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(WORKLOADS)}")
+    # Each generator has its own default seed; offset by the caller's.
+    return factory(num_cpus, scale=scale, seed=seed + 1)

@@ -1,0 +1,58 @@
+"""Workload characterization tests."""
+
+import pytest
+
+from repro.analysis.characterize import WorkloadProfile, characterize
+from repro.config import e6000_config
+from repro.workloads import generate
+from repro.workloads.micro import ping_pong, private_stream
+
+
+@pytest.fixture(scope="module")
+def config():
+    return e6000_config(num_processors=4)
+
+
+def test_profile_fields_are_consistent(config):
+    profile = characterize(generate("lu", 4, scale=0.1), config)
+    assert profile.references > 0
+    assert 0.0 <= profile.write_fraction <= 1.0
+    assert 0.0 <= profile.shared_fraction <= 1.0
+    assert 0.0 <= profile.l2_miss_rate <= 1.0
+    assert 0.0 <= profile.cache_to_cache_share <= 1.0
+    assert profile.unique_lines > 0
+    assert profile.bus_utilisation > 0
+
+
+def test_private_stream_has_zero_sharing(config):
+    two_cpu = e6000_config(num_processors=2)
+    profile = characterize(private_stream(2, refs_per_cpu=300), two_cpu)
+    assert profile.shared_fraction == 0.0
+    assert profile.cache_to_cache_share == 0.0
+
+
+def test_ping_pong_is_all_shared_writes(config):
+    two_cpu = e6000_config(num_processors=2)
+    profile = characterize(ping_pong(rounds=50), two_cpu)
+    assert profile.write_fraction == 1.0
+    assert profile.shared_fraction == 1.0
+    assert profile.unique_lines == 1
+    assert profile.cache_to_cache_share > 0.5
+
+
+def test_splash_models_sit_in_the_paper_regime(config):
+    """The DESIGN.md §2 tuning targets: few-percent miss rates,
+    unsaturated bus, non-trivial cache-to-cache share."""
+    for name in ("fft", "radix", "barnes", "lu", "ocean"):
+        profile = characterize(generate(name, 4, scale=0.3), config)
+        assert profile.l2_miss_rate < 0.25, name
+        assert profile.bus_utilisation < 0.85, name
+
+
+def test_rows_render():
+    header = WorkloadProfile.header()
+    profile = characterize(ping_pong(rounds=10),
+                           e6000_config(num_processors=2))
+    rows = profile.rows()
+    assert len(rows[0]) == len(header)
+    assert rows[0][0] == "ping_pong"

@@ -1,0 +1,48 @@
+"""Hardware overhead accounting tests (section 7.1's exact numbers)."""
+
+import pytest
+
+from repro.analysis.overhead import compute_overhead
+from repro.config import e6000_config
+
+
+@pytest.fixture(scope="module")
+def report():
+    return compute_overhead(e6000_config())
+
+
+def test_bit_matrix_is_640_bytes(report):
+    assert report.bit_matrix_bytes == 640
+
+
+def test_table_entry_is_1161_bits(report):
+    assert report.table_bits_per_entry == 1161
+
+
+def test_table_total_is_148_6_kb(report):
+    assert report.table_total_kb == pytest.approx(148.6, abs=0.05)
+
+
+def test_bus_lines_increase_3_1_percent(report):
+    """378 Gigaplane lines + 2 type + 10 GID = +3.1%."""
+    assert report.baseline_bus_lines == 378
+    assert report.extra_type_lines == 2
+    assert report.extra_gid_lines == 10
+    assert report.bus_line_increase_percent == pytest.approx(3.17, abs=0.1)
+
+
+def test_per_message_delay_is_3_cycles(report):
+    assert report.per_message_cycles == 3
+
+
+def test_max_masks_is_8(report):
+    assert report.max_masks == 8
+
+
+def test_rows_render(report):
+    rows = dict(report.rows())
+    assert rows["Group-processor bit matrix"] == "640 B"
+    assert "1161" in rows["Group info table (bits/entry)"]
+    assert "148.6" in rows["Group info table (total)"]
+    assert "3.2%" in rows["Bus line increase"] or \
+        "3.1" in rows["Bus line increase"]

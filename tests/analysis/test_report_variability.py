@@ -1,0 +1,72 @@
+"""Report formatting and variability analysis tests."""
+
+from repro.analysis.report import format_percent, format_table
+from repro.analysis.variability import AccessRecorder, compare_orderings
+from repro.config import e6000_config
+from repro.core.senss import build_secure_system
+from repro.smp.system import SmpSystem
+from repro.workloads.micro import false_sharing
+
+
+def test_format_table_alignment():
+    text = format_table("Title", ["name", "value"],
+                        [["fft", 1.5], ["radix", 22]])
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "fft" in text and "22" in text
+    # Header and data columns line up.
+    header_line = lines[2]
+    assert header_line.index("value") == lines[4].index("1.5")
+
+
+def test_format_percent():
+    assert format_percent(1.234) == "+1.234%"
+    assert format_percent(-0.5) == "-0.500%"
+
+
+def test_recorder_captures_bus_order():
+    config = e6000_config(num_processors=2, senss_enabled=False)
+    system = SmpSystem(config)
+    recorder = AccessRecorder()
+    system.bus.add_observer(recorder)
+    system.run(false_sharing(num_cpus=2, rounds=5))
+    assert recorder.events
+    assert set(recorder.per_cpu_counts()) <= {0, 1}
+
+
+def test_figure11_reordering_between_base_and_senss():
+    """The section 7.8 phenomenon: adding the security delay reorders
+    the global bus interleaving under false sharing."""
+    workload = false_sharing(num_cpus=2, rounds=100)
+    config = e6000_config(num_processors=2)
+
+    base_system = SmpSystem(config.with_senss(False))
+    base_recorder = AccessRecorder()
+    base_system.bus.add_observer(base_recorder)
+    base_system.run(workload)
+
+    senss_system = build_secure_system(config.with_auth_interval(1))
+    senss_recorder = AccessRecorder()
+    senss_system.bus.add_observer(senss_recorder)
+    senss_system.run(workload)
+
+    comparison = compare_orderings(base_recorder, senss_recorder)
+    assert comparison["base_transactions"] > 0
+    # SENSS adds MAC broadcasts, so the streams cannot be identical.
+    assert comparison["reordered"]
+    assert 0.0 <= comparison["identical_prefix_fraction"] <= 1.0
+
+
+def test_identical_runs_compare_equal():
+    workload = false_sharing(num_cpus=2, rounds=10)
+    config = e6000_config(num_processors=2, senss_enabled=False)
+    recorders = []
+    for _ in range(2):
+        system = SmpSystem(config)
+        recorder = AccessRecorder()
+        system.bus.add_observer(recorder)
+        system.run(workload)
+        recorders.append(recorder)
+    comparison = compare_orderings(*recorders)
+    assert not comparison["reordered"]
+    assert comparison["identical_prefix_fraction"] == 1.0

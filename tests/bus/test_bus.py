@@ -1,0 +1,111 @@
+"""Shared bus tests: arbitration, occupancy, latency, stats."""
+
+import pytest
+
+from repro.bus.bus import SharedBus
+from repro.bus.transaction import BusTransaction, TransactionType
+from repro.config import BusConfig
+from repro.errors import BusError
+
+
+@pytest.fixture
+def bus():
+    return SharedBus(BusConfig())
+
+
+def make_tx(tx_type=TransactionType.BUS_READ, supplied_by_cache=False,
+            address=0x1000, pid=0):
+    return BusTransaction(tx_type, address, pid,
+                          supplied_by_cache=supplied_by_cache)
+
+
+def test_uncontended_memory_latency(bus):
+    tx = bus.issue(make_tx(), request_cycle=100, data_bytes=64)
+    assert tx.grant_cycle == 100
+    assert tx.complete_cycle == 100 + 180  # Figure 5 cache-to-memory
+
+
+def test_uncontended_cache_to_cache_latency(bus):
+    tx = bus.issue(make_tx(supplied_by_cache=True), 100, data_bytes=64)
+    assert tx.complete_cycle == 100 + 120  # Figure 5 cache-to-cache
+
+
+def test_address_only_latency(bus):
+    tx = bus.issue(make_tx(TransactionType.BUS_UPGRADE), 0, data_bytes=0)
+    assert tx.complete_cycle == 2 * bus.config.cycle_cpu_cycles
+
+
+def test_occupancy_serializes(bus):
+    """A 64B line = 1 address + 2 data bus cycles = 30 CPU cycles."""
+    first = bus.issue(make_tx(), 0, data_bytes=64)
+    second = bus.issue(make_tx(address=0x2000), 0, data_bytes=64)
+    assert first.grant_cycle == 0
+    assert second.grant_cycle == 30
+    assert bus.free_at == 60
+
+
+def test_occupancy_scales_with_data(bus):
+    assert bus.occupancy_cycles(TransactionType.BUS_READ, 32) == 20
+    assert bus.occupancy_cycles(TransactionType.BUS_READ, 64) == 30
+    assert bus.occupancy_cycles(TransactionType.BUS_UPGRADE, 0) == 10
+
+
+def test_sequence_numbers_are_global(bus):
+    first = bus.issue(make_tx(), 0, 64)
+    second = bus.issue(make_tx(), 0, 64)
+    assert (first.sequence, second.sequence) == (0, 1)
+
+
+def test_traffic_accounting(bus):
+    bus.issue(make_tx(supplied_by_cache=True), 0, 64)
+    bus.issue(make_tx(), 0, 64)
+    bus.issue(make_tx(TransactionType.BUS_UPGRADE), 0, 0)
+    assert bus.total_transactions == 3
+    assert bus.cache_to_cache_transfers == 1
+    assert bus.stats.get("bus.with_memory") == 1
+    assert bus.stats.get("bus.tx.BusUpgr") == 1
+
+
+def test_observer_sees_every_grant(bus):
+    seen = []
+    bus.add_observer(seen.append)
+    bus.issue(make_tx(), 0, 64)
+    bus.issue(make_tx(TransactionType.WRITEBACK), 0, 64)
+    assert [tx.type for tx in seen] == [TransactionType.BUS_READ,
+                                        TransactionType.WRITEBACK]
+
+
+def test_rejects_negative_request_cycle(bus):
+    with pytest.raises(BusError):
+        bus.issue(make_tx(), -1, 64)
+
+
+def test_idle_bus_grants_immediately(bus):
+    bus.issue(make_tx(), 0, 64)
+    late = bus.issue(make_tx(), 1000, 64)
+    assert late.grant_cycle == 1000
+
+
+def test_security_layer_hooks_called(bus):
+    calls = []
+
+    class Probe:
+        def before_transfer(self, tx, grant):
+            calls.append(("before", grant))
+            return 7
+
+        def after_transfer(self, tx):
+            calls.append(("after", tx.sequence))
+
+    bus.security_layer = Probe()
+    tx = bus.issue(make_tx(supplied_by_cache=True), 50, 64)
+    assert tx.complete_cycle == 50 + 120 + 7
+    assert calls == [("before", 50), ("after", 0)]
+
+
+def test_reset(bus):
+    bus.issue(make_tx(), 0, 64)
+    bus.reset()
+    assert bus.free_at == 0
+    tx = bus.issue(make_tx(), 0, 64)
+    assert tx.sequence == 0

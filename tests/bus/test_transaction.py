@@ -1,0 +1,32 @@
+"""Bus transaction vocabulary tests."""
+
+from repro.bus.transaction import BusTransaction, TransactionType
+
+
+def test_data_carrying_types():
+    assert TransactionType.BUS_READ.carries_data
+    assert TransactionType.BUS_READ_EXCLUSIVE.carries_data
+    assert TransactionType.WRITEBACK.carries_data
+    assert TransactionType.AUTH_MAC.carries_data
+    assert not TransactionType.BUS_UPGRADE.carries_data
+    assert not TransactionType.PAD_INVALIDATE.carries_data
+
+
+def test_senss_command_encodings():
+    """Section 7.1's three extra command encodings."""
+    assert TransactionType.AUTH_MAC.command_encoding == "00"
+    assert TransactionType.PAD_INVALIDATE.command_encoding == "01"
+    assert TransactionType.PAD_REQUEST.command_encoding == "10"
+    assert TransactionType.BUS_READ.command_encoding is None
+
+
+def test_cache_to_cache_classification():
+    c2c = BusTransaction(TransactionType.BUS_READ, 0x40, 1,
+                         supplied_by_cache=True)
+    memory = BusTransaction(TransactionType.BUS_READ, 0x40, 1,
+                            supplied_by_cache=False)
+    upgrade = BusTransaction(TransactionType.BUS_UPGRADE, 0x40, 1,
+                             supplied_by_cache=True)
+    assert c2c.is_cache_to_cache
+    assert not memory.is_cache_to_cache
+    assert not upgrade.is_cache_to_cache  # no data block moves

@@ -1,0 +1,132 @@
+"""Set-associative cache tag store tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.mesi import MesiState
+from repro.config import CacheConfig
+from repro.errors import CoherenceError
+
+
+def small_cache(sets=4, ways=2, line=64):
+    return SetAssociativeCache(CacheConfig(
+        size_bytes=sets * ways * line, associativity=ways,
+        line_bytes=line, hit_latency=2))
+
+
+def test_line_alignment():
+    cache = small_cache()
+    assert cache.line_address(0x1234) == 0x1200
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    assert cache.lookup(0x1000) is None
+    cache.insert(0x1000, MesiState.EXCLUSIVE)
+    line = cache.lookup(0x1010)  # same line, different byte
+    assert line is not None
+    assert line.state is MesiState.EXCLUSIVE
+
+
+def test_lru_eviction_order():
+    cache = small_cache(sets=1, ways=2)
+    cache.insert(0x000, MesiState.SHARED)
+    cache.insert(0x040, MesiState.SHARED)
+    cache.lookup(0x000)  # touch A -> B becomes LRU
+    victim = cache.insert(0x080, MesiState.SHARED)
+    assert victim == (0x040, MesiState.SHARED)
+    assert cache.contains(0x000)
+    assert not cache.contains(0x040)
+
+
+def test_insert_prefers_invalid_ways():
+    cache = small_cache(sets=1, ways=2)
+    cache.insert(0x000, MesiState.MODIFIED)
+    cache.insert(0x040, MesiState.SHARED)
+    cache.invalidate(0x000)
+    victim = cache.insert(0x080, MesiState.SHARED)
+    assert victim is None  # the invalid way absorbed the fill
+    assert cache.contains(0x040)
+
+
+def test_dirty_victim_reported():
+    cache = small_cache(sets=1, ways=1)
+    cache.insert(0x000, MesiState.MODIFIED)
+    victim = cache.insert(0x040, MesiState.SHARED)
+    assert victim == (0x000, MesiState.MODIFIED)
+
+
+def test_reinsert_updates_state_without_eviction():
+    cache = small_cache(sets=1, ways=1)
+    cache.insert(0x000, MesiState.SHARED)
+    victim = cache.insert(0x000, MesiState.MODIFIED)
+    assert victim is None
+    assert cache.state_of(0x000) is MesiState.MODIFIED
+
+
+def test_invalidate():
+    cache = small_cache()
+    cache.insert(0x100, MesiState.SHARED)
+    assert cache.invalidate(0x100)
+    assert not cache.invalidate(0x100)
+    assert cache.state_of(0x100) is MesiState.INVALID
+
+
+def test_set_state_on_missing_line():
+    cache = small_cache()
+    with pytest.raises(CoherenceError):
+        cache.set_state(0x100, MesiState.SHARED)
+    cache.set_state(0x100, MesiState.INVALID)  # no-op is allowed
+
+
+def test_cannot_insert_invalid():
+    cache = small_cache()
+    with pytest.raises(CoherenceError):
+        cache.insert(0x100, MesiState.INVALID)
+
+
+def test_snoop_lookup_does_not_perturb_lru():
+    cache = small_cache(sets=1, ways=2)
+    cache.insert(0x000, MesiState.SHARED)
+    cache.insert(0x040, MesiState.SHARED)
+    cache.lookup(0x000, touch=False)  # snoop: must NOT refresh A
+    victim = cache.insert(0x080, MesiState.SHARED)
+    assert victim == (0x000, MesiState.SHARED)
+
+
+def test_iter_lines_roundtrip():
+    cache = small_cache()
+    addresses = {0x000, 0x040, 0x400, 0x440}
+    for address in addresses:
+        cache.insert(address, MesiState.SHARED)
+    assert {addr for addr, _ in cache.iter_lines()} == addresses
+    assert cache.valid_line_count() == 4
+
+
+def test_flush():
+    cache = small_cache()
+    cache.insert(0x000, MesiState.MODIFIED)
+    cache.flush()
+    assert cache.valid_line_count() == 0
+
+
+def test_sets_never_exceed_associativity():
+    cache = small_cache(sets=2, ways=2)
+    for i in range(32):
+        cache.insert(i * 64, MesiState.SHARED)
+    assert cache.valid_line_count() <= 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=100))
+def test_property_capacity_invariant(line_indices):
+    """No matter the access pattern, ways per set <= associativity and
+    the most recently inserted line is always resident."""
+    cache = small_cache(sets=4, ways=2)
+    for index in line_indices:
+        cache.insert(index * 64, MesiState.SHARED)
+        assert cache.contains(index * 64)
+    assert cache.valid_line_count() <= 8

@@ -1,0 +1,143 @@
+"""Two-level cache hierarchy tests (classification + inclusion)."""
+
+import pytest
+
+from repro.cache.hierarchy import AccessKind, CacheHierarchy
+from repro.cache.mesi import MesiState
+from repro.config import CacheConfig
+from repro.errors import CoherenceError
+
+
+def make_hierarchy(cpu_id=0):
+    l1 = CacheConfig(size_bytes=4 * 1024, associativity=2, line_bytes=32,
+                     hit_latency=2)
+    l2 = CacheConfig(size_bytes=16 * 1024, associativity=4, line_bytes=64,
+                     hit_latency=10)
+    return CacheHierarchy(cpu_id, l1, l2)
+
+
+def test_cold_read_misses():
+    hierarchy = make_hierarchy()
+    result = hierarchy.access(False, 0x1000)
+    assert result.kind is AccessKind.MISS
+    assert result.line_address == 0x1000
+
+
+def test_fill_then_l1_hit():
+    hierarchy = make_hierarchy()
+    hierarchy.fill(0x1000, MesiState.EXCLUSIVE)
+    result = hierarchy.access(False, 0x1008)
+    assert result.kind is AccessKind.L1_HIT
+    assert result.latency == 2
+
+
+def test_l2_hit_when_l1_line_differs():
+    """L2 lines are 64B, L1 lines 32B: the upper half of a filled L2
+    line is an L1 miss / L2 hit on first touch."""
+    hierarchy = make_hierarchy()
+    hierarchy.fill(0x1000, MesiState.EXCLUSIVE)
+    result = hierarchy.access(False, 0x1020)
+    assert result.kind is AccessKind.L2_HIT
+    assert result.latency == 10
+    # And it is an L1 hit afterwards.
+    assert hierarchy.access(False, 0x1020).kind is AccessKind.L1_HIT
+
+
+def test_write_to_shared_needs_upgrade():
+    hierarchy = make_hierarchy()
+    hierarchy.fill(0x1000, MesiState.SHARED)
+    result = hierarchy.access(True, 0x1000)
+    assert result.kind is AccessKind.L2_HIT_NEEDS_UPGRADE
+
+
+def test_write_to_exclusive_is_silent_upgrade():
+    hierarchy = make_hierarchy()
+    hierarchy.fill(0x1000, MesiState.EXCLUSIVE)
+    result = hierarchy.access(True, 0x1000)
+    assert result.kind in (AccessKind.L1_HIT, AccessKind.L2_HIT)
+    assert hierarchy.state_of(0x1000) is MesiState.MODIFIED
+
+
+def test_upgrade_commit():
+    hierarchy = make_hierarchy()
+    hierarchy.fill(0x1000, MesiState.SHARED)
+    hierarchy.upgrade(0x1000)
+    assert hierarchy.state_of(0x1000) is MesiState.MODIFIED
+
+
+def test_upgrade_requires_residency():
+    hierarchy = make_hierarchy()
+    with pytest.raises(CoherenceError):
+        hierarchy.upgrade(0x9000)
+
+
+def test_snoop_read_downgrades_to_shared():
+    hierarchy = make_hierarchy()
+    hierarchy.fill(0x1000, MesiState.MODIFIED)
+    prior = hierarchy.snoop_read(0x1000)
+    assert prior is MesiState.MODIFIED
+    assert hierarchy.state_of(0x1000) is MesiState.SHARED
+
+
+def test_snoop_read_exclusive_invalidates_and_purges_l1():
+    hierarchy = make_hierarchy()
+    hierarchy.fill(0x1000, MesiState.EXCLUSIVE)
+    hierarchy.access(False, 0x1000)   # pulls into L1
+    prior = hierarchy.snoop_read_exclusive(0x1000)
+    assert prior is MesiState.EXCLUSIVE
+    assert hierarchy.state_of(0x1000) is MesiState.INVALID
+    # Inclusion: the L1 copy must be gone (next access is a full miss).
+    assert hierarchy.access(False, 0x1000).kind is AccessKind.MISS
+
+
+def test_snoop_missing_line_is_invalid():
+    hierarchy = make_hierarchy()
+    assert hierarchy.snoop_read(0x7000) is MesiState.INVALID
+    assert hierarchy.snoop_read_exclusive(0x7000) is MesiState.INVALID
+
+
+def test_eviction_enforces_inclusion():
+    """Evicting an L2 line must invalidate its L1 sublines."""
+    hierarchy = make_hierarchy()
+    l2 = hierarchy.l2
+    # Fill one L2 set (4 ways) with conflicting lines.
+    conflicting = []
+    base = 0x1000
+    step = l2.config.num_sets * l2.config.line_bytes
+    for way in range(5):
+        address = base + way * step
+        conflicting.append(address)
+        hierarchy.fill(address, MesiState.EXCLUSIVE)
+        hierarchy.access(False, address)  # warm L1 too
+    # The first line was evicted by the fifth fill.
+    assert hierarchy.state_of(conflicting[0]) is MesiState.INVALID
+    assert hierarchy.access(False, conflicting[0]).kind is AccessKind.MISS
+
+
+def test_fill_reports_dirty_victim():
+    hierarchy = make_hierarchy()
+    l2 = hierarchy.l2
+    step = l2.config.num_sets * l2.config.line_bytes
+    for way in range(4):
+        hierarchy.fill(0x0 + way * step, MesiState.MODIFIED)
+    victim = hierarchy.fill(4 * step, MesiState.EXCLUSIVE)
+    assert victim is not None
+    assert victim[1] is MesiState.MODIFIED
+
+
+def test_flush_returns_dirty_lines():
+    hierarchy = make_hierarchy()
+    hierarchy.fill(0x1000, MesiState.MODIFIED)
+    hierarchy.fill(0x2000, MesiState.SHARED)
+    dirty = hierarchy.flush()
+    assert dirty == [0x1000]
+    assert hierarchy.state_of(0x1000) is MesiState.INVALID
+
+
+def test_stats_recorded():
+    hierarchy = make_hierarchy()
+    hierarchy.access(False, 0x1000)
+    hierarchy.fill(0x1000, MesiState.EXCLUSIVE)
+    hierarchy.access(False, 0x1000)
+    assert hierarchy.stats.get("cpu0.l2_miss") == 1
+    assert hierarchy.stats.get("cpu0.l1_hit") == 1

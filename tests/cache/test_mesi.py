@@ -1,0 +1,29 @@
+"""MESI state semantics tests."""
+
+from repro.cache.mesi import MesiState
+
+
+def test_validity():
+    assert MesiState.MODIFIED.is_valid
+    assert MesiState.EXCLUSIVE.is_valid
+    assert MesiState.SHARED.is_valid
+    assert not MesiState.INVALID.is_valid
+
+
+def test_dirtiness():
+    assert MesiState.MODIFIED.is_dirty
+    assert not MesiState.EXCLUSIVE.is_dirty
+    assert not MesiState.SHARED.is_dirty
+    assert not MesiState.INVALID.is_dirty
+
+
+def test_write_permission():
+    assert MesiState.MODIFIED.can_write
+    assert MesiState.EXCLUSIVE.can_write
+    assert not MesiState.SHARED.can_write
+    assert not MesiState.INVALID.can_write
+
+
+def test_single_letter_names():
+    assert str(MesiState.MODIFIED) == "M"
+    assert str(MesiState.INVALID) == "I"

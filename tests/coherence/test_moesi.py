@@ -1,0 +1,135 @@
+"""MOESI protocol tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.mesi import MesiState
+from repro.coherence.moesi import MoesiProtocol
+from repro.config import CacheConfig, e6000_config
+from repro.errors import CoherenceError
+from repro.smp.system import SmpSystem
+from repro.smp.trace import MemoryAccess, Workload
+
+LINE = 0x4000
+
+
+def make_system(num_cpus=4):
+    l1 = CacheConfig(2 * 1024, 2, 32, 2)
+    l2 = CacheConfig(8 * 1024, 4, 64, 10)
+    hierarchies = [CacheHierarchy(cpu, l1, l2) for cpu in range(num_cpus)]
+    return hierarchies, MoesiProtocol(hierarchies)
+
+
+def test_dirty_supplier_becomes_owner():
+    hierarchies, protocol = make_system()
+    hierarchies[0].fill(LINE, MesiState.MODIFIED)
+    outcome = protocol.bus_read(1, LINE)
+    assert outcome.supplier_cpu == 0
+    assert not outcome.had_modified_copy  # memory NOT updated
+    assert hierarchies[0].state_of(LINE) is MesiState.OWNED
+    hierarchies[1].fill(LINE, outcome.fill_state)
+    protocol.check_invariants(LINE)
+
+
+def test_owner_keeps_supplying_further_readers():
+    hierarchies, protocol = make_system()
+    hierarchies[0].fill(LINE, MesiState.MODIFIED)
+    for reader in (1, 2, 3):
+        outcome = protocol.bus_read(reader, LINE)
+        assert outcome.supplier_cpu == 0
+        hierarchies[reader].fill(LINE, outcome.fill_state)
+    assert hierarchies[0].state_of(LINE) is MesiState.OWNED
+    protocol.check_invariants(LINE)
+
+
+def test_owned_eviction_is_a_writeback():
+    assert MesiState.OWNED.is_dirty
+    assert not MesiState.OWNED.can_write
+
+
+def test_owner_must_broadcast_before_writing():
+    hierarchies, protocol = make_system()
+    hierarchies[0].fill(LINE, MesiState.MODIFIED)
+    protocol.bus_read(1, LINE)
+    hierarchies[1].fill(LINE, MesiState.SHARED)
+    # The owner writes again: needs an upgrade (O -> M), invalidating
+    # the sharer.
+    result = hierarchies[0].access(True, LINE)
+    assert result.kind.value == "l2_hit_needs_upgrade"
+    outcome = protocol.bus_upgrade(0, LINE)
+    assert outcome.invalidated_cpus == [1]
+    hierarchies[0].upgrade(LINE)
+    assert hierarchies[0].state_of(LINE) is MesiState.MODIFIED
+    protocol.check_invariants(LINE)
+
+
+def test_write_miss_steals_from_owner():
+    hierarchies, protocol = make_system()
+    hierarchies[0].fill(LINE, MesiState.MODIFIED)
+    protocol.bus_read(1, LINE)
+    hierarchies[1].fill(LINE, MesiState.SHARED)
+    outcome = protocol.bus_read_exclusive(2, LINE)
+    assert outcome.supplier_cpu == 0  # the owner, not the sharer
+    assert outcome.had_modified_copy
+    assert sorted(outcome.invalidated_cpus) == [0, 1]
+
+
+def test_invariant_rejects_two_owners():
+    hierarchies, protocol = make_system()
+    hierarchies[0].fill(LINE, MesiState.OWNED)
+    hierarchies[1].fill(LINE, MesiState.OWNED)
+    with pytest.raises(CoherenceError):
+        protocol.check_invariants(LINE)
+
+
+def test_moesi_avoids_memory_update_on_dirty_sharing():
+    """System-level: read-sharing a dirty line produces NO
+    dirty-intervention memory update under MOESI (ownership is
+    retained), but the O eviction later writes back."""
+    trace = [
+        [MemoryAccess(True, LINE, 0)],
+        [MemoryAccess(False, LINE, 2000)],
+    ]
+    mesi = SmpSystem(e6000_config(num_processors=2,
+                                  senss_enabled=False))
+    mesi_result = mesi.run(Workload("share", [list(t) for t in trace]))
+    moesi = SmpSystem(e6000_config(num_processors=2,
+                                   senss_enabled=False)
+                      .with_protocol("MOESI"))
+    moesi_result = moesi.run(Workload("share",
+                                      [list(t) for t in trace]))
+    assert mesi_result.stat("coherence.dirty_interventions") == 1
+    assert moesi_result.stat("coherence.dirty_interventions") == 0
+    assert moesi.hierarchies[0].state_of(LINE) is MesiState.OWNED
+    # Both served the read cache-to-cache.
+    assert moesi_result.cache_to_cache_transfers == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                          st.booleans(),
+                          st.integers(min_value=0, max_value=2)),
+                min_size=1, max_size=40))
+def test_property_moesi_invariants_under_random_traffic(operations):
+    hierarchies, protocol = make_system()
+    lines = [0x1000, 0x2000, 0x3000]
+    for cpu, is_write, line_index in operations:
+        line = lines[line_index]
+        state = hierarchies[cpu].state_of(line)
+        if is_write:
+            if state in MoesiProtocol.UPGRADABLE_STATES:
+                protocol.bus_upgrade(cpu, line)
+                hierarchies[cpu].upgrade(line)
+            elif not state.can_write:
+                outcome = protocol.bus_read_exclusive(cpu, line)
+                hierarchies[cpu].fill(line, outcome.fill_state)
+            else:
+                hierarchies[cpu].access(True, line)
+        else:
+            if not state.is_valid:
+                outcome = protocol.bus_read(cpu, line)
+                hierarchies[cpu].fill(line, outcome.fill_state)
+        for check_line in lines:
+            protocol.check_invariants(check_line)

@@ -1,0 +1,70 @@
+"""MSI protocol variant tests."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.mesi import MesiState
+from repro.coherence.msi import MsiProtocol, make_protocol
+from repro.coherence.protocol import MesiProtocol
+from repro.config import CacheConfig, e6000_config
+from repro.smp.system import SmpSystem
+from repro.smp.trace import MemoryAccess, Workload
+
+LINE = 0x4000
+
+
+def make_system(protocol_class):
+    l1 = CacheConfig(2 * 1024, 2, 32, 2)
+    l2 = CacheConfig(8 * 1024, 4, 64, 10)
+    hierarchies = [CacheHierarchy(cpu, l1, l2) for cpu in range(2)]
+    return hierarchies, protocol_class(hierarchies)
+
+
+def test_sole_reader_fills_shared_not_exclusive():
+    hierarchies, protocol = make_system(MsiProtocol)
+    outcome = protocol.bus_read(0, LINE)
+    assert outcome.fill_state is MesiState.SHARED
+
+
+def test_write_paths_unchanged():
+    hierarchies, protocol = make_system(MsiProtocol)
+    outcome = protocol.bus_read_exclusive(0, LINE)
+    assert outcome.fill_state is MesiState.MODIFIED
+
+
+def test_factory():
+    from repro.coherence.moesi import MoesiProtocol
+    hierarchies, _ = make_system(MsiProtocol)
+    assert isinstance(make_protocol("MESI", hierarchies), MesiProtocol)
+    assert isinstance(make_protocol("MSI", hierarchies), MsiProtocol)
+    assert isinstance(make_protocol("MOESI", hierarchies),
+                      MoesiProtocol)
+    with pytest.raises(ValueError):
+        make_protocol("DRAGON", hierarchies)
+
+
+def test_msi_pays_upgrades_mesi_avoids():
+    """Read-then-write of a private line: MESI upgrades silently
+    (E->M), MSI issues a bus upgrade."""
+    trace = Workload("read-modify", [[
+        MemoryAccess(False, LINE, 0),
+        MemoryAccess(True, LINE, 500),
+    ]])
+    mesi = SmpSystem(e6000_config(num_processors=1,
+                                  senss_enabled=False))
+    msi = SmpSystem(e6000_config(num_processors=1, senss_enabled=False)
+                    .with_protocol("MSI"))
+    mesi_result = mesi.run(trace)
+    msi_result = msi.run(Workload("read-modify", [[
+        MemoryAccess(False, LINE, 0),
+        MemoryAccess(True, LINE, 500),
+    ]]))
+    assert mesi_result.stat("bus.tx.BusUpgr") == 0
+    assert msi_result.stat("bus.tx.BusUpgr") == 1
+    assert msi_result.cycles > mesi_result.cycles
+
+
+def test_config_selects_protocol():
+    from repro.coherence.msi import MsiProtocol as Msi
+    system = SmpSystem(e6000_config().with_protocol("MSI"))
+    assert isinstance(system.protocol, Msi)

@@ -1,0 +1,122 @@
+"""MESI snooping protocol tests, including the SWMR property check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.mesi import MesiState
+from repro.coherence.protocol import MesiProtocol
+from repro.config import CacheConfig
+from repro.errors import CoherenceError
+
+LINE = 0x4000
+
+
+def make_system(num_cpus=4):
+    l1 = CacheConfig(size_bytes=2 * 1024, associativity=2, line_bytes=32,
+                     hit_latency=2)
+    l2 = CacheConfig(size_bytes=8 * 1024, associativity=4, line_bytes=64,
+                     hit_latency=10)
+    hierarchies = [CacheHierarchy(cpu, l1, l2) for cpu in range(num_cpus)]
+    return hierarchies, MesiProtocol(hierarchies)
+
+
+def test_cold_read_fills_exclusive():
+    hierarchies, protocol = make_system()
+    outcome = protocol.bus_read(0, LINE)
+    assert outcome.supplier_cpu is None  # memory supplies
+    assert outcome.fill_state is MesiState.EXCLUSIVE
+
+
+def test_second_reader_gets_shared_from_cache():
+    hierarchies, protocol = make_system()
+    hierarchies[0].fill(LINE, protocol.bus_read(0, LINE).fill_state)
+    outcome = protocol.bus_read(1, LINE)
+    assert outcome.supplier_cpu == 0  # Illinois: cache supplies
+    assert outcome.fill_state is MesiState.SHARED
+    assert hierarchies[0].state_of(LINE) is MesiState.SHARED
+
+
+def test_read_from_modified_owner_flushes():
+    hierarchies, protocol = make_system()
+    hierarchies[0].fill(LINE, MesiState.MODIFIED)
+    outcome = protocol.bus_read(1, LINE)
+    assert outcome.supplier_cpu == 0
+    assert outcome.had_modified_copy
+    assert hierarchies[0].state_of(LINE) is MesiState.SHARED
+
+
+def test_write_miss_invalidates_all_sharers():
+    hierarchies, protocol = make_system()
+    for cpu in (0, 1, 2):
+        hierarchies[cpu].fill(LINE, MesiState.SHARED)
+    outcome = protocol.bus_read_exclusive(3, LINE)
+    assert sorted(outcome.invalidated_cpus) == [0, 1, 2]
+    assert outcome.fill_state is MesiState.MODIFIED
+    for cpu in (0, 1, 2):
+        assert hierarchies[cpu].state_of(LINE) is MesiState.INVALID
+
+
+def test_write_miss_steals_modified_copy():
+    hierarchies, protocol = make_system()
+    hierarchies[2].fill(LINE, MesiState.MODIFIED)
+    outcome = protocol.bus_read_exclusive(0, LINE)
+    assert outcome.supplier_cpu == 2
+    assert outcome.had_modified_copy
+    assert hierarchies[2].state_of(LINE) is MesiState.INVALID
+
+
+def test_upgrade_invalidates_other_sharers():
+    hierarchies, protocol = make_system()
+    hierarchies[0].fill(LINE, MesiState.SHARED)
+    hierarchies[1].fill(LINE, MesiState.SHARED)
+    outcome = protocol.bus_upgrade(0, LINE)
+    assert outcome.invalidated_cpus == [1]
+    hierarchies[0].upgrade(LINE)
+    protocol.check_invariants(LINE)
+    assert hierarchies[0].state_of(LINE) is MesiState.MODIFIED
+
+
+def test_upgrade_requires_shared_state():
+    hierarchies, protocol = make_system()
+    with pytest.raises(CoherenceError):
+        protocol.bus_upgrade(0, LINE)  # not even resident
+
+
+def test_invariant_checker_catches_violations():
+    hierarchies, protocol = make_system()
+    hierarchies[0].fill(LINE, MesiState.MODIFIED)
+    hierarchies[1].fill(LINE, MesiState.SHARED)  # illegal by hand
+    with pytest.raises(CoherenceError):
+        protocol.check_invariants(LINE)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                          st.booleans(),
+                          st.integers(min_value=0, max_value=3)),
+                min_size=1, max_size=40))
+def test_property_swmr_holds_under_random_traffic(operations):
+    """Single-Writer-Multiple-Reader invariant under arbitrary
+    interleavings of reads and writes from 4 CPUs over 4 lines."""
+    hierarchies, protocol = make_system()
+    lines = [0x1000, 0x2000, 0x3000, 0x4000]
+    for cpu, is_write, line_index in operations:
+        line = lines[line_index]
+        state = hierarchies[cpu].state_of(line)
+        if is_write:
+            if state is MesiState.SHARED:
+                protocol.bus_upgrade(cpu, line)
+                hierarchies[cpu].upgrade(line)
+            elif not state.can_write:
+                outcome = protocol.bus_read_exclusive(cpu, line)
+                hierarchies[cpu].fill(line, outcome.fill_state)
+            else:
+                hierarchies[cpu].access(True, line)
+        else:
+            if not state.is_valid:
+                outcome = protocol.bus_read(cpu, line)
+                hierarchies[cpu].fill(line, outcome.fill_state)
+        for check_line in lines:
+            protocol.check_invariants(check_line)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the SENSS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import e6000_config
+from repro.core.authentication import AuthenticationManager
+from repro.core.shu import SecurityHardwareUnit
+from repro.sim.rng import DeterministicRng
+
+# A fixed 128-bit session key used across crypto tests.
+SESSION_KEY = bytes(range(16))
+ENC_IV = bytes([0xA0 + i for i in range(16)])
+AUTH_IV = bytes([0x50 + i for i in range(16)])
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRng(12345)
+
+
+@pytest.fixture
+def config():
+    """The paper's default 4-processor, 1 MB L2 machine."""
+    return e6000_config(num_processors=4, l2_mb=1)
+
+
+@pytest.fixture
+def config_4mb():
+    return e6000_config(num_processors=4, l2_mb=4)
+
+
+def make_group(num_members: int = 4, num_masks: int = 2,
+               auth_interval: int = 100, group_id: int = 3):
+    """Build SHUs with one installed group; returns (shus, manager)."""
+    members = set(range(num_members))
+    shus = [SecurityHardwareUnit(pid, max_processors=8)
+            for pid in range(num_members)]
+    for shu in shus:
+        shu.join_group(group_id, members, SESSION_KEY, ENC_IV, AUTH_IV,
+                       num_masks=num_masks, auth_interval=auth_interval)
+    manager = AuthenticationManager(sorted(members), auth_interval,
+                                    group_id)
+    return shus, manager
+
+
+@pytest.fixture
+def group():
+    return make_group()

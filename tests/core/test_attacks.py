@@ -1,0 +1,189 @@
+"""Attack detection tests — the section 4.3 security arguments.
+
+Every Type 1/2/3 attack must raise an alarm in SENSS (at the latest at
+the next authentication round); the honest fabric must never alarm.
+"""
+
+import pytest
+
+from repro.core.attacks import (BusAttacker, DropAttack, SecureBusFabric,
+                                SpoofAttack, SwapAttack)
+from repro.core.authentication import AuthenticationManager
+from repro.errors import AuthenticationFailure, SpoofDetected
+
+from tests.conftest import make_group
+
+GID = 3
+
+
+def make_fabric(attacker=None, num_members=4, interval=100):
+    shus, manager = make_group(num_members=num_members,
+                               auth_interval=interval, group_id=GID)
+    return SecureBusFabric(shus, GID, manager, attacker)
+
+
+def payload(tag):
+    return bytes([tag] * 32)
+
+
+def drive(fabric, count, start=0):
+    """Send `count` transfers round-robin from the group members."""
+    for index in range(start, start + count):
+        sender = index % len(fabric.shus)
+        fabric.transmit(sender, payload(index & 0xFF))
+
+
+class TestHonestOperation:
+    def test_no_alarm_over_many_auth_rounds(self):
+        fabric = make_fabric(interval=10)
+        drive(fabric, 55)
+        assert fabric.auth.rounds_completed == 5
+        assert fabric.alarms == []
+
+    def test_receivers_get_plaintext(self):
+        fabric = make_fabric()
+        received = fabric.transmit(0, payload(9))
+        assert received == {1: payload(9), 2: payload(9), 3: payload(9)}
+
+    def test_finish_runs_final_check(self):
+        fabric = make_fabric(interval=1000)
+        drive(fabric, 7)
+        fabric.finish()
+        assert fabric.auth.rounds_completed == 1
+
+
+class TestType1Dropping:
+    def test_simple_drop_detected(self):
+        """One receiver misses one message -> MAC divergence."""
+        fabric = make_fabric(DropAttack({2: [3]}), interval=10)
+        with pytest.raises(AuthenticationFailure):
+            drive(fabric, 10)
+        assert fabric.alarms
+
+    def test_split_group_drop_detected(self):
+        """The hard case of section 4.3: message n blocked from half
+        the group, n+1 from the other half. Counts stay equal on every
+        member, yet the chained MACs split."""
+        fabric = make_fabric(DropAttack({4: [2, 3], 5: [0, 1]}),
+                             interval=10)
+        with pytest.raises(AuthenticationFailure):
+            drive(fabric, 10)
+
+    def test_inconsistency_persists_until_detection(self):
+        """'This inconsistency will propagate until the next
+        authentication' — detection happens even when the drop occurred
+        long before the check."""
+        fabric = make_fabric(DropAttack({0: [1]}), interval=50)
+        with pytest.raises(AuthenticationFailure):
+            drive(fabric, 50)
+
+    def test_drop_all_receivers(self):
+        fabric = make_fabric(DropAttack({1: [1, 2, 3]}), interval=5)
+        with pytest.raises(AuthenticationFailure):
+            drive(fabric, 5)
+
+
+class TestType2Reordering:
+    def test_swap_detected(self):
+        """Swapping two consecutive transfers diverges receivers from
+        the senders' chains (the equation-(1) argument)."""
+        fabric = make_fabric(SwapAttack(first_index=2), interval=10)
+        with pytest.raises(AuthenticationFailure):
+            drive(fabric, 10)
+        assert fabric.attacker.swapped
+
+    def test_swap_detected_even_across_interval(self):
+        fabric = make_fabric(SwapAttack(first_index=0), interval=4)
+        with pytest.raises(AuthenticationFailure):
+            drive(fabric, 4)
+
+
+class TestType3Spoofing:
+    def test_spoof_with_own_pid_detected_immediately(self):
+        """A forged message reaching the processor whose PID it claims
+        raises the alarm on the spot (no waiting for the MAC round)."""
+        attack = SpoofAttack(after_index=1, group_id=GID, claimed_pid=2,
+                             payload=bytes(32), victims=[2])
+        fabric = make_fabric(attack, interval=100)
+        with pytest.raises(SpoofDetected):
+            drive(fabric, 3)
+
+    def test_spoof_with_other_members_pid_detected_at_auth(self):
+        """The 'intelligent adversary': victim 3 receives a message
+        claiming valid member PID 2. No one can reject it on sight,
+        but victim 3's MAC digests the spoofed block and diverges."""
+        attack = SpoofAttack(after_index=1, group_id=GID, claimed_pid=2,
+                             payload=bytes(32), victims=[3])
+        fabric = make_fabric(attack, interval=10)
+        with pytest.raises(AuthenticationFailure) as excinfo:
+            drive(fabric, 10)
+        assert "3" in str(excinfo.value)
+
+    def test_spoof_with_invalid_pid_detected_immediately(self):
+        attack = SpoofAttack(after_index=0, group_id=GID, claimed_pid=6,
+                             payload=bytes(32), victims=[1])
+        fabric = make_fabric(attack, interval=100)
+        with pytest.raises(SpoofDetected):
+            drive(fabric, 2)
+
+
+class TestAttackerPlumbing:
+    def test_identity_attacker_is_transparent(self):
+        fabric = make_fabric(BusAttacker(), interval=5)
+        drive(fabric, 20)
+        assert fabric.alarms == []
+
+    def test_flush_of_trailing_held_message_is_clean(self):
+        """Holding the LAST message and releasing it at flush delivers
+        everything in order — no divergence, no alarm."""
+        attack = SwapAttack(first_index=3)
+        fabric = make_fabric(attack, interval=1000)
+        drive(fabric, 4)  # message 3 held; nothing follows
+        fabric.finish()
+        assert fabric.auth.rounds_completed == 1
+        assert fabric.alarms == []
+
+    def test_delay_across_an_auth_round_is_detected(self):
+        """If the adversary delays a message past a MAC round, the
+        sender has chained it but the receivers have not: alarm."""
+        attack = SwapAttack(first_index=3)
+        fabric = make_fabric(attack, interval=4)
+        with pytest.raises(AuthenticationFailure):
+            drive(fabric, 4)
+
+    def test_drop_attack_counts(self):
+        attack = DropAttack({0: [1, 2]})
+        fabric = make_fabric(attack, interval=1000)
+        fabric.transmit(0, payload(1))
+        assert attack.dropped == 2
+
+
+class TestMacBroadcastTampering:
+    def test_tampered_broadcast_raises_alarm(self):
+        """Section 4.3: corrupting the authentication message itself
+        is self-defeating — the comparison fails immediately."""
+        from repro.core.attacks import MacTamperAttack
+        attack = MacTamperAttack(target=0)
+        fabric = make_fabric(attack, interval=5)
+        with pytest.raises(AuthenticationFailure) as excinfo:
+            drive(fabric, 5)
+        assert attack.tampered
+        assert "broadcast" in str(excinfo.value)
+        assert fabric.alarms == ["tampered MAC broadcast"]
+
+    def test_later_broadcast_can_be_targeted(self):
+        from repro.core.attacks import MacTamperAttack
+        attack = MacTamperAttack(target=2)
+        fabric = make_fabric(attack, interval=4)
+        drive(fabric, 8)  # rounds 0 and 1 pass untouched
+        assert fabric.auth.rounds_completed == 2
+        with pytest.raises(AuthenticationFailure):
+            drive(fabric, 4, start=8)
+
+    def test_untampered_rounds_pass(self):
+        from repro.core.attacks import MacTamperAttack
+        attack = MacTamperAttack(target=99)
+        fabric = make_fabric(attack, interval=5)
+        drive(fabric, 20)
+        assert fabric.auth.rounds_completed == 4
+        assert not attack.tampered

@@ -1,0 +1,184 @@
+"""Bus encryption tests: Table 1 algorithm, member lock step, and the
+section 3.1 break of naive pad reuse."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.otp import xor_bytes
+from repro.core.bus_crypto import (GroupChannel, MESSAGE_BYTES,
+                                   channels_in_sync, pid_block)
+from repro.errors import CryptoError
+
+KEY = bytes(range(16))
+ENC_IV = bytes([0xA0 + i for i in range(16)])
+AUTH_IV = bytes([0x50 + i for i in range(16)])
+
+
+def make_pair(num_masks=2):
+    sender = GroupChannel(KEY, ENC_IV, AUTH_IV, num_masks)
+    receiver = GroupChannel(KEY, ENC_IV, AUTH_IV, num_masks)
+    return sender, receiver
+
+
+def message(tag: int) -> bytes:
+    return bytes([tag] * MESSAGE_BYTES)
+
+
+def test_encrypt_decrypt_roundtrip():
+    sender, receiver = make_pair()
+    wire = sender.encrypt_message(0, message(0x42))
+    assert receiver.decrypt_message(0, wire) == message(0x42)
+
+
+def test_wire_is_not_plaintext():
+    sender, _ = make_pair()
+    assert sender.encrypt_message(0, message(0x42)) != message(0x42)
+
+
+def test_members_stay_in_lock_step():
+    """All replicas hold identical mask and MAC state after each
+    message, whichever member sent it."""
+    channels = [GroupChannel(KEY, ENC_IV, AUTH_IV) for _ in range(4)]
+    for round_index in range(10):
+        sender = round_index % 4
+        wire = channels[sender].encrypt_message(sender,
+                                                message(round_index))
+        for pid, channel in enumerate(channels):
+            if pid != sender:
+                assert channel.decrypt_message(sender, wire) == \
+                    message(round_index)
+        assert channels_in_sync(channels)
+
+
+def test_same_plaintext_twice_yields_different_wire():
+    """CBC chaining: repeated data never repeats on the bus — the
+    property the naive scheme of section 3.1 lacks."""
+    sender, receiver = make_pair(num_masks=1)
+    wire_1 = sender.encrypt_message(0, message(7))
+    receiver.decrypt_message(0, wire_1)
+    wire_2 = sender.encrypt_message(0, message(7))
+    assert wire_1 != wire_2
+    assert receiver.decrypt_message(0, wire_2) == message(7)
+
+
+def test_section_31_break_of_static_pad_reuse():
+    """The attack the paper opens with: if the bus reused a FIXED pad,
+    XOR of two ciphertexts = XOR of the two plaintexts. Our channel
+    must not have that property."""
+    static_pad = AES(KEY).encrypt_block(bytes(16)) * 2
+    d1, d2 = message(0x11), message(0x22)
+    naive_1 = xor_bytes(d1, static_pad)
+    naive_2 = xor_bytes(d2, static_pad)
+    # The break: attacker learns D1 XOR D2 without the key.
+    assert xor_bytes(naive_1, naive_2) == xor_bytes(d1, d2)
+    # SENSS: chained masks make the same XOR useless.
+    sender, _ = make_pair(num_masks=1)
+    senss_1 = sender.encrypt_message(0, d1)
+    senss_2 = sender.encrypt_message(0, d2)
+    assert xor_bytes(senss_1, senss_2) != xor_bytes(d1, d2)
+
+
+def test_table1_wire_is_aes_input_not_output():
+    """Table 1: the bus carries B = D XOR M (computable in one XOR),
+    and the mask update is AES_K(B XOR PID)."""
+    channel = GroupChannel(KEY, ENC_IV, AUTH_IV, num_masks=1)
+    initial_mask = channel.mask_snapshot()[0]
+    data = message(0x33)
+    wire = channel.encrypt_message(5, data)
+    # B = D XOR M holds per 16-byte block.
+    assert wire == xor_bytes(data, initial_mask)
+    # The new mask is the AES of (B XOR PID), blockwise.
+    aes = AES(KEY)
+    tweak = pid_block(5)
+    expected = b"".join(
+        aes.encrypt_block(xor_bytes(wire[i:i + 16], tweak))
+        for i in (0, 16))
+    assert channel.mask_snapshot()[0] == expected
+
+
+def test_mask_slots_rotate_round_robin():
+    channel = GroupChannel(KEY, ENC_IV, AUTH_IV, num_masks=2)
+    masks_before = channel.mask_snapshot()
+    channel.encrypt_message(0, message(1))  # consumes slot 0
+    masks_after = channel.mask_snapshot()
+    assert masks_after[0] != masks_before[0]
+    assert masks_after[1] == masks_before[1]  # slot 1 untouched
+
+
+def test_pid_is_bound_into_the_state():
+    """Same data sent under different claimed PIDs diverges the
+    receivers — the hook the Type-3 defence relies on."""
+    receiver_a = GroupChannel(KEY, ENC_IV, AUTH_IV)
+    receiver_b = GroupChannel(KEY, ENC_IV, AUTH_IV)
+    sender = GroupChannel(KEY, ENC_IV, AUTH_IV)
+    wire = sender.encrypt_message(1, message(9))
+    receiver_a.decrypt_message(1, wire)  # honest PID
+    receiver_b.decrypt_message(2, wire)  # spoofed PID
+    assert receiver_a.mac_digest() != receiver_b.mac_digest()
+    assert receiver_a.mask_snapshot() != receiver_b.mask_snapshot()
+
+
+def test_mac_advances_with_every_message():
+    channel = GroupChannel(KEY, ENC_IV, AUTH_IV)
+    first = channel.mac_digest()
+    channel.encrypt_message(0, message(1))
+    second = channel.mac_digest()
+    channel.encrypt_message(0, message(1))
+    assert len({first, second, channel.mac_digest()}) == 3
+
+
+def test_ivs_must_differ():
+    """Section 4.3: reusing the encryption IV for authentication lets
+    swap attacks self-heal; the constructor forbids it."""
+    with pytest.raises(CryptoError):
+        GroupChannel(KEY, ENC_IV, ENC_IV)
+
+
+def test_iv_length_checked():
+    with pytest.raises(CryptoError):
+        GroupChannel(KEY, b"short", AUTH_IV)
+    with pytest.raises(CryptoError):
+        GroupChannel(KEY, ENC_IV, b"short")
+
+
+def test_message_size_enforced():
+    channel = GroupChannel(KEY, ENC_IV, AUTH_IV)
+    with pytest.raises(CryptoError):
+        channel.encrypt_message(0, b"tiny")
+    with pytest.raises(CryptoError):
+        channel.decrypt_message(0, b"tiny")
+
+
+def test_different_ivs_give_different_traces():
+    """Fresh IVs per invocation -> different mask traces every run
+    (section 4.2 'Initialization')."""
+    run_1 = GroupChannel(KEY, ENC_IV, AUTH_IV)
+    other_iv = bytes([0xB0 + i for i in range(16)])
+    run_2 = GroupChannel(KEY, other_iv, AUTH_IV)
+    assert (run_1.encrypt_message(0, message(5))
+            != run_2.encrypt_message(0, message(5)))
+
+
+def test_clone_snapshots_state():
+    channel = GroupChannel(KEY, ENC_IV, AUTH_IV)
+    channel.encrypt_message(0, message(1))
+    twin = channel.clone()
+    assert twin.mac_digest() == channel.mac_digest()
+    channel.encrypt_message(0, message(2))
+    assert twin.mac_digest() != channel.mac_digest()
+    assert twin.sequence == channel.sequence - 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(payloads=st.lists(st.binary(min_size=32, max_size=32), min_size=1,
+                         max_size=10),
+       num_masks=st.integers(min_value=1, max_value=8))
+def test_property_lock_step_roundtrip(payloads, num_masks):
+    sender = GroupChannel(KEY, ENC_IV, AUTH_IV, num_masks)
+    receiver = GroupChannel(KEY, ENC_IV, AUTH_IV, num_masks)
+    for index, payload in enumerate(payloads):
+        wire = sender.encrypt_message(index % 4, payload)
+        assert receiver.decrypt_message(index % 4, wire) == payload
+    assert channels_in_sync([sender, receiver])

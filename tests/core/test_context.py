@@ -1,0 +1,108 @@
+"""Group swap-out/swap-in tests (section 4.2)."""
+
+import pytest
+
+from repro.core.context import GroupContextManager
+from repro.core.bus_crypto import channels_in_sync
+from repro.errors import IntegrityViolation
+from repro.memory.dram import MainMemory
+from repro.sim.rng import DeterministicRng
+
+from tests.conftest import make_group
+
+GID = 3
+
+
+def exercised_group(messages=7):
+    """A group with some traffic behind it (non-trivial state)."""
+    shus, manager = make_group(num_members=3, group_id=GID)
+    for index in range(messages):
+        sender = index % 3
+        wire = shus[sender].send(GID, bytes([index] * 32))
+        for shu in shus:
+            if shu.pid != sender:
+                shu.snoop(wire)
+    return shus, manager
+
+
+def test_swap_roundtrip_restores_lock_step():
+    shus, _ = exercised_group()
+    snapshots = [shu.channel(GID).export_state() for shu in shus]
+    memory = MainMemory(64)
+    manager = GroupContextManager(memory, DeterministicRng(1))
+    contexts = manager.swap_out(shus, GID)
+    assert len(contexts) == 3
+    assert manager.swapped_out_count() == 3
+    restored = manager.swap_in(shus, GID)
+    assert restored == 3
+    assert [shu.channel(GID).export_state() for shu in shus] == snapshots
+    assert channels_in_sync([shu.channel(GID) for shu in shus])
+
+
+def test_group_continues_after_swap():
+    shus, _ = exercised_group()
+    memory = MainMemory(64)
+    manager = GroupContextManager(memory, DeterministicRng(2))
+    manager.swap_out(shus, GID)
+    manager.swap_in(shus, GID)
+    wire = shus[0].send(GID, bytes([0xEE] * 32))
+    assert shus[1].snoop(wire) == bytes([0xEE] * 32)
+    assert shus[2].snoop(wire) == bytes([0xEE] * 32)
+
+
+def test_swapped_state_is_scrubbed_on_chip():
+    shus, _ = exercised_group()
+    before = shus[0].channel(GID).mask_snapshot()
+    manager = GroupContextManager(MainMemory(64), DeterministicRng(3))
+    manager.swap_out(shus, GID)
+    scrubbed = shus[0].channel(GID).mask_snapshot()
+    assert scrubbed != before
+    assert all(mask == bytes(32) for mask in scrubbed)
+    assert shus[0].channel(GID).sequence == 0
+
+
+def test_context_in_memory_is_ciphertext():
+    shus, _ = exercised_group()
+    plain_state = shus[0].channel(GID).export_state()
+    memory = MainMemory(64)
+    manager = GroupContextManager(memory, DeterministicRng(4))
+    contexts = manager.swap_out(shus, GID)
+    stored = b"".join(
+        memory.read_line(contexts[0].base_address + index * 64)
+        for index in range(contexts[0].num_lines))
+    assert plain_state not in stored
+
+
+def test_tampered_context_detected_at_swap_in():
+    shus, _ = exercised_group()
+    memory = MainMemory(64)
+    manager = GroupContextManager(memory, DeterministicRng(5))
+    contexts = manager.swap_out(shus, GID)
+    memory.corrupt_line(contexts[1].base_address)
+    with pytest.raises(IntegrityViolation) as excinfo:
+        manager.swap_in(shus, GID)
+    assert "tampered" in str(excinfo.value)
+
+
+def test_fresh_ivs_per_swap():
+    """Two swap-outs of the same state must not produce identical
+    ciphertexts (fresh IV each time)."""
+    shus, _ = exercised_group()
+    memory = MainMemory(64)
+    manager = GroupContextManager(memory, DeterministicRng(6))
+    first = manager.swap_out(shus, GID)
+    blob_1 = memory.read_line(first[0].base_address)
+    manager.swap_in(shus, GID)
+    second = manager.swap_out(shus, GID)
+    blob_2 = memory.read_line(second[0].base_address)
+    assert blob_1 != blob_2
+
+
+def test_non_members_are_skipped():
+    shus, _ = exercised_group()
+    from repro.core.shu import SecurityHardwareUnit
+    outsider = SecurityHardwareUnit(7, max_processors=8)
+    outsider.observe_group(GID)
+    manager = GroupContextManager(MainMemory(64), DeterministicRng(7))
+    contexts = manager.swap_out(shus + [outsider], GID)
+    assert {context.pid for context in contexts} == {0, 1, 2}

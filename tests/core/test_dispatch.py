@@ -1,0 +1,108 @@
+"""Program dispatch and group establishment tests (section 4.1)."""
+
+import pytest
+
+from repro.core.dispatch import (ProgramDistributor, decrypt_program,
+                                 establish_group, recover_session_key)
+from repro.core.bus_crypto import channels_in_sync
+from repro.core.shu import SecurityHardwareUnit
+from repro.errors import ReproError
+from repro.sim.rng import DeterministicRng
+
+PROGRAM = b"int main() { return 42; }  /* banking workload */"
+GID = 2
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return [SecurityHardwareUnit(pid, max_processors=8,
+                                 rng=DeterministicRng(100 + pid))
+            for pid in range(4)]
+
+
+def test_package_encrypts_program(machine):
+    distributor = ProgramDistributor(DeterministicRng(1))
+    package = distributor.package("app", PROGRAM, machine, [0, 1, 2])
+    assert PROGRAM not in package.encrypted_program
+    assert package.member_pids == [0, 1, 2]
+
+
+def test_members_recover_the_same_key(machine):
+    distributor = ProgramDistributor(DeterministicRng(2))
+    package = distributor.package("app", PROGRAM, machine, [0, 1])
+    key_0 = recover_session_key(machine[0], package)
+    key_1 = recover_session_key(machine[1], package)
+    assert key_0 == key_1
+    assert len(key_0) == 16
+
+
+def test_program_decrypts_with_recovered_key(machine):
+    distributor = ProgramDistributor(DeterministicRng(3))
+    package = distributor.package("app", PROGRAM, machine, [0, 1])
+    key = recover_session_key(machine[0], package)
+    assert decrypt_program(key, package) == PROGRAM
+
+
+def test_non_member_cannot_get_a_wrapped_key(machine):
+    distributor = ProgramDistributor(DeterministicRng(4))
+    package = distributor.package("app", PROGRAM, machine, [0, 1])
+    with pytest.raises(ReproError):
+        package.key_for(3)
+
+
+def test_establish_group_synchronizes_members(machine):
+    """After establishment every member holds identical channel state
+    (the broadcast IV protocol of section 4.2)."""
+    distributor = ProgramDistributor(DeterministicRng(5))
+    package = distributor.package("app", PROGRAM, machine, [0, 1, 2],
+                                  num_masks=4, auth_interval=10)
+    members = establish_group(machine, GID, package,
+                              DeterministicRng(55))
+    assert members == [0, 1, 2]
+    channels = [machine[pid].channel(GID) for pid in members]
+    assert channels_in_sync(channels)
+    assert channels[0].num_masks == 4
+    # Non-member: GID marked occupied, no channel.
+    assert machine[3].group_table.entry(GID).occupied
+    assert not machine[3].is_member(GID)
+    for pid in members:
+        machine[pid].leave_group(GID)
+
+
+def test_fresh_ivs_each_invocation(machine):
+    """Re-running the same program must produce different masks
+    (section 4.2: different mask traces per invocation)."""
+    distributor = ProgramDistributor(DeterministicRng(6))
+    package = distributor.package("app", PROGRAM, machine, [0, 1])
+    establish_group(machine, 5, package, DeterministicRng(71))
+    first = machine[0].channel(5).mask_snapshot()
+    machine[0].leave_group(5)
+    machine[1].leave_group(5)
+    establish_group(machine, 5, package, DeterministicRng(72))
+    second = machine[0].channel(5).mask_snapshot()
+    assert first != second
+    machine[0].leave_group(5)
+    machine[1].leave_group(5)
+
+
+def test_distributor_validates_members(machine):
+    distributor = ProgramDistributor(DeterministicRng(7))
+    with pytest.raises(ReproError):
+        distributor.package("app", PROGRAM, machine, [])
+    with pytest.raises(ReproError):
+        distributor.package("app", PROGRAM, machine, [0, 42])
+
+
+def test_grouping_excludes_untrusted_processors(machine):
+    """Figure 1's scenario: the distributor picks a trusted subset."""
+    distributor = ProgramDistributor(DeterministicRng(8))
+    package = distributor.package("app", PROGRAM, machine, [1, 3])
+    establish_group(machine, 6, package, DeterministicRng(9))
+    assert machine[1].is_member(6) and machine[3].is_member(6)
+    assert not machine[0].is_member(6)
+    # The untrusted processor has no way to decrypt group traffic.
+    wire = machine[1].send(6, bytes([1] * 32))
+    assert machine[0].snoop(wire) is None
+    assert machine[3].snoop(wire) == bytes([1] * 32)
+    machine[1].leave_group(6)
+    machine[3].leave_group(6)

@@ -1,0 +1,69 @@
+"""Functional-security bridge tests: real crypto under the timing sim."""
+
+import pytest
+
+from repro.config import e6000_config
+from repro.core.functional_bridge import (FunctionalSecurityBridge,
+                                          attach_functional_bridge,
+                                          synthesize_payload)
+from repro.core.senss import build_secure_system
+from repro.workloads.micro import false_sharing, ping_pong
+from repro.workloads.registry import generate
+
+
+def run_bridged(workload, num_cpus=2, auth_interval=10):
+    config = e6000_config(num_processors=num_cpus,
+                          auth_interval=auth_interval)
+    system = build_secure_system(config)
+    bridge = attach_functional_bridge(system)
+    result = system.run(workload)
+    return system, bridge, result
+
+
+def test_payload_synthesis_is_deterministic():
+    assert synthesize_payload(0x1000, 5) == synthesize_payload(0x1000, 5)
+    assert synthesize_payload(0x1000, 5) != synthesize_payload(0x1000, 6)
+    assert len(synthesize_payload(0x40, 0)) == 32
+
+
+def test_ping_pong_end_to_end():
+    system, bridge, result = run_bridged(ping_pong(rounds=60))
+    summary = bridge.verify_against_layer(system.bus.security_layer)
+    assert summary["protected_transfers"] > 0
+    assert summary["auth_rounds"] == \
+        summary["protected_transfers"] // 10
+    assert result.cache_to_cache_transfers == \
+        summary["protected_transfers"]
+
+
+def test_false_sharing_end_to_end():
+    system, bridge, _ = run_bridged(false_sharing(2, rounds=50),
+                                    auth_interval=7)
+    bridge.verify_against_layer(system.bus.security_layer)
+
+
+def test_splash_workload_end_to_end():
+    """A reduced lu run: the timing layer's books must match the
+    functional SHUs exactly, and every MAC round must pass."""
+    workload = generate("lu", 4, scale=0.1)
+    system, bridge, _ = run_bridged(workload, num_cpus=4,
+                                    auth_interval=25)
+    summary = bridge.verify_against_layer(system.bus.security_layer)
+    assert summary["protected_transfers"] > 100
+
+
+def test_members_stay_in_lock_step_throughout():
+    system, bridge, _ = run_bridged(ping_pong(rounds=30))
+    from repro.core.bus_crypto import channels_in_sync
+    channels = [shu.channel(0) for shu in bridge.shus
+                if shu.is_member(0)]
+    assert channels_in_sync(channels)
+    assert channels[0].sequence == bridge.protected_transfers
+
+
+def test_bridge_with_member_subset():
+    """Non-member processors discard group traffic; members decrypt."""
+    bridge = FunctionalSecurityBridge(4, auth_interval=5,
+                                      member_pids=[0, 1, 2])
+    assert not bridge.shus[3].is_member(0)
+    assert bridge.shus[3].group_table.entry(0).occupied

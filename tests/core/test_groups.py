@@ -1,0 +1,130 @@
+"""Group-processor bit matrix and group information table tests."""
+
+import pytest
+
+from repro.core.groups import GroupInfoTable, GroupProcessorBitMatrix
+from repro.errors import GroupTableFull, ReproError
+
+
+class TestBitMatrix:
+    def test_membership_lookup(self):
+        matrix = GroupProcessorBitMatrix()
+        matrix.set_membership(5, {0, 2, 3})
+        assert matrix.is_member(5, 0)
+        assert not matrix.is_member(5, 1)
+        assert matrix.members_of(5) == {0, 2, 3}
+
+    def test_non_member_owner_learns_nothing(self):
+        """Section 5.1: a processor not in group g keeps row g zero."""
+        matrix = GroupProcessorBitMatrix(owner_pid=7)
+        matrix.set_membership(5, {0, 2, 3})
+        assert matrix.members_of(5) == set()
+        assert not matrix.is_member(5, 0)
+
+    def test_member_owner_gets_the_row(self):
+        matrix = GroupProcessorBitMatrix(owner_pid=2)
+        matrix.set_membership(5, {0, 2, 3})
+        assert matrix.members_of(5) == {0, 2, 3}
+
+    def test_clear_group(self):
+        matrix = GroupProcessorBitMatrix()
+        matrix.set_membership(5, {1})
+        matrix.clear_group(5)
+        assert not matrix.is_member(5, 1)
+
+    def test_range_validation(self):
+        matrix = GroupProcessorBitMatrix(max_groups=4, max_processors=2)
+        with pytest.raises(ReproError):
+            matrix.is_member(4, 0)
+        with pytest.raises(ReproError):
+            matrix.set_membership(0, {5})
+
+    def test_storage_matches_section_71(self):
+        """1024 entries x 5 bits = 640 bytes."""
+        matrix = GroupProcessorBitMatrix(max_groups=1024,
+                                         max_processors=32)
+        assert matrix.storage_bits() == 1024 * 5
+        assert matrix.storage_bits() / 8 == 640
+
+
+class TestGroupInfoTable:
+    def test_allocate_returns_free_gids(self):
+        table = GroupInfoTable(max_groups=3)
+        assert table.allocate() == 0
+        assert table.allocate() == 1
+        assert table.occupied_count() == 2
+
+    def test_full_table_raises(self):
+        """Section 5.2: the application waits for a reclaimed GID."""
+        table = GroupInfoTable(max_groups=2)
+        table.allocate()
+        table.allocate()
+        with pytest.raises(GroupTableFull):
+            table.allocate()
+
+    def test_release_recycles_gid(self):
+        table = GroupInfoTable(max_groups=1)
+        gid = table.allocate()
+        table.release(gid)
+        assert table.allocate() == gid
+
+    def test_install_stores_secrets(self):
+        table = GroupInfoTable()
+        table.install(3, bytes(16), [bytes(16)] * 2, auth_interval=32)
+        entry = table.entry(3)
+        assert entry.occupied and entry.is_member
+        assert entry.session_key == bytes(16)
+        assert entry.auth_interval == 32
+
+    def test_non_member_mark_occupied_without_secrets(self):
+        """Section 5.2: non-members set the occupied bit but hold no
+        key or masks."""
+        table = GroupInfoTable()
+        table.mark_occupied(9)
+        entry = table.entry(9)
+        assert entry.occupied
+        assert not entry.is_member
+        assert entry.session_key is None
+        assert entry.masks == []
+
+    def test_storage_matches_section_71(self):
+        """1 + 128 + 8 + 8*128 = 1161 bits; 148.6 KB per 1024 entries."""
+        table = GroupInfoTable(max_groups=1024)
+        assert table.storage_bits_per_entry() == 1161
+        # The paper's "148.6KB" is decimal kilobytes: 148,608 bytes.
+        assert table.storage_bytes_total() == 1024 * 1161 / 8
+        assert table.storage_bytes_total() / 1000 == pytest.approx(
+            148.6, abs=0.1)
+
+    def test_gid_range_checked(self):
+        table = GroupInfoTable(max_groups=4)
+        with pytest.raises(ReproError):
+            table.entry(4)
+
+
+class TestGidWaitQueue:
+    """Section 5.2: "the application is put into a queue waiting for
+    the next available GID which is reclaimed upon completion"."""
+
+    def test_waiters_queue_when_full(self):
+        table = GroupInfoTable(max_groups=1)
+        assert table.allocate_or_wait("app-a") == 0
+        assert table.allocate_or_wait("app-b") is None
+        assert table.waiting_count() == 1
+
+    def test_release_hands_gid_to_oldest_waiter(self):
+        table = GroupInfoTable(max_groups=1)
+        table.allocate_or_wait("app-a")
+        table.allocate_or_wait("app-b")
+        table.allocate_or_wait("app-c")
+        handoff = table.release(0)
+        assert handoff == ("app-b", 0)
+        assert table.entry(0).occupied  # immediately re-occupied
+        assert table.waiting_count() == 1
+        assert table.release(0) == ("app-c", 0)
+
+    def test_release_without_waiters_frees_the_entry(self):
+        table = GroupInfoTable(max_groups=2)
+        gid = table.allocate()
+        assert table.release(gid) is None
+        assert not table.entry(gid).occupied

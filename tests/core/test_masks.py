@@ -1,0 +1,117 @@
+"""Mask pair/array timing tests (section 4.4, Figure 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.masks import MaskTimingArray, max_useful_masks
+from repro.errors import ConfigError
+
+AES = 80
+BUS = 10
+
+
+def test_max_useful_masks_figure5():
+    """80-cycle AES / 10-cycle bus = 8 masks (section 4.4)."""
+    assert max_useful_masks(AES, BUS) == 8
+
+
+def test_single_mask_stalls_back_to_back():
+    array = MaskTimingArray(1, AES)
+    assert array.consume(0) == 0
+    # Next message 10 cycles later must wait for the 80-cycle update.
+    assert array.consume(10) == 70
+
+
+def test_mask_pair_avoids_alternating_stall():
+    """Figure 3: with a pair, alternating messages spaced one bus
+    cycle... still stall with AES >> bus, but far less than one mask."""
+    pair = MaskTimingArray(2, AES)
+    single = MaskTimingArray(1, AES)
+    pair_wait = sum(pair.consume(t) for t in range(0, 100, 10))
+    single_wait = sum(single.consume(t) for t in range(0, 100, 10))
+    assert pair_wait < single_wait
+
+
+def test_figure3_pair_with_matched_latency():
+    """The paper's Figure 3 case: AES latency == bus cycle time means
+    a PAIR of masks removes all waiting."""
+    array = MaskTimingArray(2, aes_latency=BUS)
+    waits = [array.consume(t) for t in range(0, 200, BUS)]
+    assert all(wait == 0 for wait in waits)
+
+
+def test_eight_masks_sustain_peak_rate():
+    """At one message per bus cycle, ceil(80/10)=8 masks = no stalls."""
+    array = MaskTimingArray(8, AES)
+    waits = [array.consume(t) for t in range(0, 400, BUS)]
+    assert all(wait == 0 for wait in waits)
+
+
+def test_seven_masks_do_not():
+    array = MaskTimingArray(7, AES)
+    waits = [array.consume(t) for t in range(0, 400, BUS)]
+    assert any(wait > 0 for wait in waits)
+
+
+def test_perfect_masks_never_stall():
+    array = MaskTimingArray(None, AES)
+    assert array.is_perfect
+    assert all(array.consume(t) == 0 for t in range(0, 50, 1))
+
+
+def test_idle_traffic_never_stalls_single_mask():
+    array = MaskTimingArray(1, AES)
+    assert array.consume(0) == 0
+    assert array.consume(1000) == 0  # update long finished
+
+
+def test_peek_does_not_consume():
+    array = MaskTimingArray(1, AES)
+    array.consume(0)
+    assert array.peek_wait(10) == 70
+    assert array.peek_wait(10) == 70  # unchanged
+    assert array.consume(10) == 70
+
+
+def test_statistics():
+    array = MaskTimingArray(1, AES)
+    array.consume(0)
+    array.consume(10)
+    messages, stalled, waited = array.utilisation()
+    assert (messages, stalled, waited) == (2, 1, 70)
+
+
+def test_reset():
+    array = MaskTimingArray(1, AES)
+    array.consume(0)
+    array.reset()
+    assert array.consume(0) == 0
+    assert array.messages == 1
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        MaskTimingArray(0, AES)
+    with pytest.raises(ConfigError):
+        MaskTimingArray(2, 0)
+    with pytest.raises(ConfigError):
+        max_useful_masks(AES, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_masks=st.integers(min_value=1, max_value=8),
+       gaps=st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                     max_size=50))
+def test_property_more_masks_never_hurt(num_masks, gaps):
+    """Monotonicity: k+1 masks total wait <= k masks total wait, for
+    the identical arrival pattern."""
+    fewer = MaskTimingArray(num_masks, AES)
+    more = MaskTimingArray(num_masks + 1, AES)
+    time = 0
+    fewer_wait = more_wait = 0
+    for gap in gaps:
+        time += gap
+        fewer_wait += fewer.consume(time)
+        more_wait += more.consume(time)
+    assert more_wait <= fewer_wait

@@ -1,0 +1,135 @@
+"""SENSS bus timing layer tests (the +3 cycles, masks, MAC injection)."""
+
+import pytest
+
+from repro.bus.bus import SharedBus
+from repro.bus.transaction import BusTransaction, TransactionType
+from repro.config import e6000_config
+from repro.core.senss import SenssBusLayer, build_secure_system
+from repro.errors import ConfigError
+from repro.smp.system import SmpSystem
+from repro.smp.trace import MemoryAccess, Workload
+
+
+def make_layer(auth_interval=100, num_masks=None, processors=4):
+    config = e6000_config(num_processors=processors,
+                          auth_interval=auth_interval)
+    config = config.with_masks(num_masks)
+    bus = SharedBus(config.bus)
+    layer = SenssBusLayer(config)
+    layer.attach(bus)
+    return layer, bus
+
+
+def c2c_tx(pid=0, address=0x1000):
+    return BusTransaction(TransactionType.BUS_READ, address, pid,
+                          supplied_by_cache=True)
+
+
+def memory_tx():
+    return BusTransaction(TransactionType.BUS_READ, 0x1000, 0,
+                          supplied_by_cache=False)
+
+
+def test_protected_message_pays_three_cycles():
+    layer, bus = make_layer()
+    tx = bus.issue(c2c_tx(), 0, 64)
+    assert tx.complete_cycle == 120 + 3
+    assert layer.protected_messages == 1
+
+
+def test_memory_traffic_not_masked():
+    """Cache-to-memory data uses the section-6 path, not bus masks."""
+    layer, bus = make_layer()
+    tx = bus.issue(memory_tx(), 0, 64)
+    assert tx.complete_cycle == 180  # no +3
+    assert layer.protected_messages == 0
+
+
+def test_address_only_messages_not_masked():
+    layer, bus = make_layer()
+    bus.issue(BusTransaction(TransactionType.BUS_UPGRADE, 0x40, 0), 0, 0)
+    assert layer.protected_messages == 0
+
+
+def test_mac_broadcast_injected_at_interval():
+    layer, bus = make_layer(auth_interval=5)
+    for index in range(10):
+        bus.issue(c2c_tx(address=0x1000 + index * 64), index * 200, 64)
+    assert layer.auth_broadcasts == 2
+    assert bus.stats.get("bus.tx.Auth00") == 2
+
+
+def test_mac_broadcast_occupies_the_bus():
+    layer, bus = make_layer(auth_interval=1)
+    bus.issue(c2c_tx(), 0, 64)
+    # Data tx occupies 30 cycles, then the MAC broadcast 20 more.
+    assert bus.free_at == 30 + 20
+    assert layer.auth_broadcasts == 1
+
+
+def test_mac_initiator_rotates_round_robin():
+    layer, bus = make_layer(auth_interval=1, processors=3)
+    initiators = []
+    bus.add_observer(lambda tx: initiators.append(tx.source_pid)
+                     if tx.type is TransactionType.AUTH_MAC else None)
+    for index in range(6):
+        bus.issue(c2c_tx(address=index * 64), index * 500, 64)
+    assert initiators == [0, 1, 2, 0, 1, 2]
+
+
+def test_mask_stall_charged_with_single_mask():
+    layer, bus = make_layer(num_masks=1)
+    first = bus.issue(c2c_tx(), 0, 64)
+    second = bus.issue(c2c_tx(address=0x2000), 0, 64)
+    # Second grant at cycle 30 (occupancy); mask ready at 80:
+    # stall = 50, total latency = 120 + 3 + 50.
+    assert first.complete_cycle == 123
+    assert second.complete_cycle == 30 + 120 + 3 + 50
+    assert bus.stats.get("senss.mask_stalls") == 1
+    assert bus.stats.get("senss.mask_wait_cycles") == 50
+
+
+def test_perfect_masks_never_stall():
+    layer, bus = make_layer(num_masks=None)
+    for index in range(16):
+        bus.issue(c2c_tx(address=index * 64), 0, 64)
+    assert bus.stats.get("senss.mask_stalls") == 0
+
+
+def test_layer_requires_enabled_config():
+    config = e6000_config(senss_enabled=False)
+    with pytest.raises(ConfigError):
+        SenssBusLayer(config)
+
+
+def test_build_secure_system_wires_the_layer():
+    config = e6000_config(num_processors=2)
+    system = build_secure_system(config)
+    assert isinstance(system.bus.security_layer, SenssBusLayer)
+    disabled = build_secure_system(config.with_senss(False)) \
+        if False else SmpSystem(config.with_senss(False))
+    assert disabled.bus.security_layer is None
+
+
+def test_end_to_end_sharing_pays_overhead():
+    """Same trace on baseline vs SENSS machine: secured is slower by
+    exactly the per-message overhead when there is no contention."""
+    trace = Workload("pair", [
+        [MemoryAccess(False, 0x1000, 0)],
+        [MemoryAccess(False, 0x1000, 1000)],
+    ])
+    config = e6000_config(num_processors=2)
+    base = SmpSystem(config.with_senss(False)).run(trace)
+    secured = build_secure_system(config).run(trace)
+    assert secured.cycles - base.cycles == 3
+
+
+def test_auth_interval_one_counts_every_transfer():
+    config = e6000_config(num_processors=2, auth_interval=1)
+    trace = Workload("pingpong", [
+        [MemoryAccess(True, 0x1000, 500 * i) for i in range(1, 5)],
+        [MemoryAccess(True, 0x1000, 250 + 500 * i) for i in range(1, 5)],
+    ])
+    secured = build_secure_system(config).run(trace)
+    assert secured.auth_messages == secured.cache_to_cache_transfers

@@ -1,0 +1,113 @@
+"""Security Hardware Unit tests (sections 4-5)."""
+
+import pytest
+
+from repro.core.shu import SecurityHardwareUnit, WireMessage
+from repro.errors import ReproError, SpoofDetected
+
+from tests.conftest import AUTH_IV, ENC_IV, SESSION_KEY, make_group
+
+GID = 3
+
+
+def test_member_roundtrip(group):
+    shus, _ = group
+    wire = shus[0].send(GID, bytes([9] * 32))
+    assert wire.group_id == GID and wire.pid == 0
+    assert shus[1].snoop(wire) == bytes([9] * 32)
+    assert shus[1].messages_received == 1
+
+
+def test_non_member_discards_message():
+    shus, _ = make_group(num_members=2)
+    outsider = SecurityHardwareUnit(7, max_processors=8)
+    outsider.observe_group(GID)
+    wire = shus[0].send(GID, bytes(32))
+    assert outsider.snoop(wire) is None
+    assert outsider.messages_discarded == 1
+    # The outsider's table knows the GID is taken but holds no key.
+    assert outsider.group_table.entry(GID).occupied
+    assert outsider.group_table.entry(GID).session_key is None
+
+
+def test_own_pid_on_bus_is_immediate_spoof_alarm(group):
+    """Section 4.3: p should not receive its own message."""
+    shus, _ = group
+    forged = WireMessage(GID, pid=1, payload=bytes(32))
+    with pytest.raises(SpoofDetected):
+        shus[1].snoop(forged)
+
+
+def test_foreign_pid_with_valid_gid_is_spoof(group):
+    """A PID that is not a group member cannot speak for the group."""
+    shus, _ = group
+    forged = WireMessage(GID, pid=6, payload=bytes(32))
+    with pytest.raises(SpoofDetected):
+        shus[0].snoop(forged)
+
+
+def test_mac_broadcast_not_decrypted(group):
+    shus, _ = group
+    mac_message = shus[0].build_mac_broadcast(GID)
+    assert mac_message.kind == "mac"
+    assert shus[1].snoop(mac_message) is None
+    # Snooping a MAC must not advance the channel state.
+    assert shus[1].channel(GID).sequence == 0
+
+
+def test_mac_digest_matches_channel(group):
+    shus, _ = group
+    assert shus[0].mac_digest(GID) == shus[0].channel(GID).mac_digest()
+
+
+def test_join_requires_membership():
+    shu = SecurityHardwareUnit(5, max_processors=8)
+    with pytest.raises(ReproError):
+        shu.join_group(GID, {0, 1}, SESSION_KEY, ENC_IV, AUTH_IV)
+
+
+def test_leave_group_scrubs_state(group):
+    shus, _ = group
+    shus[0].leave_group(GID)
+    assert not shus[0].is_member(GID)
+    with pytest.raises(ReproError):
+        shus[0].channel(GID)
+    assert not shus[0].group_table.entry(GID).occupied
+
+
+def test_unknown_channel_rejected():
+    shu = SecurityHardwareUnit(0, max_processors=8)
+    with pytest.raises(ReproError):
+        shu.send(GID, bytes(32))
+
+
+def test_pid_range_checked():
+    with pytest.raises(ReproError):
+        SecurityHardwareUnit(99, max_processors=8)
+
+
+def test_two_groups_are_isolated():
+    """A message in group A must not perturb group B's channel."""
+    members_a, members_b = {0, 1}, {1, 2}
+    shus = [SecurityHardwareUnit(pid, max_processors=8)
+            for pid in range(3)]
+    iv_b = bytes([0xC0 + i for i in range(16)])
+    for shu in shus:
+        if shu.pid in members_a:
+            shu.join_group(1, members_a, SESSION_KEY, ENC_IV, AUTH_IV)
+        if shu.pid in members_b:
+            shu.join_group(2, members_b, bytes(reversed(SESSION_KEY)),
+                           iv_b, AUTH_IV)
+    before = shus[1].channel(2).mac_digest()
+    wire = shus[0].send(1, bytes([5] * 32))
+    shus[1].snoop(wire)
+    assert shus[1].channel(2).mac_digest() == before
+    # And shu 2 (not in group 1) discards the message entirely.
+    assert shus[2].snoop(wire) is None
+
+
+def test_tampered_copy_helper():
+    message = WireMessage(1, 2, bytes(32), sequence=9)
+    twin = message.tampered_copy(pid=3)
+    assert twin.pid == 3 and twin.group_id == 1
+    assert message.pid == 2  # original untouched

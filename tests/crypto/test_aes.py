@@ -1,0 +1,122 @@
+"""AES block cipher tests: FIPS-197 vectors, structure, properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_BYTES, inv_sbox_value, sbox_value
+from repro.errors import CryptoError
+
+# (key, plaintext, ciphertext) from FIPS-197 appendices B and C.
+FIPS_VECTORS = [
+    ("2b7e151628aed2a6abf7158809cf4f3c",
+     "3243f6a8885a308d313198a2e0370734",
+     "3925841d02dc09fbdc118597196a0b32"),
+    ("000102030405060708090a0b0c0d0e0f",
+     "00112233445566778899aabbccddeeff",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617",
+     "00112233445566778899aabbccddeeff",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    ("000102030405060708090a0b0c0d0e0f"
+     "101112131415161718191a1b1c1d1e1f",
+     "00112233445566778899aabbccddeeff",
+     "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+
+@pytest.mark.parametrize("key,plaintext,ciphertext", FIPS_VECTORS)
+def test_fips_encrypt_vectors(key, plaintext, ciphertext):
+    cipher = AES(bytes.fromhex(key))
+    assert cipher.encrypt_block(bytes.fromhex(plaintext)).hex() == ciphertext
+
+
+@pytest.mark.parametrize("key,plaintext,ciphertext", FIPS_VECTORS)
+def test_fips_decrypt_vectors(key, plaintext, ciphertext):
+    cipher = AES(bytes.fromhex(key))
+    assert cipher.decrypt_block(bytes.fromhex(ciphertext)).hex() == plaintext
+
+
+def test_sbox_known_entries():
+    # Spot values straight from the FIPS-197 S-box table.
+    assert sbox_value(0x00) == 0x63
+    assert sbox_value(0x01) == 0x7C
+    assert sbox_value(0x53) == 0xED
+    assert sbox_value(0xFF) == 0x16
+
+
+def test_sbox_is_a_permutation():
+    values = {sbox_value(i) for i in range(256)}
+    assert len(values) == 256
+
+
+def test_inv_sbox_inverts_sbox():
+    for value in range(256):
+        assert inv_sbox_value(sbox_value(value)) == value
+
+
+def test_sbox_has_no_fixed_points():
+    # AES's S-box famously has no fixed points (and no opposite ones).
+    for value in range(256):
+        assert sbox_value(value) != value
+        assert sbox_value(value) != value ^ 0xFF
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_roundtrip_all_key_sizes(key_len):
+    cipher = AES(bytes(range(key_len)))
+    block = b"SENSS HPCA 2005!"
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_rejects_bad_key_length():
+    with pytest.raises(CryptoError):
+        AES(b"short")
+
+
+def test_rejects_bad_block_length():
+    cipher = AES(bytes(16))
+    with pytest.raises(CryptoError):
+        cipher.encrypt_block(b"not a block")
+    with pytest.raises(CryptoError):
+        cipher.decrypt_block(b"tiny")
+
+
+def test_different_keys_give_different_ciphertexts():
+    block = bytes(16)
+    outputs = {AES(bytes([k]) + bytes(15)).encrypt_block(block)
+               for k in range(8)}
+    assert len(outputs) == 8
+
+
+def test_encryption_is_deterministic():
+    cipher = AES(bytes(range(16)))
+    block = b"deterministic!!!"
+    assert cipher.encrypt_block(block) == cipher.encrypt_block(block)
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16),
+       block=st.binary(min_size=16, max_size=16))
+def test_property_roundtrip(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16),
+       block=st.binary(min_size=16, max_size=16))
+def test_property_ciphertext_differs_from_plaintext(key, block):
+    # A 128-bit permutation mapping a block to itself for a random
+    # (key, block) has probability 2^-128; treat it as impossible.
+    assert AES(key).encrypt_block(block) != block
+
+
+@settings(max_examples=15, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16),
+       a=st.binary(min_size=16, max_size=16),
+       b=st.binary(min_size=16, max_size=16))
+def test_property_injective(key, a, b):
+    cipher = AES(key)
+    if a != b:
+        assert cipher.encrypt_block(a) != cipher.encrypt_block(b)

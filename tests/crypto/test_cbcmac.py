@@ -1,0 +1,149 @@
+"""Chained CBC-MAC (paper equation (1)) tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.cbcmac import CbcMac, cbc_mac
+from repro.crypto.modes import cbc_encrypt
+from repro.errors import CryptoError
+
+KEY = bytes(range(16))
+IV = bytes([7] * 16)
+
+
+def test_mac_equals_last_cbc_cipher_block():
+    """Equation (1): MAC_n is the last CBC ciphertext block."""
+    aes = AES(KEY)
+    message = bytes(range(48)) + bytes(16)
+    expected = cbc_encrypt(aes, IV, message)[-16:]
+    assert cbc_mac(aes, IV, message) == expected
+
+
+def test_incremental_matches_one_shot():
+    aes = AES(KEY)
+    mac = CbcMac(aes, IV)
+    message = b"0123456789abcdef" * 5
+    for offset in range(0, len(message), 16):
+        mac.update(message[offset:offset + 16])
+    assert mac.digest() == cbc_mac(aes, IV, message)
+
+
+def test_mac_reflects_entire_history():
+    """Chaining: two histories with equal last blocks still differ."""
+    aes = AES(KEY)
+    mac_a = CbcMac(aes, IV)
+    mac_b = CbcMac(aes, IV)
+    shared_tail = b"common tail blk!"
+    mac_a.update(b"first history a!")
+    mac_b.update(b"first history b!")
+    mac_a.update(shared_tail)
+    mac_b.update(shared_tail)
+    assert mac_a.digest() != mac_b.digest()
+
+
+def test_order_sensitivity():
+    """Swapping two absorbed blocks changes the MAC (Type 2 defence)."""
+    aes = AES(KEY)
+    block_1 = b"block number one"
+    block_2 = b"block number two"
+    mac_a = CbcMac(aes, IV)
+    mac_a.update(block_1)
+    mac_a.update(block_2)
+    mac_b = CbcMac(aes, IV)
+    mac_b.update(block_2)
+    mac_b.update(block_1)
+    assert mac_a.digest() != mac_b.digest()
+
+
+def test_different_iv_gives_different_chain():
+    """The authentication IV must differ from the encryption IV; with
+    a different IV the whole chain differs (section 4.3)."""
+    aes = AES(KEY)
+    other_iv = bytes([8] * 16)
+    message = b"identical block!" * 3
+    assert cbc_mac(aes, IV, message) != cbc_mac(aes, other_iv, message)
+
+
+def test_prefix_bits():
+    aes = AES(KEY)
+    mac = CbcMac(aes, IV)
+    mac.update(bytes(16))
+    full = mac.digest(128)
+    assert mac.digest(64) == full[:8]
+    # Non-byte-aligned prefixes mask the trailing bits.
+    prefix_12 = mac.digest(12)
+    assert len(prefix_12) == 2
+    assert prefix_12[0] == full[0]
+    assert prefix_12[1] == full[1] & 0xF0
+
+
+def test_prefix_bits_range_checked():
+    mac = CbcMac(AES(KEY), IV)
+    with pytest.raises(CryptoError):
+        mac.digest(0)
+    with pytest.raises(CryptoError):
+        mac.digest(129)
+
+
+def test_reset_restarts_the_chain():
+    aes = AES(KEY)
+    mac = CbcMac(aes, IV)
+    mac.update(bytes(16))
+    first = mac.digest()
+    mac.reset()
+    assert mac.block_count == 0
+    mac.update(bytes(16))
+    assert mac.digest() == first
+
+
+def test_copy_is_independent():
+    aes = AES(KEY)
+    mac = CbcMac(aes, IV)
+    mac.update(bytes(16))
+    clone = mac.copy()
+    assert clone.digest() == mac.digest()
+    mac.update(bytes([1] * 16))
+    assert clone.digest() != mac.digest()
+
+
+def test_update_message_splits_blocks():
+    aes = AES(KEY)
+    mac_a = CbcMac(aes, IV)
+    mac_a.update_message(bytes(32))
+    mac_b = CbcMac(aes, IV)
+    mac_b.update(bytes(16))
+    mac_b.update(bytes(16))
+    assert mac_a.digest() == mac_b.digest()
+    assert mac_a.block_count == 2
+
+
+def test_rejects_bad_block():
+    mac = CbcMac(AES(KEY), IV)
+    with pytest.raises(CryptoError):
+        mac.update(b"short")
+    with pytest.raises(CryptoError):
+        mac.update_message(b"not block aligned")
+
+
+def test_rejects_bad_iv():
+    with pytest.raises(CryptoError):
+        CbcMac(AES(KEY), b"tiny")
+
+
+@settings(max_examples=20, deadline=None)
+@given(blocks=st.lists(st.binary(min_size=16, max_size=16), min_size=1,
+                       max_size=6))
+def test_property_any_block_change_changes_mac(blocks):
+    aes = AES(KEY)
+    mac_a = CbcMac(aes, IV)
+    for block in blocks:
+        mac_a.update(block)
+    # Flip one bit of one block and recompute.
+    tampered = list(blocks)
+    tampered[0] = bytes([tampered[0][0] ^ 1]) + tampered[0][1:]
+    mac_b = CbcMac(aes, IV)
+    for block in tampered:
+        mac_b.update(block)
+    assert mac_a.digest() != mac_b.digest()

@@ -1,0 +1,127 @@
+"""AES-GCM tests against the NIST SP 800-38D / GCM-spec vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gcm import AesGcm, Ghash, _gf_mult
+from repro.errors import CryptoError
+
+KEY_96 = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+IV_96 = bytes.fromhex("cafebabefacedbaddecaf888")
+PT_60 = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39")
+AAD_20 = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+def test_vector_empty():
+    """GCM spec test case 1: all-zero key, empty plaintext."""
+    ciphertext, tag = AesGcm(bytes(16)).encrypt(bytes(12), b"")
+    assert ciphertext == b""
+    assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+
+def test_vector_single_block():
+    """GCM spec test case 2."""
+    ciphertext, tag = AesGcm(bytes(16)).encrypt(bytes(12), bytes(16))
+    assert ciphertext.hex() == "0388dace60b6a392f328c2b971b2fe78"
+    assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+
+def test_vector_with_aad():
+    """GCM spec test case 4: 60-byte plaintext + 20-byte AAD."""
+    ciphertext, tag = AesGcm(KEY_96).encrypt(IV_96, PT_60, AAD_20)
+    assert ciphertext.hex() == (
+        "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca1"
+        "2e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091")
+    assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+
+def test_roundtrip_with_verification():
+    gcm = AesGcm(KEY_96)
+    ciphertext, tag = gcm.encrypt(IV_96, PT_60, AAD_20)
+    assert gcm.decrypt(IV_96, ciphertext, tag, AAD_20) == PT_60
+
+
+def test_tampered_ciphertext_rejected():
+    gcm = AesGcm(KEY_96)
+    ciphertext, tag = gcm.encrypt(IV_96, PT_60, AAD_20)
+    bad = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+    with pytest.raises(CryptoError):
+        gcm.decrypt(IV_96, bad, tag, AAD_20)
+
+
+def test_tampered_aad_rejected():
+    gcm = AesGcm(KEY_96)
+    ciphertext, tag = gcm.encrypt(IV_96, PT_60, AAD_20)
+    with pytest.raises(CryptoError):
+        gcm.decrypt(IV_96, ciphertext, tag, b"different aad")
+
+
+def test_truncated_tags():
+    gcm = AesGcm(KEY_96)
+    ciphertext, tag = gcm.encrypt(IV_96, PT_60, AAD_20, tag_bytes=8)
+    assert len(tag) == 8
+    assert gcm.decrypt(IV_96, ciphertext, tag, AAD_20) == PT_60
+
+
+def test_iv_and_tag_validation():
+    gcm = AesGcm(bytes(16))
+    with pytest.raises(CryptoError):
+        gcm.encrypt(bytes(8), b"")
+    with pytest.raises(CryptoError):
+        gcm.encrypt(bytes(12), b"", tag_bytes=3)
+    with pytest.raises(CryptoError):
+        gcm.decrypt(bytes(8), b"", bytes(16))
+
+
+class TestGhash:
+    def test_gf_mult_identity(self):
+        """The GCM field's multiplicative identity is 0x80...0."""
+        identity = 1 << 127
+        for value in (0x1234 << 100, 0xFFFF, 1):
+            assert _gf_mult(value, identity) == value
+
+    def test_gf_mult_commutative(self):
+        a, b = 0xDEADBEEF << 64, 0xCAFE << 32
+        assert _gf_mult(a, b) == _gf_mult(b, a)
+
+    def test_ghash_zero_subkey_rejected_sizes(self):
+        with pytest.raises(CryptoError):
+            Ghash(b"short")
+        ghash = Ghash(bytes(16))
+        with pytest.raises(CryptoError):
+            ghash.update(b"short")
+
+    def test_update_padded(self):
+        ghash_a = Ghash(bytes([1] * 16))
+        ghash_a.update_padded(b"abc")
+        ghash_b = Ghash(bytes([1] * 16))
+        ghash_b.update(b"abc".ljust(16, b"\x00"))
+        assert ghash_a.digest() == ghash_b.digest()
+
+
+@settings(max_examples=15, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16),
+       iv=st.binary(min_size=12, max_size=12),
+       plaintext=st.binary(min_size=0, max_size=64),
+       aad=st.binary(min_size=0, max_size=32))
+def test_property_roundtrip(key, iv, plaintext, aad):
+    gcm = AesGcm(key)
+    ciphertext, tag = gcm.encrypt(iv, plaintext, aad)
+    assert gcm.decrypt(iv, ciphertext, tag, aad) == plaintext
+
+
+@settings(max_examples=15, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16),
+       iv=st.binary(min_size=12, max_size=12),
+       plaintext=st.binary(min_size=1, max_size=48))
+def test_property_gf_distributes_over_xor(key, iv, plaintext):
+    """GHASH linearity check: H*(a xor b) == H*a xor H*b."""
+    from repro.crypto.gcm import _block_to_int
+    subkey = _block_to_int(AesGcm(key)._subkey)
+    a = _block_to_int(iv.ljust(16, b"\x01"))
+    b = _block_to_int(plaintext[:16].ljust(16, b"\x02"))
+    assert _gf_mult(a ^ b, subkey) == (_gf_mult(a, subkey)
+                                       ^ _gf_mult(b, subkey))

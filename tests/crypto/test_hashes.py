@@ -1,0 +1,102 @@
+"""MMO hashing and multiset-hash tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashes import (DIGEST_BYTES, MultisetHash, hash_leaf,
+                                 hash_node, mmo_hash)
+from repro.errors import CryptoError
+
+
+def test_digest_length():
+    assert len(mmo_hash(b"")) == DIGEST_BYTES
+    assert len(mmo_hash(b"x" * 1000)) == DIGEST_BYTES
+
+
+def test_deterministic():
+    assert mmo_hash(b"SENSS") == mmo_hash(b"SENSS")
+
+
+def test_different_messages_differ():
+    assert mmo_hash(b"message a") != mmo_hash(b"message b")
+
+
+def test_length_extension_strengthening():
+    """Padding binds the length: m and m||0 hash differently."""
+    assert mmo_hash(b"abc") != mmo_hash(b"abc\x00")
+    assert mmo_hash(b"") != mmo_hash(b"\x00")
+
+
+def test_bad_iv_rejected():
+    with pytest.raises(CryptoError):
+        mmo_hash(b"data", iv=b"short")
+
+
+def test_hash_leaf_binds_address():
+    """The same data at two addresses must hash differently, defeating
+    block relocation attacks."""
+    data = bytes(64)
+    assert hash_leaf(0x1000, data) != hash_leaf(0x2000, data)
+
+
+def test_hash_node_orders_children():
+    children = [mmo_hash(b"a"), mmo_hash(b"b")]
+    assert hash_node(children) != hash_node(list(reversed(children)))
+
+
+def test_hash_node_rejects_empty():
+    with pytest.raises(CryptoError):
+        hash_node([])
+
+
+def test_multiset_order_independence():
+    """The defining property: insertion order does not matter."""
+    forward = MultisetHash()
+    backward = MultisetHash()
+    items = [(0x100 * i, i, bytes([i] * 16)) for i in range(6)]
+    for address, seq, data in items:
+        forward.add(address, seq, data)
+    for address, seq, data in reversed(items):
+        backward.add(address, seq, data)
+    assert forward.matches(backward)
+    assert forward.count == backward.count == 6
+
+
+def test_multiset_detects_changed_item():
+    clean = MultisetHash()
+    dirty = MultisetHash()
+    clean.add(0x40, 1, bytes(16))
+    dirty.add(0x40, 1, bytes([1]) + bytes(15))
+    assert not clean.matches(dirty)
+
+
+def test_multiset_detects_replay():
+    """Same data at an older sequence number != current sequence."""
+    clean = MultisetHash()
+    replayed = MultisetHash()
+    clean.add(0x40, 2, bytes(16))
+    replayed.add(0x40, 1, bytes(16))
+    assert not clean.matches(replayed)
+
+
+def test_multiset_empty_matches_empty():
+    assert MultisetHash().matches(MultisetHash())
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=1 << 30),
+                          st.integers(min_value=0, max_value=1000),
+                          st.binary(min_size=8, max_size=8)),
+                min_size=0, max_size=8))
+def test_property_multiset_permutation_invariant(items):
+    import random
+    shuffled = list(items)
+    random.Random(0).shuffle(shuffled)
+    left = MultisetHash()
+    right = MultisetHash()
+    for address, seq, data in items:
+        left.add(address, seq, data)
+    for address, seq, data in shuffled:
+        right.add(address, seq, data)
+    assert left.matches(right)

@@ -1,0 +1,81 @@
+"""OTP helpers and the crypto engine timing model."""
+
+import pytest
+
+from repro.config import CryptoConfig
+from repro.crypto.aes import AES
+from repro.crypto.engine import CryptoEngineModel
+from repro.crypto.otp import pad_for_address, xor_bytes, xor_into_blocks
+from repro.errors import ConfigError, CryptoError
+
+
+class TestXor:
+    def test_self_inverse(self):
+        data = b"one-time-pad ok!"
+        pad = bytes(range(16))
+        assert xor_bytes(xor_bytes(data, pad), pad) == data
+
+    def test_length_mismatch(self):
+        with pytest.raises(CryptoError):
+            xor_bytes(b"abc", b"ab")
+
+    def test_repeating_pad(self):
+        data = bytes(range(32))
+        pad = bytes([0xFF] * 16)
+        out = xor_into_blocks(data, pad)
+        assert out == bytes(b ^ 0xFF for b in data)
+
+    def test_empty_pad_rejected(self):
+        with pytest.raises(CryptoError):
+            xor_into_blocks(b"data", b"")
+
+    def test_pad_for_address_varies_by_sequence(self):
+        aes = AES(bytes(16))
+        assert (pad_for_address(aes, 0x1000, 1)
+                != pad_for_address(aes, 0x1000, 2))
+
+    def test_pad_for_address_varies_by_address(self):
+        aes = AES(bytes(16))
+        assert (pad_for_address(aes, 0x1000, 1)
+                != pad_for_address(aes, 0x2000, 1))
+
+
+class TestEngineModel:
+    def test_latency(self):
+        engine = CryptoEngineModel(latency=80, issue_interval=5)
+        assert engine.issue(100) == 180
+
+    def test_pipelining(self):
+        """Back-to-back issues are spaced by the issue interval, not
+        the latency: N results by start + latency + (N-1)*interval."""
+        engine = CryptoEngineModel(latency=80, issue_interval=5)
+        ready = [engine.issue(0) for _ in range(4)]
+        assert ready == [80, 85, 90, 95]
+
+    def test_idle_gap_resets_issue_pressure(self):
+        engine = CryptoEngineModel(latency=80, issue_interval=5)
+        engine.issue(0)
+        assert engine.issue(1000) == 1080
+
+    def test_aes_from_config_matches_figure5(self):
+        """16-byte block at 3.2 GB/s under 1 GHz -> 5-cycle interval;
+        a 32-byte bus line streams in one 10-cycle bus cycle."""
+        engine = CryptoEngineModel.aes_from_config(CryptoConfig())
+        assert engine.latency == 80
+        assert engine.issue_interval == 5
+
+    def test_hash_from_config(self):
+        engine = CryptoEngineModel.hash_from_config(CryptoConfig())
+        assert engine.latency == 160
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CryptoEngineModel(latency=0)
+        with pytest.raises(ConfigError):
+            CryptoEngineModel(latency=10, issue_interval=0)
+
+    def test_reset(self):
+        engine = CryptoEngineModel(latency=10, issue_interval=10)
+        engine.issue(0)
+        engine.reset()
+        assert engine.issue(0) == 10

@@ -1,0 +1,77 @@
+"""Textbook RSA (program dispatch key wrapping) tests."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import RsaKeyPair, _is_probable_prime, generate_keypair
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=256, rng=random.Random(42))
+
+
+def test_roundtrip_int(keypair):
+    message = 0x1234_5678_9ABC
+    assert keypair.decrypt_int(keypair.public.encrypt_int(message)) == message
+
+
+def test_roundtrip_session_key(keypair):
+    session_key = bytes(range(16))
+    ciphertext = keypair.public.encrypt_bytes(session_key)
+    assert keypair.decrypt_bytes(ciphertext, 16) == session_key
+
+
+def test_ciphertext_hides_message(keypair):
+    message = 7
+    assert keypair.public.encrypt_int(message) != message
+
+
+def test_distinct_keypairs(rng=None):
+    """Section 4.1: key pairs must be distinct across processors so one
+    compromised private key does not cascade."""
+    pairs = [generate_keypair(bits=128, rng=random.Random(seed))
+             for seed in range(4)]
+    moduli = {pair.public.modulus for pair in pairs}
+    assert len(moduli) == 4
+
+
+def test_wrapped_key_only_opens_with_right_private_key():
+    pair_a = generate_keypair(bits=256, rng=random.Random(1))
+    pair_b = generate_keypair(bits=256, rng=random.Random(2))
+    session_key = bytes(range(16))
+    wrapped_for_a = pair_a.public.encrypt_bytes(session_key)
+    recovered_by_b = pair_b.decrypt_int(
+        wrapped_for_a % pair_b.public.modulus)
+    assert recovered_by_b != int.from_bytes(session_key, "big")
+
+
+def test_message_range_enforced(keypair):
+    with pytest.raises(CryptoError):
+        keypair.public.encrypt_int(keypair.public.modulus)
+    with pytest.raises(CryptoError):
+        keypair.public.encrypt_int(-1)
+    with pytest.raises(CryptoError):
+        keypair.decrypt_int(keypair.public.modulus + 5)
+
+
+def test_minimum_modulus_size():
+    with pytest.raises(CryptoError):
+        generate_keypair(bits=32)
+
+
+def test_miller_rabin_known_values():
+    rng = random.Random(7)
+    for prime in [2, 3, 5, 97, 7919, 104729, (1 << 61) - 1]:
+        assert _is_probable_prime(prime, rng)
+    for composite in [1, 4, 100, 7917, 561, 41041, (1 << 61) - 3]:
+        # 561 and 41041 are Carmichael numbers (fool Fermat, not MR).
+        assert not _is_probable_prime(composite, rng)
+
+
+def test_determinism_with_seeded_rng():
+    pair_a = generate_keypair(bits=128, rng=random.Random(99))
+    pair_b = generate_keypair(bits=128, rng=random.Random(99))
+    assert pair_a.public.modulus == pair_b.public.modulus

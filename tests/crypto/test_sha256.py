@@ -1,0 +1,73 @@
+"""SHA-256 / HMAC-SHA256 tests against FIPS 180-4 / RFC 4231 vectors."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha256 import hmac_sha256, sha256
+
+
+def test_empty_message():
+    assert sha256(b"").hex() == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+
+
+def test_abc():
+    """FIPS 180-4 example 1."""
+    assert sha256(b"abc").hex() == (
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad")
+
+
+def test_two_block_message():
+    """FIPS 180-4 example 2 (56 bytes -> two blocks after padding)."""
+    message = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    assert sha256(message).hex() == (
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1")
+
+
+def test_million_a():
+    """FIPS 180-4 example 3."""
+    assert sha256(b"a" * 1_000_000).hex() == (
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0")
+
+
+def test_boundary_lengths_match_hashlib():
+    for length in (0, 1, 55, 56, 57, 63, 64, 65, 119, 120, 128):
+        message = bytes(range(256))[:length] * 1
+        assert sha256(message) == hashlib.sha256(message).digest()
+
+
+def test_hmac_rfc4231_case_1():
+    key = b"\x0b" * 20
+    assert hmac_sha256(key, b"Hi There").hex() == (
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+
+
+def test_hmac_rfc4231_case_2():
+    assert hmac_sha256(b"Jefe",
+                       b"what do ya want for nothing?").hex() == (
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+
+
+def test_hmac_long_key_is_hashed_first():
+    key = b"k" * 131
+    message = b"Test Using Larger Than Block-Size Key"
+    expected = stdlib_hmac.new(key, message, hashlib.sha256).digest()
+    assert hmac_sha256(key, message) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=0, max_size=300))
+def test_property_matches_hashlib(message):
+    assert sha256(message) == hashlib.sha256(message).digest()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=1, max_size=80),
+       st.binary(min_size=0, max_size=120))
+def test_property_hmac_matches_stdlib(key, message):
+    expected = stdlib_hmac.new(key, message, hashlib.sha256).digest()
+    assert hmac_sha256(key, message) == expected

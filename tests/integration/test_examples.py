@@ -1,0 +1,31 @@
+"""Smoke tests: every example script must run cleanly."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+FAST_ARGS = {
+    "quickstart.py": ["lu", "2"],
+    "figure_sweep.py": ["lu"],
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, capsys, monkeypatch):
+    argv = [str(script)] + FAST_ARGS.get(script.name, [])
+    monkeypatch.setattr(sys, "argv", argv)
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it shows
+
+
+def test_example_inventory():
+    """The README promises at least these examples."""
+    names = {script.name for script in EXAMPLES}
+    assert {"quickstart.py", "secure_program_dispatch.py",
+            "attack_demonstration.py", "break_pad_reuse.py",
+            "mask_pipeline.py", "memory_integrity.py",
+            "figure_sweep.py", "multiprogramming.py"} <= names

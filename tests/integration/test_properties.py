@@ -1,0 +1,116 @@
+"""System-level property tests (hypothesis over random traces)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.mesi import MesiState
+from repro.config import e6000_config
+from repro.core.senss import build_secure_system
+from repro.smp.system import SmpSystem
+from repro.smp.trace import MemoryAccess, Workload
+
+LINES = [0x1000, 0x1040, 0x2000, 0x9000]
+
+
+def random_workload(operations, num_cpus=2):
+    traces = [[] for _ in range(num_cpus)]
+    for cpu, is_write, line_index, gap in operations:
+        traces[cpu % num_cpus].append(
+            MemoryAccess(is_write, LINES[line_index % len(LINES)],
+                         gap))
+    for trace in traces:
+        if not trace:
+            trace.append(MemoryAccess(False, LINES[0], 0))
+    return Workload("random", traces)
+
+
+operations_strategy = st.lists(
+    st.tuples(st.integers(0, 1), st.booleans(), st.integers(0, 3),
+              st.integers(0, 50)),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=25, deadline=None)
+@given(operations_strategy)
+def test_post_run_coherence_invariants(operations):
+    """After ANY access interleaving, SWMR holds on every line."""
+    workload = random_workload(operations)
+    system = SmpSystem(e6000_config(num_processors=2,
+                                    senss_enabled=False))
+    system.run(workload)
+    for line in LINES:
+        system.protocol.check_invariants(line)
+
+
+@settings(max_examples=25, deadline=None)
+@given(operations_strategy)
+def test_miss_accounting_matches_bus_traffic(operations):
+    """Every L2 miss produces exactly one BusRd/BusRdX transaction
+    (hash/pad traffic excluded: memory protection disabled here)."""
+    workload = random_workload(operations)
+    system = SmpSystem(e6000_config(num_processors=2,
+                                    senss_enabled=False))
+    result = system.run(workload)
+    misses = sum(result.stat(f"cpu{cpu}.l2_miss") for cpu in range(2))
+    fetches = (result.stat("bus.tx.BusRd")
+               + result.stat("bus.tx.BusRdX"))
+    assert misses == fetches
+
+
+@settings(max_examples=25, deadline=None)
+@given(operations_strategy)
+def test_senss_never_reduces_per_message_security_accounting(operations):
+    """The secured run's protected-message count equals its own
+    cache-to-cache transfer count, and MAC broadcasts are consistent
+    with the interval."""
+    workload = random_workload(operations)
+    config = e6000_config(num_processors=2, auth_interval=3)
+    secured = build_secure_system(config).run(workload)
+    assert (secured.stat("senss.protected_messages")
+            == secured.cache_to_cache_transfers)
+    assert secured.auth_messages == \
+        secured.cache_to_cache_transfers // 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(operations_strategy)
+def test_clocks_monotone_and_final_states_valid(operations):
+    workload = random_workload(operations)
+    system = SmpSystem(e6000_config(num_processors=2,
+                                    senss_enabled=False))
+    result = system.run(workload)
+    assert all(cycles >= 0 for cycles in result.per_cpu_cycles)
+    assert result.cycles == max(result.per_cpu_cycles)
+    for hierarchy in system.hierarchies:
+        for _, line in hierarchy.l2.iter_lines():
+            assert line.state in (MesiState.MODIFIED,
+                                  MesiState.EXCLUSIVE,
+                                  MesiState.SHARED)
+
+
+@settings(max_examples=10, deadline=None)
+@given(operations_strategy,
+       st.integers(min_value=1, max_value=8))
+def test_functional_group_survives_random_traffic(operations, masks):
+    """Random sender/payload streams keep all SHU replicas in sync and
+    pass every authentication round."""
+    from repro.core.attacks import SecureBusFabric
+    from repro.core.authentication import AuthenticationManager
+    from repro.core.bus_crypto import channels_in_sync
+    from repro.core.shu import SecurityHardwareUnit
+
+    members = set(range(3))
+    shus = [SecurityHardwareUnit(pid, max_processors=4)
+            for pid in range(3)]
+    for shu in shus:
+        shu.join_group(1, members, bytes(range(16)),
+                       bytes([0xA0 + i for i in range(16)]),
+                       bytes([0x50 + i for i in range(16)]),
+                       num_masks=masks, auth_interval=4)
+    fabric = SecureBusFabric(
+        shus, 1, AuthenticationManager(sorted(members), 4, 1))
+    for cpu, is_write, line_index, gap in operations:
+        payload = bytes([line_index % 251, gap % 251] * 16)
+        fabric.transmit(cpu % 3, payload)
+    fabric.finish()
+    assert channels_in_sync([shu.channel(1) for shu in shus])

@@ -1,0 +1,65 @@
+"""Main memory functional tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.dram import MainMemory
+
+
+def test_unwritten_lines_read_zero():
+    memory = MainMemory(64)
+    assert memory.read_line(0x1234) == bytes(64)
+
+
+def test_write_read_roundtrip():
+    memory = MainMemory(64)
+    data = bytes(range(64))
+    memory.write_line(0x1000, data)
+    assert memory.read_line(0x1000) == data
+    assert memory.read_line(0x1030) == data  # same line
+
+
+def test_write_requires_full_line():
+    memory = MainMemory(64)
+    with pytest.raises(SimulationError):
+        memory.write_line(0x1000, b"short")
+
+
+def test_write_counts_track_legitimate_writes():
+    memory = MainMemory(64)
+    memory.write_line(0x1000, bytes(64))
+    memory.write_line(0x1000, bytes(64))
+    assert memory.write_count(0x1000) == 2
+    assert memory.write_count(0x2000) == 0
+
+
+def test_corruption_does_not_bump_write_count():
+    """The tampering back door must look like a physical attack: the
+    contents change but no legitimate write is recorded."""
+    memory = MainMemory(64)
+    memory.write_line(0x1000, bytes(64))
+    memory.corrupt_line(0x1000)
+    assert memory.write_count(0x1000) == 1
+    assert memory.read_line(0x1000) != bytes(64)
+
+
+def test_corrupt_with_explicit_data():
+    memory = MainMemory(64)
+    payload = bytes([0xAB] * 64)
+    memory.corrupt_line(0x40, payload)
+    assert memory.read_line(0x40) == payload
+    with pytest.raises(SimulationError):
+        memory.corrupt_line(0x40, b"wrong size")
+
+
+def test_line_size_must_be_power_of_two():
+    with pytest.raises(SimulationError):
+        MainMemory(48)
+
+
+def test_resident_lines():
+    memory = MainMemory(64)
+    memory.write_line(0x0, bytes(64))
+    memory.write_line(0x40, bytes(64))
+    memory.write_line(0x43, bytes(64))  # same line as 0x40
+    assert memory.resident_lines() == 2

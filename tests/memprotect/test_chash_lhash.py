@@ -1,0 +1,149 @@
+"""CHash (cached tree) and LHash (lazy multiset) verifier tests."""
+
+import pytest
+
+from repro.errors import ConfigError, IntegrityViolation, ReproError
+from repro.memory.dram import MainMemory
+from repro.memprotect.chash import CachedHashTreeVerifier
+from repro.memprotect.lhash import LazyVerifier
+from repro.memprotect.merkle import MerkleTree
+
+
+def make_chash(num_lines=16, cache_nodes=8):
+    memory = MainMemory(64)
+    for index in range(num_lines):
+        memory.write_line(index * 64, bytes([index] * 64))
+    tree = MerkleTree(memory, 0, num_lines, arity=4)
+    return memory, CachedHashTreeVerifier(tree, cache_nodes)
+
+
+class TestCHash:
+    def test_verified_read_returns_data(self):
+        memory, verifier = make_chash()
+        data, fetches = verifier.verified_read(0x40)
+        assert data == bytes([1] * 64)
+        assert fetches > 0  # cold: climbed toward the root
+
+    def test_cached_nodes_shorten_the_climb(self):
+        """'Once a node resides in L2, it is considered secure': the
+        second read of the same block stops at the cached leaf node."""
+        _, verifier = make_chash()
+        _, cold_fetches = verifier.verified_read(0x40)
+        _, warm_fetches = verifier.verified_read(0x40)
+        assert warm_fetches == 0
+        assert verifier.cache_hits >= 1
+        assert cold_fetches > warm_fetches
+
+    def test_sibling_shares_ancestors(self):
+        """Blocks under the same parent reuse the cached ancestry."""
+        _, verifier = make_chash()
+        _, first = verifier.verified_read(0x00)
+        _, second = verifier.verified_read(0x40)  # same level-1 parent
+        assert second < first
+
+    def test_eviction_forces_refetch(self):
+        _, verifier = make_chash()
+        verifier.verified_read(0x40)
+        verifier.flush_cache()
+        _, fetches = verifier.verified_read(0x40)
+        assert fetches > 0
+
+    def test_corruption_detected_through_cache(self):
+        memory, verifier = make_chash()
+        verifier.verified_read(0x40)
+        memory.corrupt_line(0x40)
+        with pytest.raises(IntegrityViolation):
+            verifier.verified_read(0x40)
+
+    def test_verified_write_updates_tree(self):
+        memory, verifier = make_chash()
+        verifier.verified_write(0x40, bytes([0xAA] * 64))
+        data, _ = verifier.verified_read(0x40)
+        assert data == bytes([0xAA] * 64)
+        verifier.tree.verify_all()
+
+    def test_small_cache_thrashes(self):
+        """An adversarially small node cache produces more fetches —
+        the L2-pollution effect of Figure 10 in miniature."""
+        _, generous = make_chash(cache_nodes=64)
+        _, tiny = make_chash(cache_nodes=1)
+        pattern = [0x00, 0x100, 0x200, 0x300] * 4
+        generous_fetches = sum(generous.verified_read(a)[1]
+                               for a in pattern)
+        tiny_fetches = sum(tiny.verified_read(a)[1] for a in pattern)
+        assert tiny_fetches > generous_fetches
+
+    def test_cache_size_validated(self):
+        memory, verifier = make_chash()
+        with pytest.raises(ConfigError):
+            CachedHashTreeVerifier(verifier.tree, cache_nodes=0)
+
+
+class TestLHash:
+    def test_clean_epoch_verifies(self):
+        memory = MainMemory(64)
+        verifier = LazyVerifier(memory)
+        for index in range(8):
+            verifier.write_line(index * 64, bytes([index] * 64))
+        for index in range(8):
+            assert verifier.read_line(index * 64) == bytes([index] * 64)
+        verifier.verify_epoch()
+        assert verifier.epochs_verified == 1
+
+    def test_tamper_between_write_and_read_detected_at_epoch(self):
+        memory = MainMemory(64)
+        verifier = LazyVerifier(memory)
+        verifier.write_line(0x40, bytes([1] * 64))
+        memory.corrupt_line(0x40)
+        verifier.read_line(0x40)  # lazy: no alarm yet
+        with pytest.raises(IntegrityViolation):
+            verifier.verify_epoch()
+
+    def test_tamper_after_last_read_detected_by_readback(self):
+        """The epoch check reads back outstanding lines, so corruption
+        after the program's final read still surfaces."""
+        memory = MainMemory(64)
+        verifier = LazyVerifier(memory)
+        verifier.write_line(0x40, bytes([1] * 64))
+        memory.corrupt_line(0x40)
+        with pytest.raises(IntegrityViolation):
+            verifier.verify_epoch()
+
+    def test_replay_detected(self):
+        """Replaying the previous epoch-version of a line fails: the
+        multiset entry carries the version number."""
+        memory = MainMemory(64)
+        verifier = LazyVerifier(memory)
+        verifier.write_line(0x40, bytes([1] * 64))
+        old = memory.read_line(0x40)
+        verifier.write_line(0x40, bytes([2] * 64))
+        memory.corrupt_line(0x40, old)  # replay old ciphertext
+        with pytest.raises(IntegrityViolation):
+            verifier.verify_epoch()
+
+    def test_epoch_reset_after_failure(self):
+        memory = MainMemory(64)
+        verifier = LazyVerifier(memory)
+        verifier.write_line(0x40, bytes(64))
+        memory.corrupt_line(0x40)
+        with pytest.raises(IntegrityViolation):
+            verifier.verify_epoch()
+        # A fresh epoch starts clean.
+        verifier.write_line(0x80, bytes(64))
+        verifier.verify_epoch()
+        assert verifier.outstanding_lines == 0
+
+    def test_read_of_unwritten_line_rejected(self):
+        verifier = LazyVerifier(MainMemory(64))
+        with pytest.raises(ReproError):
+            verifier.read_line(0x40)
+
+    def test_lazy_needs_no_per_access_tree_walk(self):
+        """The performance contrast with CHash: per-access work is one
+        multiset add, with the tree machinery absent entirely."""
+        memory = MainMemory(64)
+        verifier = LazyVerifier(memory)
+        for index in range(32):
+            verifier.write_line(index * 64, bytes(64))
+        assert not hasattr(verifier, "node_fetches")
+        assert verifier.outstanding_lines == 32

@@ -1,0 +1,57 @@
+"""Direct vs OTP encryption-mode timing tests (section 2.1)."""
+
+import pytest
+
+from repro.config import e6000_config
+from repro.core.senss import build_secure_system
+from repro.errors import ConfigError
+from repro.smp.system import SmpSystem
+from repro.smp.trace import MemoryAccess, Workload
+
+
+def config_for(mode):
+    return e6000_config(num_processors=1,
+                        senss_enabled=False).with_memprotect(
+        encryption_enabled=True, encryption_mode=mode)
+
+
+def streaming_trace(lines=64):
+    return Workload("stream", [[MemoryAccess(False, i * 64, 20)
+                                for i in range(lines)]])
+
+
+def test_direct_mode_stalls_every_fetch():
+    direct = build_secure_system(config_for("direct")).run(
+        streaming_trace())
+    otp = build_secure_system(config_for("otp")).run(streaming_trace())
+    assert direct.cycles > otp.cycles
+    assert direct.stat("memprotect.direct_decrypt_stalls") > 0
+    assert otp.stat("memprotect.direct_decrypt_stalls") == 0
+
+
+def test_direct_mode_charges_pipelined_aes():
+    """Each 64B line = 4 AES blocks through the pipelined unit:
+    80 + 3*5 = 95 cycles of critical-path decryption per fetch."""
+    result = build_secure_system(config_for("direct")).run(
+        Workload("one", [[MemoryAccess(False, 0x1000, 0)]]))
+    assert result.cycles == 180 + 95  # fetch, then the AES pipeline
+
+
+def test_otp_mode_adds_one_cycle():
+    result = build_secure_system(config_for("otp")).run(
+        Workload("one", [[MemoryAccess(False, 0x1000, 0)]]))
+    assert result.cycles == 180 + 1
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ConfigError):
+        e6000_config().with_memprotect(encryption_enabled=True,
+                                       encryption_mode="quantum")
+
+
+def test_direct_mode_still_detects_with_integrity():
+    config = config_for("direct").with_memprotect(
+        encryption_enabled=True, encryption_mode="direct",
+        integrity_enabled=True)
+    result = build_secure_system(config).run(streaming_trace(8))
+    assert result.stat("memprotect.hash_fetches") > 0

@@ -1,0 +1,171 @@
+"""Integrated memory-protection timing layer tests (section 6)."""
+
+import pytest
+
+from repro.config import e6000_config
+from repro.core.senss import build_secure_system
+from repro.errors import SimulationError
+from repro.memprotect.integrated import HASH_BASE, MemProtectLayer
+from repro.smp.system import SmpSystem
+from repro.smp.trace import MemoryAccess, Workload
+
+
+def config_with(encryption=True, integrity=True, lazy=False,
+                protocol="write-invalidate", processors=2):
+    config = e6000_config(num_processors=processors)
+    return config.with_memprotect(encryption_enabled=encryption,
+                                  integrity_enabled=integrity,
+                                  lazy_verification=lazy,
+                                  pad_protocol=protocol)
+
+
+def R(addr, gap=0):
+    return MemoryAccess(False, addr, gap)
+
+
+def W(addr, gap=0):
+    return MemoryAccess(True, addr, gap)
+
+
+def test_layer_requires_a_mechanism():
+    with pytest.raises(SimulationError):
+        MemProtectLayer(e6000_config())
+
+
+def test_geometry_roundtrip():
+    layer = MemProtectLayer(config_with())
+    level, index = layer.classify(0x12345 * 64)
+    assert (level, index) == (0, 0x12345)
+    parent = layer.parent_of(0x12345 * 64)
+    p_level, p_index = layer.classify(parent)
+    assert p_level == 1
+    assert p_index == 0x12345 // layer.arity
+
+
+def test_parent_chain_terminates_at_internal_levels():
+    layer = MemProtectLayer(config_with())
+    address = 0x1000
+    hops = 0
+    while True:
+        parent = layer.parent_of(address)
+        if parent is None:
+            break
+        assert parent >= HASH_BASE
+        address = parent
+        hops += 1
+        assert hops < 40  # no infinite climb
+    assert hops <= layer.internal_level
+
+
+def test_memory_fetch_triggers_hash_fetches():
+    system = build_secure_system(config_with())
+    result = system.run(Workload("one", [[R(0x1000)]]))
+    assert result.stat("memprotect.hash_fetches") >= 1
+    # The data line AND every fetched hash-node line are decrypted.
+    assert (result.stat("memprotect.decryptions")
+            == 1 + result.stat("memprotect.hash_fetches"))
+
+
+def test_cached_parent_skips_fetch():
+    system = build_secure_system(config_with())
+    # Two lines under the same level-1 parent, read back to back.
+    result = system.run(Workload("pair", [[R(0x1000), R(0x1040, 500)]]))
+    assert result.stat("memprotect.node_cache_hits") >= 1
+
+
+def test_cache_to_cache_supply_skips_verification():
+    """A line supplied by another trusted processor needs no tree walk
+    — on_memory_fetch only fires for memory-supplied data."""
+    system = build_secure_system(config_with())
+    cold = Workload("c2c", [
+        [R(0x1000)],
+        [R(0x1000, 3000)],  # served cache-to-cache
+    ])
+    result = system.run(cold)
+    fetches_for_two_readers = result.stat("memprotect.hash_fetches")
+    single = build_secure_system(config_with())
+    baseline = single.run(Workload("solo", [[R(0x1000)]]))
+    assert (fetches_for_two_readers
+            == baseline.stat("memprotect.hash_fetches"))
+
+
+def test_writeback_updates_parent_hash():
+    config = config_with()
+    system = build_secure_system(config)
+    l2 = config.l2
+    step = l2.num_sets * l2.line_bytes
+    trace = [W(way * step, 200 * way)
+             for way in range(l2.associativity + 1)]
+    result = system.run(Workload("evict", [trace]))
+    assert result.stat("coherence.writebacks") >= 1
+    assert result.stat("memprotect.hash_updates") >= 1
+    assert result.stat("memprotect.encryptions") >= 1
+
+
+def test_pad_request_on_remote_reread():
+    """Writer evicts a dirty line; a second CPU fetching it from
+    memory must issue the type-'10' pad request."""
+    config = config_with(integrity=False)
+    system = build_secure_system(config)
+    l2 = config.l2
+    step = l2.num_sets * l2.line_bytes
+    victim_line = 0x0
+    trace0 = [W(victim_line)]
+    trace0 += [W(way * step, 100) for way in range(1, l2.associativity + 1)]
+    trace1 = [R(victim_line, 50_000)]  # long after the eviction
+    result = system.run(Workload("padreq", [trace0, trace1]))
+    assert result.stat("memprotect.pad_requests") == 1
+    assert result.stat("bus.tx.PadReq10") == 1
+
+
+def test_pad_invalidate_on_shared_writeback():
+    """Both CPUs read a line (both become pad holders); one dirties
+    and evicts it -> type-'01' invalidate to the other holder."""
+    config = config_with(integrity=False)
+    system = build_secure_system(config)
+    l2 = config.l2
+    step = l2.num_sets * l2.line_bytes
+    # Both CPUs read the line from memory at some point; CPU0 then
+    # writes it and forces the eviction.
+    trace0 = [W(0x0, 10_000)]
+    trace0 += [W(way * step, 100) for way in range(1, l2.associativity + 1)]
+    trace1 = [R(0x0)]
+    # Make CPU1's copy go to memory first: CPU1 reads, CPU0 writes later.
+    result = system.run(Workload("padinv", [trace0, trace1]))
+    assert result.stat("memprotect.pad_invalidates") >= 1
+
+
+def test_write_update_protocol_sends_data_updates():
+    config = config_with(integrity=False, protocol="write-update")
+    system = build_secure_system(config)
+    l2 = config.l2
+    step = l2.num_sets * l2.line_bytes
+    trace0 = [W(0x0, 10_000)]
+    trace0 += [W(way * step, 100) for way in range(1, l2.associativity + 1)]
+    trace1 = [R(0x0)]
+    result = system.run(Workload("padupd", [trace0, trace1]))
+    assert result.stat("memprotect.pad_updates") >= 1
+    assert result.stat("memprotect.pad_invalidates") == 0
+
+
+def test_lazy_verification_skips_tree_traffic():
+    eager = build_secure_system(config_with())
+    lazy = build_secure_system(config_with(lazy=True))
+    trace = [[R(index * 64, 100) for index in range(32)]]
+    eager_result = eager.run(Workload("eager", trace))
+    lazy_result = lazy.run(Workload("lazy", [list(trace[0])]))
+    assert lazy_result.stat("memprotect.hash_fetches") == 0
+    assert lazy_result.stat("memprotect.lazy_hash_updates") > 0
+    assert (lazy_result.total_bus_transactions
+            < eager_result.total_bus_transactions)
+
+
+def test_hash_lines_pollute_the_l2():
+    """Tree nodes are cached in the regular L2: after a run with
+    integrity on, node addresses are resident in the data cache."""
+    system = build_secure_system(config_with())
+    system.run(Workload("pollute", [[R(0x1000)]]))
+    hierarchy = system.hierarchies[0]
+    resident = [addr for addr, _ in hierarchy.l2.iter_lines()
+                if addr >= HASH_BASE]
+    assert resident

@@ -1,0 +1,111 @@
+"""Pad cache and pad coherence directory tests (section 6.1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memprotect.pad_cache import PadCache, PadCoherenceDirectory
+
+
+class TestPadCache:
+    def test_miss_then_hit(self):
+        cache = PadCache(capacity=4)
+        assert cache.lookup(0x40) is None
+        cache.install(0x40, 3)
+        assert cache.lookup(0x40) == 3
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        cache = PadCache(capacity=2)
+        cache.install(0x40, 1)
+        cache.install(0x80, 1)
+        cache.lookup(0x40)          # refresh
+        cache.install(0xC0, 1)      # evicts 0x80
+        assert cache.lookup(0x80) is None
+        assert cache.lookup(0x40) == 1
+
+    def test_perfect_cache_never_evicts(self):
+        cache = PadCache(capacity=None)
+        for index in range(1000):
+            cache.install(index * 64, index)
+        assert len(cache) == 1000
+
+    def test_invalidate(self):
+        cache = PadCache(4)
+        cache.install(0x40, 1)
+        assert cache.invalidate(0x40)
+        assert not cache.invalidate(0x40)
+        assert cache.invalidations == 1
+
+    def test_update_in_place(self):
+        cache = PadCache(4)
+        cache.install(0x40, 1)
+        assert cache.update(0x40, 9)
+        assert cache.lookup(0x40) == 9
+        assert not cache.update(0x999, 1)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            PadCache(capacity=0)
+
+
+class TestPadCoherenceDirectory:
+    def test_writeback_invalidates_remote_holders(self):
+        directory = PadCoherenceDirectory(4, "write-invalidate")
+        directory.on_fetch(1, 0x40)
+        directory.on_fetch(2, 0x40)
+        affected = directory.on_writeback(0, 0x40)
+        assert affected == [1, 2]
+        assert directory.invalidate_messages == 1
+        assert directory.holders_of(0x40) == {0}
+
+    def test_write_update_keeps_holders(self):
+        directory = PadCoherenceDirectory(4, "write-update")
+        directory.on_fetch(1, 0x40)
+        affected = directory.on_writeback(0, 0x40)
+        assert affected == [1]
+        assert directory.update_messages == 1
+        assert directory.holders_of(0x40) == {0, 1}
+
+    def test_first_fetch_of_virgin_line_needs_no_request(self):
+        """A line never written under encryption has the derivable
+        (address, 0) pad: no bus message."""
+        directory = PadCoherenceDirectory(2)
+        assert not directory.on_fetch(0, 0x40)
+        assert directory.request_messages == 0
+
+    def test_fetch_after_remote_writeback_requests_pad(self):
+        directory = PadCoherenceDirectory(2)
+        directory.on_writeback(0, 0x40)
+        assert directory.on_fetch(1, 0x40)
+        assert directory.request_messages == 1
+        # Once fetched, the reader is a holder: no second request.
+        assert not directory.on_fetch(1, 0x40)
+
+    def test_writer_is_its_own_holder(self):
+        directory = PadCoherenceDirectory(2)
+        directory.on_writeback(0, 0x40)
+        assert not directory.on_fetch(0, 0x40)
+
+    def test_no_message_when_no_remote_holder(self):
+        directory = PadCoherenceDirectory(4)
+        affected = directory.on_writeback(0, 0x40)
+        assert affected == []
+        assert directory.invalidate_messages == 0
+
+    def test_protocol_validated(self):
+        with pytest.raises(ConfigError):
+            PadCoherenceDirectory(2, "write-once")
+
+    def test_invalidate_vs_update_traffic_tradeoff(self):
+        """The section 6.1 ablation in miniature: write-update sends a
+        message on EVERY remote-held write-back; write-invalidate only
+        on the first (holders drop out afterwards)."""
+        for protocol, expected in (("write-invalidate", 1),
+                                   ("write-update", 3)):
+            directory = PadCoherenceDirectory(2, protocol)
+            directory.on_fetch(1, 0x40)
+            for _ in range(3):
+                directory.on_writeback(0, 0x40)
+            total = (directory.invalidate_messages
+                     + directory.update_messages)
+            assert total == expected

@@ -1,0 +1,66 @@
+"""Event queue tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_fires_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(30, lambda: fired.append(30))
+    queue.schedule(10, lambda: fired.append(10))
+    queue.schedule(20, lambda: fired.append(20))
+    queue.run_all()
+    assert fired == [10, 20, 30]
+
+
+def test_fifo_tie_breaking():
+    queue = EventQueue()
+    fired = []
+    for tag in range(5):
+        queue.schedule(7, lambda tag=tag: fired.append(tag))
+    queue.run_all()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_until_partial():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(5, lambda: fired.append(5))
+    queue.schedule(15, lambda: fired.append(15))
+    count = queue.run_until(10)
+    assert count == 1
+    assert fired == [5]
+    assert queue.now == 10
+    assert len(queue) == 1
+
+
+def test_schedule_after():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(10, lambda: queue.schedule_after(
+        5, lambda: fired.append("later")))
+    queue.run_all()
+    assert fired == ["later"]
+    assert queue.now == 15
+
+
+def test_cannot_schedule_in_the_past():
+    queue = EventQueue()
+    queue.schedule(10, lambda: None)
+    queue.run_all()
+    with pytest.raises(SimulationError):
+        queue.schedule(5, lambda: None)
+
+
+def test_runaway_loop_guard():
+    queue = EventQueue()
+
+    def reschedule():
+        queue.schedule_after(1, reschedule)
+
+    queue.schedule(0, reschedule)
+    with pytest.raises(SimulationError):
+        queue.run_all(limit=100)

@@ -1,0 +1,54 @@
+"""Statistics registry tests."""
+
+from repro.sim.stats import Counter, StatsRegistry
+
+
+def test_counter_increments():
+    counter = Counter("x")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+
+
+def test_counter_reset():
+    counter = Counter("x")
+    counter.increment(3)
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_registry_creates_on_demand():
+    stats = StatsRegistry()
+    assert stats.get("missing") == 0
+    stats.add("bus.transactions")
+    assert stats.get("bus.transactions") == 1
+
+
+def test_registry_counter_identity():
+    stats = StatsRegistry()
+    first = stats.counter("a")
+    second = stats.counter("a")
+    assert first is second
+
+
+def test_registry_prefix_totals():
+    stats = StatsRegistry()
+    stats.add("bus.tx.BusRd", 3)
+    stats.add("bus.tx.BusRdX", 2)
+    stats.add("cpu0.l1_hit", 10)
+    assert stats.total("bus.tx.") == 5
+    assert stats.total("cpu") == 10
+
+
+def test_registry_as_dict_sorted():
+    stats = StatsRegistry()
+    stats.add("zeta")
+    stats.add("alpha", 2)
+    assert list(stats.as_dict()) == ["alpha", "zeta"]
+
+
+def test_registry_reset():
+    stats = StatsRegistry()
+    stats.add("a", 7)
+    stats.reset()
+    assert stats.get("a") == 0

@@ -1,0 +1,51 @@
+"""Evaluation metric tests."""
+
+import pytest
+
+from repro.smp.metrics import (SimulationResult, average, slowdown_percent,
+                               traffic_increase_percent)
+
+
+def result(cycles, transactions, c2c=0, auth=0):
+    return SimulationResult(
+        workload="w", num_cpus=2, cycles=cycles, per_cpu_cycles=[cycles],
+        stats={"bus.transactions": transactions,
+               "bus.cache_to_cache": c2c,
+               "bus.tx.Auth00": auth})
+
+
+def test_slowdown_percent():
+    assert slowdown_percent(result(1000, 10), result(1020, 10)) == \
+        pytest.approx(2.0)
+
+
+def test_slowdown_can_be_negative():
+    """Section 7.8: reordering can make the secured run faster."""
+    assert slowdown_percent(result(1000, 10), result(990, 10)) == \
+        pytest.approx(-1.0)
+
+
+def test_traffic_increase():
+    assert traffic_increase_percent(result(1, 100), result(1, 146)) == \
+        pytest.approx(46.0)
+
+
+def test_zero_baselines_rejected():
+    with pytest.raises(ValueError):
+        slowdown_percent(result(0, 10), result(10, 10))
+    with pytest.raises(ValueError):
+        traffic_increase_percent(result(10, 0), result(10, 5))
+
+
+def test_result_properties():
+    res = result(100, 50, c2c=20, auth=3)
+    assert res.total_bus_transactions == 50
+    assert res.cache_to_cache_transfers == 20
+    assert res.auth_messages == 3
+    assert "w:" in res.summary()
+
+
+def test_average():
+    assert average([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        average([])

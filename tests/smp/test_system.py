@@ -1,0 +1,120 @@
+"""SMP system integration tests on hand-built traces."""
+
+import pytest
+
+from repro.config import e6000_config
+from repro.errors import SimulationError
+from repro.smp.system import SmpSystem
+from repro.smp.trace import MemoryAccess, Workload
+
+
+def run(traces, config=None):
+    config = config or e6000_config(num_processors=4)
+    system = SmpSystem(config)
+    return system.run(Workload("hand", traces)), system
+
+
+def R(addr, gap=0):
+    return MemoryAccess(False, addr, gap)
+
+
+def W(addr, gap=0):
+    return MemoryAccess(True, addr, gap)
+
+
+def test_single_cpu_hit_sequence():
+    """Miss (180) then L1 hits (2 each)."""
+    result, _ = run([[R(0x1000), R(0x1000), R(0x1008)]])
+    assert result.cycles == 180 + 2 + 2
+    assert result.total_bus_transactions == 1
+
+
+def test_read_sharing_is_cache_to_cache():
+    """CPU1 reading what CPU0 cached is a 120-cycle c2c transfer."""
+    result, system = run([
+        [R(0x1000)],
+        [R(0x1000, gap=500)],  # starts after CPU0's fill completed
+    ])
+    assert result.cache_to_cache_transfers == 1
+    assert result.memory_transfers == 1
+    assert system.hierarchies[0].state_of(0x1000).value == "S"
+    assert system.hierarchies[1].state_of(0x1000).value == "S"
+
+
+def test_write_invalidate_upgrade():
+    """Write to a SHARED line issues an address-only upgrade."""
+    result, system = run([
+        [R(0x1000), W(0x1000, gap=1000)],
+        [R(0x1000, gap=500)],
+    ])
+    assert result.stat("bus.tx.BusUpgr") == 1
+    assert system.hierarchies[0].state_of(0x1000).value == "M"
+    assert system.hierarchies[1].state_of(0x1000).value == "I"
+
+
+def test_write_miss_steals_dirty_line():
+    result, system = run([
+        [W(0x1000)],
+        [W(0x1000, gap=500)],
+    ])
+    # Second write fetched the dirty line cache-to-cache and
+    # invalidated the first owner.
+    assert result.cache_to_cache_transfers == 1
+    assert system.hierarchies[0].state_of(0x1000).value == "I"
+    assert system.hierarchies[1].state_of(0x1000).value == "M"
+    assert result.stat("coherence.dirty_interventions") == 1
+
+
+def test_dirty_eviction_posts_writeback():
+    """Filling past associativity with dirty lines posts write-backs."""
+    config = e6000_config(num_processors=1)
+    l2 = config.l2
+    step = l2.num_sets * l2.line_bytes
+    trace = [W(way * step, gap=10) for way in range(l2.associativity + 1)]
+    result, _ = run([trace], config)
+    assert result.stat("coherence.writebacks") == 1
+    assert result.stat("bus.tx.WB") == 1
+
+
+def test_bus_contention_delays_requester():
+    """Two simultaneous misses: the second pays the queueing delay."""
+    result, _ = run([
+        [R(0x1000)],
+        [R(0x2000)],
+    ])
+    # First miss: 180. Second granted after 30 cycles occupancy
+    # (64B line), so its CPU finishes at 30 + 180 = 210.
+    assert sorted(result.per_cpu_cycles) == [180, 210]
+
+
+def test_workload_cannot_exceed_machine():
+    config = e6000_config(num_processors=2)
+    system = SmpSystem(config)
+    workload = Workload("too-wide", [[R(0)], [R(0)], [R(0)]])
+    with pytest.raises(SimulationError):
+        system.run(workload)
+
+
+def test_deterministic_reruns():
+    traces = [
+        [R(0x1000), W(0x1040, 3), R(0x2000, 2)],
+        [R(0x1000, 1), W(0x3000, 4)],
+    ]
+    first, _ = run(traces)
+    second, _ = run(traces)
+    assert first.cycles == second.cycles
+    assert first.stats == second.stats
+
+
+def test_gaps_advance_local_clock():
+    result, _ = run([[R(0x1000, gap=1000)]])
+    assert result.cycles == 1000 + 180
+
+
+def test_false_sharing_ping_pong():
+    """Different words of one line written by two CPUs keep migrating."""
+    trace0 = [W(0x1000, 300 * i) for i in range(1, 4)]
+    trace1 = [W(0x1008, 150 + 300 * i) for i in range(1, 4)]
+    result, _ = run([trace0, trace1])
+    # After the cold misses, every access misses due to invalidations.
+    assert result.cache_to_cache_transfers >= 4

@@ -1,0 +1,50 @@
+"""Workload/trace container tests."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.smp.trace import MemoryAccess, Workload
+
+
+def make_workload():
+    traces = [
+        [MemoryAccess(False, 0x100, 2), MemoryAccess(True, 0x100, 3)],
+        [MemoryAccess(False, 0x200, 1)],
+    ]
+    return Workload("toy", traces, {"scale": 1})
+
+
+def test_shape_accessors():
+    workload = make_workload()
+    assert workload.num_cpus == 2
+    assert workload.total_accesses == 3
+    assert len(workload.accesses_for(0)) == 2
+
+
+def test_iter_flat():
+    workload = make_workload()
+    flattened = list(workload.iter_flat())
+    assert flattened[0] == (0, MemoryAccess(False, 0x100, 2))
+    assert len(flattened) == 3
+
+
+def test_truncated_copy():
+    workload = make_workload()
+    short = workload.truncated(1)
+    assert short.total_accesses == 2
+    assert workload.total_accesses == 3  # original untouched
+
+
+def test_rejects_empty():
+    with pytest.raises(TraceError):
+        Workload("empty", [])
+
+
+def test_rejects_negative_address():
+    with pytest.raises(TraceError):
+        Workload("bad", [[MemoryAccess(False, -4, 0)]])
+
+
+def test_rejects_negative_gap():
+    with pytest.raises(TraceError):
+        Workload("bad", [[MemoryAccess(False, 4, -1)]])

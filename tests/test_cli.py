@@ -1,0 +1,77 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_overhead_command(capsys):
+    assert main(["overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "640" in out
+    assert "1161" in out
+
+
+def test_attacks_command(capsys):
+    assert main(["attacks"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("DETECTED") == 5
+    assert "missed" not in out
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fft", "radix", "barnes", "lu", "ocean"):
+        assert name in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "lu", "--cpus", "2", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "slowdown" in out
+    assert "traffic increase" in out
+
+
+def test_run_with_masks_and_memprotect(capsys):
+    assert main(["run", "fft", "--cpus", "2", "--scale", "0.1",
+                 "--masks", "2", "--memprotect"]) == 0
+    assert "slowdown" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "ocean", "--cpus", "2", "--scale", "0.1",
+                 "--intervals", "100", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "interval" in out
+    assert "100" in out
+
+
+def test_unknown_workload_rejected():
+    from repro.errors import TraceError
+    with pytest.raises(TraceError):
+        main(["run", "quicksort"])
+
+
+def test_run_with_trace_file(tmp_path, capsys):
+    from repro.workloads.registry import generate
+    from repro.workloads.tracefile import save_workload
+    trace_path = tmp_path / "small.trace"
+    save_workload(generate("ocean", 2, scale=0.05), trace_path)
+    assert main(["run", str(trace_path), "--cpus", "2"]) == 0
+    assert "slowdown" in capsys.readouterr().out
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_sweep_with_trace_file(tmp_path, capsys):
+    from repro.workloads.registry import generate
+    from repro.workloads.tracefile import save_workload
+    trace_path = tmp_path / "sweepme.trace"
+    save_workload(generate("lu", 2, scale=0.05), trace_path)
+    assert main(["sweep", str(trace_path), "--cpus", "2",
+                 "--intervals", "100", "1"]) == 0
+    assert "interval" in capsys.readouterr().out

@@ -1,0 +1,29 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("ConfigError", "CryptoError", "BusError",
+                 "CoherenceError", "SimulationError",
+                 "AuthenticationFailure", "IntegrityViolation",
+                 "GroupTableFull", "TraceError", "SpoofDetected"):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_spoof_is_an_authentication_failure():
+    assert issubclass(errors.SpoofDetected, errors.AuthenticationFailure)
+
+
+def test_authentication_failure_carries_context():
+    failure = errors.AuthenticationFailure("boom", cycle=42, group_id=7)
+    assert failure.cycle == 42
+    assert failure.group_id == 7
+    assert "boom" in str(failure)
+
+
+def test_catching_the_base_class():
+    with pytest.raises(errors.ReproError):
+        raise errors.GroupTableFull("full")

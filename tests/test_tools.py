@@ -1,0 +1,53 @@
+"""Tests for tools/collect_results.py."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parents[1] / "tools"))
+import collect_results  # noqa: E402
+
+
+def test_collect_orders_and_concatenates(tmp_path):
+    (tmp_path / "fig9_interval.txt").write_text("FIG9 TABLE")
+    (tmp_path / "table1_bus_encryption.txt").write_text("TABLE1")
+    (tmp_path / "zzz_custom.txt").write_text("CUSTOM")
+    report = collect_results.collect(tmp_path)
+    assert report.index("TABLE1") < report.index("FIG9 TABLE")
+    assert report.index("FIG9 TABLE") < report.index("CUSTOM")
+    assert "3 tables" in report
+
+
+def test_collect_reports_missing(tmp_path):
+    (tmp_path / "fig9_interval.txt").write_text("FIG9")
+    report = collect_results.collect(tmp_path)
+    assert "missing" in report
+    assert "fig6_slowdown_1mb.txt" in report
+
+
+def test_main_writes_report(tmp_path, capsys):
+    (tmp_path / "fig9_interval.txt").write_text("FIG9")
+    code = collect_results.main(["--results-dir", str(tmp_path)])
+    assert code == 0
+    assert (tmp_path / "REPORT.txt").exists()
+    assert "FIG9" in capsys.readouterr().out
+
+
+def test_main_quiet(tmp_path, capsys):
+    (tmp_path / "fig9_interval.txt").write_text("FIG9")
+    collect_results.main(["--results-dir", str(tmp_path), "--quiet"])
+    assert capsys.readouterr().out == ""
+
+
+def test_main_missing_directory(tmp_path):
+    code = collect_results.main(["--results-dir",
+                                 str(tmp_path / "nowhere")])
+    assert code == 1
+
+
+def test_report_excludes_itself(tmp_path):
+    (tmp_path / "fig9_interval.txt").write_text("FIG9")
+    (tmp_path / "REPORT.txt").write_text("OLD REPORT")
+    report = collect_results.collect(tmp_path)
+    assert "OLD REPORT" not in report

@@ -1,0 +1,45 @@
+"""Preset mix tests."""
+
+import pytest
+
+from repro.config import e6000_config
+from repro.core.senss import build_secure_system
+from repro.errors import TraceError
+from repro.workloads.mixes import MIXES, mix
+from repro.workloads.multiprogram import run_multiprogrammed
+
+
+@pytest.mark.parametrize("name", sorted(MIXES))
+def test_mixes_build_and_fit_four_cpus(name):
+    programs = mix(name, scale=0.1)
+    assert len(programs) == 2
+    assert sum(program.num_cpus for program in programs) == 4
+    for program in programs:
+        assert program.total_accesses > 0
+
+
+@pytest.mark.parametrize("name", sorted(MIXES))
+def test_mixes_run_under_senss(name):
+    programs = mix(name, scale=0.1)
+    system = build_secure_system(e6000_config(num_processors=4,
+                                              auth_interval=20))
+    result, placements = run_multiprogrammed(system, programs)
+    assert result.total_bus_transactions > 0
+    assert len(placements) == 2
+    layer = system.bus.security_layer
+    # Both groups carried traffic or at least exist with members.
+    for placement in placements:
+        state = layer.group_state(placement.group_id)
+        assert len(state.member_pids) == 2
+
+
+def test_unknown_mix_rejected():
+    with pytest.raises(TraceError):
+        mix("kitchen_sink")
+
+
+def test_mixes_are_deterministic():
+    first = mix("bandwidth_rivals", scale=0.1, seed=3)
+    second = mix("bandwidth_rivals", scale=0.1, seed=3)
+    assert [program.traces for program in first] == \
+        [program.traces for program in second]

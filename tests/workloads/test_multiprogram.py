@@ -1,0 +1,99 @@
+"""Multiprogrammed (multi-group) workload tests."""
+
+import pytest
+
+from repro.config import e6000_config
+from repro.core.senss import build_secure_system
+from repro.errors import TraceError
+from repro.smp.system import SmpSystem
+from repro.workloads.micro import ping_pong, producer_consumer
+from repro.workloads.multiprogram import (PROGRAM_ADDRESS_STRIDE, combine,
+                                          run_multiprogrammed)
+
+
+def programs():
+    return [ping_pong(rounds=40), producer_consumer(num_cpus=2,
+                                                    items=40)]
+
+
+def test_combine_shapes():
+    combined, cpu_groups, placements = combine(programs())
+    assert combined.num_cpus == 4
+    assert cpu_groups == [0, 0, 1, 1]
+    assert placements[1].first_cpu == 2
+    assert "+" in combined.name
+
+
+def test_address_spaces_are_disjoint():
+    combined, cpu_groups, _ = combine(programs())
+    ranges = {0: set(), 1: set()}
+    for cpu, trace in enumerate(combined.traces):
+        for access in trace:
+            ranges[cpu_groups[cpu]].add(
+                access.address // PROGRAM_ADDRESS_STRIDE)
+    assert ranges[0].isdisjoint(ranges[1])
+
+
+def test_custom_group_ids():
+    combined, cpu_groups, _ = combine(programs(), group_ids=[5, 9])
+    assert cpu_groups == [5, 5, 9, 9]
+
+
+def test_validation():
+    with pytest.raises(TraceError):
+        combine([])
+    with pytest.raises(TraceError):
+        combine(programs(), group_ids=[1])
+    # Two programs MAY share one group (Figure 1 allows overlap).
+    _, cpu_groups, _ = combine(programs(), group_ids=[2, 2])
+    assert cpu_groups == [2, 2, 2, 2]
+
+
+def test_groups_get_independent_auth_streams():
+    """Each group counts its own cache-to-cache transfers and injects
+    its own MAC broadcasts (section 4.2 per-group masks/counters)."""
+    config = e6000_config(num_processors=4, auth_interval=10)
+    system = build_secure_system(config)
+    result, placements = run_multiprogrammed(system, programs())
+    layer = system.bus.security_layer
+    state_0 = layer.group_state(0)
+    state_1 = layer.group_state(1)
+    assert state_0.protected_messages > 0
+    assert state_1.protected_messages > 0
+    assert state_0.member_pids == [0, 1]
+    assert state_1.member_pids == [2, 3]
+    # MAC broadcasts per group track that group's own transfer count.
+    assert state_0.auth_broadcasts == state_0.protected_messages // 10
+    assert state_1.auth_broadcasts == state_1.protected_messages // 10
+    assert result.stat("senss.group0.messages") == \
+        state_0.protected_messages
+    assert result.stat("senss.group1.messages") == \
+        state_1.protected_messages
+
+
+def test_initiators_rotate_within_group_members_only():
+    config = e6000_config(num_processors=4, auth_interval=5)
+    system = build_secure_system(config)
+    initiators = {0: [], 1: []}
+    system.bus.add_observer(
+        lambda tx: initiators[tx.group_id].append(tx.source_pid)
+        if tx.type.value == "Auth00" else None)
+    run_multiprogrammed(system, programs())
+    assert set(initiators[0]) <= {0, 1}
+    assert set(initiators[1]) <= {2, 3}
+    assert initiators[0] and initiators[1]
+
+
+def test_machine_capacity_enforced():
+    config = e6000_config(num_processors=2)
+    system = SmpSystem(config)
+    with pytest.raises(TraceError):
+        run_multiprogrammed(system, programs())
+
+
+def test_baseline_machine_runs_multiprogram_too():
+    """Group plumbing must not require the security layer."""
+    config = e6000_config(num_processors=4, senss_enabled=False)
+    system = SmpSystem(config)
+    result, _ = run_multiprogrammed(system, programs())
+    assert result.total_bus_transactions > 0

@@ -1,0 +1,124 @@
+"""Structural tests of the SPLASH-2 model generators.
+
+These pin the *communication pattern* each generator claims to model —
+the property the DESIGN.md substitution argument rests on.
+"""
+
+import pytest
+
+from repro.workloads.base import CONFLICT_BASE, PRIVATE_BASE, SHARED_BASE
+from repro.workloads.registry import generate
+
+SCALE = 0.1
+
+
+def shared_accesses(workload, cpu):
+    return [access for access in workload.traces[cpu]
+            if SHARED_BASE <= access.address < CONFLICT_BASE]
+
+
+class TestLu:
+    def test_pivot_row_is_written_by_one_and_read_by_all(self):
+        workload = generate("lu", 4, scale=SCALE)
+        # Find a line that exactly one CPU writes and 3+ CPUs read:
+        writers = {}
+        readers = {}
+        for cpu in range(4):
+            for access in shared_accesses(workload, cpu):
+                line = access.address // 64
+                bucket = writers if access.is_write else readers
+                bucket.setdefault(line, set()).add(cpu)
+        pivot_lines = [line for line, who in writers.items()
+                       if len(who) == 1
+                       and len(readers.get(line, ())) >= 3]
+        assert pivot_lines, "no single-producer/all-consumer lines"
+
+    def test_producers_rotate(self):
+        workload = generate("lu", 4, scale=SCALE)
+        writers_per_cpu = [sum(a.is_write for a in
+                               shared_accesses(workload, cpu))
+                           for cpu in range(4)]
+        assert all(count > 0 for count in writers_per_cpu)
+
+
+class TestOcean:
+    def test_boundary_rows_are_shared_with_neighbours_only(self):
+        workload = generate("ocean", 4, scale=SCALE)
+        touched = [set() for _ in range(4)]
+        for cpu in range(4):
+            for access in shared_accesses(workload, cpu):
+                touched[cpu].add(access.address // 4096)  # row id
+        # Adjacent strips overlap (boundary rows)...
+        for cpu in range(3):
+            assert touched[cpu] & touched[cpu + 1]
+        # ...but distant strips do not.
+        assert not (touched[0] & touched[3])
+
+
+class TestBarnes:
+    def test_read_mostly(self):
+        workload = generate("barnes", 2, scale=SCALE)
+        reads = writes = 0
+        for cpu in range(2):
+            for access in shared_accesses(workload, cpu):
+                if access.is_write:
+                    writes += 1
+                else:
+                    reads += 1
+        assert reads > 10 * writes
+
+    def test_all_cpus_walk_the_same_tree(self):
+        workload = generate("barnes", 2, scale=SCALE)
+        lines = [
+            {a.address // 64 for a in shared_accesses(workload, cpu)}
+            for cpu in range(2)]
+        overlap = len(lines[0] & lines[1])
+        assert overlap > 0.3 * min(len(lines[0]), len(lines[1]))
+
+
+class TestRadix:
+    def test_private_key_stream_plus_shared_buckets(self):
+        workload = generate("radix", 2, scale=SCALE)
+        private = shared = 0
+        for _, access in workload.iter_flat():
+            if access.address >= PRIVATE_BASE:
+                private += 1
+            else:
+                shared += 1
+        assert private > 0 and shared > 0
+
+    def test_bucket_writes_are_read_modify_write(self):
+        workload = generate("radix", 2, scale=SCALE)
+        trace = workload.traces[0]
+        rmw = sum(1 for first, second in zip(trace, trace[1:])
+                  if (not first.is_write and second.is_write
+                      and first.address == second.address
+                      and first.address < PRIVATE_BASE))
+        assert rmw > 0
+
+
+class TestFft:
+    def test_transpose_reads_other_cpus_chunks(self):
+        workload = generate("fft", 2, scale=SCALE)
+        # Each CPU's chunk: lines it WRITES; transpose: lines it READS
+        # from the other CPU's chunk.
+        writes = [
+            {a.address // 64 for a in shared_accesses(workload, cpu)
+             if a.is_write}
+            for cpu in range(2)]
+        reads = [
+            {a.address // 64 for a in shared_accesses(workload, cpu)
+             if not a.is_write}
+            for cpu in range(2)]
+        assert reads[0] & writes[1]
+        assert reads[1] & writes[0]
+
+    def test_tiles_are_revisited(self):
+        """The butterfly makes multiple passes per tile: shared lines
+        are touched far more often than once."""
+        workload = generate("fft", 2, scale=SCALE)
+        counts = {}
+        for access in shared_accesses(workload, 0):
+            counts[access.address // 64] = \
+                counts.get(access.address // 64, 0) + 1
+        assert max(counts.values()) >= 4

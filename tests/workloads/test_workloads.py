@@ -1,0 +1,123 @@
+"""Workload generator tests: determinism, structure, sharing shape."""
+
+import pytest
+
+from repro.config import e6000_config
+from repro.errors import TraceError
+from repro.smp.system import SmpSystem
+from repro.workloads import (SPLASH2_NAMES, false_sharing, generate,
+                             ping_pong, private_stream, producer_consumer)
+from repro.workloads.base import (PRIVATE_BASE, SHARED_BASE, make_builders,
+                                  private_base)
+
+SCALE = 0.05  # keep unit tests fast
+
+
+@pytest.mark.parametrize("name", SPLASH2_NAMES)
+def test_generators_are_deterministic(name):
+    first = generate(name, 2, scale=SCALE, seed=7)
+    second = generate(name, 2, scale=SCALE, seed=7)
+    assert first.traces == second.traces
+
+
+@pytest.mark.parametrize("name", SPLASH2_NAMES)
+def test_seed_changes_traces(name):
+    first = generate(name, 2, scale=SCALE, seed=7)
+    second = generate(name, 2, scale=SCALE, seed=8)
+    assert first.traces != second.traces
+
+
+@pytest.mark.parametrize("name", SPLASH2_NAMES)
+def test_cpu_count_respected(name):
+    for num_cpus in (2, 4):
+        workload = generate(name, num_cpus, scale=SCALE)
+        assert workload.num_cpus == num_cpus
+        assert all(len(trace) > 0 for trace in workload.traces)
+
+
+@pytest.mark.parametrize("name", SPLASH2_NAMES)
+def test_scale_grows_traces(name):
+    # Scales chosen above every generator's minimum-work clamp.
+    small = generate(name, 2, scale=0.3)
+    large = generate(name, 2, scale=1.0)
+    assert large.total_accesses > small.total_accesses
+
+
+@pytest.mark.parametrize("name", SPLASH2_NAMES)
+def test_workloads_mix_shared_and_private(name):
+    workload = generate(name, 2, scale=SCALE)
+    shared = private = 0
+    for _, access in workload.iter_flat():
+        if access.address >= PRIVATE_BASE:
+            private += 1
+        else:
+            shared += 1
+    assert shared > 0
+    assert private >= 0  # some generators are fully shared by design
+
+
+@pytest.mark.parametrize("name", SPLASH2_NAMES)
+def test_workloads_produce_cache_to_cache_traffic(name):
+    """Every SPLASH-2 model must exercise the bus SENSS protects."""
+    workload = generate(name, 4, scale=0.15)
+    system = SmpSystem(e6000_config(num_processors=4).with_senss(False))
+    result = system.run(workload)
+    assert result.cache_to_cache_transfers > 0
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(TraceError):
+        generate("quicksort", 2)
+
+
+def test_false_sharing_touches_one_line_from_both_cpus():
+    workload = false_sharing(num_cpus=2, rounds=5)
+    line_words = set()
+    for cpu, access in workload.iter_flat():
+        if access.address < PRIVATE_BASE:
+            line_words.add((cpu, access.address))
+    cpus = {cpu for cpu, _ in line_words}
+    lines = {address // 64 for _, address in line_words}
+    assert cpus == {0, 1}
+    assert len(lines) == 1  # all shared traffic within ONE cache line
+
+
+def test_false_sharing_needs_two_cpus():
+    with pytest.raises(TraceError):
+        false_sharing(num_cpus=1)
+
+
+def test_ping_pong_alternates_writers():
+    workload = ping_pong(rounds=10)
+    assert workload.num_cpus == 2
+    for trace in workload.traces:
+        assert all(access.is_write for access in trace)
+        assert len({access.address for access in trace}) == 1
+
+
+def test_producer_consumer_roles():
+    workload = producer_consumer(num_cpus=3, items=10)
+    producer_writes = sum(a.is_write for a in workload.traces[0])
+    consumer_writes = sum(a.is_write for a in workload.traces[1])
+    assert producer_writes > 0
+    assert consumer_writes == 0
+
+
+def test_private_stream_has_no_sharing():
+    workload = private_stream(num_cpus=2, refs_per_cpu=50)
+    for cpu, access in workload.iter_flat():
+        base = private_base(cpu)
+        assert base <= access.address < base + (1 << 24)
+
+
+def test_trace_builder_compute_padding():
+    builder = make_builders(1, seed=1)[0]
+    builder.compute(500)
+    accesses = builder.build()
+    assert accesses[0].gap == 500
+
+
+def test_metadata_recorded():
+    workload = generate("fft", 2, scale=SCALE, seed=3)
+    assert workload.metadata["scale"] == SCALE
+    assert "shared_bytes" in workload.metadata

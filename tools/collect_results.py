@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Consolidate archived bench tables into one report.
+
+Reads every table under ``benchmarks/results/`` (written by the bench
+suite's ``emit`` fixture) and concatenates them — in the paper's
+figure order — into ``benchmarks/results/REPORT.txt`` and stdout.
+
+    python tools/collect_results.py [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Paper presentation order; anything not listed sorts after, by name.
+ORDER = [
+    "table1_bus_encryption.txt",
+    "sec2_uniprocessor.txt",
+    "sec43_attacks.txt",
+    "sec44_bus_speed.txt",
+    "fig6_slowdown_1mb.txt",
+    "fig6_slowdown_4mb.txt",
+    "fig7_masks.txt",
+    "fig8_traffic_1mb.txt",
+    "fig8_traffic_4mb.txt",
+    "fig9_interval.txt",
+    "fig10_integrated.txt",
+    "fig11_variability.txt",
+    "sec71_overhead.txt",
+    "characterization.txt",
+    "sec78_seeds.txt",
+    "ablation_gcm.txt",
+    "ablation_lhash.txt",
+    "ablation_pad_protocol.txt",
+    "ablation_protocols.txt",
+    "ablation_snc.txt",
+    "ext_multiprogram.txt",
+    "ext_split_bus.txt",
+]
+
+
+def collect(results_dir: Path) -> str:
+    available = {path.name: path
+                 for path in results_dir.glob("*.txt")
+                 if path.name != "REPORT.txt"}
+    ordered = [name for name in ORDER if name in available]
+    ordered += sorted(set(available) - set(ORDER))
+    sections = []
+    for name in ordered:
+        sections.append(available[name].read_text().rstrip())
+    missing = [name for name in ORDER if name not in available]
+    header = ["SENSS reproduction — consolidated bench results",
+              f"({len(ordered)} tables; regenerate with "
+              f"`pytest benchmarks/ --benchmark-only`)"]
+    if missing:
+        header.append(f"missing (bench not yet run): "
+                      f"{', '.join(missing)}")
+    return "\n".join(header) + "\n\n" + "\n\n".join(sections) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quiet", action="store_true",
+                        help="write REPORT.txt without printing")
+    parser.add_argument("--results-dir", type=Path,
+                        default=Path(__file__).parents[1]
+                        / "benchmarks" / "results")
+    args = parser.parse_args(argv)
+    if not args.results_dir.is_dir():
+        print(f"no results directory at {args.results_dir}; run the "
+              f"bench suite first", file=sys.stderr)
+        return 1
+    report = collect(args.results_dir)
+    (args.results_dir / "REPORT.txt").write_text(report)
+    if not args.quiet:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
