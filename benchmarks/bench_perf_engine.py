@@ -1,0 +1,101 @@
+"""Engine throughput — simulated accesses per wall-clock second.
+
+Not a paper figure: this bench tracks the *simulator's* speed so
+performance regressions in the hot path are caught. It times the
+fft kernel (4P, 1 MB L2) on the three machine flavours and writes
+``BENCH_engine.json`` at the repo root with absolute throughputs and
+the speedup over the recorded pre-fastpath engine.
+
+Reference throughputs were measured on the seed engine (linear-scan
+scheduler, per-access NamedTuples, StatsRegistry on the hot path) on
+the same machine/scale this bench defaults to; the speedup column is
+only meaningful on comparable hardware, so the assertion is a loose
+sanity floor rather than the ~3x the rewrite achieves here.
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import BENCH_SCALE, baseline_config, senss_config, workload
+
+from repro.config import SystemConfig
+from repro.sim.sweep import build_system
+
+CPUS = 4
+L2_MB = 1
+WORKLOAD = "fft"
+REPEATS = 3
+
+#: accesses/second of the pre-fastpath seed engine at scale 0.5 on the
+#: reference machine (best of 3); denominators for the speedup column.
+SEED_THROUGHPUT = {
+    "baseline": 191234,
+    "senss": 176465,
+    "integrated": 189117,
+}
+
+
+def integrated_config() -> SystemConfig:
+    return senss_config(CPUS, L2_MB).with_memprotect(
+        encryption_enabled=True, integrity_enabled=True)
+
+
+def measure(config: SystemConfig) -> dict:
+    bench_workload = workload(WORKLOAD, CPUS)
+    accesses = bench_workload.total_accesses
+    best = None
+    for _ in range(REPEATS):
+        system = build_system(config)
+        start = time.perf_counter()
+        result = system.run(bench_workload)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "accesses": accesses,
+        "seconds": round(best, 4),
+        "accesses_per_second": round(accesses / best),
+        "cycles": result.cycles,
+    }
+
+
+def test_engine_throughput(benchmark, emit):
+    from repro.analysis.report import format_table
+
+    configs = {
+        "baseline": baseline_config(CPUS, L2_MB),
+        "senss": senss_config(CPUS, L2_MB),
+        "integrated": integrated_config(),
+    }
+    report = {"workload": WORKLOAD, "num_cpus": CPUS, "l2_mb": L2_MB,
+              "scale": BENCH_SCALE, "configs": {}}
+    rows = []
+    for kind, config in configs.items():
+        measured = measure(config)
+        measured["seed_accesses_per_second"] = SEED_THROUGHPUT[kind]
+        measured["speedup_vs_seed"] = round(
+            measured["accesses_per_second"] / SEED_THROUGHPUT[kind], 2)
+        report["configs"][kind] = measured
+        rows.append([kind, f"{measured['accesses_per_second']:,}",
+                     f"{SEED_THROUGHPUT[kind]:,}",
+                     f"{measured['speedup_vs_seed']:.2f}x"])
+
+    table = format_table(
+        f"Engine throughput — {WORKLOAD}, {CPUS}P, {L2_MB}M L2, "
+        f"scale {BENCH_SCALE:g} (accesses/s, best of {REPEATS})",
+        ["config", "accesses/s", "seed engine", "speedup"], rows)
+    emit(table)
+
+    out = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    # Loose floor: even slow CI hardware should beat a fraction of the
+    # reference machine's *seed* numbers given the ~3x engine rewrite.
+    for kind, measured in report["configs"].items():
+        assert measured["accesses_per_second"] > 20_000, (
+            kind, measured)
+
+    benchmark.pedantic(
+        lambda: build_system(configs["baseline"]).run(
+            workload(WORKLOAD, CPUS)),
+        rounds=1, iterations=1)

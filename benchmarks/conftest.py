@@ -1,4 +1,4 @@
-"""Shared bench harness: cached simulation runs + figure printing.
+"""Shared bench harness: parallel sweep runner + figure printing.
 
 Every bench regenerates one of the paper's tables/figures and prints
 the same rows/series the paper reports (via ``capsys.disabled()`` so
@@ -6,28 +6,43 @@ the tables appear in the terminal and in ``bench_output.txt``). The
 ``benchmark`` fixture times one representative simulation per figure
 so ``pytest benchmarks/ --benchmark-only`` has real timings to report.
 
-Scale: ``BENCH_SCALE`` trades fidelity for wall time; 0.5 keeps the
-whole suite within a few minutes while staying in the paper's
-cache-behaviour regime.
+Simulations route through :mod:`repro.sim.sweep`: the first ``run()``
+call of a session fans the whole figure grid (Figs. 6-10) out over a
+process pool, and every completed point lands in the disk cache under
+``.benchmarks/cache/`` — so the figure suite parallelizes across cores
+and warm re-runs are near-instant. ``REPRO_BENCH_PREWARM=0`` disables
+the fan-out (points then run serially on demand, still cached), and
+``REPRO_SWEEP_PARALLEL=0`` forces the runner itself serial.
+
+Scale: ``BENCH_SCALE`` (env ``REPRO_BENCH_SCALE``) trades fidelity for
+wall time; 0.5 keeps the whole suite within a few minutes while
+staying in the paper's cache-behaviour regime. The scale is part of
+every cache key, so different scales never collide.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import os
+import pathlib
+from typing import Dict, List, Optional, Tuple
 
 import pytest
 
 from repro.config import SystemConfig, e6000_config
-from repro.core.senss import build_secure_system
+from repro.sim.sweep import (ResultCache, SweepPoint, build_system,
+                             run_sweep)
 from repro.smp.metrics import SimulationResult
-from repro.smp.system import SmpSystem
 from repro.workloads.registry import SPLASH2_NAMES, generate
 
-BENCH_SCALE = 0.5
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 BENCH_SEED = 0
+
+CACHE_DIR = pathlib.Path(__file__).parent.parent / ".benchmarks" / "cache"
 
 _workload_cache: Dict[Tuple[str, int], object] = {}
 _result_cache: Dict[tuple, SimulationResult] = {}
+_sweep_cache = ResultCache(CACHE_DIR)
+_prewarmed = False
 
 
 def workload(name: str, num_cpus: int):
@@ -39,21 +54,60 @@ def workload(name: str, num_cpus: int):
     return _workload_cache[key]
 
 
-def build_system(config: SystemConfig):
-    if (config.senss.enabled or config.memprotect.encryption_enabled
-            or config.memprotect.integrity_enabled):
-        return build_secure_system(config)
-    return SmpSystem(config)
+def _point(name: str, config: SystemConfig) -> SweepPoint:
+    return SweepPoint(name, config, scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+def _figure_sweep_points() -> List[SweepPoint]:
+    """The full Figs. 6-10 grid (duplicates are deduped by the runner)."""
+    points = []
+    for l2_mb in (1, 4):
+        for num_cpus in (2, 4):
+            for name in SPLASH2_NAMES:
+                # Figures 6 and 8: baseline vs SENSS across the grid.
+                points.append(_point(name, baseline_config(num_cpus,
+                                                           l2_mb)))
+                points.append(_point(name, senss_config(num_cpus, l2_mb)))
+    for name in SPLASH2_NAMES:
+        for masks in (4, 2, 1):  # Figure 7 (perfect == fig6 senss 4P/4M)
+            points.append(_point(name, senss_config(4, 4,
+                                                    num_masks=masks)))
+        for interval in (32, 10, 1):  # Figure 9 (100 == fig6 senss)
+            points.append(_point(name,
+                                 senss_config(4, 4,
+                                              auth_interval=interval)))
+        # Figure 10: SENSS integrated with memory protection.
+        points.append(_point(name, senss_config(4, 1).with_memprotect(
+            encryption_enabled=True, integrity_enabled=True)))
+    return points
+
+
+def _prewarm() -> None:
+    """Fan the figure grid out over the process pool, once per session."""
+    global _prewarmed
+    if _prewarmed:
+        return
+    _prewarmed = True
+    if os.environ.get("REPRO_BENCH_PREWARM", "1") == "0":
+        return
+    points = _figure_sweep_points()
+    results = run_sweep(points, cache=_sweep_cache)
+    for point, result in zip(points, results):
+        _result_cache.setdefault((point.workload, point.config), result)
 
 
 def run(name: str, config: SystemConfig,
         cache_key: Optional[tuple] = None) -> SimulationResult:
-    """Run `name` on a fresh machine built from `config`, memoized."""
+    """Run `name` on a fresh machine built from `config`, memoized.
+
+    Routed through the sweep runner: warmed by the session-wide
+    parallel prewarm and persisted in the disk-backed result cache.
+    """
+    _prewarm()
     key = cache_key or (name, config)
     if key not in _result_cache:
-        system = build_system(config)
-        _result_cache[key] = system.run(workload(name,
-                                                 config.num_processors))
+        _result_cache[key] = run_sweep([_point(name, config)],
+                                       cache=_sweep_cache)[0]
     return _result_cache[key]
 
 
@@ -78,7 +132,6 @@ def emit(capsys):
             print()
             print(text)
         if archive_name:
-            import pathlib
             results = pathlib.Path(__file__).parent / "results"
             results.mkdir(exist_ok=True)
             (results / archive_name).write_text(text + "\n")

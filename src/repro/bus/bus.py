@@ -131,9 +131,14 @@ class SharedBus:
                           TransactionType.HASH_FETCH,
                           TransactionType.HASH_WRITEBACK)
 
+    #: per-type counter names, computed once instead of an f-string
+    #: per transaction on the issue path
+    _TX_COUNTER_NAMES = {tx_type: f"bus.tx.{tx_type.value}"
+                         for tx_type in TransactionType}
+
     def _count(self, transaction: BusTransaction) -> None:
         self.stats.add("bus.transactions")
-        self.stats.add(f"bus.tx.{transaction.type.value}")
+        self.stats.add(self._TX_COUNTER_NAMES[transaction.type])
         if transaction.is_cache_to_cache:
             self.stats.add("bus.cache_to_cache")
         elif transaction.type in self._MEMORY_DATA_TYPES:

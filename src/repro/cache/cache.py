@@ -59,9 +59,21 @@ class SetAssociativeCache:
         LRU recency (snoops pass touch=False so remote traffic does not
         perturb the local replacement order).
         """
-        index, tag = self._index_and_tag(self.line_address(address))
+        return self.lookup_line(
+            address >> self._offset_bits << self._offset_bits, touch)
+
+    def lookup_line(self, line_address: int,
+                    touch: bool = True) -> Optional[CacheLine]:
+        """``lookup`` for an already line-aligned address.
+
+        The hot paths (snoops, coherence commits, the fast engine) have
+        the line address in hand; this variant skips re-aligning it.
+        """
+        block = line_address >> self._offset_bits
+        index = block % self._num_sets
+        tag = block // self._num_sets
         for line in self._sets.get(index, ()):
-            if line.tag == tag and line.state.is_valid:
+            if line.tag == tag and line.state is not MesiState.INVALID:
                 if touch:
                     self._tick += 1
                     line.last_used = self._tick
@@ -85,10 +97,17 @@ class SetAssociativeCache:
         The caller is responsible for issuing the write-back bus
         transaction when the victim is MODIFIED.
         """
+        return self.insert_line(
+            address >> self._offset_bits << self._offset_bits, state)
+
+    def insert_line(self, line_address: int,
+                    state: MesiState) -> Optional[Tuple[int, MesiState]]:
+        """``insert`` for an already line-aligned address."""
         if not state.is_valid:
             raise CoherenceError("cannot insert a line in state I")
-        line_address = self.line_address(address)
-        index, tag = self._index_and_tag(line_address)
+        block = line_address >> self._offset_bits
+        index = block % self._num_sets
+        tag = block // self._num_sets
         ways = self._sets.setdefault(index, [])
         self._tick += 1
         for line in ways:
@@ -121,6 +140,14 @@ class SetAssociativeCache:
     def invalidate(self, address: int) -> bool:
         """Invalidate the line covering ``address``; True if it was valid."""
         line = self.lookup(address, touch=False)
+        if line is None:
+            return False
+        line.state = MesiState.INVALID
+        return True
+
+    def invalidate_line(self, line_address: int) -> bool:
+        """``invalidate`` for an already line-aligned address."""
+        line = self.lookup_line(line_address, touch=False)
         if line is None:
             return False
         line.state = MesiState.INVALID

@@ -60,7 +60,7 @@ class CacheHierarchy:
         """Classify a load/store; does not change coherence state except
         recording LRU recency and the silent E->M upgrade on write hits."""
         l2_line = self.l2.line_address(address)
-        l2_entry = self.l2.lookup(address)
+        l2_entry = self.l2.lookup_line(l2_line)
         if l2_entry is None:
             self.stats.add(self._prefix + "l2_miss")
             return AccessResult(AccessKind.MISS, l2_line,
@@ -88,15 +88,17 @@ class CacheHierarchy:
     def fill(self, line_address: int,
              state: MesiState) -> Optional[Tuple[int, MesiState]]:
         """Install a missed line in L2 (and L1); returns evicted victim."""
-        victim = self.l2.insert(line_address, state)
+        victim = self.l2.insert_line(line_address, state)
         if victim is not None:
             self._enforce_inclusion(victim[0])
-        self.l1.insert(line_address, MesiState.SHARED)
+        # An L2-aligned address is L1-aligned too (L2 lines are the
+        # larger power of two), so the fused insert applies directly.
+        self.l1.insert_line(line_address, MesiState.SHARED)
         return victim
 
     def upgrade(self, line_address: int) -> None:
         """Commit an S->M upgrade after the invalidating bus transaction."""
-        entry = self.l2.lookup(line_address, touch=False)
+        entry = self.l2.lookup_line(line_address, touch=False)
         if entry is None:
             raise CoherenceError(
                 f"upgrade of non-resident line {line_address:#x}")
@@ -112,7 +114,7 @@ class CacheHierarchy:
         MOESI (``dirty_to_owned``) keeps responsibility on-chip by
         moving M to OWNED instead (memory stays stale).
         """
-        entry = self.l2.lookup(line_address, touch=False)
+        entry = self.l2.lookup_line(line_address, touch=False)
         if entry is None:
             return MesiState.INVALID
         prior = entry.state
@@ -125,7 +127,7 @@ class CacheHierarchy:
 
     def snoop_read_exclusive(self, line_address: int) -> MesiState:
         """Remote BusRdX/Upgrade: return prior state; invalidate."""
-        entry = self.l2.lookup(line_address, touch=False)
+        entry = self.l2.lookup_line(line_address, touch=False)
         if entry is None:
             return MesiState.INVALID
         prior = entry.state
@@ -139,7 +141,7 @@ class CacheHierarchy:
         """Invalidate all L1 lines covered by an evicted/invalid L2 line."""
         step = self.l1.config.line_bytes
         for offset in range(0, self.l2.config.line_bytes, step):
-            self.l1.invalidate(l2_line_address + offset)
+            self.l1.invalidate_line(l2_line_address + offset)
 
     def state_of(self, address: int) -> MesiState:
         return self.l2.state_of(address)

@@ -6,6 +6,8 @@ Commands
 ``run``       simulate one workload on baseline + SENSS machines and
               report slowdown / traffic increase.
 ``sweep``     sweep the authentication interval (Figure 9 style).
+``profile``   measure engine throughput (accesses/s) per config kind,
+              optionally with a cProfile hot-function table.
 ``overhead``  print the section-7.1 hardware cost table.
 ``attacks``   run the Type 1/2/3 attack detection matrix.
 ``workloads`` list available workload generators.
@@ -53,6 +55,22 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", type=float, default=0.4)
     sweep.add_argument("--intervals", type=int, nargs="+",
                        default=[100, 32, 10, 1])
+
+    profile = commands.add_parser(
+        "profile", help="engine throughput profile (accesses/s)")
+    profile.add_argument("workload", nargs="?", default="fft",
+                         help=f"one of {SPLASH2_NAMES}")
+    profile.add_argument("--cpus", type=int, default=4)
+    profile.add_argument("--l2-mb", type=int, default=1, choices=[1, 4])
+    profile.add_argument("--scale", type=float, default=0.5)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--repeats", type=int, default=3,
+                         help="timing repeats (best is reported)")
+    profile.add_argument("--configs", nargs="+",
+                         default=["baseline", "senss", "integrated"],
+                         choices=["baseline", "senss", "integrated"])
+    profile.add_argument("--cprofile", action="store_true",
+                         help="also print the hottest functions")
 
     commands.add_parser("overhead",
                         help="section 7.1 hardware cost table")
@@ -107,6 +125,56 @@ def _cmd_sweep(args) -> int:
         f"Authentication interval sweep — {args.workload}, "
         f"{args.cpus}P, 4M L2",
         ["interval", "slowdown %", "traffic %"], rows))
+    return 0
+
+
+def _profile_config(kind: str, args):
+    config = e6000_config(num_processors=args.cpus, l2_mb=args.l2_mb,
+                          senss_enabled=(kind != "baseline"))
+    if kind == "integrated":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True)
+    return config
+
+
+def _cmd_profile(args) -> int:
+    import time
+
+    from .sim.sweep import build_system
+
+    workload = generate(args.workload, args.cpus, scale=args.scale,
+                        seed=args.seed)
+    accesses = workload.total_accesses
+    rows = []
+    for kind in args.configs:
+        config = _profile_config(kind, args)
+        best = None
+        result = None
+        for _ in range(max(1, args.repeats)):
+            system = build_system(config)
+            start = time.perf_counter()
+            result = system.run(workload)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        rows.append([kind, f"{accesses / best:,.0f}",
+                     f"{result.cycles / best / 1e6:,.1f}",
+                     f"{best:.3f}"])
+    print(format_table(
+        f"Engine throughput — {args.workload}, {args.cpus}P, "
+        f"{args.l2_mb}M L2, scale {args.scale:g} "
+        f"({accesses} accesses)",
+        ["config", "accesses/s", "Mcycles/s", "seconds"], rows))
+
+    if args.cprofile:
+        import cProfile
+        import pstats
+        config = _profile_config(args.configs[0], args)
+        system = build_system(config)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        system.run(workload)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("tottime").print_stats(15)
     return 0
 
 
@@ -174,6 +242,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "overhead":
             return _cmd_overhead()
         if args.command == "attacks":

@@ -52,6 +52,17 @@ class StatsRegistry:
     def add(self, name: str, amount: int = 1) -> None:
         self.counter(name).increment(amount)
 
+    def merge(self, bumps: Dict[str, int]) -> None:
+        """Flush a dict of raw counter bumps into the registry.
+
+        The simulation fast path accumulates per-access events as plain
+        dict/int increments and merges them once at run end — one
+        ``Counter`` touch per name instead of one per event.
+        """
+        for name, amount in bumps.items():
+            if amount:
+                self.counter(name).increment(amount)
+
     def reset(self) -> None:
         for counter in self._counters.values():
             counter.reset()

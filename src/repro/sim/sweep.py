@@ -1,0 +1,202 @@
+"""Parallel sweep runner with a disk-backed result cache.
+
+Every figure in the paper is a *sweep*: dozens of independent
+(config, workload, seed) simulations whose results are reduced into a
+table. This module runs such sweeps:
+
+- :func:`run_sweep` fans independent points out over a
+  ``ProcessPoolExecutor`` (each simulation is single-threaded pure
+  Python, so process-level parallelism scales to the core count);
+- completed :class:`~repro.smp.metrics.SimulationResult`s are stored in
+  a content-addressed JSON cache (default ``.benchmarks/cache/``), so
+  warm re-runs of a figure suite are near-instant;
+- cache keys hash the *full* simulation input — workload name, scale,
+  seed, every config field, and :data:`ENGINE_VERSION` — so any change
+  to the machine configuration or the engine's timing semantics
+  invalidates exactly the affected entries.
+
+Cache invalidation rules: bump :data:`ENGINE_VERSION` whenever a change
+alters simulated *timing or statistics* (it is part of every key; stale
+entries are simply never hit again). Entries are plain JSON files named
+by their key; deleting the cache directory is always safe.
+
+Environment knobs:
+
+- ``REPRO_SWEEP_PARALLEL=0`` forces in-process serial execution;
+- ``REPRO_SWEEP_WORKERS=N`` caps the worker-process count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..config import SystemConfig
+from ..smp.metrics import SimulationResult
+
+#: Bump when a change alters simulated timing or statistics; cached
+#: results from other versions are never returned.
+ENGINE_VERSION = 1
+
+DEFAULT_CACHE_DIR = Path(".benchmarks") / "cache"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation in a sweep."""
+
+    workload: str              # registry name (repro.workloads)
+    config: SystemConfig
+    scale: float = 1.0
+    seed: int = 0
+
+
+def build_system(config: SystemConfig):
+    """Build the machine a config describes (secure iff any layer on)."""
+    from ..core.senss import build_secure_system
+    from ..smp.system import SmpSystem
+    if (config.senss.enabled or config.memprotect.encryption_enabled
+            or config.memprotect.integrity_enabled):
+        return build_secure_system(config)
+    return SmpSystem(config)
+
+
+def run_point(point: SweepPoint) -> SimulationResult:
+    """Generate the point's workload and simulate it to completion."""
+    from ..workloads.registry import generate
+    workload = generate(point.workload, point.config.num_processors,
+                        scale=point.scale, seed=point.seed)
+    return build_system(point.config).run(workload)
+
+
+def point_key(point: SweepPoint) -> str:
+    """Content hash identifying a point's complete simulation input."""
+    payload = {
+        "engine": ENGINE_VERSION,
+        "workload": point.workload,
+        "scale": point.scale,
+        "seed": point.seed,
+        "config": asdict(point.config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON store of completed simulation results."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, point: SweepPoint) -> Optional[SimulationResult]:
+        path = self._path(point_key(point))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None  # missing or torn entry: treat as a miss
+        try:
+            return SimulationResult(
+                workload=payload["workload"],
+                num_cpus=payload["num_cpus"],
+                cycles=payload["cycles"],
+                per_cpu_cycles=list(payload["per_cpu_cycles"]),
+                stats={name: value
+                       for name, value in payload["stats"].items()})
+        except (KeyError, TypeError):
+            return None
+
+    def store(self, point: SweepPoint, result: SimulationResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(point_key(point))
+        payload = {
+            "workload": result.workload,
+            "num_cpus": result.num_cpus,
+            "cycles": result.cycles,
+            "per_cpu_cycles": list(result.per_cpu_cycles),
+            "stats": dict(result.stats),
+        }
+        # Write-then-rename so concurrent workers never read torn JSON.
+        scratch = path.with_suffix(f".tmp{os.getpid()}")
+        scratch.write_text(json.dumps(payload, sort_keys=True))
+        scratch.replace(path)
+
+    def clear(self) -> int:
+        """Delete all cached entries; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json")) \
+            if self.root.is_dir() else 0
+
+
+def _default_workers(num_points: int) -> int:
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    workers = int(env) if env else (os.cpu_count() or 1)
+    return max(1, min(workers, num_points))
+
+
+def _parallel_enabled() -> bool:
+    return os.environ.get("REPRO_SWEEP_PARALLEL", "1") != "0"
+
+
+def run_sweep(points: Sequence[SweepPoint],
+              cache: Optional[ResultCache] = None,
+              parallel: Optional[bool] = None,
+              max_workers: Optional[int] = None
+              ) -> List[SimulationResult]:
+    """Run every point, in parallel where possible; results in order.
+
+    Duplicate points are simulated once. With a ``cache``, previously
+    completed points are loaded instead of re-run and fresh results are
+    stored for the next sweep.
+    """
+    points = list(points)
+    results: dict = {}
+    pending: List[SweepPoint] = []
+    pending_keys: set = set()
+    for point in points:
+        key = point_key(point)
+        if key in results or key in pending_keys:
+            continue
+        cached = cache.load(point) if cache is not None else None
+        if cached is not None:
+            results[key] = cached
+        else:
+            pending.append(point)
+            pending_keys.add(key)
+
+    if pending:
+        if parallel is None:
+            parallel = _parallel_enabled()
+        workers = _default_workers(len(pending)) if max_workers is None \
+            else max(1, max_workers)
+        if parallel and workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(run_point, pending))
+        else:
+            fresh = [run_point(point) for point in pending]
+        for point, result in zip(pending, fresh):
+            results[point_key(point)] = result
+            if cache is not None:
+                cache.store(point, result)
+
+    return [results[point_key(point)] for point in points]
+
+
+def run_cached(point: SweepPoint,
+               cache: Optional[ResultCache] = None) -> SimulationResult:
+    """Run (or load) a single point through the sweep machinery."""
+    return run_sweep([point], cache=cache)[0]

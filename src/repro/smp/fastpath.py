@@ -1,0 +1,232 @@
+"""Merged fast execution path for :meth:`repro.smp.system.SmpSystem.run`.
+
+The reference engine walks three layers per memory reference —
+``SmpSystem._execute`` → ``CacheHierarchy.access`` →
+``SetAssociativeCache.lookup`` — re-deriving the line address and
+set index at every layer, consulting Enum properties for MESI validity,
+and bumping a named ``StatsRegistry`` counter per access. At ~90%+ hit
+rates that layering dominates wall time (profiling attributes >70% of
+a run to it).
+
+``run_fast`` collapses the *hit* path into one loop:
+
+- a **min-heap scheduler** replaces the per-step linear scan over CPUs
+  for the earliest pending request, and a CPU keeps executing without
+  touching the heap while its next request still precedes the heap
+  head (same order as the reference scan, including the lowest-CPU
+  tie-break);
+- traces are consumed as **columnar arrays** (no per-access NamedTuple);
+- L1/L2 lookups are **fused**: the set index and tag are computed once
+  from the raw address, MESI checks are identity tests against
+  pre-bound state objects, LRU ticks live in locals and are written
+  back to the cache objects only around slow-path calls;
+- per-access statistics are **plain list bumps** flushed into the
+  registry once at run end.
+
+Misses, upgrades, and everything behind them (coherence protocol, bus
+arbitration, SENSS security layer, memory protection) go through the
+exact reference machinery via ``SmpSystem._execute_miss`` /
+``_execute_upgrade``, so security layers observe identical
+transactions. Results are bit-identical to the reference engine:
+same ``cycles``, same ``per_cpu_cycles``, same stats dict
+(pinned by tests/smp/test_fastpath_equivalence.py against golden
+pre-optimization captures).
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+
+from ..cache.cache import CacheLine
+from ..cache.mesi import MesiState
+from ..errors import SimulationError
+from .metrics import SimulationResult
+from .trace import Workload, as_columns
+
+_M = MesiState.MODIFIED
+_E = MesiState.EXCLUSIVE
+_S = MesiState.SHARED
+_I = MesiState.INVALID
+
+
+def run_fast(system, workload: Workload) -> SimulationResult:
+    """Execute ``workload`` on ``system``; see module docstring."""
+    if workload.num_cpus > system.config.num_processors:
+        raise SimulationError(
+            f"workload has {workload.num_cpus} traces but the machine "
+            f"has {system.config.num_processors} processors")
+    num_cpus = workload.num_cpus
+    clocks = [0] * num_cpus
+    cursors = [0] * num_cpus
+
+    # Per-CPU execution context: columnar trace plus the hot cache
+    # internals, unpacked once per scheduling quantum.
+    contexts = []
+    for cpu in range(num_cpus):
+        writes, addresses, gaps = as_columns(workload.accesses_for(cpu))
+        l1 = system.hierarchies[cpu].l1
+        l2 = system.hierarchies[cpu].l2
+        contexts.append((
+            addresses, writes, gaps, len(addresses),
+            l1._sets, l1._offset_bits, l1._num_sets,
+            l1.config.associativity, l1.config.hit_latency,
+            l2._sets, l2._offset_bits, l2._num_sets,
+            l2.config.hit_latency,
+            l1, l2,
+        ))
+
+    # Raw per-access counters, flushed into the registry at run end.
+    l1_hits = [0] * num_cpus
+    l2_hits = [0] * num_cpus
+    l2_misses = [0] * num_cpus
+    upgrades = [0] * num_cpus
+
+    execute_miss = system._execute_miss
+    execute_upgrade = system._execute_upgrade
+
+    # Heap of (next request cycle, cpu): the reference scheduler picks
+    # the earliest pending request, lowest CPU on ties — exactly the
+    # tuple ordering of this heap.
+    heap = [(contexts[cpu][2][0], cpu) for cpu in range(num_cpus)
+            if contexts[cpu][3]]
+    heapify(heap)
+
+    while heap:
+        pending, cpu = heappop(heap)
+        (addr_col, write_col, gap_col, length,
+         l1_sets, l1_shift, l1_nsets, l1_assoc, l1_latency,
+         l2_sets, l2_shift, l2_nsets, l2_latency,
+         l1, l2) = contexts[cpu]
+        index = cursors[cpu]
+        tick1 = l1._tick
+        tick2 = l2._tick
+        clock = clocks[cpu]
+
+        while True:
+            address = addr_col[index]
+
+            # -- fused L2 lookup (touch) ------------------------------
+            block2 = address >> l2_shift
+            entry = None
+            ways2 = l2_sets.get(block2 % l2_nsets)
+            if ways2:
+                tag2 = block2 // l2_nsets
+                for line in ways2:
+                    if line.tag == tag2 and line.state is not _I:
+                        entry = line
+                        break
+
+            if entry is None:
+                # MISS — reference bus/protocol/memprotect machinery.
+                l2_misses[cpu] += 1
+                l1._tick = tick1
+                l2._tick = tick2
+                clock = execute_miss(cpu, pending, write_col[index] != 0,
+                                     block2 << l2_shift)
+                tick1 = l1._tick
+                tick2 = l2._tick
+            else:
+                tick2 += 1
+                entry.last_used = tick2
+                writable = True
+                if write_col[index]:
+                    state = entry.state
+                    if state is _M or state is _E:
+                        entry.state = _M  # silent E->M upgrade
+                    else:
+                        writable = False
+                if not writable:
+                    # S (or O) write hit: S->M upgrade transaction.
+                    upgrades[cpu] += 1
+                    l1._tick = tick1
+                    l2._tick = tick2
+                    clock = execute_upgrade(cpu, pending,
+                                            block2 << l2_shift)
+                    tick1 = l1._tick
+                    tick2 = l2._tick
+                else:
+                    # -- fused L1 lookup / refill ---------------------
+                    block1 = address >> l1_shift
+                    index1 = block1 % l1_nsets
+                    tag1 = block1 // l1_nsets
+                    ways1 = l1_sets.get(index1)
+                    hit = None
+                    if ways1:
+                        for line in ways1:
+                            if line.tag == tag1 and line.state is not _I:
+                                hit = line
+                                break
+                    if hit is not None:
+                        tick1 += 1
+                        hit.last_used = tick1
+                        l1_hits[cpu] += 1
+                        clock = pending + l1_latency
+                    else:
+                        # L1 refill from L2 (reference: l1.insert,
+                        # SHARED) — revive an invalid same-tag way,
+                        # else evict (invalid ways first, then LRU).
+                        tick1 += 1
+                        if ways1 is None:
+                            ways1 = l1_sets[index1] = []
+                        revived = False
+                        for line in ways1:
+                            if line.tag == tag1:
+                                line.state = _S
+                                line.last_used = tick1
+                                revived = True
+                                break
+                        if not revived:
+                            if len(ways1) >= l1_assoc:
+                                evict = None
+                                evict_key = None
+                                for line in ways1:
+                                    key = (line.state is not _I,
+                                           line.last_used)
+                                    if evict_key is None or key < evict_key:
+                                        evict_key = key
+                                        evict = line
+                                ways1.remove(evict)
+                            ways1.append(CacheLine(tag1, _S, tick1))
+                        l2_hits[cpu] += 1
+                        clock = pending + l2_latency
+
+            index += 1
+            if index == length:
+                cursors[cpu] = index
+                clocks[cpu] = clock
+                l1._tick = tick1
+                l2._tick = tick2
+                break
+            entry_key = (clock + gap_col[index], cpu)
+            if heap and heap[0] < entry_key:
+                # Another CPU's request now precedes ours: yield.
+                cursors[cpu] = index
+                clocks[cpu] = clock
+                l1._tick = tick1
+                l2._tick = tick2
+                heappush(heap, entry_key)
+                break
+            pending = entry_key[0]
+
+    # Flush the raw counters into the shared registry (names and
+    # totals identical to the reference per-access stats.add calls;
+    # untouched counters are not materialized, matching lazy creation).
+    stats = system.stats
+    for cpu in range(num_cpus):
+        prefix = system.hierarchies[cpu]._prefix
+        if l1_hits[cpu]:
+            stats.add(prefix + "l1_hit", l1_hits[cpu])
+        if l2_hits[cpu]:
+            stats.add(prefix + "l2_hit", l2_hits[cpu])
+        if l2_misses[cpu]:
+            stats.add(prefix + "l2_miss", l2_misses[cpu])
+        if upgrades[cpu]:
+            stats.add(prefix + "upgrade_needed", upgrades[cpu])
+
+    return SimulationResult(
+        workload=workload.name,
+        num_cpus=num_cpus,
+        cycles=max(clocks) if clocks else 0,
+        per_cpu_cycles=clocks,
+        stats=stats.as_dict(),
+    )

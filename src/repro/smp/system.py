@@ -80,7 +80,21 @@ class SmpSystem:
     # -- execution -----------------------------------------------------------
 
     def run(self, workload: Workload) -> SimulationResult:
-        """Execute the workload to completion and return metrics."""
+        """Execute the workload to completion and return metrics.
+
+        Delegates to the merged fast path (:mod:`repro.smp.fastpath`):
+        a min-heap scheduler plus fused cache lookups, bit-identical to
+        :meth:`run_reference` but several times faster.
+        """
+        from .fastpath import run_fast
+        return run_fast(self, workload)
+
+    def run_reference(self, workload: Workload) -> SimulationResult:
+        """The layered reference engine (the pre-fast-path semantics).
+
+        Kept as the executable specification: equivalence tests assert
+        ``run`` produces bit-identical results to this implementation.
+        """
         if workload.num_cpus > self.config.num_processors:
             raise SimulationError(
                 f"workload has {workload.num_cpus} traces but the machine "
@@ -135,27 +149,37 @@ class SmpSystem:
             return clock + result.latency
 
         if result.kind is AccessKind.L2_HIT_NEEDS_UPGRADE:
-            outcome = self.protocol.bus_upgrade(cpu, result.line_address)
-            transaction = BusTransaction(TransactionType.BUS_UPGRADE,
-                                         result.line_address, cpu,
-                                         self._cpu_groups[cpu])
-            transaction = self.bus.issue(transaction, clock, data_bytes=0)
-            hierarchy.upgrade(result.line_address)
-            self.stats.add("coherence.invalidations",
-                           len(outcome.invalidated_cpus))
-            return transaction.complete_cycle
+            return self._execute_upgrade(cpu, clock, result.line_address)
 
-        # Miss: consult the protocol, then transfer the line.
+        return self._execute_miss(cpu, clock, is_write,
+                                  result.line_address)
+
+    def _execute_upgrade(self, cpu: int, clock: int,
+                         line_address: int) -> int:
+        """S->M upgrade: invalidate remote sharers over the bus."""
+        outcome = self.protocol.bus_upgrade(cpu, line_address)
+        transaction = BusTransaction(TransactionType.BUS_UPGRADE,
+                                     line_address, cpu,
+                                     self._cpu_groups[cpu])
+        transaction = self.bus.issue(transaction, clock, data_bytes=0)
+        self.hierarchies[cpu].upgrade(line_address)
+        self.stats.add("coherence.invalidations",
+                       len(outcome.invalidated_cpus))
+        return transaction.complete_cycle
+
+    def _execute_miss(self, cpu: int, clock: int, is_write: bool,
+                      line_address: int) -> int:
+        """Miss: consult the protocol, then transfer the line."""
+        hierarchy = self.hierarchies[cpu]
         if is_write:
-            outcome = self.protocol.bus_read_exclusive(cpu,
-                                                       result.line_address)
+            outcome = self.protocol.bus_read_exclusive(cpu, line_address)
             tx_type = TransactionType.BUS_READ_EXCLUSIVE
         else:
-            outcome = self.protocol.bus_read(cpu, result.line_address)
+            outcome = self.protocol.bus_read(cpu, line_address)
             tx_type = TransactionType.BUS_READ
 
         transaction = BusTransaction(
-            tx_type, result.line_address, cpu, self._cpu_groups[cpu],
+            tx_type, line_address, cpu, self._cpu_groups[cpu],
             supplied_by_cache=outcome.supplier_cpu is not None)
         transaction = self.bus.issue(transaction, clock,
                                      data_bytes=self.config.l2.line_bytes)
@@ -170,9 +194,9 @@ class SmpSystem:
 
         if not transaction.supplied_by_cache and self.memprotect is not None:
             finish += self.memprotect.on_memory_fetch(
-                cpu, result.line_address, finish)
+                cpu, line_address, finish)
 
-        victim = hierarchy.fill(result.line_address, outcome.fill_state)
+        victim = hierarchy.fill(line_address, outcome.fill_state)
         if victim is not None and victim[1].is_dirty:
             self._post_writeback(cpu, victim[0], finish)
 

@@ -14,7 +14,7 @@ from typing import List
 
 from ..errors import TraceError
 from ..sim.rng import DeterministicRng
-from ..smp.trace import MemoryAccess, Workload
+from ..smp.trace import ColumnarTrace, Workload
 
 SHARED_BASE = 0x1000_0000
 PRIVATE_BASE = 0x8000_0000
@@ -41,38 +41,49 @@ def private_base(cpu_id: int) -> int:
 
 
 class TraceBuilder:
-    """Accumulates one CPU's accesses with randomized compute gaps."""
+    """Accumulates one CPU's accesses with randomized compute gaps.
+
+    Appends go directly into a :class:`ColumnarTrace`'s columns —
+    workload generation never allocates per-access tuples.
+    """
 
     def __init__(self, cpu_id: int, rng: DeterministicRng,
                  mean_gap: float = 3.0):
         self.cpu_id = cpu_id
         self._rng = rng
         self._mean_gap = mean_gap
-        self._accesses: List[MemoryAccess] = []
+        self._trace = ColumnarTrace()
+        columns = self._trace.columns()
+        self._append_flag = columns[0].append
+        self._append_address = columns[1].append
+        self._append_gap = columns[2].append
 
     def __len__(self) -> int:
-        return len(self._accesses)
+        return len(self._trace)
 
     def _gap(self) -> int:
         return self._rng.geometric(self._mean_gap)
 
     def read(self, address: int, gap: int = -1) -> None:
-        self._accesses.append(MemoryAccess(
-            False, address, gap if gap >= 0 else self._gap()))
+        self._append_flag(0)
+        self._append_address(address)
+        self._append_gap(gap if gap >= 0 else self._gap())
 
     def write(self, address: int, gap: int = -1) -> None:
-        self._accesses.append(MemoryAccess(
-            True, address, gap if gap >= 0 else self._gap()))
+        self._append_flag(1)
+        self._append_address(address)
+        self._append_gap(gap if gap >= 0 else self._gap())
 
     def compute(self, cycles: int) -> None:
         """Model a pure-compute stretch by padding the next access's gap."""
         if cycles < 0:
             raise TraceError("compute stretch must be non-negative")
-        self._accesses.append(MemoryAccess(
-            False, private_base(self.cpu_id), cycles))
+        self._append_flag(0)
+        self._append_address(private_base(self.cpu_id))
+        self._append_gap(cycles)
 
-    def build(self) -> List[MemoryAccess]:
-        return self._accesses
+    def build(self) -> ColumnarTrace:
+        return self._trace
 
 
 def assemble(name: str, builders: List[TraceBuilder],

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from ..errors import TraceError
-from ..smp.trace import MemoryAccess, Workload
+from ..smp.trace import ColumnarTrace, MemoryAccess, Workload
 
 PROGRAM_ADDRESS_STRIDE = 1 << 30  # 1 GB per program: never collides
 
@@ -37,8 +37,10 @@ class ProgramPlacement:
         return self.workload.num_cpus
 
 
-def _relocate(trace, program_index: int) -> List[MemoryAccess]:
+def _relocate(trace, program_index: int):
     offset = program_index * PROGRAM_ADDRESS_STRIDE
+    if isinstance(trace, ColumnarTrace):
+        return trace.relocated(offset)
     return [MemoryAccess(access.is_write, access.address + offset,
                          access.gap)
             for access in trace]
@@ -60,7 +62,7 @@ def combine(programs: Sequence[Workload],
     if len(group_ids) != len(programs):
         raise TraceError("one group id per program required")
 
-    traces: List[List[MemoryAccess]] = []
+    traces: List = []
     cpu_group_ids: List[int] = []
     placements: List[ProgramPlacement] = []
     first_cpu = 0
@@ -73,10 +75,13 @@ def combine(programs: Sequence[Workload],
         first_cpu += program.num_cpus
 
     name = "+".join(program.name for program in programs)
+    # Relocation of already-validated programs cannot introduce bad
+    # records; skip the per-access revalidation scan.
     combined = Workload(name, traces,
                         {"programs": [program.name
                                       for program in programs],
-                         "group_ids": list(group_ids)})
+                         "group_ids": list(group_ids)},
+                        validate=False)
     return combined, cpu_group_ids, placements
 
 

@@ -22,10 +22,10 @@ order of that CPU's records in the file.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Union
 
 from ..errors import TraceError
-from ..smp.trace import MemoryAccess, Workload
+from ..smp.trace import ColumnarTrace, Workload
 
 
 def save_workload(workload: Workload,
@@ -60,7 +60,7 @@ def load_workload(path: Union[str, Path]) -> Workload:
     name = path.stem
     declared_cpus = None
     metadata: Dict[str, str] = {}
-    traces: Dict[int, List[MemoryAccess]] = {}
+    traces: Dict[int, ColumnarTrace] = {}
 
     for line_number, raw in enumerate(path.read_text().splitlines(),
                                       start=1):
@@ -91,8 +91,8 @@ def load_workload(path: Union[str, Path]) -> Workload:
                 f"{fields[1]!r}")
         address = _parse_int(fields[2], line_number)
         gap = _parse_int(fields[3], line_number)
-        traces.setdefault(cpu, []).append(
-            MemoryAccess(op == "W", address, gap))
+        traces.setdefault(cpu, ColumnarTrace()).append(
+            op == "W", address, gap)
 
     if not traces:
         raise TraceError(f"trace file {path} contains no records")
@@ -103,7 +103,8 @@ def load_workload(path: Union[str, Path]) -> Workload:
                 f"header declares {declared_cpus} cpus but records "
                 f"reference cpu {num_cpus - 1}")
         num_cpus = declared_cpus
-    ordered = [traces.get(cpu, []) for cpu in range(num_cpus)]
+    ordered = [traces.get(cpu, ColumnarTrace())
+               for cpu in range(num_cpus)]
     # Workload rejects empty machines but tolerates an idle CPU only
     # with at least one access; give idle CPUs an empty list (allowed).
     return Workload(name, ordered, dict(metadata))

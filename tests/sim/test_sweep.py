@@ -1,0 +1,115 @@
+"""The sweep runner and its content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.config import e6000_config
+from repro.sim.sweep import (ENGINE_VERSION, ResultCache, SweepPoint,
+                             point_key, run_cached, run_point, run_sweep)
+
+
+def point(name="fft", seed=0, scale=0.05, **config_kwargs):
+    config = e6000_config(num_processors=2, l2_mb=1, **config_kwargs)
+    return SweepPoint(name, config, scale=scale, seed=seed)
+
+
+class TestPointKey:
+    def test_stable(self):
+        assert point_key(point()) == point_key(point())
+
+    def test_sensitive_to_every_input(self):
+        base = point_key(point())
+        assert point_key(point(name="lu")) != base
+        assert point_key(point(seed=1)) != base
+        assert point_key(point(scale=0.1)) != base
+        assert point_key(point(senss_enabled=False)) != base
+        assert point_key(point(auth_interval=10)) != base
+
+    def test_engine_version_is_part_of_the_key(self, monkeypatch):
+        before = point_key(point())
+        monkeypatch.setattr("repro.sim.sweep.ENGINE_VERSION",
+                            ENGINE_VERSION + 1)
+        assert point_key(point()) != before
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        target = point()
+        assert cache.load(target) is None
+        result = run_point(target)
+        cache.store(target, result)
+        assert len(cache) == 1
+        loaded = cache.load(target)
+        assert loaded.cycles == result.cycles
+        assert list(loaded.per_cpu_cycles) == list(result.per_cpu_cycles)
+        assert loaded.stats == result.stats
+
+    def test_torn_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        target = point()
+        cache.store(target, run_point(target))
+        path = cache._path(point_key(target))
+        path.write_text(path.read_text()[:20])  # simulate a torn write
+        assert cache.load(target) is None
+
+    def test_wrong_shape_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        target = point()
+        cache._path(point_key(target)).parent.mkdir(parents=True,
+                                                    exist_ok=True)
+        cache._path(point_key(target)).write_text(json.dumps({"x": 1}))
+        assert cache.load(target) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(point(), run_point(point()))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRunSweep:
+    def test_results_in_input_order_with_duplicates(self, tmp_path):
+        points = [point(seed=0), point(seed=1), point(seed=0)]
+        results = run_sweep(points, cache=ResultCache(tmp_path),
+                            parallel=False)
+        assert len(results) == 3
+        assert results[0].cycles == results[2].cycles
+        assert results[0].stats == results[2].stats
+
+    def test_second_sweep_hits_the_cache(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        first = run_sweep([point()], cache=cache, parallel=False)
+        assert len(cache) == 1
+        # Poison run_point: a cache hit must not simulate again.
+        monkeypatch.setattr(
+            "repro.sim.sweep.run_point",
+            lambda _: (_ for _ in ()).throw(AssertionError("re-ran")))
+        second = run_sweep([point()], cache=cache, parallel=False)
+        assert second[0].cycles == first[0].cycles
+        assert second[0].stats == first[0].stats
+
+    def test_cache_miss_reruns(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_sweep([point()], cache=cache, parallel=False)
+        cache.clear()
+        assert run_sweep([point()], cache=cache,
+                         parallel=False)[0].cycles > 0
+        assert len(cache) == 1
+
+    def test_run_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_cached(point(), cache)
+        second = run_cached(point(), cache)
+        assert first.cycles == second.cycles
+
+    def test_parallel_env_opt_out(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_PARALLEL", "0")
+        results = run_sweep([point(seed=0), point(seed=1)],
+                            cache=ResultCache(tmp_path))
+        assert len(results) == 2
+
+
+def test_empty_sweep():
+    assert run_sweep([]) == []

@@ -1,0 +1,95 @@
+"""ColumnarTrace: the array-backed trace container behind workloads."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.smp.trace import (ColumnarTrace, MemoryAccess, Workload,
+                             as_columns)
+
+ACCESSES = [MemoryAccess(False, 0x100, 2),
+            MemoryAccess(True, 0x140, 0),
+            MemoryAccess(False, 0x100, 5)]
+
+
+def make_trace() -> ColumnarTrace:
+    return ColumnarTrace.from_accesses(ACCESSES)
+
+
+def test_roundtrip_and_len():
+    trace = make_trace()
+    assert len(trace) == 3
+    assert list(trace) == ACCESSES
+    assert trace[1] == MemoryAccess(True, 0x140, 0)
+    assert trace[-1] == ACCESSES[-1]
+
+
+def test_slice_returns_columnar():
+    head = make_trace()[:2]
+    assert isinstance(head, ColumnarTrace)
+    assert list(head) == ACCESSES[:2]
+
+
+def test_equality_across_representations():
+    trace = make_trace()
+    assert trace == make_trace()
+    assert trace == list(ACCESSES)
+    assert trace == tuple(ACCESSES)
+    assert trace != ACCESSES[:2]
+    assert ColumnarTrace() == []
+
+
+def test_append():
+    trace = ColumnarTrace()
+    for access in ACCESSES:
+        trace.append(access.is_write, access.address, access.gap)
+    assert trace == make_trace()
+
+
+def test_relocated():
+    moved = make_trace().relocated(0x1000)
+    assert [access.address for access in moved] == \
+        [0x1100, 0x1140, 0x1100]
+    assert [access.is_write for access in moved] == \
+        [access.is_write for access in ACCESSES]
+
+
+def test_columns_and_as_columns():
+    trace = make_trace()
+    writes, addresses, gaps = as_columns(trace)
+    assert list(writes) == [0, 1, 0]
+    assert list(addresses) == [0x100, 0x140, 0x100]
+    assert list(gaps) == [2, 0, 5]
+    # Row-major input converts too.
+    writes2, addresses2, gaps2 = as_columns(list(ACCESSES))
+    assert list(addresses2) == list(addresses)
+
+
+def test_validate_rejects_bad_records():
+    bad = ColumnarTrace.from_accesses([MemoryAccess(False, -4, 0)])
+    with pytest.raises(TraceError):
+        bad.validate(0)
+    with pytest.raises(TraceError):
+        ColumnarTrace.from_accesses(
+            [MemoryAccess(False, 4, -1)]).validate(0)
+
+
+def test_workload_validates_columnar_traces():
+    with pytest.raises(TraceError):
+        Workload("bad",
+                 [ColumnarTrace.from_accesses([MemoryAccess(False, -4, 0)])])
+
+
+def test_workload_validate_flag_skips_the_scan():
+    """validate=False admits records the validating path rejects —
+    proof that truncated()/combine() copies skip the O(n) re-scan."""
+    trace = ColumnarTrace.from_accesses([MemoryAccess(False, -4, 0)])
+    workload = Workload("trusted", [trace], validate=False)
+    assert workload.total_accesses == 1
+
+
+def test_truncated_skips_revalidation():
+    traces = [ColumnarTrace.from_accesses(ACCESSES)]
+    workload = Workload("toy", traces)
+    short = workload.truncated(2)
+    assert short.total_accesses == 2
+    assert isinstance(short.accesses_for(0), ColumnarTrace)

@@ -1,0 +1,49 @@
+"""Simulations are deterministic: same inputs, same result — whether
+run inline, twice in a row, or through the parallel sweep runner."""
+
+from repro.config import e6000_config
+from repro.sim.sweep import SweepPoint, build_system, run_point, run_sweep
+from repro.workloads.registry import generate
+
+
+def senss_point(seed: int = 5) -> SweepPoint:
+    return SweepPoint("barnes", e6000_config(num_processors=4, l2_mb=1),
+                      scale=0.1, seed=seed)
+
+
+def assert_identical(first, second):
+    assert first.cycles == second.cycles
+    assert list(first.per_cpu_cycles) == list(second.per_cpu_cycles)
+    assert first.stats == second.stats
+
+
+def test_same_config_same_seed_twice():
+    config = e6000_config(num_processors=4, l2_mb=1)
+    workload = generate("ocean", 4, scale=0.1, seed=11)
+    assert_identical(build_system(config).run(workload),
+                     build_system(config).run(workload))
+
+
+def test_regenerated_workload_is_identical():
+    """The workload generator itself is seed-deterministic."""
+    first = generate("fft", 4, scale=0.1, seed=2)
+    second = generate("fft", 4, scale=0.1, seed=2)
+    assert first.traces == second.traces
+    assert first.total_accesses == second.total_accesses
+
+
+def test_parallel_sweep_matches_inline_run():
+    """Worker-process results match the in-process engine exactly."""
+    points = [senss_point(seed) for seed in (0, 1)]
+    swept = run_sweep(points, cache=None, parallel=True, max_workers=2)
+    for point, result in zip(points, swept):
+        assert_identical(result, run_point(point))
+
+
+def test_serial_sweep_matches_parallel_sweep():
+    points = [senss_point(seed) for seed in (0, 1)]
+    parallel = run_sweep(points, cache=None, parallel=True,
+                         max_workers=2)
+    serial = run_sweep(points, cache=None, parallel=False)
+    for left, right in zip(parallel, serial):
+        assert_identical(left, right)

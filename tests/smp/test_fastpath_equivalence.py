@@ -1,0 +1,84 @@
+"""The fast engine must be *bit-identical* to the seed engine.
+
+Two layers of defence:
+
+- ``golden_engine.json`` pins cycles, per-CPU cycles, and a hash of the
+  full statistics dict for every SPLASH-2 model x machine flavour x
+  seed, captured from the pre-fastpath engine. Any timing drift in the
+  rewrite shows up as a golden mismatch.
+- ``run()`` (fast path) is compared field-for-field against
+  ``run_reference()`` (the original loop, kept as the executable
+  specification) on live simulations, including a SENSS machine whose
+  bus layer re-enters the miss path.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.config import e6000_config
+from repro.sim.sweep import build_system
+from repro.workloads.registry import SPLASH2_NAMES, generate
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent.parent / "data"
+     / "golden_engine.json").read_text())
+
+KINDS = ("baseline", "senss", "integrated")
+
+
+def config_for(kind: str):
+    config = e6000_config(num_processors=GOLDEN["num_cpus"],
+                          l2_mb=GOLDEN["l2_mb"],
+                          senss_enabled=(kind != "baseline"))
+    if kind == "integrated":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True)
+    return config
+
+
+def stats_digest(stats: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(stats, sort_keys=True).encode()).hexdigest()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("name", SPLASH2_NAMES)
+def test_golden_equivalence(name, kind):
+    """Every model/flavour/seed reproduces the seed engine exactly."""
+    for seed in (0, 1, 2):
+        workload = generate(name, GOLDEN["num_cpus"],
+                            scale=GOLDEN["scale"], seed=seed)
+        result = build_system(config_for(kind)).run(workload)
+        expected = GOLDEN["runs"][f"{name}|{kind}|{seed}"]
+        assert workload.total_accesses == expected["total_accesses"]
+        assert result.cycles == expected["cycles"], (name, kind, seed)
+        assert list(result.per_cpu_cycles) == expected["per_cpu_cycles"]
+        assert result.stats.get("bus.transactions", 0) == \
+            expected["bus_transactions"]
+        assert stats_digest(result.stats) == expected["stats_sha256"], (
+            name, kind, seed)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_fast_matches_reference_engine(kind):
+    """run() and run_reference() agree on every result field."""
+    workload = generate("ocean", 4, scale=0.1, seed=7)
+    fast = build_system(config_for(kind)).run(workload)
+    reference = build_system(config_for(kind)).run_reference(workload)
+    assert fast.cycles == reference.cycles
+    assert list(fast.per_cpu_cycles) == list(reference.per_cpu_cycles)
+    assert fast.stats == reference.stats
+    assert fast.workload == reference.workload
+    assert fast.num_cpus == reference.num_cpus
+
+
+def test_fast_matches_reference_two_cpus():
+    workload = generate("radix", 2, scale=0.1, seed=3)
+    config = e6000_config(num_processors=2, l2_mb=4)
+    fast = build_system(config).run(workload)
+    reference = build_system(config).run_reference(workload)
+    assert fast.cycles == reference.cycles
+    assert fast.stats == reference.stats
