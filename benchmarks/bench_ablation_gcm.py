@@ -9,7 +9,6 @@ invocations (the expensive unit — GHASH's GF(2^128) multiply is cheap
 dedicated hardware) and verify that both chains detect a drop attack.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.bus_crypto import GroupChannel

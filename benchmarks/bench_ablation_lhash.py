@@ -7,7 +7,6 @@ This bench quantifies that claim on our substrate: the lazy scheme
 removes the hash-tree fetch traffic and its L2 pollution entirely.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.smp.metrics import (average, slowdown_percent,

@@ -12,7 +12,6 @@ write-back but nearly eliminates pad requests; write-invalidate pays
 an address-only message plus on-demand requests.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.senss import build_secure_system

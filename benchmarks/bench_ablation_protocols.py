@@ -14,7 +14,6 @@ protected*, which this ablation measures alongside the upgrade and
 dirty-intervention counts.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.senss import build_secure_system
@@ -64,7 +63,7 @@ def test_ablation_protocols(benchmark, emit):
     rows, summary, aggregates = collect()
     text = "\n\n".join([
         format_table(
-            f"Ablation — SENSS slowdown by coherence protocol "
+            "Ablation — SENSS slowdown by coherence protocol "
             f"({L2_MB}M L2, {CPUS}P, interval 100)",
             ["workload"] + list(PROTOCOLS), rows),
         format_table(

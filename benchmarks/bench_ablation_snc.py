@@ -9,7 +9,6 @@ reasonably sized cache is indeed indistinguishable from perfect, while
 a tiny one inflates pad-regeneration misses.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.senss import build_secure_system
@@ -49,7 +48,7 @@ def collect():
 def test_ablation_snc(benchmark, emit):
     rows, outcomes = collect()
     table = format_table(
-        f"Ablation (sec 7.7) — SNC size sweep (snc_stream, encryption "
+        "Ablation (sec 7.7) — SNC size sweep (snc_stream, encryption "
         f"only, {L2_MB}M L2, {CPUS}P)",
         ["SNC entries", "pad hits", "pad misses", "slowdown %"], rows)
     emit(table, "ablation_snc.txt")

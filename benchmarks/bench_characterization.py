@@ -6,7 +6,6 @@ per-workload differences across Figures 6-10 can be read off directly
 radix's memory-bound streaming explains its near-zero SENSS cost).
 """
 
-import pytest
 
 from repro.analysis.characterize import WorkloadProfile, characterize
 from repro.analysis.report import format_table

@@ -8,7 +8,6 @@ arrays partition the regeneration load, and each group's MAC rounds
 track its own transfer count.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.config import e6000_config

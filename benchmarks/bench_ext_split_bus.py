@@ -11,7 +11,6 @@ making the headline reproduction conservative.
 
 from dataclasses import replace
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.senss import build_secure_system
@@ -56,7 +55,7 @@ def collect():
 def test_ext_split_bus(benchmark, emit):
     rows, averages = collect()
     table = format_table(
-        f"Extension — atomic vs split-transaction bus "
+        "Extension — atomic vs split-transaction bus "
         f"(interval {INTERVAL}, {L2_MB}M L2, {CPUS}P, % slowdown)",
         ["workload", "atomic bus", "split bus"], rows)
     emit(table, "ext_split_bus.txt")

@@ -7,7 +7,6 @@ bus traffic increase (~58% average, dominated by hash-tree fetches and
 hash coherence).
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.smp.metrics import (average, slowdown_percent,

@@ -8,7 +8,6 @@ ordering and the per-CPU miss counts shift between the baseline and
 the SENSS machine.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.analysis.variability import AccessRecorder, compare_orderings

@@ -9,6 +9,7 @@ values well under 1% (paper max 0.18%).
 import pytest
 
 from repro.analysis.report import format_table
+from repro.sim.sweep import build_system
 from repro.smp.metrics import average, slowdown_percent
 
 from conftest import (baseline_config, run, senss_config, splash2_names,
@@ -35,7 +36,7 @@ def test_fig6_slowdown(benchmark, emit, l2_mb):
     rows = figure6_rows(l2_mb)
     table = format_table(
         f"Figure 6 — % slowdown, write-invalidate + {l2_mb}M write-back "
-        f"L2 (auth interval 100, perfect masks)",
+        "L2 (auth interval 100, perfect masks)",
         ["config"] + splash2_names() + ["average"], rows)
     emit(table, f"fig6_slowdown_{l2_mb}mb.txt")
     # Shape assertions: the paper's regime is sub-percent slowdowns.
@@ -45,6 +46,6 @@ def test_fig6_slowdown(benchmark, emit, l2_mb):
     # Time one representative secured run.
     config = senss_config(4, l2_mb)
     benchmark.pedantic(
-        lambda: __import__("conftest").build_system(config).run(
+        lambda: build_system(config).run(
             workload("lu", 4)),
         rounds=1, iterations=1)

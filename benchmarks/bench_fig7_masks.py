@@ -5,7 +5,6 @@ bus-activity increase per workload for each mask supply. Expected
 shape: 4 masks ~ perfect, 2 masks close, 1 mask visibly worse.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.smp.metrics import (average, slowdown_percent,

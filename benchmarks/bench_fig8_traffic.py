@@ -34,7 +34,7 @@ def test_fig8_traffic(benchmark, emit, l2_mb):
     rows = figure8_rows(l2_mb)
     table = format_table(
         f"Figure 8 — % bus activity increase, {l2_mb}M write-back L2 "
-        f"(auth interval 100)",
+        "(auth interval 100)",
         ["config"] + splash2_names() + ["average"], rows)
     emit(table, f"fig8_traffic_{l2_mb}mb.txt")
     for row in rows:

@@ -6,7 +6,6 @@ interval 1 — "the proportion of the cache-to-cache transactions
 within the total bus activity").
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.smp.metrics import (average, slowdown_percent,

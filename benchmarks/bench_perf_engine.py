@@ -1,10 +1,16 @@
 """Engine throughput — simulated accesses per wall-clock second.
 
 Not a paper figure: this bench tracks the *simulator's* speed so
-performance regressions in the hot path are caught. It times the
-fft kernel (4P, 1 MB L2) on the three machine flavours and writes
-``BENCH_engine.json`` at the repo root with absolute throughputs and
-the speedup over the recorded pre-fastpath engine.
+performance regressions in the hot path are caught. It times two
+points on the three machine flavours and writes ``BENCH_engine.json``
+at the repo root with absolute throughputs and the speedup over the
+recorded pre-fastpath engine:
+
+- **hit-heavy**: the fft kernel on the default 1 MB L2 (>90% hits) —
+  dominated by the merged fast path;
+- **miss-heavy**: the ocean model on a 64 KB L2 (~73% hits) —
+  dominated by the slow path (coherence protocol, bus arbitration,
+  security layers), the target of the DESIGN.md §6c streamlining.
 
 Reference throughputs were measured on the seed engine (linear-scan
 scheduler, per-access NamedTuples, StatsRegistry on the hot path) on
@@ -17,15 +23,20 @@ import json
 import pathlib
 import time
 
-from conftest import BENCH_SCALE, baseline_config, senss_config, workload
+from conftest import (BENCH_SCALE, BENCH_SEED, baseline_config,
+                     senss_config, workload)
 
-from repro.config import SystemConfig
+from repro.config import KB, SystemConfig
 from repro.sim.sweep import build_system
+from repro.workloads.registry import generate
 
 CPUS = 4
 L2_MB = 1
 WORKLOAD = "fft"
 REPEATS = 3
+
+MISSHEAVY_WORKLOAD = "ocean"
+MISSHEAVY_L2_KB = 64
 
 #: accesses/second of the pre-fastpath seed engine at scale 0.5 on the
 #: reference machine (best of 3); denominators for the speedup column.
@@ -41,8 +52,7 @@ def integrated_config() -> SystemConfig:
         encryption_enabled=True, integrity_enabled=True)
 
 
-def measure(config: SystemConfig) -> dict:
-    bench_workload = workload(WORKLOAD, CPUS)
+def measure(config: SystemConfig, bench_workload) -> dict:
     accesses = bench_workload.total_accesses
     best = None
     for _ in range(REPEATS):
@@ -59,6 +69,15 @@ def measure(config: SystemConfig) -> dict:
     }
 
 
+def missheavy_configs():
+    small = MISSHEAVY_L2_KB * KB
+    return {
+        "baseline": baseline_config(CPUS, L2_MB).with_l2_size(small),
+        "senss": senss_config(CPUS, L2_MB).with_l2_size(small),
+        "integrated": integrated_config().with_l2_size(small),
+    }
+
+
 def test_engine_throughput(benchmark, emit):
     from repro.analysis.report import format_table
 
@@ -71,7 +90,7 @@ def test_engine_throughput(benchmark, emit):
               "scale": BENCH_SCALE, "configs": {}}
     rows = []
     for kind, config in configs.items():
-        measured = measure(config)
+        measured = measure(config, workload(WORKLOAD, CPUS))
         measured["seed_accesses_per_second"] = SEED_THROUGHPUT[kind]
         measured["speedup_vs_seed"] = round(
             measured["accesses_per_second"] / SEED_THROUGHPUT[kind], 2)
@@ -86,6 +105,26 @@ def test_engine_throughput(benchmark, emit):
         ["config", "accesses/s", "seed engine", "speedup"], rows)
     emit(table)
 
+    # Miss-heavy companion point: slow-path throughput tracking.
+    missheavy_workload = generate(MISSHEAVY_WORKLOAD, CPUS,
+                                  scale=BENCH_SCALE, seed=BENCH_SEED)
+    report["missheavy"] = {"workload": MISSHEAVY_WORKLOAD,
+                           "num_cpus": CPUS,
+                           "l2_kb": MISSHEAVY_L2_KB,
+                           "scale": BENCH_SCALE, "configs": {}}
+    rows = []
+    for kind, config in missheavy_configs().items():
+        measured = measure(config, missheavy_workload)
+        report["missheavy"]["configs"][kind] = measured
+        rows.append([kind, f"{measured['accesses_per_second']:,}",
+                     f"{measured['seconds']:.3f}"])
+    table = format_table(
+        f"Engine throughput, miss-heavy — {MISSHEAVY_WORKLOAD}, "
+        f"{CPUS}P, {MISSHEAVY_L2_KB}K L2, scale {BENCH_SCALE:g} "
+        f"(accesses/s, best of {REPEATS})",
+        ["config", "accesses/s", "seconds"], rows)
+    emit(table)
+
     out = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -93,6 +132,9 @@ def test_engine_throughput(benchmark, emit):
     # reference machine's *seed* numbers given the ~3x engine rewrite.
     for kind, measured in report["configs"].items():
         assert measured["accesses_per_second"] > 20_000, (
+            kind, measured)
+    for kind, measured in report["missheavy"]["configs"].items():
+        assert measured["accesses_per_second"] > 4_000, (
             kind, measured)
 
     benchmark.pedantic(

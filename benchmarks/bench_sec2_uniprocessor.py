@@ -11,7 +11,6 @@ on a single-processor machine so the multiprocessor results of
 Figures 6-10 sit on a calibrated baseline.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.config import e6000_config
@@ -68,7 +67,7 @@ def test_sec2_uniprocessor(benchmark, emit):
                  "direct ~17%, OTP ~1.3%, CHash ~25%, LHash ~5%"])
     table = format_table(
         f"Section 2 — uniprocessor protection costs ({WORKLOAD}, 1P, "
-        f"1M L2)", ["mechanism", "slowdown %"], rows)
+        "1M L2)", ["mechanism", "slowdown %"], rows)
     emit(table, "sec2_uniprocessor.txt")
     # Orderings the section reports:
     assert results["direct encryption"] > \

@@ -7,7 +7,6 @@ the baseline misses the split-group drop (Type 1) and the
 replay/spoof (Type 3) — exactly the paper's security argument.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.attacks import (DropAttack, SecureBusFabric, SpoofAttack,

@@ -10,7 +10,6 @@ stalls — which must equal the paper's formula — and shows the stall
 penalty of undershooting by one.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.masks import MaskTimingArray, max_useful_masks
@@ -48,7 +47,7 @@ def collect():
 def test_sec44_bus_speed(benchmark, emit):
     rows, outcomes = collect()
     table = format_table(
-        f"Section 4.4 — masks needed vs bus cycle time "
+        "Section 4.4 — masks needed vs bus cycle time "
         f"(AES latency {AES_LATENCY} cy, {BURST}-message peak burst)",
         ["bus cycle", "formula ceil(AES/bus)", "empirical minimum",
          "stalls with one fewer"], rows)

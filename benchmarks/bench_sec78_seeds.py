@@ -8,7 +8,6 @@ microscopically different traces; the spread of the measured SENSS
 slowdown across seeds bounds how much of any single number is noise.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.senss import build_secure_system

@@ -8,7 +8,6 @@ The bench also times both functional paths to show the critical-path
 asymmetry.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.crypto.aes import AES

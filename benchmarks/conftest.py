@@ -29,8 +29,7 @@ from typing import Dict, List, Optional, Tuple
 import pytest
 
 from repro.config import SystemConfig, e6000_config
-from repro.sim.sweep import (ResultCache, SweepPoint, build_system,
-                             run_sweep)
+from repro.sim.sweep import ResultCache, SweepPoint, run_sweep
 from repro.smp.metrics import SimulationResult
 from repro.workloads.registry import SPLASH2_NAMES, generate
 

@@ -70,15 +70,15 @@ def main() -> None:
         for index in indices:
             assert baseline.receive(receiver, *wires[index]) is not None
     print(f"   split-group drop: {baseline.per_message_failures} alarms "
-          f"raised -> attack NOT DETECTED (receivers silently hold "
-          f"garbage)")
+          "raised -> attack NOT DETECTED (receivers silently hold "
+          "garbage)")
 
     # Replay: an old (wire, MAC) pair re-delivered where sequences align.
     replayer = NonChainedAuthenticator(KEY)
     wire, mac = replayer.send(bytes([7] * 32))
     replayer.receive(0, wire, mac)
     replayed = replayer.receive(1, wire, mac)
-    print(f"   replay to a fresh victim: accepted as "
+    print("   replay to a fresh victim: accepted as "
           f"{replayed[:4].hex()}... -> attack NOT DETECTED")
 
     print()

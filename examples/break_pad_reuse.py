@@ -37,8 +37,8 @@ def main() -> None:
     truth = xor_bytes(d_original, d_updated)
     print(f"   observer computes wire1 XOR wire2 = {leaked.hex()}")
     print(f"   actual plaintext difference       = {truth.hex()}")
-    print(f"   -> EQUAL: the adversary learned where and how the "
-          f"balance changed, with no key.")
+    print("   -> EQUAL: the adversary learned where and how the "
+          "balance changed, with no key.")
     assert leaked == truth
 
     print()

@@ -50,7 +50,7 @@ def main() -> None:
         secured = build_secure_system(config).run(workload)
         print(f"  baseline: {base.summary()}")
         print(f"  SENSS   : {secured.summary()}")
-        print(f"  slowdown at interval 1: "
+        print("  slowdown at interval 1: "
               f"{slowdown_percent(base, secured):+.3f}%")
 
         # 2. Round-trip a generated workload through the format.

@@ -27,7 +27,7 @@ def burst(array: MaskTimingArray, messages: int = 12):
 def main() -> None:
     config = e6000_config()
     print(f"AES latency {AES_LATENCY} cy, bus cycle {BUS_CYCLE} cy")
-    print(f"Section 4.4 bound: masks needed = ceil(AES/bus) = "
+    print("Section 4.4 bound: masks needed = ceil(AES/bus) = "
           f"{max_useful_masks(AES_LATENCY, BUS_CYCLE)} "
           f"(config.max_masks = {config.max_masks})")
     print()

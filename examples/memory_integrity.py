@@ -25,16 +25,16 @@ def encryption_demo() -> None:
     secret = b"wire $1,000,000 to account 7781".ljust(64, b".")
     engine.store(memory, 0x1000, secret)
     print(f"   in memory : {memory.read_line(0x1000)[:24].hex()}... "
-          f"(ciphertext)")
+          "(ciphertext)")
     print(f"   decrypted : {engine.load(memory, 0x1000)[:31]!r}")
 
     directory = PadCoherenceDirectory(num_processors=2)
     directory.on_fetch(1, 0x1000)          # CPU1 caches the pad
     affected = directory.on_writeback(0, 0x1000)  # CPU0 re-encrypts
     print(f"   CPU0 write-back bumps the pad; stale holders {affected} "
-          f"get a type-'01' invalidate")
+          "get a type-'01' invalidate")
     needs_request = directory.on_fetch(1, 0x1000)
-    print(f"   CPU1's next fetch issues a type-'10' pad request: "
+    print("   CPU1's next fetch issues a type-'10' pad request: "
           f"{needs_request}")
 
 
@@ -87,7 +87,7 @@ def lhash_demo() -> None:
     for index in range(8):
         verifier.read_line(index * 64)
     verifier.verify_epoch()
-    print(f"   clean epoch of 16 accesses verified in one deferred "
+    print("   clean epoch of 16 accesses verified in one deferred "
           f"check ({verifier.epochs_verified} epoch)")
 
     verifier.write_line(0x40, bytes([9] * 64))

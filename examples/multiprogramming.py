@@ -58,9 +58,9 @@ def swap_demo() -> None:
     manager = GroupContextManager(memory, DeterministicRng(11))
     contexts = manager.swap_out(shus, 4)
     print(f"   swapped out {len(contexts)} member contexts "
-          f"(encrypted, MAC'd) to memory at "
+          "(encrypted, MAC'd) to memory at "
           f"{contexts[0].base_address:#x}")
-    print(f"   on-chip masks scrubbed: "
+    print("   on-chip masks scrubbed: "
           f"{shus[0].channel(4).mask_snapshot()[0][:8].hex()}...")
     manager.swap_in(shus, 4)
     wire = shus[0].send(4, bytes([0x77] * 32))
@@ -74,7 +74,7 @@ def swap_demo() -> None:
     try:
         manager.swap_in(shus, 4)
     except IntegrityViolation as alarm:
-        print(f"   tampering with the swapped context is caught: "
+        print("   tampering with the swapped context is caught: "
               f"{alarm}")
 
 

@@ -37,9 +37,9 @@ def main() -> None:
     print("Baseline :", baseline.summary())
     print("SENSS    :", secured.summary())
     print()
-    print(f"Performance slowdown : "
+    print("Performance slowdown : "
           f"{slowdown_percent(baseline, secured):+.3f}%")
-    print(f"Bus traffic increase : "
+    print("Bus traffic increase : "
           f"{traffic_increase_percent(baseline, secured):+.3f}%")
     print(f"MAC broadcasts       : {secured.auth_messages}")
     print(f"Mask stalls          : {secured.stat('senss.mask_stalls')}")

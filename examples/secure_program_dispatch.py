@@ -69,7 +69,7 @@ def main() -> None:
         assert UNTRUSTED not in received
         if index < 3:
             print(f"   CPU{sender} -> CPUs {got}: "
-                  f"32B line delivered, outsider saw ciphertext only")
+                  "32B line delivered, outsider saw ciphertext only")
     print(f"   ... {fabric.transmitted} transfers, "
           f"{manager.rounds_completed} MAC rounds, 0 alarms")
 

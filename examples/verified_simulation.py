@@ -21,7 +21,7 @@ def main() -> None:
 
     workload = generate("lu", 4, scale=0.2)
     print(f"Running {workload.name} ({workload.total_accesses} refs) "
-          f"with REAL AES under the timing model...")
+          "with REAL AES under the timing model...")
     result = system.run(workload)
 
     summary = bridge.verify_against_layer(system.bus.security_layer)
@@ -29,15 +29,15 @@ def main() -> None:
           f"{result.cache_to_cache_transfers} cache-to-cache "
           f"transfers, {result.auth_messages} MAC broadcasts")
     print("Functional cross-check:")
-    print(f"  protected transfers mirrored : "
+    print("  protected transfers mirrored : "
           f"{summary['protected_transfers']}")
     print(f"  authentication rounds passed : {summary['auth_rounds']}")
-    print(f"  MAC broadcast transactions   : "
+    print("  MAC broadcast transactions   : "
           f"{summary['mac_broadcasts']}")
     channel = bridge.shus[0].channel(0)
-    print(f"  final chained MAC            : "
+    print("  final chained MAC            : "
           f"{channel.mac_digest().hex()}")
-    print(f"  AES invocations per member   : "
+    print("  AES invocations per member   : "
           f"{channel.aes_invocations}")
     print("\nEvery counter matches and every replica agrees: the")
     print("timing layer's books correspond one-for-one to genuine")

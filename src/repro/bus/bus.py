@@ -14,11 +14,17 @@ SENSS security hooks (per-message +3 cycles, mask-readiness stalls,
 MAC broadcasts) are layered on by :class:`repro.core.senss.SenssBusLayer`
 via the ``security_layer`` attachment so the baseline bus stays
 security-free.
+
+Traffic accounting is deferred (DESIGN.md §6c): the issue path bumps
+plain integers and a flusher registered with the
+:class:`~repro.sim.stats.StatsRegistry` materializes the named
+counters on read, so per-transaction cost stays off the string-keyed
+stats machinery.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..config import BusConfig
 from ..errors import BusError
@@ -38,6 +44,14 @@ class SharedBus:
         self._sequence = 0
         self._observers: List[Callable[[BusTransaction], None]] = []
         self.security_layer = None  # set by SenssBusLayer.attach()
+        # Deferred traffic counters, drained by _flush_stats on any
+        # registry read. Only transaction types actually issued get a
+        # _pending_by_type entry, preserving lazy counter creation.
+        self._pending_transactions = 0
+        self._pending_c2c = 0
+        self._pending_with_memory = 0
+        self._pending_by_type: Dict[TransactionType, int] = {}
+        self.stats.register_flusher(self._flush_stats)
 
     # -- observation -----------------------------------------------------
 
@@ -63,10 +77,9 @@ class SharedBus:
 
     def base_latency(self, transaction: BusTransaction) -> int:
         """Uncontended requester-visible latency from grant (Figure 5)."""
-        if transaction.type in (TransactionType.BUS_UPGRADE,
-                                TransactionType.PAD_INVALIDATE):
-            return 2 * self.config.cycle_cpu_cycles  # address-only
-        if transaction.type == TransactionType.AUTH_MAC:
+        if transaction.type.is_short_message:
+            # Address-only coherence/pad messages and the 16-byte MAC
+            # digest broadcast: two bus cycles.
             return 2 * self.config.cycle_cpu_cycles
         if transaction.supplied_by_cache:
             return self.config.cache_to_cache_latency
@@ -84,67 +97,96 @@ class SharedBus:
         """
         if request_cycle < 0:
             raise BusError("request cycle must be non-negative")
+        config = self.config
+        tx_type = transaction.type
         transaction.issue_cycle = request_cycle
         grant = max(request_cycle, self._free_at)
         transaction.grant_cycle = grant
         transaction.sequence = self._sequence
         self._sequence += 1
 
-        latency = self.base_latency(transaction)
-        occupancy = self.occupancy_cycles(transaction.type, data_bytes)
+        carries = tx_type.carries_data and data_bytes > 0
+        if tx_type.is_short_message:
+            latency = 2 * config.cycle_cpu_cycles
+        elif transaction.supplied_by_cache:
+            latency = config.cache_to_cache_latency
+        else:
+            latency = config.cache_to_memory_latency
 
-        if self.security_layer is not None:
+        security_layer = self.security_layer
+        if security_layer is not None:
             # The security layer may stall the transfer (mask readiness)
             # and adds its fixed per-message overhead; it also injects
             # MAC broadcasts, which recursively occupy the bus.
-            latency += self.security_layer.before_transfer(transaction,
-                                                           grant)
+            latency += security_layer.before_transfer(transaction, grant)
 
-        if self.config.split_transaction:
+        if config.split_transaction:
             # Gigaplane-style: the address bus is held for one cycle
             # per transaction; the data phase queues on the separate
             # data bus and the requester waits for its slot.
-            self._free_at = grant + self.config.cycle_cpu_cycles
-            if transaction.type.carries_data and data_bytes > 0:
-                data_cycles = (-(-data_bytes // self.config.line_bytes)
-                               * self.config.cycle_cpu_cycles)
+            self._free_at = grant + config.cycle_cpu_cycles
+            if carries:
+                data_cycles = (-(-data_bytes // config.line_bytes)
+                               * config.cycle_cpu_cycles)
                 data_start = max(grant, self._data_free_at)
                 self._data_free_at = data_start + data_cycles
                 latency += data_start - grant
             transaction.complete_cycle = grant + latency
         else:
+            occupancy = config.cycle_cpu_cycles
+            if carries:
+                occupancy += (-(-data_bytes // config.line_bytes)
+                              * config.cycle_cpu_cycles)
             self._free_at = grant + occupancy
             transaction.complete_cycle = grant + latency
 
-        self._count(transaction)
+        # Deferred traffic accounting (flushed on any stats read).
+        self._pending_transactions += 1
+        by_type = self._pending_by_type
+        by_type[tx_type] = by_type.get(tx_type, 0) + 1
+        if transaction.supplied_by_cache and tx_type.carries_data:
+            self._pending_c2c += 1
+        elif tx_type in self._MEMORY_DATA_TYPES:
+            # Line movement to/from memory. Security messages (MAC
+            # broadcasts, pad requests) are counted by type only.
+            self._pending_with_memory += 1
+
         for observer in self._observers:
             observer(transaction)
-        if self.security_layer is not None:
-            self.security_layer.after_transfer(transaction)
+        if security_layer is not None:
+            security_layer.after_transfer(transaction)
         return transaction
 
     # -- statistics ----------------------------------------------------------
 
-    _MEMORY_DATA_TYPES = (TransactionType.BUS_READ,
-                          TransactionType.BUS_READ_EXCLUSIVE,
-                          TransactionType.WRITEBACK,
-                          TransactionType.HASH_FETCH,
-                          TransactionType.HASH_WRITEBACK)
+    _MEMORY_DATA_TYPES = frozenset((TransactionType.BUS_READ,
+                                    TransactionType.BUS_READ_EXCLUSIVE,
+                                    TransactionType.WRITEBACK,
+                                    TransactionType.HASH_FETCH,
+                                    TransactionType.HASH_WRITEBACK))
 
     #: per-type counter names, computed once instead of an f-string
     #: per transaction on the issue path
     _TX_COUNTER_NAMES = {tx_type: f"bus.tx.{tx_type.value}"
                          for tx_type in TransactionType}
 
-    def _count(self, transaction: BusTransaction) -> None:
-        self.stats.add("bus.transactions")
-        self.stats.add(self._TX_COUNTER_NAMES[transaction.type])
-        if transaction.is_cache_to_cache:
-            self.stats.add("bus.cache_to_cache")
-        elif transaction.type in self._MEMORY_DATA_TYPES:
-            # Line movement to/from memory. Security messages (MAC
-            # broadcasts, pad requests) are counted by type only.
-            self.stats.add("bus.with_memory")
+    def _flush_stats(self) -> None:
+        """Drain pending traffic counts into the registry."""
+        add = self.stats.add
+        if self._pending_transactions:
+            add("bus.transactions", self._pending_transactions)
+            self._pending_transactions = 0
+        if self._pending_by_type:
+            names = self._TX_COUNTER_NAMES
+            for tx_type, count in self._pending_by_type.items():
+                add(names[tx_type], count)
+            self._pending_by_type.clear()
+        if self._pending_c2c:
+            add("bus.cache_to_cache", self._pending_c2c)
+            self._pending_c2c = 0
+        if self._pending_with_memory:
+            add("bus.with_memory", self._pending_with_memory)
+            self._pending_with_memory = 0
 
     @property
     def total_transactions(self) -> int:

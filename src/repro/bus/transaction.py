@@ -14,7 +14,6 @@ do not need extra signals", section 7.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
@@ -34,17 +33,6 @@ class TransactionType(Enum):
     HASH_WRITEBACK = "HashWB"
 
     @property
-    def carries_data(self) -> bool:
-        """Whether a data block rides with the transaction."""
-        return self in (TransactionType.BUS_READ,
-                        TransactionType.BUS_READ_EXCLUSIVE,
-                        TransactionType.WRITEBACK,
-                        TransactionType.AUTH_MAC,
-                        TransactionType.PAD_REQUEST,
-                        TransactionType.HASH_FETCH,
-                        TransactionType.HASH_WRITEBACK)
-
-    @property
     def command_encoding(self) -> Optional[str]:
         """The SENSS 2-bit extra command encoding, if any (section 7.1)."""
         return {TransactionType.AUTH_MAC: "00",
@@ -52,20 +40,61 @@ class TransactionType(Enum):
                 TransactionType.PAD_REQUEST: "10"}.get(self)
 
 
-@dataclass
-class BusTransaction:
-    """One atomic transaction granted on the shared bus."""
+# Per-member classification flags, precomputed once: the bus and the
+# security layer consult these on every transaction, so they are plain
+# attributes rather than properties recomputing tuple membership.
+_DATA_TYPES = frozenset((
+    TransactionType.BUS_READ,
+    TransactionType.BUS_READ_EXCLUSIVE,
+    TransactionType.WRITEBACK,
+    TransactionType.AUTH_MAC,
+    TransactionType.PAD_REQUEST,
+    TransactionType.HASH_FETCH,
+    TransactionType.HASH_WRITEBACK,
+))
+#: address-only (or digest-only) messages with the fixed 2-bus-cycle
+#: requester-visible latency (see SharedBus.base_latency)
+_SHORT_TYPES = frozenset((
+    TransactionType.BUS_UPGRADE,
+    TransactionType.PAD_INVALIDATE,
+    TransactionType.AUTH_MAC,
+))
+for _member in TransactionType:
+    #: whether a data block rides with the transaction
+    _member.carries_data = _member in _DATA_TYPES
+    _member.is_short_message = _member in _SHORT_TYPES
 
-    type: TransactionType
-    address: int
-    source_pid: int
-    group_id: int = 0
-    issue_cycle: int = 0
-    grant_cycle: int = 0
-    complete_cycle: int = 0
-    supplied_by_cache: bool = False   # cache-to-cache vs memory
-    payload: Optional[bytes] = None   # functional mode only
-    sequence: int = field(default=-1)
+
+class BusTransaction:
+    """One atomic transaction granted on the shared bus.
+
+    A plain ``__slots__`` record: transactions are created (or reused)
+    on every miss, upgrade, write-back and security message, so the
+    slow path wants the cheapest possible construction — no dataclass
+    machinery, no ``__dict__``.
+    """
+
+    __slots__ = ("type", "address", "source_pid", "group_id",
+                 "issue_cycle", "grant_cycle", "complete_cycle",
+                 "supplied_by_cache", "payload", "sequence")
+
+    def __init__(self, type: TransactionType, address: int,
+                 source_pid: int, group_id: int = 0,
+                 issue_cycle: int = 0, grant_cycle: int = 0,
+                 complete_cycle: int = 0,
+                 supplied_by_cache: bool = False,
+                 payload: Optional[bytes] = None,
+                 sequence: int = -1):
+        self.type = type
+        self.address = address
+        self.source_pid = source_pid
+        self.group_id = group_id
+        self.issue_cycle = issue_cycle
+        self.grant_cycle = grant_cycle
+        self.complete_cycle = complete_cycle
+        self.supplied_by_cache = supplied_by_cache  # cache-to-cache vs memory
+        self.payload = payload                      # functional mode only
+        self.sequence = sequence
 
     @property
     def is_cache_to_cache(self) -> bool:

@@ -53,6 +53,29 @@ class CacheHierarchy:
         self.l2 = SetAssociativeCache(l2_config)
         self.stats = stats if stats is not None else StatsRegistry()
         self._prefix = f"cpu{cpu_id}."
+        # Deferred access-classification counters (flushed into the
+        # registry on read; see StatsRegistry.register_flusher).
+        self._pending_l1_hit = 0
+        self._pending_l2_hit = 0
+        self._pending_l2_miss = 0
+        self._pending_upgrade = 0
+        self.stats.register_flusher(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        add = self.stats.add
+        prefix = self._prefix
+        if self._pending_l1_hit:
+            add(prefix + "l1_hit", self._pending_l1_hit)
+            self._pending_l1_hit = 0
+        if self._pending_l2_hit:
+            add(prefix + "l2_hit", self._pending_l2_hit)
+            self._pending_l2_hit = 0
+        if self._pending_l2_miss:
+            add(prefix + "l2_miss", self._pending_l2_miss)
+            self._pending_l2_miss = 0
+        if self._pending_upgrade:
+            add(prefix + "upgrade_needed", self._pending_upgrade)
+            self._pending_upgrade = 0
 
     # -- local access classification -----------------------------------
 
@@ -62,24 +85,24 @@ class CacheHierarchy:
         l2_line = self.l2.line_address(address)
         l2_entry = self.l2.lookup_line(l2_line)
         if l2_entry is None:
-            self.stats.add(self._prefix + "l2_miss")
+            self._pending_l2_miss += 1
             return AccessResult(AccessKind.MISS, l2_line,
                                 latency=0)
         # L2 has the line; check write permission first.
         if is_write and not l2_entry.state.can_write:
-            self.stats.add(self._prefix + "upgrade_needed")
+            self._pending_upgrade += 1
             return AccessResult(AccessKind.L2_HIT_NEEDS_UPGRADE, l2_line,
                                 latency=self.l2.config.hit_latency)
         if is_write:
             l2_entry.state = MesiState.MODIFIED  # includes silent E->M
         l1_entry = self.l1.lookup(address)
         if l1_entry is not None:
-            self.stats.add(self._prefix + "l1_hit")
+            self._pending_l1_hit += 1
             return AccessResult(AccessKind.L1_HIT, l2_line,
                                 latency=self.l1.config.hit_latency)
         # L1 refill from L2 (no bus traffic; inclusion preserved).
         self.l1.insert(address, MesiState.SHARED)
-        self.stats.add(self._prefix + "l2_hit")
+        self._pending_l2_hit += 1
         return AccessResult(AccessKind.L2_HIT, l2_line,
                             latency=self.l2.config.hit_latency)
 

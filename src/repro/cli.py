@@ -37,7 +37,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="simulate one workload")
     run.add_argument("workload",
                      help=f"one of {SPLASH2_NAMES} or a .trace file "
-                          f"(see repro.workloads.tracefile)")
+                          "(see repro.workloads.tracefile)")
     run.add_argument("--cpus", type=int, default=4)
     run.add_argument("--l2-mb", type=int, default=1, choices=[1, 4])
     run.add_argument("--interval", type=int, default=100)
@@ -97,9 +97,9 @@ def _cmd_run(args) -> int:
     secured = build_secure_system(config).run(workload)
     print(baseline.summary())
     print(secured.summary())
-    print(f"slowdown         : "
+    print("slowdown         : "
           f"{slowdown_percent(baseline, secured):+.3f}%")
-    print(f"traffic increase : "
+    print("traffic increase : "
           f"{traffic_increase_percent(baseline, secured):+.3f}%")
     return 0
 

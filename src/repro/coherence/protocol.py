@@ -37,11 +37,17 @@ class MesiProtocol:
 
     def __init__(self, hierarchies: Sequence[CacheHierarchy]):
         self._hierarchies = list(hierarchies)
+        # Snoops broadcast to every cache but the requester's; build
+        # the (cpu_id, hierarchy) remote list per requester once
+        # instead of filtering on every bus transaction.
+        self._remote_lists = [
+            [(cpu_id, hierarchy)
+             for cpu_id, hierarchy in enumerate(self._hierarchies)
+             if cpu_id != requester]
+            for requester in range(len(self._hierarchies))]
 
     def _remotes(self, requester: int):
-        for cpu_id, hierarchy in enumerate(self._hierarchies):
-            if cpu_id != requester:
-                yield cpu_id, hierarchy
+        return self._remote_lists[requester]
 
     def bus_read(self, requester: int, line_address: int) -> SnoopOutcome:
         """Remote effects of a read miss (BusRd)."""
@@ -119,7 +125,7 @@ class MesiProtocol:
                 f"multiple M/E copies of {line_address:#x}: {states}")
         if exclusive_like and len(valid) > 1:
             raise CoherenceError(
-                f"M/E copy coexists with other copies of "
+                "M/E copy coexists with other copies of "
                 f"{line_address:#x}: {states}")
         if len(owned) > 1:
             raise CoherenceError(

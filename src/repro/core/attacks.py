@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import AuthenticationFailure, ReproError, SpoofDetected
+from ..errors import AuthenticationFailure, ReproError
 from .authentication import AuthenticationManager
 from .shu import SecurityHardwareUnit, WireMessage
 
@@ -224,7 +224,7 @@ class SecureBusFabric:
             self.auth.failures += 1
             self.alarms.append("tampered MAC broadcast")
             raise AuthenticationFailure(
-                f"bus authentication failed: broadcast from initiator "
+                "bus authentication failed: broadcast from initiator "
                 f"{initiator} does not match any member's chain",
                 group_id=self.group_id)
         try:

@@ -17,7 +17,7 @@ replay/spoof attacks that SENSS's chained MAC catches.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..crypto.aes import AES, BLOCK_BYTES
 from ..crypto.otp import xor_bytes

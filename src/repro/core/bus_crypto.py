@@ -23,7 +23,7 @@ chained MAC.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..crypto.aes import AES, BLOCK_BYTES
 from ..crypto.cbcmac import CbcMac

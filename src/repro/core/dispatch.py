@@ -13,7 +13,7 @@ run's mask trace different (section 4.2 "Initialization").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..crypto.aes import AES, BLOCK_BYTES

@@ -90,7 +90,7 @@ class FunctionalSecurityBridge:
         sender = self.shus[transaction.source_pid]
         if not sender.is_member(self.group_id):
             raise ReproError(
-                f"protected transfer from non-member PID "
+                "protected transfer from non-member PID "
                 f"{transaction.source_pid}")
         payload = synthesize_payload(transaction.address,
                                      self.protected_transfers)

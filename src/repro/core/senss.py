@@ -29,7 +29,7 @@ lazily on first traffic, with membership defaulting to all processors;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..bus.transaction import BusTransaction, TransactionType
@@ -45,10 +45,15 @@ class _GroupState:
 
     mask_array: MaskTimingArray
     member_pids: List[int]
+    messages_stat: str
+    auth_stat: str
     auth_counter: int = 0
     initiator_index: int = 0
     auth_broadcasts: int = 0
     protected_messages: int = 0
+    # Deferred stats-registry counts (drained by the layer's flusher).
+    pending_messages: int = 0
+    pending_auth: int = 0
 
 
 class SenssBusLayer:
@@ -63,6 +68,12 @@ class SenssBusLayer:
         self._groups: Dict[int, _GroupState] = {}
         self._bus = None
         self.total_mask_wait = 0
+        self._overhead = config.senss.per_message_overhead_cycles
+        # Deferred aggregate counts (only accumulated while attached,
+        # mirroring the registry-only-when-attached semantics).
+        self._pending_protected = 0
+        self._pending_mask_stalls = 0
+        self._pending_mask_wait = 0
 
     # -- attachment ---------------------------------------------------------
 
@@ -70,6 +81,25 @@ class SenssBusLayer:
         """Register on the bus; the bus calls back on every grant."""
         self._bus = bus
         bus.security_layer = self
+        bus.stats.register_flusher(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        add = self._bus.stats.add
+        if self._pending_protected:
+            add("senss.protected_messages", self._pending_protected)
+            self._pending_protected = 0
+        if self._pending_mask_stalls:
+            add("senss.mask_stalls", self._pending_mask_stalls)
+            add("senss.mask_wait_cycles", self._pending_mask_wait)
+            self._pending_mask_stalls = 0
+            self._pending_mask_wait = 0
+        for state in self._groups.values():
+            if state.pending_messages:
+                add(state.messages_stat, state.pending_messages)
+                state.pending_messages = 0
+            if state.pending_auth:
+                add(state.auth_stat, state.pending_auth)
+                state.pending_auth = 0
 
     # -- group management ------------------------------------------------------
 
@@ -88,7 +118,9 @@ class SenssBusLayer:
         state = _GroupState(
             MaskTimingArray(self.config.senss.num_masks,
                             self.config.crypto.aes_latency),
-            members)
+            members,
+            messages_stat=f"senss.group{group_id}.messages",
+            auth_stat=f"senss.group{group_id}.auth")
         self._groups[group_id] = state
         return state
 
@@ -128,26 +160,34 @@ class SenssBusLayer:
     def before_transfer(self, transaction: BusTransaction,
                         grant_cycle: int) -> int:
         """Extra requester-visible latency for this transaction."""
-        if not self._is_protected(transaction):
+        tx_type = transaction.type
+        if not (tx_type.carries_data and transaction.supplied_by_cache
+                and tx_type is not TransactionType.AUTH_MAC):
             return 0
-        state = self.group_state(transaction.group_id)
+        group_id = transaction.group_id
+        state = self._groups.get(group_id)
+        if state is None:
+            state = self.register_group(group_id)
         state.protected_messages += 1
         mask_wait = state.mask_array.consume(grant_cycle)
         self.total_mask_wait += mask_wait
         if self._bus is not None:
             if mask_wait:
-                self._bus.stats.add("senss.mask_stalls")
-                self._bus.stats.add("senss.mask_wait_cycles", mask_wait)
-            self._bus.stats.add("senss.protected_messages")
-            self._bus.stats.add(
-                f"senss.group{transaction.group_id}.messages")
-        return self.config.senss.per_message_overhead_cycles + mask_wait
+                self._pending_mask_stalls += 1
+                self._pending_mask_wait += mask_wait
+            self._pending_protected += 1
+            state.pending_messages += 1
+        return self._overhead + mask_wait
 
     def after_transfer(self, transaction: BusTransaction) -> None:
         """Advance the group's counter; broadcast its MAC when due."""
-        if not self._is_protected(transaction):
+        tx_type = transaction.type
+        if not (tx_type.carries_data and transaction.supplied_by_cache
+                and tx_type is not TransactionType.AUTH_MAC):
             return
-        state = self.group_state(transaction.group_id)
+        state = self._groups.get(transaction.group_id)
+        if state is None:
+            state = self.register_group(transaction.group_id)
         state.auth_counter += 1
         if state.auth_counter < self.auth_interval:
             return
@@ -177,8 +217,7 @@ class SenssBusLayer:
         self._bus.issue(mac_message, max(cycle, self._bus.free_at),
                         data_bytes=16)
         state.auth_broadcasts += 1
-        if self._bus is not None:
-            self._bus.stats.add(f"senss.group{group_id}.auth")
+        state.pending_auth += 1
 
 
 def build_secure_system(config: SystemConfig) -> SmpSystem:

@@ -17,13 +17,13 @@ A message carrying the SHU's *own* PID is an immediate spoof alarm —
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..crypto.rsa import RsaKeyPair, generate_keypair
 from ..errors import ReproError, SpoofDetected
 from ..sim.rng import DeterministicRng
-from .bus_crypto import MESSAGE_BYTES, GroupChannel
+from .bus_crypto import GroupChannel
 from .groups import GroupInfoTable, GroupProcessorBitMatrix
 
 
@@ -139,7 +139,7 @@ class SecurityHardwareUnit:
         if message.pid == self.pid:
             raise SpoofDetected(
                 f"processor {self.pid} snooped a message carrying its "
-                f"own PID")
+                "own PID")
         plaintext = self.channel(message.group_id).decrypt_message(
             message.pid, message.payload)
         self.messages_received += 1

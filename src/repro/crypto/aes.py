@@ -7,9 +7,23 @@ cycles latency, 3.2 GB/s throughput in Figure 5) lives separately in
 :mod:`repro.crypto.engine` — the paper decouples function and timing the
 same way, and so do we.
 
-The implementation is a straightforward byte-oriented one (S-box +
-column mixing over GF(2^8)); it favours clarity over speed, which is
-fine because the *timing* simulator never invokes real encryption.
+Two implementations live here on purpose (DESIGN.md §6c):
+
+- The **byte-wise reference** (``encrypt_block_reference`` /
+  ``decrypt_block_reference``) follows FIPS-197 operation by operation
+  — S-box built from first principles (GF(2^8) inverse + affine map),
+  explicit ShiftRows/MixColumns. It is the executable specification.
+- The **T-table path** (``encrypt_block`` / ``decrypt_block``) folds
+  SubBytes, ShiftRows and MixColumns into four 256-entry 32-bit
+  lookup tables per direction — the classic software formulation —
+  and caches expanded key schedules per key. This is what the
+  functional bridge and the crypto modes call; the test suite asserts
+  it matches the reference byte-for-byte on the FIPS-197 vectors and
+  on randomized keys/blocks.
+
+The tables themselves are derived *from* the first-principles S-box
+and GF(2^8) multiply, so the reference construction remains the single
+source of truth.
 """
 
 from __future__ import annotations
@@ -88,6 +102,48 @@ while len(_RCON) < 14:
     _RCON.append(_xtime(_RCON[-1]))
 
 
+# -- T-tables (derived from the first-principles S-box) ----------------
+#
+# Te_r[x] is the 32-bit big-endian column contribution of byte value x
+# sitting at row r after SubBytes: MixColumns column r of
+# [2 3 1 1; 1 2 3 1; 1 1 2 3; 3 1 1 2] applied to S(x). Td_r likewise
+# uses InvS(x) and the InvMixColumns matrix [14 11 13 9; ...].
+
+def _build_tables():
+    te = ([], [], [], [])
+    td = ([], [], [], [])
+    for x in range(256):
+        s = _SBOX[x]
+        s2 = _gf_mul(s, 2)
+        s3 = s2 ^ s
+        column = [s2, s, s, s3]  # contributions of a row-0 byte
+        for r in range(4):
+            # A row-r byte's contributions are the row-0 column
+            # rotated down by r (the matrix is circulant).
+            te[r].append((column[-r % 4] << 24)
+                         | (column[(1 - r) % 4] << 16)
+                         | (column[(2 - r) % 4] << 8)
+                         | column[(3 - r) % 4])
+        si = _INV_SBOX[x]
+        column = [_gf_mul(si, 14), _gf_mul(si, 9),
+                  _gf_mul(si, 13), _gf_mul(si, 11)]
+        for r in range(4):
+            td[r].append((column[-r % 4] << 24)
+                         | (column[(1 - r) % 4] << 16)
+                         | (column[(2 - r) % 4] << 8)
+                         | column[(3 - r) % 4])
+    return te, td
+
+
+(_TE0, _TE1, _TE2, _TE3), (_TD0, _TD1, _TD2, _TD3) = _build_tables()
+
+# Expanded-schedule cache: key bytes -> [rounds, enc words, dec words
+# or None]. Callers like the Matyas-Meyer-Oseas hash rekey per block,
+# so the cache is capped; a full wipe is fine (misses just recompute).
+_SCHEDULE_CACHE = {}
+_SCHEDULE_CACHE_MAX = 4096
+
+
 class AES:
     """The AES block cipher over 16-byte blocks.
 
@@ -103,7 +159,23 @@ class AES:
         self.key = bytes(key)
         self._nk = len(key) // 4
         self._rounds = self._nk + 6
-        self._round_keys = self._expand_key(self.key)
+        cached = _SCHEDULE_CACHE.get(self.key)
+        if cached is None:
+            self._round_keys = self._expand_key(self.key)
+            # Word form of the same schedule for the T-table path:
+            # one big-endian 32-bit word per state column.
+            enc_words = [
+                [(rk[4 * c] << 24) | (rk[4 * c + 1] << 16)
+                 | (rk[4 * c + 2] << 8) | rk[4 * c + 3]
+                 for c in range(4)]
+                for rk in self._round_keys]
+            if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+                _SCHEDULE_CACHE.clear()
+            cached = [self._round_keys, enc_words, None]
+            _SCHEDULE_CACHE[self.key] = cached
+        else:
+            self._round_keys = cached[0]
+        self._schedule = cached
 
     # -- key schedule -------------------------------------------------
 
@@ -188,9 +260,10 @@ class AES:
             state[col * 4 + 3] = (_gf_mul(a[0], 11) ^ _gf_mul(a[1], 13)
                                   ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14))
 
-    # -- public block API ----------------------------------------------
+    # -- byte-wise reference implementation ----------------------------
 
-    def encrypt_block(self, plaintext: bytes) -> bytes:
+    def encrypt_block_reference(self, plaintext: bytes) -> bytes:
+        """FIPS-197 encryption, operation by operation (the spec)."""
         if len(plaintext) != BLOCK_BYTES:
             raise CryptoError(
                 f"AES block must be {BLOCK_BYTES} bytes, "
@@ -207,7 +280,8 @@ class AES:
         self._add_round_key(state, self._round_keys[self._rounds])
         return bytes(state)
 
-    def decrypt_block(self, ciphertext: bytes) -> bytes:
+    def decrypt_block_reference(self, ciphertext: bytes) -> bytes:
+        """FIPS-197 decryption, operation by operation (the spec)."""
         if len(ciphertext) != BLOCK_BYTES:
             raise CryptoError(
                 f"AES block must be {BLOCK_BYTES} bytes, "
@@ -223,6 +297,118 @@ class AES:
         self._inv_sub_bytes(state)
         self._add_round_key(state, self._round_keys[0])
         return bytes(state)
+
+    # -- T-table implementation (the production path) ------------------
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != BLOCK_BYTES:
+            raise CryptoError(
+                f"AES block must be {BLOCK_BYTES} bytes, "
+                f"got {len(plaintext)}")
+        words = self._schedule[1]
+        rk = words[0]
+        s0 = (int.from_bytes(plaintext[0:4], "big")) ^ rk[0]
+        s1 = (int.from_bytes(plaintext[4:8], "big")) ^ rk[1]
+        s2 = (int.from_bytes(plaintext[8:12], "big")) ^ rk[2]
+        s3 = (int.from_bytes(plaintext[12:16], "big")) ^ rk[3]
+        te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
+        for round_index in range(1, self._rounds):
+            rk = words[round_index]
+            # Output column c gathers ShiftRows sources: row r of
+            # column (c + r) mod 4.
+            t0 = (te0[s0 >> 24] ^ te1[(s1 >> 16) & 0xFF]
+                  ^ te2[(s2 >> 8) & 0xFF] ^ te3[s3 & 0xFF] ^ rk[0])
+            t1 = (te0[s1 >> 24] ^ te1[(s2 >> 16) & 0xFF]
+                  ^ te2[(s3 >> 8) & 0xFF] ^ te3[s0 & 0xFF] ^ rk[1])
+            t2 = (te0[s2 >> 24] ^ te1[(s3 >> 16) & 0xFF]
+                  ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ rk[2])
+            t3 = (te0[s3 >> 24] ^ te1[(s0 >> 16) & 0xFF]
+                  ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ rk[3])
+            s0, s1, s2, s3 = t0, t1, t2, t3
+        # Final round: SubBytes + ShiftRows only (no MixColumns).
+        sbox = _SBOX
+        rk = words[self._rounds]
+        t0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+              | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ rk[0]
+        t1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+              | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ rk[1]
+        t2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+              | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ rk[2]
+        t3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+              | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ rk[3]
+        return b"".join(t.to_bytes(4, "big") for t in (t0, t1, t2, t3))
+
+    def _decryption_words(self):
+        """Equivalent-inverse-cipher round keys (FIPS-197 section 5.3.5):
+        encryption schedule reversed, InvMixColumns applied to the
+        interior round keys. Computed on first decrypt, then cached
+        with the schedule."""
+        dec_words = self._schedule[2]
+        if dec_words is not None:
+            return dec_words
+        words = self._schedule[1]
+        rounds = self._rounds
+        sbox = _SBOX
+        td0, td1, td2, td3 = _TD0, _TD1, _TD2, _TD3
+        dec_words = [words[rounds]]
+        for round_index in range(rounds - 1, 0, -1):
+            transformed = []
+            for word in words[round_index]:
+                # InvMixColumns via the tables: Td_r[S[b]] is the
+                # InvMixColumns contribution of byte b at row r
+                # (the inner S-box cancels Td's InvS).
+                transformed.append(td0[sbox[word >> 24]]
+                                   ^ td1[sbox[(word >> 16) & 0xFF]]
+                                   ^ td2[sbox[(word >> 8) & 0xFF]]
+                                   ^ td3[sbox[word & 0xFF]])
+            dec_words.append(transformed)
+        dec_words.append(words[0])
+        self._schedule[2] = dec_words
+        return dec_words
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != BLOCK_BYTES:
+            raise CryptoError(
+                f"AES block must be {BLOCK_BYTES} bytes, "
+                f"got {len(ciphertext)}")
+        words = self._decryption_words()
+        rk = words[0]
+        s0 = (int.from_bytes(ciphertext[0:4], "big")) ^ rk[0]
+        s1 = (int.from_bytes(ciphertext[4:8], "big")) ^ rk[1]
+        s2 = (int.from_bytes(ciphertext[8:12], "big")) ^ rk[2]
+        s3 = (int.from_bytes(ciphertext[12:16], "big")) ^ rk[3]
+        td0, td1, td2, td3 = _TD0, _TD1, _TD2, _TD3
+        for round_index in range(1, self._rounds):
+            rk = words[round_index]
+            # InvShiftRows sources: row r of column (c - r) mod 4.
+            t0 = (td0[s0 >> 24] ^ td1[(s3 >> 16) & 0xFF]
+                  ^ td2[(s2 >> 8) & 0xFF] ^ td3[s1 & 0xFF] ^ rk[0])
+            t1 = (td0[s1 >> 24] ^ td1[(s0 >> 16) & 0xFF]
+                  ^ td2[(s3 >> 8) & 0xFF] ^ td3[s2 & 0xFF] ^ rk[1])
+            t2 = (td0[s2 >> 24] ^ td1[(s1 >> 16) & 0xFF]
+                  ^ td2[(s0 >> 8) & 0xFF] ^ td3[s3 & 0xFF] ^ rk[2])
+            t3 = (td0[s3 >> 24] ^ td1[(s2 >> 16) & 0xFF]
+                  ^ td2[(s1 >> 8) & 0xFF] ^ td3[s0 & 0xFF] ^ rk[3])
+            s0, s1, s2, s3 = t0, t1, t2, t3
+        inv_sbox = _INV_SBOX
+        rk = words[self._rounds]
+        t0 = ((inv_sbox[s0 >> 24] << 24)
+              | (inv_sbox[(s3 >> 16) & 0xFF] << 16)
+              | (inv_sbox[(s2 >> 8) & 0xFF] << 8)
+              | inv_sbox[s1 & 0xFF]) ^ rk[0]
+        t1 = ((inv_sbox[s1 >> 24] << 24)
+              | (inv_sbox[(s0 >> 16) & 0xFF] << 16)
+              | (inv_sbox[(s3 >> 8) & 0xFF] << 8)
+              | inv_sbox[s2 & 0xFF]) ^ rk[1]
+        t2 = ((inv_sbox[s2 >> 24] << 24)
+              | (inv_sbox[(s1 >> 16) & 0xFF] << 16)
+              | (inv_sbox[(s0 >> 8) & 0xFF] << 8)
+              | inv_sbox[s3 & 0xFF]) ^ rk[2]
+        t3 = ((inv_sbox[s3 >> 24] << 24)
+              | (inv_sbox[(s2 >> 16) & 0xFF] << 16)
+              | (inv_sbox[(s1 >> 8) & 0xFF] << 8)
+              | inv_sbox[s0 & 0xFF]) ^ rk[3]
+        return b"".join(t.to_bytes(4, "big") for t in (t0, t1, t2, t3))
 
 
 def sbox_value(index: int) -> int:

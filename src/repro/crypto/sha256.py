@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import struct
 
-from ..errors import CryptoError
 
 _K = [
     0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B,

@@ -16,7 +16,7 @@ Figure 10's 12% slowdown / 58% traffic numbers.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..crypto.hashes import hash_node
 from ..errors import ConfigError, IntegrityViolation

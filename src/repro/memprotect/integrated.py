@@ -80,12 +80,84 @@ class MemProtectLayer:
             nodes = -(-nodes // self.arity)
             level += 1
         self.internal_level = level
+        # Deferred stats (drained into the system registry on read).
+        # ``direct_decrypt_stalls`` tracks events separately from the
+        # stalled-cycle amount: the reference semantics materialize the
+        # counter even on a zero-cycle stall.
+        self._p_pad_requests = 0
+        self._p_direct_stall_cycles = 0
+        self._p_direct_stall_events = 0
+        self._p_decryptions = 0
+        self._p_pad_cache_misses = 0
+        self._p_pad_cache_hits = 0
+        self._p_lazy_hash_updates = 0
+        self._p_root_verifications = 0
+        self._p_node_cache_hits = 0
+        self._p_hash_fetches = 0
+        self._p_encryptions = 0
+        self._p_pad_invalidates = 0
+        self._p_pad_updates = 0
+        self._p_root_updates = 0
+        self._p_clipped_updates = 0
+        self._p_hash_updates = 0
 
     # -- attachment -----------------------------------------------------------
 
     def attach(self, system) -> None:
         self.system = system
         system.attach_memprotect(self)
+        system.stats.register_flusher(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        add = self.system.stats.add
+        if self._p_pad_requests:
+            add("memprotect.pad_requests", self._p_pad_requests)
+            self._p_pad_requests = 0
+        if self._p_direct_stall_events:
+            add("memprotect.direct_decrypt_stalls",
+                self._p_direct_stall_cycles)
+            self._p_direct_stall_cycles = 0
+            self._p_direct_stall_events = 0
+        if self._p_decryptions:
+            add("memprotect.decryptions", self._p_decryptions)
+            self._p_decryptions = 0
+        if self._p_pad_cache_misses:
+            add("memprotect.pad_cache_misses", self._p_pad_cache_misses)
+            self._p_pad_cache_misses = 0
+        if self._p_pad_cache_hits:
+            add("memprotect.pad_cache_hits", self._p_pad_cache_hits)
+            self._p_pad_cache_hits = 0
+        if self._p_lazy_hash_updates:
+            add("memprotect.lazy_hash_updates", self._p_lazy_hash_updates)
+            self._p_lazy_hash_updates = 0
+        if self._p_root_verifications:
+            add("memprotect.root_verifications",
+                self._p_root_verifications)
+            self._p_root_verifications = 0
+        if self._p_node_cache_hits:
+            add("memprotect.node_cache_hits", self._p_node_cache_hits)
+            self._p_node_cache_hits = 0
+        if self._p_hash_fetches:
+            add("memprotect.hash_fetches", self._p_hash_fetches)
+            self._p_hash_fetches = 0
+        if self._p_encryptions:
+            add("memprotect.encryptions", self._p_encryptions)
+            self._p_encryptions = 0
+        if self._p_pad_invalidates:
+            add("memprotect.pad_invalidates", self._p_pad_invalidates)
+            self._p_pad_invalidates = 0
+        if self._p_pad_updates:
+            add("memprotect.pad_updates", self._p_pad_updates)
+            self._p_pad_updates = 0
+        if self._p_root_updates:
+            add("memprotect.root_updates", self._p_root_updates)
+            self._p_root_updates = 0
+        if self._p_clipped_updates:
+            add("memprotect.clipped_updates", self._p_clipped_updates)
+            self._p_clipped_updates = 0
+        if self._p_hash_updates:
+            add("memprotect.hash_updates", self._p_hash_updates)
+            self._p_hash_updates = 0
 
     # -- tree geometry -----------------------------------------------------------
 
@@ -115,10 +187,10 @@ class MemProtectLayer:
     def on_memory_fetch(self, cpu: int, line_address: int,
                         clock: int) -> int:
         """A line arrived from memory; returns extra critical-path cycles."""
-        if self.system is None:
+        system = self.system
+        if system is None:
             raise SimulationError("layer not attached to a system")
         extra = 0
-        stats = self.system.stats
         if self.encryption:
             if self.directory.on_fetch(cpu, line_address):
                 # Type-"10" pad request; overlaps the line fetch
@@ -126,8 +198,8 @@ class MemProtectLayer:
                 transaction = BusTransaction(
                     TransactionType.PAD_REQUEST, line_address, cpu,
                     supplied_by_cache=False)
-                self.system.bus.issue(transaction, clock, data_bytes=16)
-                stats.add("memprotect.pad_requests")
+                system.bus.issue(transaction, clock, data_bytes=16)
+                self._p_pad_requests += 1
             if self.direct_encryption:
                 # Naive baseline: the line cannot be used until the
                 # serial AES decryption finishes (section 2.1's ~17%
@@ -140,9 +212,9 @@ class MemProtectLayer:
                     # block's decryption completes.
                     ready = max(ready, self.aes_engine.issue(clock))
                 extra += ready - clock
-                stats.add("memprotect.direct_decrypt_stalls",
-                          ready - clock)
-                stats.add("memprotect.decryptions")
+                self._p_direct_stall_cycles += ready - clock
+                self._p_direct_stall_events += 1
+                self._p_decryptions += 1
                 if self.integrity:
                     extra += (self._verify_climb(cpu, line_address,
                                                  clock)
@@ -154,40 +226,41 @@ class MemProtectLayer:
                 # overlaps the 180-cycle line fetch (the whole point of
                 # pad-based encryption), so only AES queueing shows up
                 # on the critical path; a hit skips even that.
-                ready = self.aes_engine.issue(clock)
-                extra += max(0, ready - clock - self.aes_engine.latency)
+                aes_engine = self.aes_engine
+                ready = aes_engine.issue(clock)
+                extra += max(0, ready - clock - aes_engine.latency)
                 pad_cache.install(line_address, 0)
-                stats.add("memprotect.pad_cache_misses")
+                self._p_pad_cache_misses += 1
             else:
-                stats.add("memprotect.pad_cache_hits")
+                self._p_pad_cache_hits += 1
             extra += 1  # the OTP XOR
-            stats.add("memprotect.decryptions")
+            self._p_decryptions += 1
         if self.integrity:
             if self.lazy:
                 # Multiset-hash update: throughput-bound, off the
                 # critical path unless the hash unit back-pressures.
-                ready = self.hash_engine.issue(clock)
-                extra += max(0, ready - clock
-                             - self.hash_engine.latency)
-                stats.add("memprotect.lazy_hash_updates")
+                hash_engine = self.hash_engine
+                ready = hash_engine.issue(clock)
+                extra += max(0, ready - clock - hash_engine.latency)
+                self._p_lazy_hash_updates += 1
             else:
                 extra += self._verify_climb(cpu, line_address, clock)
         return extra
 
     def _verify_climb(self, cpu: int, address: int, clock: int) -> int:
         """CHash verification: fetch the parent unless already trusted."""
-        stats = self.system.stats
-        ready = self.hash_engine.issue(clock)
-        extra = max(0, ready - clock - self.hash_engine.latency)
+        hash_engine = self.hash_engine
+        ready = hash_engine.issue(clock)
+        extra = max(0, ready - clock - hash_engine.latency)
         parent = self.parent_of(address)
         if parent is None:
-            stats.add("memprotect.root_verifications")
+            self._p_root_verifications += 1
             return extra
         hierarchy = self.system.hierarchies[cpu]
         if hierarchy.l2.contains(parent):
-            stats.add("memprotect.node_cache_hits")
+            self._p_node_cache_hits += 1
             return extra
-        stats.add("memprotect.hash_fetches")
+        self._p_hash_fetches += 1
         # Fetch the parent through the normal coherent read path; its
         # own verification recurses via on_memory_fetch when it comes
         # from memory, and stops early when another cache supplies it.
@@ -202,55 +275,53 @@ class MemProtectLayer:
     def on_writeback(self, cpu: int, line_address: int,
                      clock: int) -> None:
         """A dirty line left the chip; propagate pad + hash obligations."""
-        if self.system is None:
+        system = self.system
+        if system is None:
             raise SimulationError("layer not attached to a system")
-        stats = self.system.stats
         if self.encryption:
+            invalidate = self.directory.protocol == "write-invalidate"
             affected = self.directory.on_writeback(cpu, line_address)
             self.pad_caches[cpu].install(line_address, 0)
             for other in affected:
-                if self.directory.protocol == "write-invalidate":
+                if invalidate:
                     self.pad_caches[other].invalidate(line_address)
                 else:
                     self.pad_caches[other].install(line_address, 0)
-            stats.add("memprotect.encryptions")
+            self._p_encryptions += 1
             if affected:
-                if self.directory.protocol == "write-invalidate":
+                if invalidate:
                     transaction = BusTransaction(
                         TransactionType.PAD_INVALIDATE, line_address,
                         cpu)
-                    self.system.bus.issue(transaction, clock,
-                                          data_bytes=0)
-                    stats.add("memprotect.pad_invalidates")
+                    system.bus.issue(transaction, clock, data_bytes=0)
+                    self._p_pad_invalidates += 1
                 else:
                     transaction = BusTransaction(
                         TransactionType.PAD_REQUEST, line_address, cpu,
                         supplied_by_cache=True)
-                    self.system.bus.issue(transaction, clock,
-                                          data_bytes=16)
-                    stats.add("memprotect.pad_updates")
+                    system.bus.issue(transaction, clock, data_bytes=16)
+                    self._p_pad_updates += 1
         if self.integrity and not self.lazy:
             self._update_parent_hash(cpu, line_address, clock)
         elif self.integrity:
             self.hash_engine.issue(clock)
-            stats.add("memprotect.lazy_hash_updates")
+            self._p_lazy_hash_updates += 1
 
     def _update_parent_hash(self, cpu: int, address: int,
                             clock: int) -> None:
         """Write the parent node (its stored child digest changed)."""
         parent = self.parent_of(address)
-        stats = self.system.stats
         if parent is None:
-            stats.add("memprotect.root_updates")
+            self._p_root_updates += 1
             return
         if self._writeback_depth >= self._max_writeback_depth:
             # Deep eviction cascades are batched by real hardware; cap
             # the model's recursion and account the clipped update.
-            stats.add("memprotect.clipped_updates")
+            self._p_clipped_updates += 1
             return
         self._writeback_depth += 1
         try:
             self.system._execute(cpu, clock, True, parent)
-            stats.add("memprotect.hash_updates")
+            self._p_hash_updates += 1
         finally:
             self._writeback_depth -= 1

@@ -14,7 +14,7 @@ L2, etc.) is modeled separately in :mod:`repro.memprotect.integrated`.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from ..crypto.hashes import hash_leaf, hash_node
 from ..errors import ConfigError, IntegrityViolation

@@ -17,6 +17,10 @@ from typing import Dict, List, Optional, Set
 
 from ..errors import ConfigError
 
+#: distinguishes "absent" from a cached sequence of 0 on the lookup
+#: fast path
+_MISS = object()
+
 
 class PadCache:
     """LRU cache of (line -> sequence) pads for one processor.
@@ -37,18 +41,23 @@ class PadCache:
 
     def lookup(self, line_address: int) -> Optional[int]:
         """Cached sequence for a line, refreshing LRU; None on miss."""
-        if line_address in self._entries:
+        sequence = self._entries.get(line_address, _MISS)
+        if sequence is _MISS:
+            self.misses += 1
+            return None
+        if self.capacity is not None:
+            # Recency only matters when something can be evicted; the
+            # perfect SNC (capacity=None) skips the LRU churn.
             self._entries.move_to_end(line_address)
-            self.hits += 1
-            return self._entries[line_address]
-        self.misses += 1
-        return None
+        self.hits += 1
+        return sequence
 
     def install(self, line_address: int, sequence: int) -> None:
         self._entries[line_address] = sequence
-        self._entries.move_to_end(line_address)
-        if self.capacity is not None and len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        if self.capacity is not None:
+            self._entries.move_to_end(line_address)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def invalidate(self, line_address: int) -> bool:
         if line_address in self._entries:

@@ -4,11 +4,18 @@ Every subsystem (caches, bus, SHU, memory protection) registers named
 counters in a :class:`StatsRegistry`; benches and tests read them to
 compute the paper's metrics (slowdown, bus-activity increase, transfer
 mix).
+
+Hot-path contract (the slow-path optimization, DESIGN.md §6c): event
+sources do **not** call :meth:`StatsRegistry.add` per event. They bump
+plain integer fields and register a *flusher* with the registry; any
+read (``get``/``items``/``as_dict``/``total``) first drains every
+registered flusher, so observed values are always exact while the
+simulation loop never touches a string-keyed counter.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
 
 class Counter:
@@ -35,6 +42,32 @@ class StatsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._flushers: List[Callable[[], None]] = []
+        self._draining = False
+
+    # -- deferred accounting -------------------------------------------
+
+    def register_flusher(self, flush: Callable[[], None]) -> None:
+        """Register a callback that drains pending raw counts.
+
+        Components that accumulate events in plain ints (the bus, the
+        SENSS layer, memory protection, cache hierarchies) register one
+        flusher each; the registry invokes them before any read so
+        deferred counts are never observable.
+        """
+        self._flushers.append(flush)
+
+    def _drain(self) -> None:
+        if self._draining or not self._flushers:
+            return
+        self._draining = True
+        try:
+            for flush in self._flushers:
+                flush()
+        finally:
+            self._draining = False
+
+    # -- counters ------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter called ``name``."""
@@ -46,6 +79,7 @@ class StatsRegistry:
 
     def get(self, name: str) -> int:
         """Read a counter's value (0 if it was never touched)."""
+        self._drain()
         counter = self._counters.get(name)
         return counter.value if counter else 0
 
@@ -64,10 +98,14 @@ class StatsRegistry:
                 self.counter(name).increment(amount)
 
     def reset(self) -> None:
+        # Drain first so pending raw counts from before the reset do
+        # not leak into post-reset reads.
+        self._drain()
         for counter in self._counters.values():
             counter.reset()
 
     def items(self) -> Iterator[Tuple[str, int]]:
+        self._drain()
         for name in sorted(self._counters):
             yield name, self._counters[name].value
 
@@ -76,6 +114,7 @@ class StatsRegistry:
 
     def total(self, prefix: str) -> int:
         """Sum of all counters whose name starts with ``prefix``."""
+        self._drain()
         return sum(counter.value
                    for name, counter in self._counters.items()
                    if name.startswith(prefix))

@@ -41,7 +41,9 @@ from ..smp.metrics import SimulationResult
 
 #: Bump when a change alters simulated timing or statistics; cached
 #: results from other versions are never returned.
-ENGINE_VERSION = 1
+#: Version history: 1 = merged fast path; 2 = streamlined slow path +
+#: deferred statistics (bit-identical results, conservatively bumped).
+ENGINE_VERSION = 2
 
 DEFAULT_CACHE_DIR = Path(".benchmarks") / "cache"
 

@@ -19,11 +19,18 @@ Security layers plug in without the baseline knowing about them:
   broadcasts (sections 4-5).
 - A memory-protection layer attaches via ``attach_memprotect`` and is
   consulted on memory fetches and write-backs (section 6).
+
+The miss/upgrade/write-back machinery here is the *slow path* shared
+by both engines (``run``'s fast path and ``run_reference``): per-CPU
+state (hierarchy, group id) is pre-bound, coherence statistics
+accumulate in plain ints drained on read, and bus transactions are
+reused from a scratch object when nothing on the bus retains them
+(DESIGN.md §6c).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Tuple
 
 from ..bus.bus import SharedBus
 from ..bus.transaction import BusTransaction, TransactionType
@@ -35,6 +42,11 @@ from ..memory.dram import MainMemory
 from ..sim.stats import StatsRegistry
 from .metrics import SimulationResult
 from .trace import Workload
+
+_BUS_READ = TransactionType.BUS_READ
+_BUS_READ_EXCLUSIVE = TransactionType.BUS_READ_EXCLUSIVE
+_BUS_UPGRADE = TransactionType.BUS_UPGRADE
+_WRITEBACK = TransactionType.WRITEBACK
 
 
 class SmpSystem:
@@ -54,6 +66,37 @@ class SmpSystem:
         self.memprotect = None  # optional MemProtectLayer
         # Per-CPU group IDs (section 4.1 grouping): default one group.
         self._cpu_groups = [0] * config.num_processors
+        # Pre-bound slow-path state: (hierarchy, group_id) per CPU,
+        # rebuilt by set_cpu_groups.
+        self._slow_ctx: List[Tuple[CacheHierarchy, int]] = [
+            (hierarchy, 0) for hierarchy in self.hierarchies]
+        self._line_bytes = config.l2.line_bytes
+        # Scratch transaction reused across slow-path bus issues when
+        # no observer could retain a reference to it.
+        self._scratch_tx = BusTransaction(_BUS_READ, 0, 0)
+        # Deferred coherence counters; _events tracks how many times
+        # the reference semantics would have touched the invalidation
+        # counter (it is bumped by zero on snoops that invalidate
+        # nobody, which still materializes the counter).
+        self._pending_invalidations = 0
+        self._pending_invalidation_events = 0
+        self._pending_dirty_interventions = 0
+        self._pending_writebacks = 0
+        self.stats.register_flusher(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        add = self.stats.add
+        if self._pending_invalidation_events:
+            add("coherence.invalidations", self._pending_invalidations)
+            self._pending_invalidations = 0
+            self._pending_invalidation_events = 0
+        if self._pending_dirty_interventions:
+            add("coherence.dirty_interventions",
+                self._pending_dirty_interventions)
+            self._pending_dirty_interventions = 0
+        if self._pending_writebacks:
+            add("coherence.writebacks", self._pending_writebacks)
+            self._pending_writebacks = 0
 
     # -- attachment points ------------------------------------------------
 
@@ -76,6 +119,9 @@ class SmpSystem:
             raise SimulationError(
                 "need one group id per processor")
         self._cpu_groups = list(group_ids)
+        self._slow_ctx = [(hierarchy, group_id)
+                          for hierarchy, group_id
+                          in zip(self.hierarchies, self._cpu_groups)]
 
     # -- execution -----------------------------------------------------------
 
@@ -154,45 +200,66 @@ class SmpSystem:
         return self._execute_miss(cpu, clock, is_write,
                                   result.line_address)
 
+    def _next_transaction(self, tx_type: TransactionType, address: int,
+                          cpu: int, group_id: int,
+                          supplied_by_cache: bool) -> BusTransaction:
+        """A transaction object for one slow-path bus issue.
+
+        Reuses the scratch object unless a bus observer is attached
+        (observers — attackers, the functional bridge, metrics probes —
+        may retain transactions, so they get fresh objects).
+        """
+        if self.bus._observers:
+            return BusTransaction(tx_type, address, cpu, group_id,
+                                  supplied_by_cache=supplied_by_cache)
+        transaction = self._scratch_tx
+        transaction.type = tx_type
+        transaction.address = address
+        transaction.source_pid = cpu
+        transaction.group_id = group_id
+        transaction.supplied_by_cache = supplied_by_cache
+        transaction.payload = None
+        return transaction
+
     def _execute_upgrade(self, cpu: int, clock: int,
                          line_address: int) -> int:
         """S->M upgrade: invalidate remote sharers over the bus."""
+        hierarchy, group_id = self._slow_ctx[cpu]
         outcome = self.protocol.bus_upgrade(cpu, line_address)
-        transaction = BusTransaction(TransactionType.BUS_UPGRADE,
-                                     line_address, cpu,
-                                     self._cpu_groups[cpu])
+        transaction = self._next_transaction(_BUS_UPGRADE, line_address,
+                                             cpu, group_id, False)
         transaction = self.bus.issue(transaction, clock, data_bytes=0)
-        self.hierarchies[cpu].upgrade(line_address)
-        self.stats.add("coherence.invalidations",
-                       len(outcome.invalidated_cpus))
+        hierarchy.upgrade(line_address)
+        self._pending_invalidations += len(outcome.invalidated_cpus)
+        self._pending_invalidation_events += 1
         return transaction.complete_cycle
 
     def _execute_miss(self, cpu: int, clock: int, is_write: bool,
                       line_address: int) -> int:
         """Miss: consult the protocol, then transfer the line."""
-        hierarchy = self.hierarchies[cpu]
+        hierarchy, group_id = self._slow_ctx[cpu]
         if is_write:
             outcome = self.protocol.bus_read_exclusive(cpu, line_address)
-            tx_type = TransactionType.BUS_READ_EXCLUSIVE
+            tx_type = _BUS_READ_EXCLUSIVE
         else:
             outcome = self.protocol.bus_read(cpu, line_address)
-            tx_type = TransactionType.BUS_READ
+            tx_type = _BUS_READ
+        supplied_by_cache = outcome.supplier_cpu is not None
 
-        transaction = BusTransaction(
-            tx_type, line_address, cpu, self._cpu_groups[cpu],
-            supplied_by_cache=outcome.supplier_cpu is not None)
+        transaction = self._next_transaction(tx_type, line_address, cpu,
+                                             group_id, supplied_by_cache)
         transaction = self.bus.issue(transaction, clock,
-                                     data_bytes=self.config.l2.line_bytes)
+                                     data_bytes=self._line_bytes)
         finish = transaction.complete_cycle
-        self.stats.add("coherence.invalidations",
-                       len(outcome.invalidated_cpus))
+        self._pending_invalidations += len(outcome.invalidated_cpus)
+        self._pending_invalidation_events += 1
 
         if outcome.had_modified_copy:
             # Illinois MESI: the dirty supplier flushes; memory is
             # updated as part of the same transaction (no extra tx).
-            self.stats.add("coherence.dirty_interventions")
+            self._pending_dirty_interventions += 1
 
-        if not transaction.supplied_by_cache and self.memprotect is not None:
+        if not supplied_by_cache and self.memprotect is not None:
             finish += self.memprotect.on_memory_fetch(
                 cpu, line_address, finish)
 
@@ -205,11 +272,11 @@ class SmpSystem:
     def _post_writeback(self, cpu: int, line_address: int,
                         clock: int) -> None:
         """Posted write-back: occupies the bus, does not stall the CPU."""
-        transaction = BusTransaction(TransactionType.WRITEBACK,
-                                     line_address, cpu,
-                                     self._cpu_groups[cpu])
+        group_id = self._slow_ctx[cpu][1]
+        transaction = self._next_transaction(_WRITEBACK, line_address,
+                                             cpu, group_id, False)
         self.bus.issue(transaction, clock,
-                       data_bytes=self.config.l2.line_bytes)
-        self.stats.add("coherence.writebacks")
+                       data_bytes=self._line_bytes)
+        self._pending_writebacks += 1
         if self.memprotect is not None:
             self.memprotect.on_writeback(cpu, line_address, clock)

@@ -26,8 +26,8 @@ the tens of percent — the regime in which the paper's numbers live.
 from __future__ import annotations
 
 from ..smp.trace import Workload
-from .base import (SHARED_BASE, WORD_BYTES, TraceBuilder, assemble,
-                   conflict_block, make_builders, private_base)
+from .base import (SHARED_BASE, WORD_BYTES, assemble, conflict_block,
+                   make_builders, private_base)
 
 
 def _words(num_bytes: int) -> int:

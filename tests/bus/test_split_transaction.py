@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.bus.bus import SharedBus
 from repro.bus.transaction import BusTransaction, TransactionType

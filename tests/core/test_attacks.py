@@ -8,7 +8,6 @@ import pytest
 
 from repro.core.attacks import (BusAttacker, DropAttack, SecureBusFabric,
                                 SpoofAttack, SwapAttack)
-from repro.core.authentication import AuthenticationManager
 from repro.errors import AuthenticationFailure, SpoofDetected
 
 from tests.conftest import make_group

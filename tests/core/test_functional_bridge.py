@@ -1,6 +1,5 @@
 """Functional-security bridge tests: real crypto under the timing sim."""
 
-import pytest
 
 from repro.config import e6000_config
 from repro.core.functional_bridge import (FunctionalSecurityBridge,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.aes import AES, BLOCK_BYTES, inv_sbox_value, sbox_value
+from repro.crypto.aes import AES, inv_sbox_value, sbox_value
 from repro.errors import CryptoError
 
 # (key, plaintext, ciphertext) from FIPS-197 appendices B and C.

@@ -1,0 +1,114 @@
+"""T-table AES vs the byte-wise reference (DESIGN.md §6c policy).
+
+The production path (``encrypt_block``/``decrypt_block``) folds
+SubBytes + ShiftRows + MixColumns into four 32-bit lookup tables per
+direction; the byte-wise construction remains the executable
+specification (``encrypt_block_reference``/``decrypt_block_reference``).
+This suite holds the two implementations equal — on every FIPS-197
+appendix vector, on randomized keys of all three sizes, and under the
+functional-security bridge at a scale the byte-wise path made
+impractically slow.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.aes import AES, _SCHEDULE_CACHE
+from repro.crypto import aes as aes_module
+
+# (key, plaintext, ciphertext) from FIPS-197 appendices B and C —
+# one vector per key size plus the appendix-B worked example.
+FIPS_VECTORS = [
+    ("2b7e151628aed2a6abf7158809cf4f3c",
+     "3243f6a8885a308d313198a2e0370734",
+     "3925841d02dc09fbdc118597196a0b32"),
+    ("000102030405060708090a0b0c0d0e0f",
+     "00112233445566778899aabbccddeeff",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617",
+     "00112233445566778899aabbccddeeff",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    ("000102030405060708090a0b0c0d0e0f"
+     "101112131415161718191a1b1c1d1e1f",
+     "00112233445566778899aabbccddeeff",
+     "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+
+@pytest.mark.parametrize("key,plaintext,ciphertext", FIPS_VECTORS)
+def test_table_path_matches_fips_vectors(key, plaintext, ciphertext):
+    cipher = AES(bytes.fromhex(key))
+    assert cipher.encrypt_block(bytes.fromhex(plaintext)).hex() \
+        == ciphertext
+    assert cipher.decrypt_block(bytes.fromhex(ciphertext)).hex() \
+        == plaintext
+
+
+@pytest.mark.parametrize("key,plaintext,ciphertext", FIPS_VECTORS)
+def test_table_path_matches_reference_on_fips_vectors(key, plaintext,
+                                                      ciphertext):
+    cipher = AES(bytes.fromhex(key))
+    block = bytes.fromhex(plaintext)
+    assert cipher.encrypt_block(block) \
+        == cipher.encrypt_block_reference(block)
+    wire = bytes.fromhex(ciphertext)
+    assert cipher.decrypt_block(wire) \
+        == cipher.decrypt_block_reference(wire)
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_table_path_matches_reference_randomized(key_len):
+    rng = random.Random(0xAE5 + key_len)
+    for _ in range(40):
+        key = bytes(rng.randrange(256) for _ in range(key_len))
+        block = bytes(rng.randrange(256) for _ in range(16))
+        cipher = AES(key)
+        ciphertext = cipher.encrypt_block(block)
+        assert ciphertext == cipher.encrypt_block_reference(block)
+        assert cipher.decrypt_block(ciphertext) == block
+        assert cipher.decrypt_block_reference(ciphertext) == block
+
+
+def test_key_schedule_is_cached_and_shared():
+    key = bytes(range(16))
+    first = AES(key)
+    second = AES(key)
+    # Same key -> the expanded schedule object is reused, not rebuilt.
+    assert first._schedule is second._schedule
+    assert key in _SCHEDULE_CACHE
+
+
+def test_schedule_cache_cap_wipe_is_transparent(monkeypatch):
+    monkeypatch.setattr(aes_module, "_SCHEDULE_CACHE_MAX", 4)
+    block = b"0123456789abcdef"
+    expected = {}
+    for k in range(12):  # 3x the cap: forces wipes mid-stream
+        key = bytes([k]) + bytes(15)
+        expected[key] = AES(key).encrypt_block(block)
+    assert len(_SCHEDULE_CACHE) <= 4
+    for key, ciphertext in expected.items():
+        cipher = AES(key)  # may rebuild the schedule after a wipe
+        assert cipher.encrypt_block(block) == ciphertext
+        assert cipher.decrypt_block(ciphertext) == block
+
+
+def test_functional_bridge_at_scale():
+    """A bridged SPLASH run at a scale the byte-wise AES made
+    impractically slow (~10x the wall time): every protected transfer
+    now flows through the T-table path, and the timing layer's books
+    must still match the functional SHUs exactly."""
+    from repro.config import e6000_config
+    from repro.core.functional_bridge import attach_functional_bridge
+    from repro.core.senss import build_secure_system
+    from repro.workloads.registry import generate
+
+    workload = generate("ocean", 4, scale=0.25, seed=2)
+    config = e6000_config(num_processors=4, auth_interval=25)
+    system = build_secure_system(config)
+    bridge = attach_functional_bridge(system)
+    system.run(workload)
+    summary = bridge.verify_against_layer(system.bus.security_layer)
+    assert summary["protected_transfers"] > 500
+    assert summary["auth_rounds"] == \
+        summary["protected_transfers"] // 25

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.crypto.rsa import RsaKeyPair, _is_probable_prime, generate_keypair
+from repro.crypto.rsa import _is_probable_prime, generate_keypair
 from repro.errors import CryptoError
 
 

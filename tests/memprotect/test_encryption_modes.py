@@ -5,7 +5,6 @@ import pytest
 from repro.config import e6000_config
 from repro.core.senss import build_secure_system
 from repro.errors import ConfigError
-from repro.smp.system import SmpSystem
 from repro.smp.trace import MemoryAccess, Workload
 
 

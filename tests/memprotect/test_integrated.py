@@ -6,7 +6,6 @@ from repro.config import e6000_config
 from repro.core.senss import build_secure_system
 from repro.errors import SimulationError
 from repro.memprotect.integrated import HASH_BASE, MemProtectLayer
-from repro.smp.system import SmpSystem
 from repro.smp.trace import MemoryAccess, Workload
 
 

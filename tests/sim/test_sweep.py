@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.config import e6000_config
 from repro.sim.sweep import (ENGINE_VERSION, ResultCache, SweepPoint,
@@ -89,6 +88,24 @@ class TestRunSweep:
         second = run_sweep([point()], cache=cache, parallel=False)
         assert second[0].cycles == first[0].cycles
         assert second[0].stats == first[0].stats
+
+    def test_engine_version_bump_misses_the_cache(self, tmp_path,
+                                                  monkeypatch):
+        """Results cached under an older engine are never returned."""
+        cache = ResultCache(tmp_path)
+        run_sweep([point()], cache=cache, parallel=False)
+        assert len(cache) == 1
+        monkeypatch.setattr("repro.sim.sweep.ENGINE_VERSION",
+                            ENGINE_VERSION + 1)
+        reran = []
+        real_run_point = run_point
+        monkeypatch.setattr(
+            "repro.sim.sweep.run_point",
+            lambda target: (reran.append(target),
+                            real_run_point(target))[1])
+        run_sweep([point()], cache=cache, parallel=False)
+        assert reran, "old-version cache entry was wrongly reused"
+        assert len(cache) == 2  # stored under the new version's key
 
     def test_cache_miss_reruns(self, tmp_path, monkeypatch):
         cache = ResultCache(tmp_path)

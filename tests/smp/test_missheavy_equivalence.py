@@ -1,0 +1,93 @@
+"""Slow-path equivalence: miss-heavy runs pin the streamlined pipeline.
+
+The fast-path goldens (``golden_engine.json``) run at >90% hit rates,
+so misses, upgrades, write-backs and the security layers behind them
+are a sliver of those runs. This suite pins the *slow path* (DESIGN.md
+§6c): the ocean model on an 8 KB L2, where every flavour spends the
+majority of references off the hit path (<60% hit rate, asserted).
+
+Same two layers of defence as the fast-path suite:
+
+- ``golden_missheavy.json`` pins cycles, per-CPU cycles, and a hash of
+  the full statistics dict, captured before the slow-path
+  streamlining (pre-bound contexts, deferred stats, transaction
+  reuse) landed;
+- ``run()`` is compared field-for-field against ``run_reference()``
+  on live miss-heavy simulations.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.config import KB, e6000_config
+from repro.sim.sweep import build_system
+from repro.workloads.registry import generate
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent.parent / "data"
+     / "golden_missheavy.json").read_text())
+
+KINDS = ("baseline", "senss", "integrated")
+
+
+def config_for(kind: str):
+    config = e6000_config(num_processors=GOLDEN["num_cpus"],
+                          senss_enabled=(kind != "baseline"))
+    config = config.with_l2_size(GOLDEN["l2_kb"] * KB)
+    if kind == "integrated":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True)
+    return config
+
+
+def stats_digest(stats: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(stats, sort_keys=True).encode()).hexdigest()
+
+
+def hit_rate(stats: dict) -> float:
+    hits = sum(v for k, v in stats.items()
+               if k.endswith("l1_hit") or k.endswith("l2_hit"))
+    slow = sum(v for k, v in stats.items()
+               if k.endswith("l2_miss") or k.endswith("upgrade_needed"))
+    return hits / (hits + slow)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_golden_missheavy(kind):
+    """Miss-heavy runs reproduce the pre-streamlining engine exactly."""
+    for seed in (0, 1):
+        workload = generate(GOLDEN["workload"], GOLDEN["num_cpus"],
+                            scale=GOLDEN["scale"], seed=seed)
+        result = build_system(config_for(kind)).run(workload)
+        expected = GOLDEN["runs"][f"{kind}|{seed}"]
+        assert workload.total_accesses == expected["total_accesses"]
+        assert result.cycles == expected["cycles"], (kind, seed)
+        assert list(result.per_cpu_cycles) == expected["per_cpu_cycles"]
+        assert result.stats.get("bus.transactions", 0) == \
+            expected["bus_transactions"]
+        assert stats_digest(result.stats) == expected["stats_sha256"], (
+            kind, seed)
+        # The whole point of this suite: the runs must actually be
+        # miss-heavy, or the slow path is not what is being pinned.
+        rate = hit_rate(result.stats)
+        assert rate < 0.60, (kind, seed, rate)
+        assert abs(rate - expected["hit_rate"]) < 5e-5
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_fast_matches_reference_missheavy(kind):
+    """run() and run_reference() agree on a miss-heavy machine."""
+    workload = generate(GOLDEN["workload"], GOLDEN["num_cpus"],
+                        scale=GOLDEN["scale"], seed=5)
+    fast = build_system(config_for(kind)).run(workload)
+    reference = build_system(config_for(kind)).run_reference(workload)
+    assert hit_rate(fast.stats) < 0.60
+    assert fast.cycles == reference.cycles
+    assert list(fast.per_cpu_cycles) == list(reference.per_cpu_cycles)
+    assert fast.stats == reference.stats
+    assert fast.workload == reference.workload
+    assert fast.num_cpus == reference.num_cpus

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.config import (KB, MB, BusConfig, CacheConfig, CryptoConfig,
-                          MemProtectConfig, SenssConfig, SystemConfig,
-                          e6000_config)
+from repro.config import (KB, MB, BusConfig, CacheConfig, MemProtectConfig,
+                          SenssConfig, SystemConfig, e6000_config)
 from repro.errors import ConfigError
 
 

@@ -4,7 +4,6 @@ These pin the *communication pattern* each generator claims to model —
 the property the DESIGN.md substitution argument rests on.
 """
 
-import pytest
 
 from repro.workloads.base import CONFLICT_BASE, PRIVATE_BASE, SHARED_BASE
 from repro.workloads.registry import generate

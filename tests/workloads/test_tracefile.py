@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TraceError
-from repro.smp.trace import MemoryAccess, Workload
+from repro.smp.trace import MemoryAccess
 from repro.workloads.registry import generate
 from repro.workloads.tracefile import load_workload, save_workload
 

@@ -7,8 +7,7 @@ from repro.errors import TraceError
 from repro.smp.system import SmpSystem
 from repro.workloads import (SPLASH2_NAMES, false_sharing, generate,
                              ping_pong, private_stream, producer_consumer)
-from repro.workloads.base import (PRIVATE_BASE, SHARED_BASE, make_builders,
-                                  private_base)
+from repro.workloads.base import PRIVATE_BASE, make_builders, private_base
 
 SCALE = 0.05  # keep unit tests fast
 

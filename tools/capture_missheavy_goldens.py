@@ -1,0 +1,96 @@
+"""Capture the miss-heavy golden runs for the engine equivalence tests.
+
+The fast-path goldens in ``tests/data/golden_engine.json`` exercise the
+default 1 MB L2, where >90% of references are cache hits and the slow
+path (coherence + bus + security layers) is a sliver of the run. This
+companion capture pins the *slow-path* semantics: the ocean model on an
+8 KB L2, where every machine flavour spends the majority of references
+in misses, upgrades, and write-backs (<60% hit rate — see the
+``hit_rate`` fields).
+
+Usage::
+
+    PYTHONPATH=src python tools/capture_missheavy_goldens.py
+
+Rewrites ``tests/data/golden_missheavy.json``. Only run this to
+re-baseline after an *intentional* timing/statistics change (bump
+``repro.sim.sweep.ENGINE_VERSION`` in the same commit).
+"""
+
+import hashlib
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.config import KB, e6000_config  # noqa: E402
+from repro.sim.sweep import build_system  # noqa: E402
+from repro.workloads.registry import generate  # noqa: E402
+
+WORKLOAD = "ocean"
+NUM_CPUS = 4
+L2_KB = 8
+SCALE = 0.05
+SEEDS = (0, 1)
+KINDS = ("baseline", "senss", "integrated")
+
+
+def config_for(kind: str):
+    config = e6000_config(num_processors=NUM_CPUS,
+                          senss_enabled=(kind != "baseline"))
+    config = config.with_l2_size(L2_KB * KB)
+    if kind == "integrated":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True)
+    return config
+
+
+def hit_rate(stats: dict) -> float:
+    hits = sum(v for k, v in stats.items()
+               if k.endswith("l1_hit") or k.endswith("l2_hit"))
+    misses = sum(v for k, v in stats.items() if k.endswith("l2_miss"))
+    upgrades = sum(v for k, v in stats.items()
+                   if k.endswith("upgrade_needed"))
+    return hits / (hits + misses + upgrades)
+
+
+def main() -> None:
+    runs = {}
+    for kind in KINDS:
+        for seed in SEEDS:
+            workload = generate(WORKLOAD, NUM_CPUS, scale=SCALE,
+                                seed=seed)
+            result = build_system(config_for(kind)).run(workload)
+            digest = hashlib.sha256(
+                json.dumps(result.stats,
+                           sort_keys=True).encode()).hexdigest()
+            rate = hit_rate(result.stats)
+            assert rate < 0.60, (kind, seed, rate)
+            runs[f"{kind}|{seed}"] = {
+                "total_accesses": workload.total_accesses,
+                "cycles": result.cycles,
+                "per_cpu_cycles": list(result.per_cpu_cycles),
+                "bus_transactions": result.stats.get(
+                    "bus.transactions", 0),
+                "hit_rate": round(rate, 4),
+                "stats_sha256": digest,
+            }
+            print(f"{kind}|{seed}: cycles={result.cycles} "
+                  f"hit_rate={rate:.3f}")
+
+    payload = {
+        "workload": WORKLOAD,
+        "num_cpus": NUM_CPUS,
+        "l2_kb": L2_KB,
+        "scale": SCALE,
+        "runs": runs,
+    }
+    out = (pathlib.Path(__file__).parent.parent / "tests" / "data"
+           / "golden_missheavy.json")
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,9 +53,9 @@ def collect(results_dir: Path) -> str:
     missing = [name for name in ORDER if name not in available]
     header = ["SENSS reproduction — consolidated bench results",
               f"({len(ordered)} tables; regenerate with "
-              f"`pytest benchmarks/ --benchmark-only`)"]
+              "`pytest benchmarks/ --benchmark-only`)"]
     if missing:
-        header.append(f"missing (bench not yet run): "
+        header.append("missing (bench not yet run): "
                       f"{', '.join(missing)}")
     return "\n".join(header) + "\n\n" + "\n\n".join(sections) + "\n"
 
@@ -70,7 +70,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if not args.results_dir.is_dir():
         print(f"no results directory at {args.results_dir}; run the "
-              f"bench suite first", file=sys.stderr)
+              "bench suite first", file=sys.stderr)
         return 1
     report = collect(args.results_dir)
     (args.results_dir / "REPORT.txt").write_text(report)
