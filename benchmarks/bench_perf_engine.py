@@ -12,6 +12,12 @@ recorded pre-fastpath engine:
   dominated by the slow path (coherence protocol, bus arbitration,
   security layers), the target of the DESIGN.md §6c streamlining.
 
+It also records an **observability** point (DESIGN.md §6d): the
+miss-heavy senss machine with and without a ``repro.obs.Tracer``
+attached, asserting the untraced run pays no measurable overhead for
+the observer hooks (budget: 2%) and that tracing leaves simulated
+cycles bit-identical.
+
 Reference throughputs were measured on the seed engine (linear-scan
 scheduler, per-access NamedTuples, StatsRegistry on the hot path) on
 the same machine/scale this bench defaults to; the speedup column is
@@ -19,6 +25,7 @@ only meaningful on comparable hardware, so the assertion is a loose
 sanity floor rather than the ~3x the rewrite achieves here.
 """
 
+import gc
 import json
 import pathlib
 import time
@@ -124,6 +131,68 @@ def test_engine_throughput(benchmark, emit):
         f"(accesses/s, best of {REPEATS})",
         ["config", "accesses/s", "seconds"], rows)
     emit(table)
+
+    # Observability point (DESIGN.md §6d): the observer hooks must be
+    # ~free when no tracer is attached, and attaching one must not
+    # change simulated results. Interleaved best-of-N on the
+    # slow-path-heavy senss point (every hook site exercised): "ref"
+    # and "off" run identical untraced code back to back, so their
+    # ratio is the noise floor the disabled-overhead budget is
+    # checked against — drift between separate batches would
+    # otherwise swamp the single `is not None` test per hook.
+    from repro.obs import Tracer
+    senss_small = missheavy_configs()["senss"]
+    accesses = missheavy_workload.total_accesses
+    best, cycles = {}, {}
+    traced_events = 0
+    for _ in range(REPEATS):
+        for mode in ("ref", "off", "on"):
+            system = build_system(senss_small)
+            if mode == "on":
+                tracer = Tracer(capacity=1 << 20).attach(system)
+            # Drop the previous iteration's ring before timing — its
+            # collection otherwise lands inside the next run.
+            gc.collect()
+            start = time.perf_counter()
+            result = system.run(missheavy_workload)
+            elapsed = time.perf_counter() - start
+            best[mode] = min(best.get(mode, elapsed), elapsed)
+            cycles[mode] = result.cycles
+            if mode == "on":
+                traced_events = tracer.ring.total_recorded
+    rates = {mode: round(accesses / seconds)
+             for mode, seconds in best.items()}
+    disabled_pct = round((rates["ref"] / rates["off"] - 1) * 100, 2)
+    tracing_pct = round((rates["off"] / rates["on"] - 1) * 100, 2)
+    report["observability"] = {
+        "workload": MISSHEAVY_WORKLOAD, "num_cpus": CPUS,
+        "l2_kb": MISSHEAVY_L2_KB, "scale": BENCH_SCALE,
+        "config": "senss",
+        "off": {"accesses": accesses,
+                "seconds": round(best["off"], 4),
+                "accesses_per_second": rates["off"],
+                "cycles": cycles["off"]},
+        "on": {"accesses": accesses,
+               "seconds": round(best["on"], 4),
+               "accesses_per_second": rates["on"],
+               "cycles": cycles["on"],
+               "events_recorded": traced_events},
+        "overhead_when_disabled_percent": disabled_pct,
+        "tracing_overhead_percent": tracing_pct,
+    }
+    table = format_table(
+        f"Observability overhead — senss, {MISSHEAVY_WORKLOAD}, "
+        f"{MISSHEAVY_L2_KB}K L2 (accesses/s, best of {REPEATS})",
+        ["mode", "accesses/s", "overhead"],
+        [["hooks only (no tracer)", f"{rates['off']:,}",
+          f"{disabled_pct:+.2f}%"],
+         ["tracer attached", f"{rates['on']:,}",
+          f"{tracing_pct:+.2f}%"]])
+    emit(table)
+
+    # Tracing never changes simulated time.
+    assert cycles["ref"] == cycles["off"] == cycles["on"]
+    assert disabled_pct <= 2.0, report["observability"]
 
     out = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -35,6 +35,7 @@ from .errors import (AuthenticationFailure, BusError, CoherenceError,
                      ConfigError, CryptoError, GroupTableFull,
                      IntegrityViolation, ReproError, SimulationError,
                      SpoofDetected, TraceError)
+from .obs import Tracer
 from .smp.metrics import (SimulationResult, slowdown_percent,
                           traffic_increase_percent)
 from .smp.system import SmpSystem
@@ -66,6 +67,7 @@ __all__ = [
     "SpoofDetected",
     "SystemConfig",
     "TraceError",
+    "Tracer",
     "Workload",
     "build_secure_system",
     "e6000_config",

@@ -60,6 +60,14 @@ class SharedBus:
         metrics probes). Called after state effects are resolved."""
         self._observers.append(observer)
 
+    def remove_observer(self,
+                        observer: Callable[[BusTransaction], None]) -> None:
+        """Detach a previously added observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     # -- timing helpers ----------------------------------------------------
 
     @property

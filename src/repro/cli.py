@@ -6,6 +6,10 @@ Commands
 ``run``       simulate one workload on baseline + SENSS machines and
               report slowdown / traffic increase.
 ``sweep``     sweep the authentication interval (Figure 9 style).
+``trace``     record one secured run as Chrome/Perfetto trace-event
+              JSON (schema-validated; load in ui.perfetto.dev).
+``report``    baseline-vs-secured comparison with latency histograms
+              and wall-clock phases, as a mergeable JSON report.
 ``profile``   measure engine throughput (accesses/s) per config kind,
               optionally with a cProfile hot-function table.
 ``overhead``  print the section-7.1 hardware cost table.
@@ -16,9 +20,11 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .analysis.overhead import compute_overhead
 from .analysis.report import format_table
 from .config import e6000_config
@@ -28,24 +34,53 @@ from .smp.system import SmpSystem
 from .workloads.registry import SPLASH2_NAMES, generate
 
 
+def _version_string() -> str:
+    from .sim.sweep import ENGINE_VERSION
+    return f"repro {__version__} (engine {ENGINE_VERSION})"
+
+
+def _add_machine_arguments(command, default_scale: float) -> None:
+    """The workload/machine flags shared by run, trace and report."""
+    command.add_argument("workload",
+                         help=f"one of {SPLASH2_NAMES} or a .trace file "
+                              "(see repro.workloads.tracefile)")
+    command.add_argument("--cpus", type=int, default=4)
+    command.add_argument("--l2-mb", type=int, default=1, choices=[1, 4])
+    command.add_argument("--interval", type=int, default=100)
+    command.add_argument("--masks", type=int, default=0,
+                         help="mask count (0 = perfect supply)")
+    command.add_argument("--scale", type=float, default=default_scale)
+    command.add_argument("--seed", type=int, default=0)
+    command.add_argument("--memprotect", action="store_true",
+                         help="add OTP memory encryption + CHash "
+                              "integrity")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SENSS (HPCA 2005) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=_version_string())
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run", help="simulate one workload")
-    run.add_argument("workload",
-                     help=f"one of {SPLASH2_NAMES} or a .trace file "
-                          "(see repro.workloads.tracefile)")
-    run.add_argument("--cpus", type=int, default=4)
-    run.add_argument("--l2-mb", type=int, default=1, choices=[1, 4])
-    run.add_argument("--interval", type=int, default=100)
-    run.add_argument("--masks", type=int, default=0,
-                     help="mask count (0 = perfect supply)")
-    run.add_argument("--scale", type=float, default=0.5)
-    run.add_argument("--memprotect", action="store_true",
-                     help="add OTP memory encryption + CHash integrity")
+    _add_machine_arguments(run, default_scale=0.5)
+
+    trace = commands.add_parser(
+        "trace", help="record one secured run as Perfetto JSON")
+    _add_machine_arguments(trace, default_scale=0.1)
+    trace.add_argument("--capacity", type=int, default=65536,
+                       help="event ring size (oldest events drop)")
+    trace.add_argument("--out", default="trace.json",
+                       help="output path ('-' for stdout)")
+
+    report = commands.add_parser(
+        "report", help="baseline-vs-secured run report")
+    _add_machine_arguments(report, default_scale=0.2)
+    report.add_argument("--json", dest="json_out", default=None,
+                        metavar="PATH",
+                        help="also write the mergeable JSON report")
 
     sweep = commands.add_parser("sweep",
                                 help="authentication interval sweep")
@@ -79,7 +114,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args) -> int:
+def _machine_inputs(args):
+    """Resolve the (config, workload) pair the machine flags describe."""
     config = e6000_config(num_processors=args.cpus, l2_mb=args.l2_mb,
                           auth_interval=args.interval)
     config = config.with_masks(args.masks or None)
@@ -92,7 +128,13 @@ def _cmd_run(args) -> int:
         if workload.num_cpus > args.cpus:
             config = config.with_processors(workload.num_cpus)
     else:
-        workload = generate(args.workload, args.cpus, scale=args.scale)
+        workload = generate(args.workload, args.cpus, scale=args.scale,
+                            seed=args.seed)
+    return config, workload
+
+
+def _cmd_run(args) -> int:
+    config, workload = _machine_inputs(args)
     baseline = SmpSystem(config.with_senss(False)).run(workload)
     secured = build_secure_system(config).run(workload)
     print(baseline.summary())
@@ -101,6 +143,65 @@ def _cmd_run(args) -> int:
           f"{slowdown_percent(baseline, secured):+.3f}%")
     print("traffic increase : "
           f"{traffic_increase_percent(baseline, secured):+.3f}%")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import Tracer, to_chrome_trace, validate_chrome_trace
+
+    config, workload = _machine_inputs(args)
+    system = build_secure_system(config)
+    tracer = Tracer(capacity=args.capacity).attach(system)
+    system.run(workload)
+    payload = to_chrome_trace(tracer)
+    # Self-check the export against the published schema before it
+    # leaves the process — a trace that fails to load in Perfetto is
+    # worse than no trace.
+    event_count = validate_chrome_trace(payload)
+    text = json.dumps(payload)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+    summary = tracer.summary()
+    print(f"wrote {args.out}: {event_count} events "
+          f"({summary['events_dropped']} dropped) over "
+          f"{summary['cycles']:,} cycles", file=sys.stderr)
+    by_kind = summary["by_kind"]
+    if by_kind:
+        rows = [[name, f"{count:,}"]
+                for name, count in sorted(by_kind.items())]
+        print(format_table("Recorded events", ["kind", "count"], rows),
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import PhaseTimer, Tracer, build_report, format_report
+
+    timer = PhaseTimer()
+    with timer.phase("setup"):
+        config, workload = _machine_inputs(args)
+    with timer.phase("simulate.baseline"):
+        baseline = SmpSystem(config.with_senss(False)).run(workload)
+    with timer.phase("simulate.secured"):
+        system = build_secure_system(config)
+        tracer = Tracer(events=False).attach(system)  # metrics only
+        secured = system.run(workload)
+    report = build_report(baseline, secured,
+                          workload=workload.name,
+                          num_cpus=workload.num_cpus,
+                          scale=args.scale,
+                          histograms=tracer.histogram_summaries(),
+                          timings=timer.as_dict())
+    # Write the JSON before printing: a truncated stdout pipe
+    # (BrokenPipeError, e.g. `... | head`) must not lose the report.
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    print(format_report(report))
     return 0
 
 
@@ -240,6 +341,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "profile":

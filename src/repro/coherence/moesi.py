@@ -47,11 +47,14 @@ class MoesiProtocol(MesiProtocol):
             supplier = owner
         fill_state = (MesiState.SHARED if any_valid
                       else MesiState.EXCLUSIVE)
-        return SnoopOutcome(supplier_cpu=supplier,
-                            # Ownership was retained: nothing flushed.
-                            had_modified_copy=False,
-                            invalidated_cpus=[],
-                            fill_state=fill_state)
+        outcome = SnoopOutcome(supplier_cpu=supplier,
+                               # Ownership was retained: nothing flushed.
+                               had_modified_copy=False,
+                               invalidated_cpus=[],
+                               fill_state=fill_state)
+        if self.observer is not None:
+            self.observer.on_snoop(0, requester, line_address, outcome)
+        return outcome
 
     def bus_read_exclusive(self, requester: int,
                            line_address: int) -> SnoopOutcome:
@@ -70,7 +73,10 @@ class MoesiProtocol(MesiProtocol):
             if prior in (MesiState.MODIFIED, MesiState.OWNED):
                 had_dirty = True
                 supplier = cpu_id
-        return SnoopOutcome(supplier_cpu=supplier,
-                            had_modified_copy=had_dirty,
-                            invalidated_cpus=invalidated,
-                            fill_state=MesiState.MODIFIED)
+        outcome = SnoopOutcome(supplier_cpu=supplier,
+                               had_modified_copy=had_dirty,
+                               invalidated_cpus=invalidated,
+                               fill_state=MesiState.MODIFIED)
+        if self.observer is not None:
+            self.observer.on_snoop(1, requester, line_address, outcome)
+        return outcome

@@ -69,6 +69,9 @@ class SenssBusLayer:
         self._bus = None
         self.total_mask_wait = 0
         self._overhead = config.senss.per_message_overhead_cycles
+        # Optional observability probe (repro.obs.Tracer): notified of
+        # mask-readiness stalls and MAC checkpoint broadcasts.
+        self.observer = None
         # Deferred aggregate counts (only accumulated while attached,
         # mirroring the registry-only-when-attached semantics).
         self._pending_protected = 0
@@ -177,6 +180,9 @@ class SenssBusLayer:
                 self._pending_mask_wait += mask_wait
             self._pending_protected += 1
             state.pending_messages += 1
+        if mask_wait and self.observer is not None:
+            self.observer.on_mask_stall(transaction, grant_cycle,
+                                        mask_wait)
         return self._overhead + mask_wait
 
     def after_transfer(self, transaction: BusTransaction) -> None:
@@ -218,6 +224,9 @@ class SenssBusLayer:
                         data_bytes=16)
         state.auth_broadcasts += 1
         state.pending_auth += 1
+        if self.observer is not None:
+            self.observer.on_auth_mac(group_id, initiator,
+                                      mac_message.grant_cycle)
 
 
 def build_secure_system(config: SystemConfig) -> SmpSystem:

@@ -70,6 +70,9 @@ class MemProtectLayer:
         self.hash_engine = CryptoEngineModel.hash_from_config(
             config.crypto, config.cpu_ghz, self.line_bytes)
         self.system = None
+        # Optional observability probe (repro.obs.Tracer): notified of
+        # pad-cache lookups and hash-tree verifies/updates.
+        self.observer = None
         self._writeback_depth = 0
         self._max_writeback_depth = 8
         # Levels whose node count is small enough to pin on chip; the
@@ -231,8 +234,14 @@ class MemProtectLayer:
                 extra += max(0, ready - clock - aes_engine.latency)
                 pad_cache.install(line_address, 0)
                 self._p_pad_cache_misses += 1
+                if self.observer is not None:
+                    self.observer.on_pad_cache(cpu, line_address, clock,
+                                               False)
             else:
                 self._p_pad_cache_hits += 1
+                if self.observer is not None:
+                    self.observer.on_pad_cache(cpu, line_address, clock,
+                                               True)
             extra += 1  # the OTP XOR
             self._p_decryptions += 1
         if self.integrity:
@@ -253,14 +262,23 @@ class MemProtectLayer:
         ready = hash_engine.issue(clock)
         extra = max(0, ready - clock - hash_engine.latency)
         parent = self.parent_of(address)
+        observer = self.observer
         if parent is None:
             self._p_root_verifications += 1
+            if observer is not None:
+                observer.on_hash_verify(cpu, address, clock, 0)
             return extra
         hierarchy = self.system.hierarchies[cpu]
         if hierarchy.l2.contains(parent):
             self._p_node_cache_hits += 1
+            if observer is not None:
+                observer.on_hash_verify(cpu, address, clock, 1)
             return extra
         self._p_hash_fetches += 1
+        if observer is not None:
+            # Reported before the posted fetch so the verify event
+            # precedes the nested miss it triggers.
+            observer.on_hash_verify(cpu, address, clock, 2)
         # Fetch the parent through the normal coherent read path; its
         # own verification recurses via on_memory_fetch when it comes
         # from memory, and stops early when another cache supplies it.
@@ -311,17 +329,24 @@ class MemProtectLayer:
                             clock: int) -> None:
         """Write the parent node (its stored child digest changed)."""
         parent = self.parent_of(address)
+        observer = self.observer
         if parent is None:
             self._p_root_updates += 1
+            if observer is not None:
+                observer.on_hash_update(cpu, address, clock, 0)
             return
         if self._writeback_depth >= self._max_writeback_depth:
             # Deep eviction cascades are batched by real hardware; cap
             # the model's recursion and account the clipped update.
             self._p_clipped_updates += 1
+            if observer is not None:
+                observer.on_hash_update(cpu, address, clock, 2)
             return
         self._writeback_depth += 1
         try:
             self.system._execute(cpu, clock, True, parent)
             self._p_hash_updates += 1
+            if observer is not None:
+                observer.on_hash_update(cpu, address, clock, 1)
         finally:
             self._writeback_depth -= 1

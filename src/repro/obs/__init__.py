@@ -1,0 +1,55 @@
+"""Observability for the SENSS simulator: tracing, metrics, reports.
+
+Three pieces, usable independently:
+
+- :class:`Tracer` (+ :class:`EventRing`) — a ring-buffered columnar
+  event tracer the bus, coherence, SENSS and memory-protection layers
+  emit into via optional observer hooks; exports Chrome/Perfetto
+  trace-event JSON (:func:`to_chrome_trace`) validated against
+  :data:`~repro.obs.schema.TRACE_EVENT_SCHEMA`.
+- :class:`~repro.sim.stats.Histogram` metrics — miss latency,
+  mask-wait cycles, pad-cache reuse distance, authentication gaps —
+  registered on the system's :class:`~repro.sim.stats.StatsRegistry`
+  when a tracer attaches.
+- :class:`PhaseTimer` + :func:`build_report` — wall-clock phase
+  accounting and the mergeable JSON run reports behind
+  ``python -m repro report``.
+
+The defining constraint (DESIGN.md §6d): with no tracer attached the
+engine keeps its scratch-transaction fast route and results stay
+bit-identical; attaching a tracer never changes simulated timing.
+
+Quick start::
+
+    from repro import build_secure_system, e6000_config, generate
+    from repro.obs import Tracer, to_chrome_trace
+
+    system = build_secure_system(e6000_config(num_processors=4))
+    tracer = Tracer().attach(system)
+    system.run(generate("fft", 4, scale=0.1))
+    payload = to_chrome_trace(tracer)   # load in ui.perfetto.dev
+"""
+
+from .export import TRACE_SCHEMA_VERSION, to_chrome_trace
+from .report import REPORT_SCHEMA_VERSION, build_report, format_report
+from .ring import EventKind, EventRing, TraceEvent
+from .schema import (TRACE_EVENT_SCHEMA, event_names,
+                     validate_chrome_trace)
+from .timers import PhaseTimer
+from .tracer import Tracer
+
+__all__ = [
+    "EventKind",
+    "EventRing",
+    "PhaseTimer",
+    "REPORT_SCHEMA_VERSION",
+    "TRACE_EVENT_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "Tracer",
+    "build_report",
+    "event_names",
+    "format_report",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,123 @@
+"""Columnar ring buffer of trace events.
+
+Events are stored the same way :class:`~repro.smp.trace.ColumnarTrace`
+stores accesses: one flat ``array('q')`` column per field instead of
+one object per event, so a fully-instrumented miss-heavy run appends
+machine integers only. The buffer is a *ring*: when ``capacity`` is
+exceeded the oldest events are overwritten (and counted as dropped),
+bounding tracer memory regardless of run length.
+
+Every event is ``(kind, cycle, dur, cpu, a0, a1, a2)``; the meaning of
+the ``a*`` payload words depends on ``kind`` (see
+:class:`EventKind` and the packing notes in
+:mod:`repro.obs.tracer`). Export to human-readable form happens once,
+in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, NamedTuple
+
+from ..errors import ConfigError
+
+
+class EventKind:
+    """Integer codes for the ``kind`` column (stable, schema-visible)."""
+
+    BUS_TX = 0        # one per granted bus transaction
+    MISS = 1          # L2 miss serviced over the bus (latency span)
+    UPGRADE = 2       # S->M upgrade (latency span)
+    MASK_STALL = 3    # protected message waited for a mask slot
+    AUTH_MAC = 4      # authentication checkpoint (MAC broadcast)
+    PAD_HIT = 5       # pad/sequence-number cache hit
+    PAD_MISS = 6      # pad/sequence-number cache miss
+    HASH_VERIFY = 7   # integrity verification climb
+    HASH_UPDATE = 8   # parent hash update after a dirty eviction
+    RUN_SPAN = 9      # per-CPU execute span (emitted at run end)
+
+    ALL = (BUS_TX, MISS, UPGRADE, MASK_STALL, AUTH_MAC, PAD_HIT,
+           PAD_MISS, HASH_VERIFY, HASH_UPDATE, RUN_SPAN)
+
+
+class TraceEvent(NamedTuple):
+    kind: int
+    cycle: int
+    dur: int
+    cpu: int
+    a0: int
+    a1: int
+    a2: int
+
+
+class EventRing:
+    """Fixed-capacity columnar event store with overwrite-oldest."""
+
+    __slots__ = ("capacity", "_total", "_kind", "_cycle", "_dur",
+                 "_cpu", "_a0", "_a1", "_a2")
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ConfigError("event ring capacity must be >= 1")
+        self.capacity = capacity
+        self._total = 0
+        zeros = array("q", [0]) * capacity
+        self._kind = array("q", zeros)
+        self._cycle = array("q", zeros)
+        self._dur = array("q", zeros)
+        self._cpu = array("q", zeros)
+        self._a0 = array("q", zeros)
+        self._a1 = array("q", zeros)
+        self._a2 = array("q", zeros)
+
+    def record(self, kind: int, cycle: int, dur: int, cpu: int,
+               a0: int = 0, a1: int = 0, a2: int = 0) -> None:
+        slot = self._total % self.capacity
+        self._kind[slot] = kind
+        self._cycle[slot] = cycle
+        self._dur[slot] = dur
+        self._cpu[slot] = cpu
+        self._a0[slot] = a0
+        self._a1[slot] = a1
+        self._a2[slot] = a2
+        self._total += 1
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded, including overwritten ones."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Oldest events lost to ring wrap-around."""
+        return max(0, self._total - self.capacity)
+
+    def __len__(self) -> int:
+        return min(self._total, self.capacity)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        """Retained events, oldest first (recording order)."""
+        total = self._total
+        capacity = self.capacity
+        for position in range(max(0, total - capacity), total):
+            slot = position % capacity
+            yield TraceEvent(self._kind[slot], self._cycle[slot],
+                            self._dur[slot], self._cpu[slot],
+                            self._a0[slot], self._a1[slot],
+                            self._a2[slot])
+
+    def counts_by_kind(self) -> dict:
+        """``{kind_code: retained_count}`` over the current window."""
+        counts: dict = {}
+        for event in self:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._total = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EventRing({len(self)}/{self.capacity} events, "
+                f"{self.dropped} dropped)")

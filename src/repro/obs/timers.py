@@ -1,0 +1,51 @@
+"""Wall-clock phase timers.
+
+Simulator cycles measure the *modeled* machine; these timers measure
+the *simulator itself* — where a CLI run or a sweep worker spends real
+seconds (workload generation, simulation, cache I/O). They aggregate
+into plain ``{phase: seconds}`` dicts so sweep workers can ship them
+across process boundaries and reports can merge them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase."""
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def merge(self, seconds_by_phase: Dict[str, float]) -> None:
+        for name, seconds in seconds_by_phase.items():
+            self.add(name, seconds)
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """``{phase: seconds}``, rounded for JSON reports."""
+        return {name: round(seconds, 6)
+                for name, seconds in sorted(self._seconds.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{name}={seconds:.3f}s"
+                         for name, seconds in sorted(self._seconds.items()))
+        return f"PhaseTimer({body})"

@@ -1,0 +1,270 @@
+"""The structured event tracer.
+
+:class:`Tracer` attaches to an assembled :class:`~repro.smp.system.
+SmpSystem` and records a timeline of what the run did into an
+:class:`~repro.obs.ring.EventRing`, plus latency distributions into
+:class:`~repro.sim.stats.Histogram` metrics on the system's registry:
+
+- the **bus** reports every granted transaction (via the existing
+  ``SharedBus.add_observer`` hook — attaching a tracer is what flips
+  the slow path off its scratch-transaction route, exactly the
+  observer contract of ``SmpSystem._next_transaction``);
+- the **coherence protocol** reports each snoop outcome, which the
+  tracer pairs LIFO with the miss/upgrade span that consumed it
+  (memory-protection hash fetches nest misses inside misses, so a
+  stack, not a queue);
+- the **SMP system** reports miss and upgrade completion spans;
+- the **SENSS layer** reports mask-readiness stalls and
+  authentication checkpoints;
+- the **memory-protection layer** reports pad-cache hits/misses and
+  hash-tree verifications/updates.
+
+Every hook site guards with a single ``is not None`` test and all
+hooks live on the miss/upgrade slow path, so a system with no tracer
+attached pays one pointer comparison per miss — the fused hit loop in
+:mod:`repro.smp.fastpath` is untouched. Attaching a tracer never
+changes simulated timing or statistics: results stay bit-identical to
+an unobserved run (pinned by tests/obs/test_tracer.py).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bus.transaction import TransactionType
+from .ring import EventKind, EventRing
+
+#: stable index per transaction type, recorded in the a1 payload word
+TX_TYPE_INDEX = {tx_type: index
+                 for index, tx_type in enumerate(TransactionType)}
+TX_TYPE_BY_INDEX = list(TransactionType)
+
+#: snoop operation codes (protocol observer a-word)
+SNOOP_READ = 0
+SNOOP_READ_EXCLUSIVE = 1
+SNOOP_UPGRADE = 2
+
+#: hash-climb outcome codes
+HASH_ROOT = 0
+HASH_L2_HIT = 1
+HASH_FETCH = 2
+#: hash-update outcome codes (HASH_ROOT shared)
+HASH_WRITE = 1
+HASH_CLIPPED = 2
+
+#: histogram metric names installed on attach
+MISS_LATENCY = "obs.miss_latency"
+UPGRADE_LATENCY = "obs.upgrade_latency"
+MASK_WAIT = "obs.mask_wait_cycles"
+PAD_REUSE_DISTANCE = "obs.pad_reuse_distance"
+AUTH_INTERVAL_GAP = "obs.auth_interval_gap"
+
+
+class Tracer:
+    """Ring-buffered event tracer plus histogram metrics probe.
+
+    ``events=False`` keeps the ring empty (metrics only — what
+    ``python -m repro report`` uses); ``metrics=False`` skips the
+    histograms (pure timeline).
+    """
+
+    def __init__(self, capacity: int = 65536, events: bool = True,
+                 metrics: bool = True):
+        self.ring = EventRing(capacity if events else 1)
+        self.events_enabled = events
+        self.metrics_enabled = metrics
+        self.kind_totals: Dict[int, int] = {}
+        self.workload_name: Optional[str] = None
+        self.final_clocks: List[int] = []
+        self._system = None
+        # LIFO of (op, invalidated, supplier+1, dirty) snoop outcomes
+        # awaiting their miss/upgrade completion span.
+        self._snoops: List[Tuple[int, int, int, int]] = []
+        self._last_auth: Dict[int, int] = {}       # group -> last cycle
+        self._pad_clock: Dict[int, int] = {}       # cpu -> access count
+        self._pad_last: Dict[Tuple[int, int], int] = {}  # (cpu, line)
+        self._h_miss = self._h_upgrade = self._h_mask = None
+        self._h_reuse = self._h_auth_gap = None
+
+    # -- attachment ----------------------------------------------------
+
+    def attach(self, system) -> "Tracer":
+        """Hook every layer the system has; returns self for chaining."""
+        self._system = system
+        system._obs = self
+        system.bus.add_observer(self._on_bus_tx)
+        if system.protocol is not None:
+            system.protocol.observer = self
+        layer = system.bus.security_layer
+        if layer is not None:
+            layer.observer = self
+        if system.memprotect is not None:
+            system.memprotect.observer = self
+        if self.metrics_enabled:
+            stats = system.stats
+            self._h_miss = stats.histogram(MISS_LATENCY)
+            self._h_upgrade = stats.histogram(UPGRADE_LATENCY)
+            self._h_mask = stats.histogram(MASK_WAIT)
+            self._h_reuse = stats.histogram(PAD_REUSE_DISTANCE)
+            self._h_auth_gap = stats.histogram(AUTH_INTERVAL_GAP)
+        return self
+
+    def detach(self) -> None:
+        """Unhook everything; the system returns to the scratch-
+        transaction fast route once no bus observers remain."""
+        system = self._system
+        if system is None:
+            return
+        system.bus.remove_observer(self._on_bus_tx)
+        if system.protocol is not None and \
+                system.protocol.observer is self:
+            system.protocol.observer = None
+        layer = system.bus.security_layer
+        if layer is not None and layer.observer is self:
+            layer.observer = None
+        if system.memprotect is not None and \
+                system.memprotect.observer is self:
+            system.memprotect.observer = None
+        if system._obs is self:
+            system._obs = None
+        self._system = None
+
+    # -- recording core ------------------------------------------------
+
+    def _record(self, kind: int, cycle: int, dur: int, cpu: int,
+                a0: int = 0, a1: int = 0, a2: int = 0) -> None:
+        totals = self.kind_totals
+        totals[kind] = totals.get(kind, 0) + 1
+        if self.events_enabled:
+            self.ring.record(kind, cycle, dur, cpu, a0, a1, a2)
+
+    # -- bus -----------------------------------------------------------
+
+    def _on_bus_tx(self, transaction) -> None:
+        grant = transaction.grant_cycle
+        self._record(EventKind.BUS_TX, grant,
+                     max(0, transaction.complete_cycle - grant),
+                     transaction.source_pid, transaction.address,
+                     TX_TYPE_INDEX[transaction.type],
+                     1 if transaction.is_cache_to_cache else 0)
+
+    # -- coherence protocol --------------------------------------------
+
+    def on_snoop(self, op: int, requester: int, line_address: int,
+                 outcome) -> None:
+        supplier = outcome.supplier_cpu
+        self._snoops.append((op, len(outcome.invalidated_cpus),
+                             0 if supplier is None else supplier + 1,
+                             1 if outcome.had_modified_copy else 0))
+
+    def _pop_snoop(self) -> Tuple[int, int, int, int]:
+        if self._snoops:
+            return self._snoops.pop()
+        return (-1, -1, 0, 0)  # protocol not instrumented
+
+    # -- SMP system ----------------------------------------------------
+
+    def on_miss(self, cpu: int, line_address: int, request: int,
+                finish: int, is_write: bool) -> None:
+        _, invalidated, supplier_word, dirty = self._pop_snoop()
+        latency = finish - request
+        if self._h_miss is not None:
+            self._h_miss.record(latency)
+        packed = supplier_word | (dirty << 8) | \
+            ((1 if is_write else 0) << 9)
+        self._record(EventKind.MISS, request, latency, cpu,
+                     line_address, invalidated, packed)
+
+    def on_upgrade(self, cpu: int, line_address: int, request: int,
+                   finish: int) -> None:
+        _, invalidated, _, _ = self._pop_snoop()
+        latency = finish - request
+        if self._h_upgrade is not None:
+            self._h_upgrade.record(latency)
+        self._record(EventKind.UPGRADE, request, latency, cpu,
+                     line_address, invalidated)
+
+    def on_run_end(self, workload_name: str, clocks) -> None:
+        self.workload_name = workload_name
+        self.final_clocks = list(clocks)
+        for cpu, clock in enumerate(clocks):
+            self._record(EventKind.RUN_SPAN, 0, clock, cpu)
+
+    # -- SENSS layer ---------------------------------------------------
+
+    def on_mask_stall(self, transaction, grant_cycle: int,
+                      wait: int) -> None:
+        if self._h_mask is not None:
+            self._h_mask.record(wait)
+        self._record(EventKind.MASK_STALL, grant_cycle, wait,
+                     transaction.source_pid, transaction.group_id, wait)
+
+    def on_auth_mac(self, group_id: int, initiator: int,
+                    cycle: int) -> None:
+        previous = self._last_auth.get(group_id)
+        gap = -1 if previous is None else cycle - previous
+        self._last_auth[group_id] = cycle
+        if gap >= 0 and self._h_auth_gap is not None:
+            self._h_auth_gap.record(gap)
+        self._record(EventKind.AUTH_MAC, cycle, 0, initiator,
+                     group_id, gap)
+
+    # -- memory protection ---------------------------------------------
+
+    def on_pad_cache(self, cpu: int, line_address: int, cycle: int,
+                     hit: bool) -> None:
+        sequence = self._pad_clock.get(cpu, 0)
+        self._pad_clock[cpu] = sequence + 1
+        key = (cpu, line_address)
+        previous = self._pad_last.get(key)
+        self._pad_last[key] = sequence
+        if hit:
+            distance = -1 if previous is None else sequence - previous
+            if distance >= 0 and self._h_reuse is not None:
+                self._h_reuse.record(distance)
+            self._record(EventKind.PAD_HIT, cycle, 0, cpu,
+                         line_address, distance)
+        else:
+            self._record(EventKind.PAD_MISS, cycle, 0, cpu,
+                         line_address)
+
+    def on_hash_verify(self, cpu: int, address: int, cycle: int,
+                       outcome: int) -> None:
+        self._record(EventKind.HASH_VERIFY, cycle, 0, cpu, address,
+                     outcome)
+
+    def on_hash_update(self, cpu: int, address: int, cycle: int,
+                       outcome: int) -> None:
+        self._record(EventKind.HASH_UPDATE, cycle, 0, cpu, address,
+                     outcome)
+
+    # -- summaries -----------------------------------------------------
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, object]]:
+        if self._system is None or not self.metrics_enabled:
+            return {}
+        return {name: summary for name, summary
+                in self._system.stats.histogram_summaries().items()
+                if name.startswith("obs.")}
+
+    def summary(self) -> Dict[str, object]:
+        """Compact run overview: per-kind totals, drops, histograms."""
+        names = {EventKind.BUS_TX: "bus_tx", EventKind.MISS: "miss",
+                 EventKind.UPGRADE: "upgrade",
+                 EventKind.MASK_STALL: "mask_stall",
+                 EventKind.AUTH_MAC: "auth_checkpoint",
+                 EventKind.PAD_HIT: "pad_cache_hit",
+                 EventKind.PAD_MISS: "pad_cache_miss",
+                 EventKind.HASH_VERIFY: "hash_verify",
+                 EventKind.HASH_UPDATE: "hash_update",
+                 EventKind.RUN_SPAN: "run_span"}
+        return {
+            "workload": self.workload_name,
+            "events_recorded": self.ring.total_recorded,
+            "events_retained": len(self.ring),
+            "events_dropped": self.ring.dropped,
+            "by_kind": {names[kind]: count for kind, count
+                        in sorted(self.kind_totals.items())},
+            "cycles": max(self.final_clocks) if self.final_clocks else 0,
+            "histograms": self.histogram_summaries(),
+        }

@@ -11,11 +11,19 @@ plain integer fields and register a *flusher* with the registry; any
 read (``get``/``items``/``as_dict``/``total``) first drains every
 registered flusher, so observed values are always exact while the
 simulation loop never touches a string-keyed counter.
+
+:class:`Histogram` extends the registry with *distribution* metrics
+(miss latency, mask-wait cycles, pad-cache reuse distance, ...) under
+the same contract: ``record`` is a plain list append; bucketing,
+moments and percentiles materialize only when a reader asks. Counters
+and histograms live in separate namespaces — ``as_dict`` stays a pure
+counter snapshot so golden stats digests are unaffected by attaching
+observability.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 
 class Counter:
@@ -37,11 +45,124 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class Histogram:
+    """A power-of-two-bucketed distribution with exact moments.
+
+    ``record`` appends the raw value to a pending list (one list append
+    on the recording path, nothing else); any read drains the pending
+    values into bucket counts and exact count/sum/min/max. Bucket ``b``
+    holds values whose ``bit_length()`` is ``b`` — bucket 0 is exactly
+    the value 0, bucket ``b`` spans ``[2**(b-1), 2**b - 1]`` — so cycle
+    latencies from 1 to 2**63 fit in 65 buckets with ≤2x resolution.
+    """
+
+    __slots__ = ("name", "_pending", "_counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._pending: List[int] = []
+        self._counts: List[int] = [0] * 65
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[int] = None
+        self.maximum = 0
+
+    # -- recording (hot side) ------------------------------------------
+
+    def record(self, value: int) -> None:
+        self._pending.append(value)
+
+    def record_many(self, values) -> None:
+        self._pending.extend(values)
+
+    # -- reading (drains first) ----------------------------------------
+
+    def _drain(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        counts = self._counts
+        for value in pending:
+            if value < 0:
+                value = 0
+            counts[value.bit_length()] += 1
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        self._drain()
+        return self.total / self.count if self.count else 0.0
+
+    @staticmethod
+    def _bucket_bounds(bucket: int) -> Tuple[int, int]:
+        if bucket == 0:
+            return 0, 0
+        return 1 << (bucket - 1), (1 << bucket) - 1
+
+    def buckets(self) -> List[Tuple[int, int, int]]:
+        """Non-empty ``(low, high, count)`` buckets, ascending."""
+        self._drain()
+        return [(*self._bucket_bounds(bucket), count)
+                for bucket, count in enumerate(self._counts) if count]
+
+    def percentile(self, fraction: float) -> int:
+        """Upper bound of the bucket holding the given quantile.
+
+        A bucketed estimate (within 2x of the exact order statistic);
+        0 when nothing was recorded.
+        """
+        self._drain()
+        if not self.count:
+            return 0
+        rank = fraction * self.count
+        cumulative = 0
+        for bucket, count in enumerate(self._counts):
+            cumulative += count
+            if count and cumulative >= rank:
+                return min(self._bucket_bounds(bucket)[1], self.maximum)
+        return self.maximum
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready snapshot used by run reports and trace exports."""
+        self._drain()
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.minimum is not None else 0,
+            "max": self.maximum,
+            "mean": round(self.mean, 3),
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "buckets": [list(bucket) for bucket in self.buckets()],
+        }
+
+    def reset(self) -> None:
+        self._pending = []
+        self._counts = [0] * 65
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = 0
+
+    def __repr__(self) -> str:
+        self._drain()
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.1f})"
+
+
 class StatsRegistry:
     """A flat namespace of counters, addressable by dotted names."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._flushers: List[Callable[[], None]] = []
         self._draining = False
 
@@ -103,6 +224,31 @@ class StatsRegistry:
         self._drain()
         for counter in self._counters.values():
             counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    # -- histograms ----------------------------------------------------
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        existing = self._histograms.get(name)
+        if existing is None:
+            existing = Histogram(name)
+            self._histograms[name] = existing
+        return existing
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """All histograms, drained and ready to read."""
+        self._drain()
+        for histogram in self._histograms.values():
+            histogram._drain()
+        return dict(self._histograms)
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready ``{name: summary}`` of every non-empty histogram."""
+        return {name: histogram.summary()
+                for name, histogram in sorted(self.histograms().items())
+                if histogram.count}
 
     def items(self) -> Iterator[Tuple[str, int]]:
         self._drain()

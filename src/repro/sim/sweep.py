@@ -31,10 +31,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import SystemConfig
 from ..smp.metrics import SimulationResult
@@ -74,6 +75,49 @@ def run_point(point: SweepPoint) -> SimulationResult:
     workload = generate(point.workload, point.config.num_processors,
                         scale=point.scale, seed=point.seed)
     return build_system(point.config).run(workload)
+
+
+@dataclass
+class SweepTimings:
+    """Wall-clock accounting for one :func:`run_sweep` call.
+
+    ``run_s`` sums per-point worker seconds (it exceeds ``wall_s``
+    when points ran in parallel); ``cache_s`` is time spent probing
+    and loading the result cache in the coordinating process.
+    """
+
+    wall_s: float = 0.0
+    run_s: float = 0.0
+    cache_s: float = 0.0
+    slowest_point_s: float = 0.0
+    points_run: int = 0
+    points_cached: int = 0
+    workers: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sweep.wall_s": round(self.wall_s, 6),
+            "sweep.run_s": round(self.run_s, 6),
+            "sweep.cache_s": round(self.cache_s, 6),
+            "sweep.slowest_point_s": round(self.slowest_point_s, 6),
+            "sweep.points_run": self.points_run,
+            "sweep.points_cached": self.points_cached,
+            "sweep.workers": self.workers,
+        }
+
+
+def _run_point_timed(point: SweepPoint
+                     ) -> Tuple[SimulationResult, float]:
+    """``run_point`` plus its worker-side wall-clock seconds.
+
+    Looks ``run_point`` up as a module global (not a closed-over
+    reference) so monkeypatched replacements are honored, and ships
+    the measurement back with the result so the coordinator can
+    aggregate per-point timings across process boundaries.
+    """
+    start = time.perf_counter()
+    result = run_point(point)
+    return result, time.perf_counter() - start
 
 
 def point_key(point: SweepPoint) -> str:
@@ -157,18 +201,23 @@ def _parallel_enabled() -> bool:
 def run_sweep(points: Sequence[SweepPoint],
               cache: Optional[ResultCache] = None,
               parallel: Optional[bool] = None,
-              max_workers: Optional[int] = None
+              max_workers: Optional[int] = None,
+              timings: Optional[SweepTimings] = None
               ) -> List[SimulationResult]:
     """Run every point, in parallel where possible; results in order.
 
     Duplicate points are simulated once. With a ``cache``, previously
     completed points are loaded instead of re-run and fresh results are
-    stored for the next sweep.
+    stored for the next sweep. Pass a :class:`SweepTimings` to collect
+    wall-clock phase accounting (per-worker simulation seconds are
+    measured inside the workers and aggregated here).
     """
+    sweep_start = time.perf_counter()
     points = list(points)
     results: dict = {}
     pending: List[SweepPoint] = []
     pending_keys: set = set()
+    cache_start = time.perf_counter()
     for point in points:
         key = point_key(point)
         if key in results or key in pending_keys:
@@ -179,7 +228,10 @@ def run_sweep(points: Sequence[SweepPoint],
         else:
             pending.append(point)
             pending_keys.add(key)
+    cache_seconds = time.perf_counter() - cache_start
 
+    workers = 0
+    point_seconds: List[float] = []
     if pending:
         if parallel is None:
             parallel = _parallel_enabled()
@@ -187,15 +239,29 @@ def run_sweep(points: Sequence[SweepPoint],
             else max(1, max_workers)
         if parallel and workers > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(run_point, pending))
+                timed = list(pool.map(_run_point_timed, pending))
         else:
-            fresh = [run_point(point) for point in pending]
-        for point, result in zip(pending, fresh):
+            workers = 1
+            timed = [_run_point_timed(point) for point in pending]
+        store_start = time.perf_counter()
+        for point, (result, seconds) in zip(pending, timed):
+            point_seconds.append(seconds)
             results[point_key(point)] = result
             if cache is not None:
                 cache.store(point, result)
+        cache_seconds += time.perf_counter() - store_start
 
-    return [results[point_key(point)] for point in points]
+    ordered = [results[point_key(point)] for point in points]
+    if timings is not None:
+        timings.wall_s += time.perf_counter() - sweep_start
+        timings.run_s += sum(point_seconds)
+        timings.cache_s += cache_seconds
+        timings.slowest_point_s = max(
+            [timings.slowest_point_s] + point_seconds)
+        timings.points_run += len(pending)
+        timings.points_cached += len(points) - len(pending)
+        timings.workers = max(timings.workers, workers)
+    return ordered
 
 
 def run_cached(point: SweepPoint,

@@ -223,6 +223,12 @@ def run_fast(system, workload: Workload) -> SimulationResult:
         if upgrades[cpu]:
             stats.add(prefix + "upgrade_needed", upgrades[cpu])
 
+    # Observability: per-CPU execute spans, emitted once at run end
+    # (the hot loop above never consults the observer — misses and
+    # upgrades already reported through the shared slow-path hooks).
+    if system._obs is not None:
+        system._obs.on_run_end(workload.name, clocks)
+
     return SimulationResult(
         workload=workload.name,
         num_cpus=num_cpus,

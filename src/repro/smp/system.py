@@ -74,6 +74,10 @@ class SmpSystem:
         # Scratch transaction reused across slow-path bus issues when
         # no observer could retain a reference to it.
         self._scratch_tx = BusTransaction(_BUS_READ, 0, 0)
+        # Optional observability probe (repro.obs.Tracer): notified of
+        # miss/upgrade completion spans. One is-None test per slow-path
+        # event when detached; never consulted on the hit fast path.
+        self._obs = None
         # Deferred coherence counters; _events tracks how many times
         # the reference semantics would have touched the invalidation
         # counter (it is bumped by zero on snoops that invalidate
@@ -107,6 +111,11 @@ class SmpSystem:
     def attach_memprotect(self, layer) -> None:
         """Attach a cache-to-memory protection layer (repro.memprotect)."""
         self.memprotect = layer
+
+    @property
+    def observer(self):
+        """The attached observability probe, if any (repro.obs)."""
+        return self._obs
 
     def set_cpu_groups(self, group_ids) -> None:
         """Assign each CPU to a SENSS group (multiprogramming).
@@ -175,6 +184,8 @@ class SmpSystem:
             clocks[cpu] = self._execute(cpu, clocks[cpu] + access.gap,
                                         access.is_write, access.address)
 
+        if self._obs is not None:
+            self._obs.on_run_end(workload.name, clocks)
         return SimulationResult(
             workload=workload.name,
             num_cpus=num_cpus,
@@ -232,7 +243,10 @@ class SmpSystem:
         hierarchy.upgrade(line_address)
         self._pending_invalidations += len(outcome.invalidated_cpus)
         self._pending_invalidation_events += 1
-        return transaction.complete_cycle
+        finish = transaction.complete_cycle
+        if self._obs is not None:
+            self._obs.on_upgrade(cpu, line_address, clock, finish)
+        return finish
 
     def _execute_miss(self, cpu: int, clock: int, is_write: bool,
                       line_address: int) -> int:
@@ -267,6 +281,12 @@ class SmpSystem:
         if victim is not None and victim[1].is_dirty:
             self._post_writeback(cpu, victim[0], finish)
 
+        if self._obs is not None:
+            # Notified last so nested fetches (hash-tree climbs, hash
+            # write-backs) report before their enclosing miss — the
+            # LIFO order the tracer's snoop pairing relies on.
+            self._obs.on_miss(cpu, line_address, clock, finish,
+                              is_write)
         return finish
 
     def _post_writeback(self, cpu: int, line_address: int,

@@ -1,0 +1,78 @@
+"""The columnar event ring buffer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.ring import EventKind, EventRing, TraceEvent
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ConfigError):
+        EventRing(0)
+
+
+def test_record_and_read_back():
+    ring = EventRing(8)
+    ring.record(EventKind.MISS, 100, 20, 1, 0xABC0, 2, 3)
+    events = list(ring)
+    assert events == [TraceEvent(EventKind.MISS, 100, 20, 1,
+                                 0xABC0, 2, 3)]
+    assert len(ring) == 1
+    assert ring.total_recorded == 1
+    assert ring.dropped == 0
+
+
+def test_defaults_for_payload_words():
+    ring = EventRing(4)
+    ring.record(EventKind.BUS_TX, 5, 0, 0)
+    assert list(ring)[0] == TraceEvent(EventKind.BUS_TX, 5, 0, 0,
+                                       0, 0, 0)
+
+
+def test_wraps_overwriting_oldest():
+    ring = EventRing(4)
+    for index in range(10):
+        ring.record(EventKind.BUS_TX, index, 0, 0, index)
+    assert ring.total_recorded == 10
+    assert ring.dropped == 6
+    assert len(ring) == 4
+    # Oldest-first iteration over the surviving tail.
+    assert [event.cycle for event in ring] == [6, 7, 8, 9]
+    assert [event.a0 for event in ring] == [6, 7, 8, 9]
+
+
+def test_iteration_order_before_wrap():
+    ring = EventRing(8)
+    for index in range(5):
+        ring.record(EventKind.MISS, index * 10, 1, index % 2)
+    assert [event.cycle for event in ring] == [0, 10, 20, 30, 40]
+
+
+def test_counts_by_kind():
+    ring = EventRing(16)
+    ring.record(EventKind.MISS, 0, 0, 0)
+    ring.record(EventKind.MISS, 1, 0, 0)
+    ring.record(EventKind.AUTH_MAC, 2, 0, 0)
+    assert ring.counts_by_kind() == {EventKind.MISS: 2,
+                                     EventKind.AUTH_MAC: 1}
+
+
+def test_counts_by_kind_reflects_only_retained():
+    ring = EventRing(2)
+    ring.record(EventKind.MISS, 0, 0, 0)
+    ring.record(EventKind.UPGRADE, 1, 0, 0)
+    ring.record(EventKind.UPGRADE, 2, 0, 0)
+    assert ring.counts_by_kind() == {EventKind.UPGRADE: 2}
+
+
+def test_clear():
+    ring = EventRing(4)
+    ring.record(EventKind.MISS, 0, 0, 0)
+    ring.clear()
+    assert len(ring) == 0
+    assert ring.total_recorded == 0
+    assert list(ring) == []
+
+
+def test_every_kind_is_distinct():
+    assert len(set(EventKind.ALL)) == len(EventKind.ALL)

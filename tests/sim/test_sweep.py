@@ -5,7 +5,8 @@ import json
 
 from repro.config import e6000_config
 from repro.sim.sweep import (ENGINE_VERSION, ResultCache, SweepPoint,
-                             point_key, run_cached, run_point, run_sweep)
+                             SweepTimings, point_key, run_cached,
+                             run_point, run_sweep)
 
 
 def point(name="fft", seed=0, scale=0.05, **config_kwargs):
@@ -130,3 +131,66 @@ class TestRunSweep:
 
 def test_empty_sweep():
     assert run_sweep([]) == []
+
+
+class TestSweepTimings:
+    def test_fresh_run_accounts_worker_seconds(self, tmp_path):
+        timings = SweepTimings()
+        run_sweep([point(seed=0), point(seed=1)],
+                  cache=ResultCache(tmp_path), parallel=False,
+                  timings=timings)
+        assert timings.points_run == 2
+        assert timings.points_cached == 0
+        assert timings.workers == 1
+        assert timings.run_s > 0
+        assert timings.wall_s >= timings.run_s
+        assert 0 < timings.slowest_point_s <= timings.run_s
+
+    def test_cached_run_skips_simulation_time(self, tmp_path,
+                                              monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_sweep([point()], cache=cache, parallel=False)
+        monkeypatch.setattr(
+            "repro.sim.sweep.run_point",
+            lambda _: (_ for _ in ()).throw(AssertionError("re-ran")))
+        timings = SweepTimings()
+        run_sweep([point()], cache=cache, parallel=False,
+                  timings=timings)
+        assert timings.points_run == 0
+        assert timings.points_cached == 1
+        assert timings.run_s == 0.0
+        assert timings.wall_s > 0
+
+    def test_timed_wrapper_honors_monkeypatched_run_point(
+            self, tmp_path, monkeypatch):
+        """Per-point timing goes through the module-global run_point
+        so test doubles (and profiling wrappers) still intercept."""
+        calls = []
+        real = run_point
+        monkeypatch.setattr(
+            "repro.sim.sweep.run_point",
+            lambda target: (calls.append(target), real(target))[1])
+        timings = SweepTimings()
+        run_sweep([point()], parallel=False, timings=timings)
+        assert len(calls) == 1
+        assert timings.points_run == 1
+
+    def test_accumulates_across_sweeps(self, tmp_path):
+        timings = SweepTimings()
+        cache = ResultCache(tmp_path)
+        run_sweep([point()], cache=cache, parallel=False,
+                  timings=timings)
+        run_sweep([point()], cache=cache, parallel=False,
+                  timings=timings)
+        assert timings.points_run == 1
+        assert timings.points_cached == 1
+
+    def test_as_dict_is_json_ready(self, tmp_path):
+        import json
+        timings = SweepTimings()
+        run_sweep([point()], cache=ResultCache(tmp_path),
+                  parallel=False, timings=timings)
+        as_dict = timings.as_dict()
+        assert json.loads(json.dumps(as_dict)) == as_dict
+        assert as_dict["sweep.points_run"] == 1
+        assert as_dict["sweep.wall_s"] > 0

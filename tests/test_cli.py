@@ -75,3 +75,73 @@ def test_sweep_with_trace_file(tmp_path, capsys):
     assert main(["sweep", str(trace_path), "--cpus", "2",
                  "--intervals", "100", "1"]) == 0
     assert "interval" in capsys.readouterr().out
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+    from repro.sim.sweep import ENGINE_VERSION
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert f"repro {__version__}" in out
+    assert f"engine {ENGINE_VERSION}" in out
+
+
+def test_trace_command_writes_valid_json(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "fft", "--cpus", "2", "--scale", "0.05",
+                 "--memprotect", "--interval", "10",
+                 "--out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert validate_chrome_trace(payload) > 0
+    err = capsys.readouterr().err
+    assert "events" in err
+    assert "Recorded events" in err
+
+
+def test_trace_command_to_stdout(capsys):
+    import json
+    assert main(["trace", "lu", "--cpus", "2", "--scale", "0.05",
+                 "--out", "-"]) == 0
+    out = capsys.readouterr().out
+    assert json.loads(out)["otherData"]["workload"] == "lu"
+
+
+def test_trace_capacity_bounds_the_ring(tmp_path):
+    import json
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "fft", "--cpus", "2", "--scale", "0.05",
+                 "--memprotect", "--capacity", "64",
+                 "--out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["otherData"]["events_dropped"] > 0
+    # 64 events plus the track-metadata records.
+    assert len(payload["traceEvents"]) <= 64 + 3
+
+
+def test_report_command(capsys):
+    assert main(["report", "fft", "--cpus", "2", "--scale",
+                 "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Run report" in out
+    assert "slowdown" in out
+    assert "obs.miss_latency" in out
+    assert "Wall-clock phases" in out
+
+
+def test_report_command_json_output(tmp_path):
+    import json
+    json_path = tmp_path / "report.json"
+    assert main(["report", "fft", "--cpus", "2", "--scale", "0.05",
+                 "--memprotect", "--json", str(json_path)]) == 0
+    payload = json.loads(json_path.read_text())
+    assert payload["kind"] == "repro-report"
+    assert payload["workload"] == "fft"
+    assert payload["configs"]["secured"]["cycles"] > \
+        payload["configs"]["baseline"]["cycles"]
+    assert "simulate.secured" in payload["timings"]

@@ -50,3 +50,70 @@ def test_report_excludes_itself(tmp_path):
     (tmp_path / "REPORT.txt").write_text("OLD REPORT")
     report = collect_results.collect(tmp_path)
     assert "OLD REPORT" not in report
+
+
+def _write_report(path, workload, cpus=2, scale=0.1, slowdown=5.0,
+                  base_cycles=1000, senss_cycles=1050):
+    import json
+    payload = {
+        "kind": "repro-report",
+        "schema_version": 1,
+        "workload": workload,
+        "num_cpus": cpus,
+        "scale": scale,
+        "slowdown_percent": slowdown,
+        "traffic_increase_percent": 2.0,
+        "configs": {
+            "baseline": {"cycles": base_cycles},
+            "secured": {"cycles": senss_cycles},
+        },
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestMergeReports:
+    def test_merges_rows_sorted_by_workload(self, tmp_path):
+        second = _write_report(tmp_path / "b.json", "ocean", cpus=4)
+        first = _write_report(tmp_path / "a.json", "fft")
+        table = collect_results.merge_reports([second, first])
+        assert "Merged run reports (2 runs)" in table
+        assert table.index("fft") < table.index("ocean")
+        assert "a.json" in table and "b.json" in table
+
+    def test_headline_numbers_present(self, tmp_path):
+        report = _write_report(tmp_path / "r.json", "fft",
+                               slowdown=7.25, base_cycles=123456,
+                               senss_cycles=130000)
+        table = collect_results.merge_reports([report])
+        assert "+7.250" in table
+        assert "123,456" in table
+
+    def test_rejects_non_report_json(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"kind": "something-else"}')
+        import pytest
+        with pytest.raises(ValueError, match="repro report"):
+            collect_results.merge_reports([bogus])
+
+    def test_main_reports_flag(self, tmp_path, capsys):
+        report = _write_report(tmp_path / "r.json", "lu")
+        code = collect_results.main(["--reports", str(report)])
+        assert code == 0
+        assert "Merged run reports" in capsys.readouterr().out
+
+    def test_main_reports_flag_bad_file(self, tmp_path, capsys):
+        code = collect_results.main(
+            ["--reports", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_merge_against_real_cli_output(self, tmp_path):
+        """End-to-end: `repro report --json` output merges cleanly."""
+        from repro.cli import main as repro_main
+        json_path = tmp_path / "real.json"
+        assert repro_main(["report", "lu", "--cpus", "2", "--scale",
+                           "0.05", "--json", str(json_path)]) == 0
+        table = collect_results.merge_reports([json_path])
+        assert "lu" in table
+        assert "real.json" in table

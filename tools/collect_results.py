@@ -6,11 +6,17 @@ suite's ``emit`` fixture) and concatenates them — in the paper's
 figure order — into ``benchmarks/results/REPORT.txt`` and stdout.
 
     python tools/collect_results.py [--quiet]
+
+With ``--reports``, instead merges ``python -m repro report --json``
+outputs from multiple runs into one comparison table:
+
+    python tools/collect_results.py --reports run1.json run2.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -60,6 +66,65 @@ def collect(results_dir: Path) -> str:
     return "\n".join(header) + "\n\n" + "\n\n".join(sections) + "\n"
 
 
+def _format_table(title, headers, rows):
+    """Minimal fixed-width table (kept stdlib-only, no repro import)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [max(len(header), *(len(row[i]) for row in cells))
+              if cells else len(header)
+              for i, header in enumerate(headers)]
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, rule,
+             "  ".join(header.ljust(width)
+                       for header, width in zip(headers, widths)),
+             rule]
+    for row in cells:
+        lines.append("  ".join(value.ljust(width)
+                               for value, width in zip(row, widths)))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def merge_reports(paths) -> str:
+    """Merge ``repro report --json`` files into one comparison table.
+
+    Each input must be a ``kind: "repro-report"`` dict (any schema
+    version — only headline fields are read). Rows are ordered by
+    (workload, cpus, scale) so repeated collections are stable.
+    """
+    reports = []
+    for path in paths:
+        path = Path(path)
+        payload = json.loads(path.read_text())
+        if payload.get("kind") != "repro-report":
+            raise ValueError(f"{path} is not a repro report "
+                             "(missing kind: repro-report)")
+        reports.append((path.name, payload))
+    reports.sort(key=lambda item: (item[1].get("workload", ""),
+                                   item[1].get("num_cpus", 0),
+                                   item[1].get("scale", 0.0),
+                                   item[0]))
+    rows = []
+    for name, payload in reports:
+        configs = payload.get("configs", {})
+        baseline = configs.get("baseline", {})
+        secured = configs.get("secured", {})
+        rows.append([
+            payload.get("workload", "?"),
+            payload.get("num_cpus", "?"),
+            payload.get("scale", "?"),
+            f"{baseline.get('cycles', 0):,}",
+            f"{secured.get('cycles', 0):,}",
+            f"{payload.get('slowdown_percent', 0):+.3f}",
+            f"{payload.get('traffic_increase_percent', 0):+.3f}",
+            name,
+        ])
+    return _format_table(
+        f"Merged run reports ({len(reports)} runs)",
+        ["workload", "cpus", "scale", "base cycles", "senss cycles",
+         "slowdown %", "traffic %", "source"],
+        rows)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quiet", action="store_true",
@@ -67,7 +132,19 @@ def main(argv=None) -> int:
     parser.add_argument("--results-dir", type=Path,
                         default=Path(__file__).parents[1]
                         / "benchmarks" / "results")
+    parser.add_argument("--reports", nargs="+", metavar="JSON",
+                        help="merge `repro report --json` files into "
+                             "one table instead of collecting bench "
+                             "tables")
     args = parser.parse_args(argv)
+    if args.reports:
+        try:
+            table = merge_reports(args.reports)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(table)
+        return 0
     if not args.results_dir.is_dir():
         print(f"no results directory at {args.results_dir}; run the "
               "bench suite first", file=sys.stderr)
