@@ -194,6 +194,66 @@ def test_engine_throughput(benchmark, emit):
     assert cycles["ref"] == cycles["off"] == cycles["on"]
     assert disabled_pct <= 2.0, report["observability"]
 
+    # Fault-hook point (docs/fault_injection.md): like the observer
+    # hooks, the two fault-hook sites must be ~free when no injector
+    # is attached, and an attached injector whose plan never triggers
+    # must leave simulated cycles bit-identical. Same interleaved
+    # ref/off/on discipline; "on" attaches an injector with one
+    # never-firing spec per hook family on the integrated machine so
+    # the bus, pad and verify hook sites all run.
+    from repro.faults import FaultInjector, FaultKind, FaultPlan, \
+        FaultSpec
+    integrated_small = missheavy_configs()["integrated"]
+    never = 1 << 40
+    idle_plan = FaultPlan(specs=(
+        FaultSpec(FaultKind.DROP, never),
+        FaultSpec(FaultKind.PAD_CORRUPT, never, cpu=0),
+        FaultSpec(FaultKind.MERKLE_FLIP, never)))
+    best, cycles = {}, {}
+    for _ in range(REPEATS):
+        for mode in ("ref", "off", "on"):
+            system = build_system(integrated_small)
+            if mode == "on":
+                FaultInjector(idle_plan).attach(system)
+            gc.collect()
+            start = time.perf_counter()
+            result = system.run(missheavy_workload)
+            elapsed = time.perf_counter() - start
+            best[mode] = min(best.get(mode, elapsed), elapsed)
+            cycles[mode] = result.cycles
+    rates = {mode: round(accesses / seconds)
+             for mode, seconds in best.items()}
+    disabled_pct = round((rates["ref"] / rates["off"] - 1) * 100, 2)
+    armed_pct = round((rates["off"] / rates["on"] - 1) * 100, 2)
+    report["fault_hooks"] = {
+        "workload": MISSHEAVY_WORKLOAD, "num_cpus": CPUS,
+        "l2_kb": MISSHEAVY_L2_KB, "scale": BENCH_SCALE,
+        "config": "integrated",
+        "off": {"accesses": accesses,
+                "seconds": round(best["off"], 4),
+                "accesses_per_second": rates["off"],
+                "cycles": cycles["off"]},
+        "on": {"accesses": accesses,
+               "seconds": round(best["on"], 4),
+               "accesses_per_second": rates["on"],
+               "cycles": cycles["on"]},
+        "overhead_when_disabled_percent": disabled_pct,
+        "armed_overhead_percent": armed_pct,
+    }
+    table = format_table(
+        f"Fault-hook overhead — integrated, {MISSHEAVY_WORKLOAD}, "
+        f"{MISSHEAVY_L2_KB}K L2 (accesses/s, best of {REPEATS})",
+        ["mode", "accesses/s", "overhead"],
+        [["hooks only (no injector)", f"{rates['off']:,}",
+          f"{disabled_pct:+.2f}%"],
+         ["injector armed, never fires", f"{rates['on']:,}",
+          f"{armed_pct:+.2f}%"]])
+    emit(table)
+
+    # A never-firing plan changes nothing and costs the noise floor.
+    assert cycles["ref"] == cycles["off"] == cycles["on"]
+    assert disabled_pct <= 2.0, report["fault_hooks"]
+
     out = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
 

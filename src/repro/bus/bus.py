@@ -44,6 +44,11 @@ class SharedBus:
         self._sequence = 0
         self._observers: List[Callable[[BusTransaction], None]] = []
         self.security_layer = None  # set by SenssBusLayer.attach()
+        # Optional fault-injection probe (repro.faults.FaultInjector):
+        # consulted on every granted transaction, after observers but
+        # before the security layer's after_transfer so the injector
+        # sees the data message before any MAC broadcast it triggers.
+        self.fault_hook = None
         # Deferred traffic counters, drained by _flush_stats on any
         # registry read. Only transaction types actually issued get a
         # _pending_by_type entry, preserving lazy counter creation.
@@ -161,6 +166,8 @@ class SharedBus:
 
         for observer in self._observers:
             observer(transaction)
+        if self.fault_hook is not None:
+            self.fault_hook(transaction)
         if security_layer is not None:
             security_layer.after_transfer(transaction)
         return transaction

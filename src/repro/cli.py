@@ -14,6 +14,9 @@ Commands
               optionally with a cProfile hot-function table.
 ``overhead``  print the section-7.1 hardware cost table.
 ``attacks``   run the Type 1/2/3 attack detection matrix.
+``faults``    run the timing-layer fault-injection campaign (kind x
+              recovery-policy detection matrix; see
+              docs/fault_injection.md).
 ``workloads`` list available workload generators.
 """
 
@@ -29,6 +32,7 @@ from .analysis.overhead import compute_overhead
 from .analysis.report import format_table
 from .config import e6000_config
 from .core.senss import build_secure_system
+from .faults.plan import FaultKind
 from .smp.metrics import slowdown_percent, traffic_increase_percent
 from .smp.system import SmpSystem
 from .workloads.registry import SPLASH2_NAMES, generate
@@ -110,6 +114,30 @@ def _build_parser() -> argparse.ArgumentParser:
     commands.add_parser("overhead",
                         help="section 7.1 hardware cost table")
     commands.add_parser("attacks", help="attack detection matrix")
+
+    faults = commands.add_parser(
+        "faults", help="timing-layer fault-injection campaign")
+    faults.add_argument("--workload", default="ocean",
+                        help=f"one of {SPLASH2_NAMES}")
+    faults.add_argument("--cpus", type=int, default=4)
+    faults.add_argument("--scale", type=float, default=0.05)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--interval", type=int, default=10,
+                        help="authentication interval (short, so "
+                             "detection latency is bounded tightly)")
+    faults.add_argument("--kinds", nargs="+", default=None,
+                        choices=list(FaultKind.ALL),
+                        help="fault kinds to inject (default: all)")
+    faults.add_argument("--policies", nargs="+",
+                        default=["halt", "rekey-replay"],
+                        choices=["halt", "rekey-replay", "quarantine"])
+    faults.add_argument("--json", dest="json_out", default=None,
+                        metavar="PATH",
+                        help="also write the campaign report as JSON")
+    faults.add_argument("--verify-identity", action="store_true",
+                        help="also assert a never-triggering injector "
+                             "leaves results bit-identical")
+
     commands.add_parser("workloads", help="list workload generators")
     return parser
 
@@ -328,6 +356,53 @@ def _cmd_attacks() -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .faults.campaign import run_campaign, verify_identity
+
+    report = run_campaign(
+        kinds=tuple(args.kinds) if args.kinds else FaultKind.ALL,
+        policies=tuple(args.policies), workload=args.workload,
+        cpus=args.cpus, scale=args.scale, seed=args.seed,
+        interval=args.interval)
+    if args.verify_identity:
+        identity = verify_identity(workload=args.workload,
+                                   cpus=args.cpus, scale=args.scale,
+                                   seed=args.seed)
+        report["identity"] = identity
+
+    rows = []
+    for entry in report["entries"]:
+        rows.append([
+            entry["kind"], entry["policy"],
+            "yes" if entry["detected"] else
+            ("masked" if entry["masked"] else "NO"),
+            entry["mechanism"] or "-",
+            str(entry["latency_tx"]) if entry["detected"] else "-",
+            f"{entry['latency_cycles']:,}" if entry["detected"] else "-",
+            "completed" if entry["completed"] else "halted",
+        ])
+    print(format_table(
+        f"Fault-injection campaign — {args.workload}, {args.cpus}P, "
+        f"auth interval {args.interval}",
+        ["fault", "policy", "detected", "mechanism", "latency(tx)",
+         "latency(cyc)", "run"], rows))
+    print(f"all detected      : {report['all_detected']}")
+    print(f"within interval   : {report['within_interval']}")
+    if args.verify_identity:
+        print(f"identity w/o fault: {report['identity']['identical']}")
+
+    # Write the JSON before deciding the exit code so CI artifacts
+    # exist even for a failing matrix.
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    ok = report["all_detected"] and report["within_interval"]
+    if args.verify_identity:
+        ok = ok and report["identity"]["identical"]
+    return 0 if ok else 1
+
+
 def _cmd_workloads() -> int:
     for name in SPLASH2_NAMES:
         workload = generate(name, 2, scale=0.05)
@@ -353,6 +428,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_overhead()
         if args.command == "attacks":
             return _cmd_attacks()
+        if args.command == "faults":
+            return _cmd_faults(args)
         if args.command == "workloads":
             return _cmd_workloads()
     except BrokenPipeError:

@@ -56,6 +56,32 @@ class IntegrityViolation(ReproError):
     """Memory integrity check (hash tree) mismatch (section 2.2 / 6.2)."""
 
 
+class PadCoherenceViolation(ReproError):
+    """A stale or corrupt pad/sequence-number was consulted (section 6.1).
+
+    Decrypting with the wrong pad yields garbage plaintext; the
+    violation surfaces on the next use of the poisoned SNC entry.
+    """
+
+    def __init__(self, message: str, cycle: int = -1, cpu: int = -1):
+        super().__init__(message)
+        self.cycle = cycle
+        self.cpu = cpu
+
+
+class SweepError(ReproError):
+    """One or more sweep points failed after retries.
+
+    ``failures`` lists the per-point
+    :class:`~repro.sim.sweep.SweepPointFailure` records; completed
+    points were already cached before this was raised.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
 class GroupTableFull(ReproError):
     """All group information table entries are occupied (section 5.2)."""
 

@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the timing simulation.
+
+The subsystem has four parts (see docs/fault_injection.md):
+
+- :mod:`~repro.faults.plan` — seeded :class:`FaultPlan` /
+  :class:`FaultSpec` descriptions of what goes wrong and when;
+- :mod:`~repro.faults.injector` — :class:`FaultInjector`, which
+  attaches to a built system via optional hooks (bus + memory
+  protection) and executes the plan;
+- :mod:`~repro.faults.scoreboard` — per-fault detection records
+  (mechanism, latency in transactions and cycles, undetected faults);
+- :mod:`~repro.faults.recovery` — what happens after detection:
+  ``halt`` (the paper's global alarm), ``rekey-replay`` or
+  ``quarantine``.
+
+``python -m repro faults`` runs the campaign matrix from
+:mod:`~repro.faults.campaign`.
+"""
+
+from .campaign import (campaign_config, default_spec, run_campaign,
+                       verify_identity)
+from .injector import FAULT_KIND_INDEX, MECHANISM_INDEX, FaultInjector
+from .plan import FaultKind, FaultPlan, FaultSpec
+from .recovery import (HALT, POLICIES, QUARANTINE, REKEY_REPLAY,
+                       RecoveryEngine)
+from .scoreboard import (MECH_MAC, MECH_MERKLE, MECH_PAD, MECH_SPOOF,
+                         MECHANISMS, DetectionScoreboard, FaultRecord)
+
+__all__ = [
+    "FaultKind", "FaultPlan", "FaultSpec", "FaultInjector",
+    "DetectionScoreboard", "FaultRecord", "RecoveryEngine",
+    "HALT", "REKEY_REPLAY", "QUARANTINE", "POLICIES",
+    "MECH_MAC", "MECH_SPOOF", "MECH_PAD", "MECH_MERKLE", "MECHANISMS",
+    "FAULT_KIND_INDEX", "MECHANISM_INDEX",
+    "run_campaign", "verify_identity", "campaign_config",
+    "default_spec",
+]

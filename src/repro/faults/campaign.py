@@ -1,0 +1,194 @@
+"""Fault campaigns: the kind x policy detection matrix.
+
+``run_campaign`` simulates one workload once per (fault kind, recovery
+policy) cell on a miss-heavy secured machine — small L2 so the bus and
+memory paths actually carry traffic, short authentication interval so
+the MAC check fires often enough to bound detection latency — and
+reduces the scoreboards into a JSON-ready report. ``python -m repro
+faults`` is a thin CLI over it; CI runs it as the fault-matrix smoke
+job and fails on any undetected fault.
+
+``verify_identity`` is the bit-identity half of the acceptance
+criterion: a system with an injector attached whose plan never
+triggers must produce results identical to an untouched system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..config import KB, SystemConfig, e6000_config
+from ..errors import ReproError
+from .injector import FaultInjector
+from .plan import FaultKind, FaultPlan, FaultSpec
+from .recovery import HALT, POLICIES, REKEY_REPLAY
+
+#: stream index each kind's default fault triggers on — early enough
+#: that every miss-heavy smoke run reaches it, late enough that the
+#: machinery it perturbs (masks, pads, tree nodes) is warmed up.
+DEFAULT_TRIGGER = {
+    FaultKind.DROP: 3,
+    FaultKind.REORDER: 3,
+    FaultKind.SPOOF: 3,
+    FaultKind.BIT_FLIP: 3,
+    FaultKind.MASK_DESYNC: 3,
+    FaultKind.PAD_CORRUPT: 2,
+    FaultKind.SEQ_CORRUPT: 2,
+    FaultKind.MERKLE_FLIP: 2,
+}
+
+
+def campaign_config(cpus: int = 4, l2_kb: int = 64,
+                    interval: int = 10,
+                    num_masks: Optional[int] = 8) -> SystemConfig:
+    """The miss-heavy secured machine the campaign runs on."""
+    config = e6000_config(num_processors=cpus, l2_mb=1,
+                          auth_interval=interval)
+    config = config.with_l2_size(l2_kb * KB).with_masks(num_masks)
+    return config.with_memprotect(encryption_enabled=True,
+                                  integrity_enabled=True)
+
+
+def default_spec(kind: str, num_cpus: int,
+                 trigger: Optional[int] = None) -> FaultSpec:
+    """The canonical single fault of a kind for smoke/CI runs."""
+    if trigger is None:
+        trigger = DEFAULT_TRIGGER[kind]
+    if kind == FaultKind.SPOOF:
+        return FaultSpec(kind, trigger, claimed_pid=1 % num_cpus)
+    if kind == FaultKind.MASK_DESYNC:
+        return FaultSpec(kind, trigger, cpu=0)
+    if kind in (FaultKind.PAD_CORRUPT, FaultKind.SEQ_CORRUPT):
+        return FaultSpec(kind, trigger, cpu=0)
+    return FaultSpec(kind, trigger)
+
+
+def _all_within_interval(entries: Sequence[Dict[str, object]],
+                         interval: int) -> bool:
+    """Was every detection within one authentication interval?
+
+    MAC-interval detections are measured in the stream the interval
+    counts (protected messages), so the bound is ``interval`` plus the
+    checkpoint itself. Consultation-triggered mechanisms (own-PID
+    snoop, pad coherence, hash verify) fire at the first use of the
+    corrupted state; their cycle latency must not exceed one observed
+    authentication interval — bounded here by the slowest MAC-interval
+    detection in the same matrix (when one is present).
+    """
+    from .scoreboard import MECH_MAC
+
+    detected = [entry for entry in entries if entry["detected"]]
+    mac_cycles = [entry["latency_cycles"] for entry in detected
+                  if entry["mechanism"] == MECH_MAC]
+    cycle_bound = max(mac_cycles) if mac_cycles else None
+    for entry in detected:
+        if entry["mechanism"] == MECH_MAC:
+            if entry["latency_tx"] > interval + 1:
+                return False
+        elif cycle_bound is not None and \
+                entry["latency_cycles"] > cycle_bound:
+            return False
+    return True
+
+
+def run_campaign(kinds: Sequence[str] = FaultKind.ALL,
+                 policies: Sequence[str] = (HALT, REKEY_REPLAY),
+                 workload: str = "ocean", cpus: int = 4,
+                 scale: float = 0.05, seed: int = 0,
+                 interval: int = 10,
+                 config: Optional[SystemConfig] = None
+                 ) -> Dict[str, object]:
+    """One run per (kind, policy) cell; returns the matrix report."""
+    from ..sim.sweep import build_system
+    from ..workloads.registry import generate
+
+    for policy in policies:
+        if policy not in POLICIES:
+            raise ReproError(f"unknown recovery policy {policy!r}")
+    if config is None:
+        config = campaign_config(cpus=cpus, interval=interval)
+    bench_workload = generate(workload, cpus, scale=scale, seed=seed)
+
+    entries: List[Dict[str, object]] = []
+    for kind in kinds:
+        for policy in policies:
+            plan = FaultPlan(specs=(default_spec(kind, cpus),),
+                             seed=seed)
+            system = build_system(config)
+            injector = FaultInjector(plan, policy=policy).attach(system)
+            halted, error, cycles = False, "", -1
+            try:
+                result = system.run(bench_workload)
+                cycles = result.cycles
+            except ReproError as exc:
+                halted = True
+                error = f"{type(exc).__name__}: {exc}"
+            scoreboard = injector.finalize()
+            records = scoreboard.records
+            record = records[0] if records else None
+            entries.append({
+                "kind": kind,
+                "policy": policy,
+                "triggered": bool(records),
+                "detected": record.detected if record else False,
+                "mechanism": record.mechanism if record else None,
+                "latency_tx": record.latency_tx if record else -1,
+                "latency_cycles": (record.latency_cycles
+                                   if record else -1),
+                "masked": record.masked if record else False,
+                "recovered": record.recovered if record else False,
+                "completed": not halted,
+                "halted": halted,
+                "error": error,
+                "cycles": cycles,
+                "penalty_cycles": scoreboard.penalty_cycles,
+            })
+
+    detected_all = all(entry["detected"] for entry in entries)
+    within_interval = _all_within_interval(entries, interval)
+    return {
+        "workload": workload,
+        "num_cpus": cpus,
+        "scale": scale,
+        "seed": seed,
+        "auth_interval": interval,
+        "kinds": list(kinds),
+        "policies": list(policies),
+        "entries": entries,
+        "all_detected": detected_all,
+        "within_interval": within_interval,
+    }
+
+
+def verify_identity(config: Optional[SystemConfig] = None,
+                    workload: str = "ocean", cpus: int = 4,
+                    scale: float = 0.05,
+                    seed: int = 0) -> Dict[str, object]:
+    """No-trigger injector attached vs vanilla: must be bit-identical."""
+    from ..sim.sweep import build_system
+    from ..workloads.registry import generate
+
+    if config is None:
+        config = campaign_config(cpus=cpus)
+    bench_workload = generate(workload, cpus, scale=scale, seed=seed)
+
+    vanilla = build_system(config).run(bench_workload)
+
+    system = build_system(config)
+    # A plan whose trigger index the run never reaches: every hook
+    # fires, nothing ever perturbs.
+    plan = FaultPlan.single(FaultKind.DROP, trigger=1 << 40)
+    injector = FaultInjector(plan).attach(system)
+    faulted = system.run(bench_workload)
+    injector.finalize()
+
+    identical = (vanilla.cycles == faulted.cycles
+                 and list(vanilla.per_cpu_cycles)
+                 == list(faulted.per_cpu_cycles)
+                 and vanilla.stats == faulted.stats)
+    return {
+        "identical": identical,
+        "cycles": vanilla.cycles,
+        "cycles_with_hooks": faulted.cycles,
+        "untriggered": injector.untriggered,
+    }

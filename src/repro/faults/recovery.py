@@ -1,0 +1,177 @@
+"""Recovery policies applied when an injected fault is detected.
+
+The paper stops at detection: "a global alarm is raised and the
+program is halted" (section 4.3). That is the default ``halt`` policy
+here — the run aborts with the error class matching the detecting
+mechanism, exactly what the timing-path error tests pin. Two
+AEGIS-style continuations are layered on top:
+
+``rekey-replay``
+    Roll back to the last MAC checkpoint (everything up to the last
+    verified interval is trusted), redistribute a **fresh session
+    key** through the real dispatch protocol of
+    :mod:`repro.core.dispatch` — a new :class:`ProgramPackage` wraps
+    the key under each member's public key and
+    :func:`establish_group` reinstalls channel state — and replay the
+    window. The simulated cost is the replayed window plus a fixed
+    re-keying charge; the run then continues to completion.
+
+``quarantine``
+    Evict the offending PID from the group: its bit is cleared in the
+    :class:`~repro.core.groups.GroupProcessorBitMatrix` and it is
+    removed from the SENSS layer's member list, so it neither
+    receives masks nor rotates as MAC initiator. The run continues
+    degraded. Faults with no attributable culprit (e.g. a flipped
+    Merkle node — the "attacker" is memory) fall back to a penalty
+    without an eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import (AuthenticationFailure, ConfigError,
+                      IntegrityViolation, PadCoherenceViolation,
+                      SpoofDetected)
+from ..sim.rng import DeterministicRng
+from .scoreboard import (MECH_MAC, MECH_MERKLE, MECH_PAD, MECH_SPOOF,
+                         DetectionScoreboard, FaultRecord)
+
+HALT = "halt"
+REKEY_REPLAY = "rekey-replay"
+QUARANTINE = "quarantine"
+POLICIES = (HALT, REKEY_REPLAY, QUARANTINE)
+
+
+class RecoveryEngine:
+    """Applies one policy to every detection of a run."""
+
+    def __init__(self, system, policy: str = HALT,
+                 scoreboard: Optional[DetectionScoreboard] = None):
+        if policy not in POLICIES:
+            raise ConfigError(f"unknown recovery policy {policy!r}")
+        self.system = system
+        self.policy = policy
+        self.scoreboard = scoreboard
+        config = system.config
+        # Fixed re-keying charge: encrypt + decrypt of the fresh IV
+        # broadcast, plus one memory-latency hop for the new package.
+        self.rekey_cycles = (2 * config.crypto.aes_latency
+                             + config.bus.cache_to_memory_latency)
+        self.quarantine_cycles = 2 * config.bus.cycle_cpu_cycles
+        #: group -> cycle of the last verified MAC checkpoint
+        self.checkpoints: Dict[int, int] = {}
+        self.rekeys = 0
+        self.quarantined: List[int] = []
+        self._shus = None
+        self._matrix = None
+
+    # -- checkpointing (driven by the injector) ------------------------
+
+    def on_checkpoint(self, group_id: int, cycle: int) -> None:
+        self.checkpoints[group_id] = cycle
+
+    # -- the policy dispatch -------------------------------------------
+
+    def handle(self, records: List[FaultRecord], mechanism: str,
+               group_id: int, culprit_pid: int, cycle: int) -> int:
+        """Apply the policy; returns the penalty in cycles.
+
+        Under ``halt`` this raises the error class matching the
+        detecting mechanism and never returns.
+        """
+        if self.policy == HALT:
+            self._halt(records, mechanism, group_id, cycle)
+        if self.policy == REKEY_REPLAY:
+            penalty = self._rekey(group_id, cycle)
+        else:
+            penalty = self._quarantine(group_id, culprit_pid)
+        for record in records:
+            record.recovery = self.policy
+            record.recovered = True
+        if self.scoreboard is not None:
+            self.scoreboard.penalty_cycles += penalty
+        return penalty
+
+    def _halt(self, records: List[FaultRecord], mechanism: str,
+              group_id: int, cycle: int) -> None:
+        for record in records:
+            record.recovery = HALT
+        labels = ", ".join(record.label for record in records)
+        if mechanism == MECH_SPOOF:
+            raise SpoofDetected(
+                f"processor snooped its own PID ({labels})",
+                cycle=cycle, group_id=group_id)
+        if mechanism == MECH_MAC:
+            raise AuthenticationFailure(
+                f"MAC interval check failed ({labels})",
+                cycle=cycle, group_id=group_id)
+        if mechanism == MECH_PAD:
+            raise PadCoherenceViolation(
+                f"stale pad consulted ({labels})", cycle=cycle)
+        if mechanism == MECH_MERKLE:
+            raise IntegrityViolation(
+                f"hash tree mismatch at cycle {cycle} ({labels})")
+        raise AuthenticationFailure(
+            f"fault detected by {mechanism} ({labels})", cycle=cycle,
+            group_id=group_id)
+
+    # -- rekey-replay ---------------------------------------------------
+
+    def _members_of(self, group_id: int) -> List[int]:
+        layer = self.system.bus.security_layer
+        if layer is not None:
+            return list(layer.group_state(group_id).member_pids)
+        return list(range(self.system.config.num_processors))
+
+    def _build_shus(self):
+        # Setup-time only: small RSA keys, one SHU per processor,
+        # seeded so recovery is as deterministic as the rest.
+        from ..core.shu import SecurityHardwareUnit
+        config = self.system.config
+        return [SecurityHardwareUnit(
+                    pid, max_groups=config.senss.max_groups,
+                    max_processors=config.senss.max_processors,
+                    rng=DeterministicRng(0xFA017 + pid))
+                for pid in range(config.num_processors)]
+
+    def _rekey(self, group_id: int, cycle: int) -> int:
+        from ..core.dispatch import ProgramDistributor, establish_group
+        group = max(0, group_id)
+        members = self._members_of(group)
+        if self._shus is None:
+            self._shus = self._build_shus()
+        distributor = ProgramDistributor(
+            DeterministicRng(0x5E55 + group + self.rekeys))
+        package = distributor.package(
+            f"rekey{self.rekeys}", b"", self._shus, members,
+            auth_interval=self.system.config.senss.auth_interval)
+        establish_group(self._shus, group, package,
+                        DeterministicRng(0x1A7E + self.rekeys))
+        self.rekeys += 1
+        replay_window = max(0, cycle - self.checkpoints.get(group, 0))
+        return replay_window + self.rekey_cycles
+
+    # -- quarantine -----------------------------------------------------
+
+    def _quarantine(self, group_id: int, culprit_pid: int) -> int:
+        from ..core.groups import GroupProcessorBitMatrix
+        group = max(0, group_id)
+        if culprit_pid < 0:
+            return self.quarantine_cycles  # nobody to evict
+        config = self.system.config
+        if self._matrix is None:
+            self._matrix = GroupProcessorBitMatrix(
+                config.senss.max_groups, config.senss.max_processors)
+        members = self._members_of(group)
+        if culprit_pid in members and len(members) > 1:
+            members.remove(culprit_pid)
+            layer = self.system.bus.security_layer
+            if layer is not None:
+                state = layer.group_state(group)
+                state.member_pids[:] = members
+                state.initiator_index %= len(members)
+            if culprit_pid not in self.quarantined:
+                self.quarantined.append(culprit_pid)
+        self._matrix.set_membership(group, set(members))
+        return self.quarantine_cycles

@@ -73,6 +73,11 @@ class MemProtectLayer:
         # Optional observability probe (repro.obs.Tracer): notified of
         # pad-cache lookups and hash-tree verifies/updates.
         self.observer = None
+        # Optional fault-injection probe (repro.faults.FaultInjector):
+        # consulted on pad-cache consultations, pad write-back
+        # refreshes, and hash-tree verifies. May return extra
+        # critical-path cycles (a detected fault's recovery penalty).
+        self.fault_hook = None
         self._writeback_depth = 0
         self._max_writeback_depth = 8
         # Levels whose node count is small enough to pin on chip; the
@@ -237,11 +242,16 @@ class MemProtectLayer:
                 if self.observer is not None:
                     self.observer.on_pad_cache(cpu, line_address, clock,
                                                False)
+                hit = False
             else:
                 self._p_pad_cache_hits += 1
                 if self.observer is not None:
                     self.observer.on_pad_cache(cpu, line_address, clock,
                                                True)
+                hit = True
+            if self.fault_hook is not None:
+                extra += self.fault_hook.on_pad_event(
+                    cpu, line_address, clock, hit)
             extra += 1  # the OTP XOR
             self._p_decryptions += 1
         if self.integrity:
@@ -261,6 +271,8 @@ class MemProtectLayer:
         hash_engine = self.hash_engine
         ready = hash_engine.issue(clock)
         extra = max(0, ready - clock - hash_engine.latency)
+        if self.fault_hook is not None:
+            extra += self.fault_hook.on_verify_event(cpu, address, clock)
         parent = self.parent_of(address)
         observer = self.observer
         if parent is None:
@@ -306,6 +318,9 @@ class MemProtectLayer:
                 else:
                     self.pad_caches[other].install(line_address, 0)
             self._p_encryptions += 1
+            if self.fault_hook is not None:
+                self.fault_hook.on_pad_writeback(cpu, line_address,
+                                                 affected)
             if affected:
                 if invalidate:
                     transaction = BusTransaction(

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..faults.plan import FaultKind
+from ..faults.scoreboard import MECHANISMS
 from .ring import EventKind, TraceEvent
 from .tracer import (HASH_CLIPPED, HASH_FETCH, HASH_L2_HIT, HASH_ROOT,
                      HASH_WRITE, TX_TYPE_BY_INDEX, Tracer)
@@ -30,6 +32,9 @@ _VERIFY_OUTCOMES = {HASH_ROOT: "root", HASH_L2_HIT: "l2_hit",
                     HASH_FETCH: "fetch"}
 _UPDATE_OUTCOMES = {HASH_ROOT: "root", HASH_WRITE: "write",
                     HASH_CLIPPED: "clipped"}
+#: index -> name tables for the fault event payload words
+_FAULT_KINDS = list(FaultKind.ALL)
+_MECHANISMS = list(MECHANISMS)
 
 
 def _span(name: str, cat: str, event: TraceEvent,
@@ -93,6 +98,16 @@ def _convert(event: TraceEvent) -> Dict[str, object]:
                          "outcome": _UPDATE_OUTCOMES[event.a1]})
     if kind == EventKind.RUN_SPAN:
         return _span("execute", "run", event, {})
+    if kind == EventKind.FAULT_INJECT:
+        args = {"kind": _FAULT_KINDS[event.a0]}
+        if event.a1 >= 0:
+            args["group"] = event.a1
+        return _instant("fault_inject", "faults", event, args)
+    if kind == EventKind.FAULT_DETECT:
+        return _instant("fault_detect", "faults", event,
+                        {"kind": _FAULT_KINDS[event.a0],
+                         "mechanism": _MECHANISMS[event.a1],
+                         "latency_cycles": event.a2})
     raise ValueError(f"unknown event kind {kind}")
 
 

@@ -35,9 +35,12 @@ class EventKind:
     HASH_VERIFY = 7   # integrity verification climb
     HASH_UPDATE = 8   # parent hash update after a dirty eviction
     RUN_SPAN = 9      # per-CPU execute span (emitted at run end)
+    FAULT_INJECT = 10  # a planned fault fired (repro.faults)
+    FAULT_DETECT = 11  # a defense mechanism caught an injected fault
 
     ALL = (BUS_TX, MISS, UPGRADE, MASK_STALL, AUTH_MAC, PAD_HIT,
-           PAD_MISS, HASH_VERIFY, HASH_UPDATE, RUN_SPAN)
+           PAD_MISS, HASH_VERIFY, HASH_UPDATE, RUN_SPAN,
+           FAULT_INJECT, FAULT_DETECT)
 
 
 class TraceEvent(NamedTuple):

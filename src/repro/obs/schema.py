@@ -67,6 +67,12 @@ TRACE_EVENT_SCHEMA: Dict[str, Dict[str, object]] = {
                     "args": {"address": int, "outcome": str}},
     # engine span per CPU
     "execute": {"cat": "run", "ph": "X", "args": {}},
+    # fault-injection events (repro.faults)
+    "fault_inject": {"cat": "faults", "ph": "i",
+                     "args": {"kind": str}},
+    "fault_detect": {"cat": "faults", "ph": "i",
+                     "args": {"kind": str, "mechanism": str,
+                              "latency_cycles": int}},
 }
 
 #: names allowed for phase-"M" track metadata events
@@ -76,6 +82,14 @@ METADATA_NAMES = ("process_name", "thread_name")
 ARG_ENUMS = {
     ("hash_verify", "outcome"): ("root", "l2_hit", "fetch"),
     ("hash_update", "outcome"): ("root", "write", "clipped"),
+    ("fault_inject", "kind"): ("drop", "reorder", "spoof", "bit-flip",
+                               "mask-desync", "pad-corrupt",
+                               "seq-corrupt", "merkle-flip"),
+    ("fault_detect", "kind"): ("drop", "reorder", "spoof", "bit-flip",
+                               "mask-desync", "pad-corrupt",
+                               "seq-corrupt", "merkle-flip"),
+    ("fault_detect", "mechanism"): ("mac_interval", "spoof_self",
+                                    "pad_coherence", "merkle_verify"),
 }
 
 

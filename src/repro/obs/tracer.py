@@ -238,6 +238,23 @@ class Tracer:
         self._record(EventKind.HASH_UPDATE, cycle, 0, cpu, address,
                      outcome)
 
+    # -- fault injection (repro.faults) --------------------------------
+
+    def on_fault_inject(self, record, cycle: int) -> None:
+        from ..faults.injector import FAULT_KIND_INDEX
+        self._record(EventKind.FAULT_INJECT, max(0, cycle), 0,
+                     max(0, record.cpu),
+                     FAULT_KIND_INDEX[record.kind], record.group_id)
+
+    def on_fault_detect(self, record) -> None:
+        from ..faults.injector import FAULT_KIND_INDEX, MECHANISM_INDEX
+        self._record(EventKind.FAULT_DETECT,
+                     max(0, record.detect_cycle), 0,
+                     max(0, record.cpu),
+                     FAULT_KIND_INDEX[record.kind],
+                     MECHANISM_INDEX[record.mechanism],
+                     max(0, record.latency_cycles))
+
     # -- summaries -----------------------------------------------------
 
     def histogram_summaries(self) -> Dict[str, Dict[str, object]]:
@@ -257,7 +274,9 @@ class Tracer:
                  EventKind.PAD_MISS: "pad_cache_miss",
                  EventKind.HASH_VERIFY: "hash_verify",
                  EventKind.HASH_UPDATE: "hash_update",
-                 EventKind.RUN_SPAN: "run_span"}
+                 EventKind.RUN_SPAN: "run_span",
+                 EventKind.FAULT_INJECT: "fault_inject",
+                 EventKind.FAULT_DETECT: "fault_detect"}
         return {
             "workload": self.workload_name,
             "events_recorded": self.ring.total_recorded,

@@ -4,9 +4,11 @@ queue, and the parallel sweep runner."""
 from .events import EventQueue
 from .rng import DeterministicRng
 from .stats import Counter, StatsRegistry
-from .sweep import (ENGINE_VERSION, ResultCache, SweepPoint, build_system,
+from .sweep import (ENGINE_VERSION, ResultCache, SweepPoint,
+                    SweepPointFailure, SweepTimings, build_system,
                     point_key, run_cached, run_point, run_sweep)
 
 __all__ = ["Counter", "DeterministicRng", "ENGINE_VERSION", "EventQueue",
-           "ResultCache", "StatsRegistry", "SweepPoint", "build_system",
+           "ResultCache", "StatsRegistry", "SweepPoint",
+           "SweepPointFailure", "SweepTimings", "build_system",
            "point_key", "run_cached", "run_point", "run_sweep"]

@@ -18,7 +18,18 @@ table. This module runs such sweeps:
 Cache invalidation rules: bump :data:`ENGINE_VERSION` whenever a change
 alters simulated *timing or statistics* (it is part of every key; stale
 entries are simply never hit again). Entries are plain JSON files named
-by their key; deleting the cache directory is always safe.
+by their key and carry an embedded content checksum; an entry that
+fails to read, parse, or checksum is *quarantined* — renamed to
+``<key>.json.corrupt`` so it is inspectable but never re-read — and
+treated as a miss. Deleting the cache directory is always safe.
+
+The runner is crash-proof: a sweep point that raises (or, in parallel
+mode, whose worker dies or exceeds ``timeout`` seconds) does not abort
+the sweep. Failed points are retried with exponential backoff up to
+``retries`` times; completed points are cached before any failure is
+reported. ``on_error="raise"`` (the default) raises
+:class:`~repro.errors.SweepError` carrying the per-point failures,
+``on_error="none"`` returns ``None`` placeholders in their slots.
 
 Environment knobs:
 
@@ -33,11 +44,14 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, \
+    Union
 
 from ..config import SystemConfig
+from ..errors import ConfigError, SweepError
 from ..smp.metrics import SimulationResult
 
 #: Bump when a change alters simulated timing or statistics; cached
@@ -79,11 +93,16 @@ def run_point(point: SweepPoint) -> SimulationResult:
 
 @dataclass
 class SweepTimings:
-    """Wall-clock accounting for one :func:`run_sweep` call.
+    """Wall-clock and robustness accounting for :func:`run_sweep`.
 
     ``run_s`` sums per-point worker seconds (it exceeds ``wall_s``
     when points ran in parallel); ``cache_s`` is time spent probing
     and loading the result cache in the coordinating process.
+    ``points_failed`` counts points with no result after all retries,
+    ``points_retried`` counts points that needed more than one
+    attempt, ``points_timed_out`` counts individual timeout events,
+    and ``cache_quarantined`` counts corrupt cache entries renamed
+    aside during this sweep.
     """
 
     wall_s: float = 0.0
@@ -92,6 +111,10 @@ class SweepTimings:
     slowest_point_s: float = 0.0
     points_run: int = 0
     points_cached: int = 0
+    points_failed: int = 0
+    points_retried: int = 0
+    points_timed_out: int = 0
+    cache_quarantined: int = 0
     workers: int = 0
 
     def as_dict(self) -> Dict[str, float]:
@@ -102,8 +125,23 @@ class SweepTimings:
             "sweep.slowest_point_s": round(self.slowest_point_s, 6),
             "sweep.points_run": self.points_run,
             "sweep.points_cached": self.points_cached,
+            "sweep.points_failed": self.points_failed,
+            "sweep.points_retried": self.points_retried,
+            "sweep.points_timed_out": self.points_timed_out,
+            "sweep.cache_quarantined": self.cache_quarantined,
             "sweep.workers": self.workers,
         }
+
+
+@dataclass(frozen=True)
+class SweepPointFailure:
+    """Why one sweep point produced no result (see ``SweepError``)."""
+
+    index: int          # first position of the point in the sweep
+    workload: str
+    error: str          # "ExcType: message" or a timeout description
+    attempts: int = 1
+    timed_out: bool = False
 
 
 def _run_point_timed(point: SweepPoint
@@ -134,20 +172,50 @@ def point_key(point: SweepPoint) -> str:
 
 
 class ResultCache:
-    """Content-addressed JSON store of completed simulation results."""
+    """Content-addressed JSON store of completed simulation results.
+
+    Every stored entry embeds a checksum over its own payload; a file
+    that cannot be read, parsed, checksummed, or shaped into a
+    :class:`SimulationResult` is renamed to ``<key>.json.corrupt``
+    (counted in :attr:`quarantined`) so the damage is inspectable and
+    the sweep re-simulates the point exactly once instead of
+    re-tripping on the same bad file every run.
+    """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
         self.root = Path(root)
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
+
+    @staticmethod
+    def _checksum(payload: Dict[str, object]) -> str:
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return  # already moved or removed by a concurrent sweep
+        self.quarantined += 1
 
     def load(self, point: SweepPoint) -> Optional[SimulationResult]:
         path = self._path(point_key(point))
         try:
             payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None  # a plain miss
         except (OSError, ValueError):
-            return None  # missing or torn entry: treat as a miss
+            self._quarantine(path)  # unreadable or torn entry
+            return None
+        checksum = None
+        if isinstance(payload, dict):
+            checksum = payload.pop("checksum", None)
+        if checksum is not None and checksum != self._checksum(payload):
+            self._quarantine(path)  # bit-rot or a tampered entry
+            return None
         try:
             return SimulationResult(
                 workload=payload["workload"],
@@ -157,6 +225,7 @@ class ResultCache:
                 stats={name: value
                        for name, value in payload["stats"].items()})
         except (KeyError, TypeError):
+            self._quarantine(path)  # parses but is not a result
             return None
 
     def store(self, point: SweepPoint, result: SimulationResult) -> None:
@@ -169,6 +238,7 @@ class ResultCache:
             "per_cpu_cycles": list(result.per_cpu_cycles),
             "stats": dict(result.stats),
         }
+        payload["checksum"] = self._checksum(payload)
         # Write-then-rename so concurrent workers never read torn JSON.
         scratch = path.with_suffix(f".tmp{os.getpid()}")
         scratch.write_text(json.dumps(payload, sort_keys=True))
@@ -198,12 +268,70 @@ def _parallel_enabled() -> bool:
     return os.environ.get("REPRO_SWEEP_PARALLEL", "1") != "0"
 
 
+class _Outcome(NamedTuple):
+    """One attempt at one point: a result or a captured failure."""
+
+    result: Optional[SimulationResult]
+    seconds: float
+    error: Optional[str]
+    timed_out: bool
+
+
+def _round_serial(points: Sequence[SweepPoint]) -> List[_Outcome]:
+    outcomes = []
+    for point in points:
+        try:
+            result, seconds = _run_point_timed(point)
+        except Exception as exc:
+            outcomes.append(_Outcome(
+                None, 0.0, f"{type(exc).__name__}: {exc}", False))
+        else:
+            outcomes.append(_Outcome(result, seconds, None, False))
+    return outcomes
+
+
+def _round_parallel(points: Sequence[SweepPoint], workers: int,
+                    timeout: Optional[float]) -> List[_Outcome]:
+    """One attempt per point on a fresh pool; captures every failure.
+
+    A fresh pool per round means a worker crash (BrokenProcessPool
+    poisons the whole executor) costs at most the current round: every
+    in-flight future fails fast, is captured, and retries run on a
+    clean pool. Timed-out futures are cancelled if still queued; a
+    truly hung worker is abandoned (``shutdown(wait=False)``), not
+    waited on.
+    """
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(points)))
+    futures = [pool.submit(_run_point_timed, point) for point in points]
+    outcomes = []
+    try:
+        for future in futures:
+            try:
+                result, seconds = future.result(timeout=timeout)
+            except _FutureTimeout:
+                future.cancel()
+                outcomes.append(_Outcome(
+                    None, 0.0, f"timed out after {timeout:g}s", True))
+            except Exception as exc:
+                outcomes.append(_Outcome(
+                    None, 0.0, f"{type(exc).__name__}: {exc}", False))
+            else:
+                outcomes.append(_Outcome(result, seconds, None, False))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return outcomes
+
+
 def run_sweep(points: Sequence[SweepPoint],
               cache: Optional[ResultCache] = None,
               parallel: Optional[bool] = None,
               max_workers: Optional[int] = None,
-              timings: Optional[SweepTimings] = None
-              ) -> List[SimulationResult]:
+              timings: Optional[SweepTimings] = None,
+              timeout: Optional[float] = None,
+              retries: int = 1,
+              backoff_s: float = 0.05,
+              on_error: str = "raise"
+              ) -> List[Optional[SimulationResult]]:
     """Run every point, in parallel where possible; results in order.
 
     Duplicate points are simulated once. With a ``cache``, previously
@@ -211,15 +339,32 @@ def run_sweep(points: Sequence[SweepPoint],
     stored for the next sweep. Pass a :class:`SweepTimings` to collect
     wall-clock phase accounting (per-worker simulation seconds are
     measured inside the workers and aggregated here).
+
+    A point that raises — or, in parallel mode, whose worker process
+    dies or takes longer than ``timeout`` seconds — never aborts the
+    sweep: it is retried up to ``retries`` more times with exponential
+    backoff (``backoff_s`` doubling per round, on a fresh worker pool
+    so one crashed worker cannot poison the retry). Results completed
+    before a failure are cached regardless. If failures remain,
+    ``on_error="raise"`` raises :class:`~repro.errors.SweepError`
+    listing them; ``on_error="none"`` returns ``None`` in the failed
+    points' slots. ``timeout`` needs worker processes and is ignored
+    on the in-process serial path.
     """
+    if on_error not in ("raise", "none"):
+        raise ConfigError(
+            f"on_error must be 'raise' or 'none', got {on_error!r}")
     sweep_start = time.perf_counter()
     points = list(points)
     results: dict = {}
+    first_index: Dict[str, int] = {}
     pending: List[SweepPoint] = []
     pending_keys: set = set()
+    quarantined_before = cache.quarantined if cache is not None else 0
     cache_start = time.perf_counter()
-    for point in points:
+    for position, point in enumerate(points):
         key = point_key(point)
+        first_index.setdefault(key, position)
         if key in results or key in pending_keys:
             continue
         cached = cache.load(point) if cache is not None else None
@@ -232,35 +377,77 @@ def run_sweep(points: Sequence[SweepPoint],
 
     workers = 0
     point_seconds: List[float] = []
+    failures: Dict[str, SweepPointFailure] = {}
+    retried_keys: set = set()
+    timeout_events = 0
     if pending:
         if parallel is None:
             parallel = _parallel_enabled()
         workers = _default_workers(len(pending)) if max_workers is None \
             else max(1, max_workers)
-        if parallel and workers > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                timed = list(pool.map(_run_point_timed, pending))
-        else:
+        use_pool = parallel and workers > 1 and len(pending) > 1
+        if not use_pool:
             workers = 1
-            timed = [_run_point_timed(point) for point in pending]
-        store_start = time.perf_counter()
-        for point, (result, seconds) in zip(pending, timed):
-            point_seconds.append(seconds)
-            results[point_key(point)] = result
-            if cache is not None:
-                cache.store(point, result)
-        cache_seconds += time.perf_counter() - store_start
+        remaining = list(pending)
+        attempts: Dict[str, int] = {}
+        for round_number in range(max(0, retries) + 1):
+            if not remaining:
+                break
+            if round_number:
+                retried_keys.update(point_key(p) for p in remaining)
+                time.sleep(backoff_s * (2 ** (round_number - 1)))
+            outcomes = (_round_parallel(remaining, workers, timeout)
+                        if use_pool else _round_serial(remaining))
+            next_round: List[SweepPoint] = []
+            for point, outcome in zip(remaining, outcomes):
+                key = point_key(point)
+                attempts[key] = attempts.get(key, 0) + 1
+                if outcome.error is None:
+                    point_seconds.append(outcome.seconds)
+                    results[key] = outcome.result
+                    failures.pop(key, None)
+                    if cache is not None:
+                        store_start = time.perf_counter()
+                        cache.store(point, outcome.result)
+                        cache_seconds += \
+                            time.perf_counter() - store_start
+                else:
+                    if outcome.timed_out:
+                        timeout_events += 1
+                    failures[key] = SweepPointFailure(
+                        index=first_index[key],
+                        workload=point.workload,
+                        error=outcome.error,
+                        attempts=attempts[key],
+                        timed_out=outcome.timed_out)
+                    next_round.append(point)
+            remaining = next_round
 
-    ordered = [results[point_key(point)] for point in points]
+    ordered = [results.get(point_key(point)) for point in points]
     if timings is not None:
         timings.wall_s += time.perf_counter() - sweep_start
         timings.run_s += sum(point_seconds)
         timings.cache_s += cache_seconds
         timings.slowest_point_s = max(
             [timings.slowest_point_s] + point_seconds)
-        timings.points_run += len(pending)
+        timings.points_run += len(pending) - len(failures)
         timings.points_cached += len(points) - len(pending)
+        timings.points_failed += len(failures)
+        timings.points_retried += len(retried_keys)
+        timings.points_timed_out += timeout_events
+        if cache is not None:
+            timings.cache_quarantined += \
+                cache.quarantined - quarantined_before
         timings.workers = max(timings.workers, workers)
+    if failures and on_error == "raise":
+        ordered_failures = sorted(failures.values(),
+                                  key=lambda failure: failure.index)
+        raise SweepError(
+            f"{len(ordered_failures)} of {len(points)} sweep points "
+            "failed: " + "; ".join(
+                f"[{f.index}] {f.workload}: {f.error}"
+                for f in ordered_failures[:4]),
+            failures=ordered_failures)
     return ordered
 
 

@@ -1,0 +1,27 @@
+"""Shared machinery for the fault-injection tests.
+
+One miss-heavy secured config and one small workload, generated once:
+every test in this package simulates the same traffic so the whole
+matrix stays fast while still exercising the bus, mask, pad and
+hash-tree paths the injectors perturb.
+"""
+
+import pytest
+
+from repro.faults.campaign import campaign_config
+from repro.workloads.registry import generate
+
+CPUS = 4
+SCALE = 0.02
+SEED = 0
+INTERVAL = 10
+
+
+@pytest.fixture(scope="package")
+def config():
+    return campaign_config(cpus=CPUS, interval=INTERVAL)
+
+
+@pytest.fixture(scope="package")
+def workload():
+    return generate("ocean", CPUS, scale=SCALE, seed=SEED)

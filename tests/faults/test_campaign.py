@@ -1,0 +1,36 @@
+"""The campaign matrix reducer (what `python -m repro faults` runs)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultKind
+from repro.faults.campaign import default_spec, run_campaign
+
+from .conftest import CPUS, SCALE
+
+
+def test_default_specs_are_valid_for_every_kind():
+    for kind in FaultKind.ALL:
+        spec = default_spec(kind, CPUS)
+        assert spec.kind == kind
+        assert spec.trigger >= 0
+
+
+def test_matrix_detects_and_reports(config):
+    report = run_campaign(kinds=(FaultKind.SPOOF, FaultKind.DROP),
+                          policies=("halt", "rekey-replay"),
+                          scale=SCALE, config=config)
+    assert len(report["entries"]) == 4
+    assert report["all_detected"]
+    assert report["within_interval"]
+    by_cell = {(entry["kind"], entry["policy"]): entry
+               for entry in report["entries"]}
+    assert by_cell[(FaultKind.SPOOF, "halt")]["halted"]
+    assert by_cell[(FaultKind.SPOOF, "rekey-replay")]["completed"]
+    assert by_cell[(FaultKind.DROP, "halt")]["mechanism"] == \
+        "mac_interval"
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ReproError):
+        run_campaign(policies=("pray",))

@@ -1,0 +1,101 @@
+"""End-to-end detection: each injected fault fires the right error.
+
+These pin the errors.py hierarchy on the *timing* path: a fault
+injected into a full ``SmpSystem`` run surfaces as the matching
+exception out of ``system.run`` under the ``halt`` policy, and the
+scoreboard attributes it to the defense mechanism the paper says
+catches that attack class.
+"""
+
+import pytest
+
+from repro.errors import (AuthenticationFailure, IntegrityViolation,
+                          PadCoherenceViolation, ReproError,
+                          SpoofDetected)
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.faults.campaign import default_spec
+from repro.faults.scoreboard import (MECH_MAC, MECH_MERKLE, MECH_PAD,
+                                     MECH_SPOOF)
+from repro.sim.sweep import build_system
+
+from .conftest import CPUS, INTERVAL
+
+#: kind -> (error raised under halt, mechanism that catches it)
+EXPECTED = {
+    FaultKind.DROP: (AuthenticationFailure, MECH_MAC),
+    FaultKind.REORDER: (AuthenticationFailure, MECH_MAC),
+    FaultKind.SPOOF: (SpoofDetected, MECH_SPOOF),
+    FaultKind.BIT_FLIP: (AuthenticationFailure, MECH_MAC),
+    FaultKind.MASK_DESYNC: (AuthenticationFailure, MECH_MAC),
+    FaultKind.PAD_CORRUPT: (PadCoherenceViolation, MECH_PAD),
+    FaultKind.SEQ_CORRUPT: (PadCoherenceViolation, MECH_PAD),
+    FaultKind.MERKLE_FLIP: (IntegrityViolation, MECH_MERKLE),
+}
+
+
+@pytest.mark.parametrize("kind", FaultKind.ALL)
+def test_halt_raises_the_matching_error(kind, config, workload):
+    error_class, mechanism = EXPECTED[kind]
+    plan = FaultPlan(specs=(default_spec(kind, CPUS),))
+    system = build_system(config)
+    injector = FaultInjector(plan).attach(system)
+    with pytest.raises(error_class):
+        system.run(workload)
+    scoreboard = injector.finalize()
+    assert scoreboard.injected == 1
+    record = scoreboard.records[0]
+    assert record.detected
+    assert record.mechanism == mechanism
+    assert record.recovery == "halt"
+    assert record.latency_cycles >= 0
+
+
+@pytest.mark.parametrize("kind", FaultKind.ALL)
+def test_every_fault_error_is_a_repro_error(kind):
+    assert issubclass(EXPECTED[kind][0], ReproError)
+
+
+def test_mac_detection_is_within_one_auth_interval(config, workload):
+    """Bus faults caught by the interval check are bounded by it."""
+    for kind in (FaultKind.DROP, FaultKind.BIT_FLIP):
+        plan = FaultPlan(specs=(default_spec(kind, CPUS),))
+        system = build_system(config)
+        injector = FaultInjector(plan).attach(system)
+        with pytest.raises(AuthenticationFailure):
+            system.run(workload)
+        record = injector.finalize().records[0]
+        assert 0 <= record.latency_tx <= INTERVAL + 1
+
+
+def test_untriggered_plan_detects_nothing(config, workload):
+    plan = FaultPlan.single(FaultKind.DROP, trigger=1 << 40)
+    system = build_system(config)
+    injector = FaultInjector(plan).attach(system)
+    system.run(workload)  # must not raise
+    scoreboard = injector.finalize()
+    assert scoreboard.injected == 0
+    assert injector.untriggered == 1
+
+
+def test_scoreboard_counters_reach_the_stats(config, workload):
+    """faults.* counters flush through StatsRegistry into the result."""
+    plan = FaultPlan(specs=(default_spec(FaultKind.DROP, CPUS),))
+    system = build_system(config)
+    injector = FaultInjector(plan, policy="rekey-replay").attach(system)
+    result = system.run(workload)
+    injector.finalize()
+    assert result.stats["faults.injected"] == 1
+    assert result.stats["faults.detected"] == 1
+    assert result.stats["faults.recovered"] == 1
+    assert result.stats["faults.by_mechanism.mac_interval"] == 1
+    assert result.stats["faults.penalty_cycles"] > 0
+
+
+def test_bus_kinds_require_the_senss_layer(workload):
+    from repro.config import e6000_config
+    from repro.errors import ConfigError
+    plain = e6000_config(num_processors=CPUS, senss_enabled=False)
+    system = build_system(plain)
+    plan = FaultPlan.single(FaultKind.DROP, trigger=0)
+    with pytest.raises(ConfigError):
+        FaultInjector(plan).attach(system)

@@ -1,0 +1,54 @@
+"""Bit-identity: hooks that never fire change nothing.
+
+The acceptance criterion for the whole subsystem: a system with a
+FaultInjector attached whose plan never triggers must produce results
+(cycles, per-CPU clocks, every statistic) identical to an untouched
+system — the fault hooks are pure pointer checks until a trigger
+index is reached.
+"""
+
+from repro.config import e6000_config
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.sim.sweep import build_system
+
+from .conftest import CPUS
+
+NEVER = 1 << 40  # a trigger index no small run reaches
+
+
+def _compare(config, workload, plan):
+    vanilla = build_system(config).run(workload)
+    system = build_system(config)
+    injector = FaultInjector(plan).attach(system)
+    hooked = system.run(workload)
+    injector.finalize()
+    assert hooked.cycles == vanilla.cycles
+    assert list(hooked.per_cpu_cycles) == list(vanilla.per_cpu_cycles)
+    assert hooked.stats == vanilla.stats
+    assert injector.untriggered == len(plan)
+
+
+def test_identity_on_the_integrated_config(config, workload):
+    # One never-firing spec per hook family, so every hook site runs.
+    from repro.faults import FaultSpec
+    plan = FaultPlan(specs=(
+        FaultSpec(FaultKind.DROP, NEVER),
+        FaultSpec(FaultKind.PAD_CORRUPT, NEVER, cpu=0),
+        FaultSpec(FaultKind.MERKLE_FLIP, NEVER),
+    ))
+    _compare(config, workload, plan)
+
+
+def test_identity_on_a_senss_only_config(workload):
+    config = e6000_config(num_processors=CPUS, l2_mb=1,
+                          auth_interval=10)
+    _compare(config, workload,
+             FaultPlan.single(FaultKind.SPOOF, trigger=NEVER,
+                              claimed_pid=1))
+
+
+def test_campaign_verify_identity_helper():
+    from repro.faults.campaign import verify_identity
+    report = verify_identity(scale=0.02)
+    assert report["identical"]
+    assert report["untriggered"] == 1

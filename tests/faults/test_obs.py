@@ -1,0 +1,56 @@
+"""Fault events flow through the observability layer.
+
+An attached Tracer records FAULT_INJECT/FAULT_DETECT events for every
+injected fault, the Chrome-trace export names them with kind and
+mechanism strings, and the exported payload passes the published
+schema (including the new enum entries).
+"""
+
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.faults.campaign import default_spec
+from repro.obs import Tracer, to_chrome_trace, validate_chrome_trace
+from repro.sim.sweep import build_system
+
+from .conftest import CPUS
+
+
+def _traced_run(config, workload, kind):
+    system = build_system(config)
+    # Big enough that early fault events survive the ring (the run
+    # records ~140k events; the default 64k window would drop them).
+    tracer = Tracer(capacity=200_000).attach(system)
+    plan = FaultPlan(specs=(default_spec(kind, CPUS),))
+    injector = FaultInjector(plan, policy="rekey-replay").attach(system)
+    system.run(workload)
+    injector.finalize()
+    return tracer
+
+
+def test_tracer_records_fault_events(config, workload):
+    tracer = _traced_run(config, workload, FaultKind.DROP)
+    by_kind = tracer.summary()["by_kind"]
+    assert by_kind["fault_inject"] == 1
+    assert by_kind["fault_detect"] == 1
+
+
+def test_export_carries_kind_and_mechanism(config, workload):
+    tracer = _traced_run(config, workload, FaultKind.SPOOF)
+    payload = to_chrome_trace(tracer)
+    validate_chrome_trace(payload)
+    events = {event["name"]: event
+              for event in payload["traceEvents"]
+              if event["name"].startswith("fault_")}
+    assert events["fault_inject"]["args"]["kind"] == "spoof"
+    detect = events["fault_detect"]["args"]
+    assert detect["kind"] == "spoof"
+    assert detect["mechanism"] == "spoof_self"
+    assert detect["latency_cycles"] >= 0
+
+
+def test_memory_fault_events_validate_too(config, workload):
+    tracer = _traced_run(config, workload, FaultKind.MERKLE_FLIP)
+    payload = to_chrome_trace(tracer)
+    validate_chrome_trace(payload)
+    detects = [event for event in payload["traceEvents"]
+               if event["name"] == "fault_detect"]
+    assert detects[0]["args"]["mechanism"] == "merkle_verify"

@@ -1,0 +1,64 @@
+"""FaultSpec validation and FaultPlan determinism."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("gamma-ray", 0)
+
+    def test_negative_trigger_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(FaultKind.DROP, -1)
+
+    def test_pad_kinds_need_a_victim_cpu(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(FaultKind.PAD_CORRUPT, 0)
+        with pytest.raises(ConfigError):
+            FaultSpec(FaultKind.SEQ_CORRUPT, 0)
+        assert FaultSpec(FaultKind.PAD_CORRUPT, 0, cpu=1).cpu == 1
+
+    def test_spoof_needs_a_claimed_pid(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(FaultKind.SPOOF, 0)
+        assert FaultSpec(FaultKind.SPOOF, 0,
+                         claimed_pid=2).claimed_pid == 2
+
+    def test_auto_label(self):
+        assert FaultSpec(FaultKind.DROP, 7).label == "drop@7"
+        assert FaultSpec(FaultKind.DROP, 7, label="x").label == "x"
+
+
+class TestFaultPlan:
+    def test_single(self):
+        plan = FaultPlan.single(FaultKind.REORDER, trigger=3)
+        assert len(plan) == 1
+        assert list(plan)[0].kind == FaultKind.REORDER
+
+    def test_random_is_deterministic(self):
+        first = FaultPlan.random(seed=42, count=10, num_cpus=4)
+        second = FaultPlan.random(seed=42, count=10, num_cpus=4)
+        assert first.specs == second.specs
+
+    def test_random_seed_changes_the_plan(self):
+        first = FaultPlan.random(seed=1, count=10, num_cpus=4)
+        second = FaultPlan.random(seed=2, count=10, num_cpus=4)
+        assert first.specs != second.specs
+
+    def test_random_rejects_unknown_kinds(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.random(seed=0, count=1, num_cpus=2,
+                             kinds=["gamma-ray"])
+
+    def test_bus_and_memory_specs_partition_the_plan(self):
+        plan = FaultPlan.random(seed=3, count=20, num_cpus=4)
+        split = plan.bus_specs() + plan.memory_specs()
+        assert sorted(s.label for s in split) == \
+            sorted(s.label for s in plan)
+        assert all(s.kind in FaultKind.BUS for s in plan.bus_specs())
+        assert all(s.kind in FaultKind.MEMORY
+                   for s in plan.memory_specs())

@@ -1,0 +1,81 @@
+"""Recovery policies: rekey-replay continues, quarantine evicts."""
+
+import pytest
+
+from repro.errors import AuthenticationFailure, ConfigError
+from repro.faults import (FaultInjector, FaultKind, FaultPlan,
+                          RecoveryEngine)
+from repro.faults.campaign import default_spec
+from repro.sim.sweep import build_system
+
+from .conftest import CPUS
+
+
+def _run(config, workload, kind, policy):
+    plan = FaultPlan(specs=(default_spec(kind, CPUS),))
+    system = build_system(config)
+    injector = FaultInjector(plan, policy=policy).attach(system)
+    result = system.run(workload)
+    return system, injector, result
+
+
+def test_rekey_replay_completes_where_halt_aborts(config, workload):
+    halted = build_system(config)
+    FaultInjector(FaultPlan(specs=(default_spec(FaultKind.DROP, CPUS),)
+                            )).attach(halted)
+    with pytest.raises(AuthenticationFailure):
+        halted.run(workload)
+
+    system, injector, result = _run(config, workload, FaultKind.DROP,
+                                    "rekey-replay")
+    scoreboard = injector.finalize()
+    assert result.cycles > 0
+    record = scoreboard.records[0]
+    assert record.detected and record.recovered
+    assert record.recovery == "rekey-replay"
+    assert injector.recovery.rekeys == 1
+    assert scoreboard.penalty_cycles > 0
+
+
+def test_rekey_replay_charges_the_replayed_window(config, workload):
+    """The penalty covers the window since the last MAC checkpoint
+    plus the fixed re-keying cost, and lengthens the run."""
+    vanilla = build_system(config).run(workload)
+    _, injector, result = _run(config, workload, FaultKind.DROP,
+                               "rekey-replay")
+    scoreboard = injector.finalize()
+    assert scoreboard.penalty_cycles >= \
+        injector.recovery.rekey_cycles
+    assert result.cycles > vanilla.cycles
+
+
+def test_quarantine_evicts_the_culprit(config, workload):
+    system, injector, result = _run(config, workload, FaultKind.DROP,
+                                    "quarantine")
+    scoreboard = injector.finalize()
+    assert result.cycles > 0
+    assert scoreboard.records[0].recovered
+    evicted = injector.recovery.quarantined
+    assert len(evicted) == 1
+    members = system.bus.security_layer.group_state(0).member_pids
+    assert evicted[0] not in members
+    assert len(members) == CPUS - 1
+
+
+def test_quarantine_without_a_culprit_only_charges_cycles(config,
+                                                          workload):
+    """A flipped Merkle node has no PID to evict: penalty only."""
+    system, injector, result = _run(config, workload,
+                                    FaultKind.MERKLE_FLIP, "quarantine")
+    scoreboard = injector.finalize()
+    assert result.cycles > 0
+    assert scoreboard.records[0].recovered
+    assert injector.recovery.quarantined == []
+    members = system.bus.security_layer.group_state(0).member_pids
+    assert len(members) == CPUS
+
+
+def test_unknown_policy_rejected(config):
+    system = build_system(config)
+    with pytest.raises(ConfigError):
+        RecoveryEngine(system, policy="pray")

@@ -38,7 +38,11 @@ def traced_run():
 class TestEventCoverage:
     def test_every_event_kind_is_emitted(self, traced_run):
         _, tracer, _ = traced_run
-        assert set(tracer.kind_totals) == set(EventKind.ALL)
+        # Fault events only exist when an injected fault fires; their
+        # coverage is pinned by tests/faults/test_obs.py.
+        expected = set(EventKind.ALL) - {EventKind.FAULT_INJECT,
+                                         EventKind.FAULT_DETECT}
+        assert set(tracer.kind_totals) == expected
         assert tracer.ring.dropped == 0
 
     def test_bus_events_match_bus_counter(self, traced_run):

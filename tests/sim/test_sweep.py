@@ -2,6 +2,7 @@
 
 import json
 
+import pytest
 
 from repro.config import e6000_config
 from repro.sim.sweep import (ENGINE_VERSION, ResultCache, SweepPoint,
@@ -194,3 +195,130 @@ class TestSweepTimings:
         assert json.loads(json.dumps(as_dict)) == as_dict
         assert as_dict["sweep.points_run"] == 1
         assert as_dict["sweep.wall_s"] > 0
+
+
+class TestSweepCrashes:
+    """Worker failures must not abort the sweep or lose results."""
+
+    def test_serial_crash_returns_partial_results(self, tmp_path,
+                                                  monkeypatch):
+        real = run_point
+        def crashy(target):
+            if target.seed == 1:
+                raise ValueError("simulated point crash")
+            return real(target)
+        monkeypatch.setattr("repro.sim.sweep.run_point", crashy)
+        cache = ResultCache(tmp_path)
+        timings = SweepTimings()
+        results = run_sweep([point(seed=0), point(seed=1)],
+                            cache=cache, parallel=False, retries=0,
+                            on_error="none", timings=timings)
+        assert results[0] is not None and results[0].cycles > 0
+        assert results[1] is None
+        assert timings.points_failed == 1
+        assert timings.points_run == 1
+        assert len(cache) == 1  # the good point was cached anyway
+
+    def test_serial_crash_raises_sweep_error(self, tmp_path,
+                                             monkeypatch):
+        from repro.errors import SweepError
+        monkeypatch.setattr(
+            "repro.sim.sweep.run_point",
+            lambda target: (_ for _ in ()).throw(
+                ValueError("simulated point crash")))
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep([point()], parallel=False, retries=0)
+        failures = excinfo.value.failures
+        assert len(failures) == 1
+        assert failures[0].workload == "fft"
+        assert "simulated point crash" in failures[0].error
+        assert failures[0].attempts == 1
+
+    def test_crash_retried_with_backoff_then_succeeds(self, tmp_path,
+                                                      monkeypatch):
+        real = run_point
+        attempts = []
+        def flaky(target):
+            attempts.append(target)
+            if len(attempts) == 1:
+                raise ValueError("transient")
+            return real(target)
+        monkeypatch.setattr("repro.sim.sweep.run_point", flaky)
+        timings = SweepTimings()
+        results = run_sweep([point()], parallel=False, retries=1,
+                            backoff_s=0.001, timings=timings)
+        assert results[0].cycles > 0
+        assert len(attempts) == 2
+        assert timings.points_retried == 1
+        assert timings.points_failed == 0
+
+    def test_parallel_worker_crash_is_captured(self, monkeypatch,
+                                               tmp_path):
+        """A crash inside a worker process surfaces as a failure
+        record, not an aborted pool (run with REPRO_SWEEP_PARALLEL=1
+        in CI)."""
+        monkeypatch.setenv("REPRO_SWEEP_PARALLEL", "1")
+        bad = SweepPoint("no-such-workload", point().config,
+                         scale=0.05)
+        timings = SweepTimings()
+        results = run_sweep([point(seed=0), bad, point(seed=1)],
+                            cache=ResultCache(tmp_path),
+                            parallel=True, max_workers=2, retries=0,
+                            on_error="none", timings=timings)
+        assert results[0] is not None
+        assert results[1] is None
+        assert results[2] is not None
+        assert timings.points_failed == 1
+
+    def test_invalid_on_error_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            run_sweep([point()], on_error="explode")
+
+
+class TestCacheQuarantine:
+    def test_corrupt_entry_quarantined_not_retried(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        target = point()
+        cache.store(target, run_point(target))
+        path = cache._path(point_key(target))
+        path.write_text("{ not json")
+        assert cache.load(target) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.exists()
+        assert corrupt.read_text() == "{ not json"
+        # A second probe is a plain miss, not another quarantine.
+        assert cache.load(target) is None
+        assert cache.quarantined == 1
+
+    def test_checksum_tamper_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        target = point()
+        cache.store(target, run_point(target))
+        path = cache._path(point_key(target))
+        payload = json.loads(path.read_text())
+        payload["cycles"] += 1  # bit-rot / tampering
+        path.write_text(json.dumps(payload, sort_keys=True))
+        assert cache.load(target) is None
+        assert cache.quarantined == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_missing_entry_is_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load(point()) is None
+        assert cache.quarantined == 0
+
+    def test_sweep_counts_quarantines_and_reruns_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        target = point()
+        run_sweep([target], cache=cache, parallel=False)
+        cache._path(point_key(target)).write_text("garbage")
+        timings = SweepTimings()
+        results = run_sweep([target], cache=cache, parallel=False,
+                            timings=timings)
+        assert results[0].cycles > 0
+        assert timings.cache_quarantined == 1
+        assert timings.points_run == 1  # re-simulated and re-cached
+        assert len(cache) == 1

@@ -145,3 +145,27 @@ def test_report_command_json_output(tmp_path):
     assert payload["configs"]["secured"]["cycles"] > \
         payload["configs"]["baseline"]["cycles"]
     assert "simulate.secured" in payload["timings"]
+
+
+def test_faults_command(tmp_path, capsys):
+    import json
+    json_path = tmp_path / "faults.json"
+    assert main(["faults", "--scale", "0.02",
+                 "--kinds", "spoof", "drop",
+                 "--policies", "halt", "rekey-replay",
+                 "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Fault-injection campaign" in out
+    assert "spoof_self" in out
+    assert "mac_interval" in out
+    assert "all detected      : True" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["all_detected"]
+    assert payload["within_interval"]
+    assert len(payload["entries"]) == 4
+
+
+def test_faults_command_verify_identity(capsys):
+    assert main(["faults", "--scale", "0.02", "--kinds", "merkle-flip",
+                 "--policies", "halt", "--verify-identity"]) == 0
+    assert "identity w/o fault: True" in capsys.readouterr().out

@@ -9,7 +9,8 @@ def test_all_errors_derive_from_repro_error():
     for name in ("ConfigError", "CryptoError", "BusError",
                  "CoherenceError", "SimulationError",
                  "AuthenticationFailure", "IntegrityViolation",
-                 "GroupTableFull", "TraceError", "SpoofDetected"):
+                 "GroupTableFull", "TraceError", "SpoofDetected",
+                 "PadCoherenceViolation", "SweepError"):
         assert issubclass(getattr(errors, name), errors.ReproError)
 
 
@@ -27,3 +28,17 @@ def test_authentication_failure_carries_context():
 def test_catching_the_base_class():
     with pytest.raises(errors.ReproError):
         raise errors.GroupTableFull("full")
+
+
+def test_pad_coherence_violation_carries_context():
+    violation = errors.PadCoherenceViolation("stale", cycle=9, cpu=3)
+    assert violation.cycle == 9
+    assert violation.cpu == 3
+    assert "stale" in str(violation)
+
+
+def test_sweep_error_carries_failures():
+    failures = [("fft", "ValueError: boom")]
+    error = errors.SweepError("1 point failed", failures=failures)
+    assert error.failures == failures
+    assert "1 point failed" in str(error)
