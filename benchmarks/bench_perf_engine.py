@@ -12,6 +12,13 @@ recorded pre-fastpath engine:
   dominated by the slow path (coherence protocol, bus arbitration,
   security layers), the target of the DESIGN.md §6c streamlining.
 
+Run directly (``python benchmarks/bench_perf_engine.py --check``) the
+module is a regression gate instead of a pytest bench: it re-measures
+the six throughput points fresh and compares them against the
+committed ``BENCH_engine.json``, failing if any config slowed down by
+more than ``--threshold`` percent (default 25). The committed file's
+own scale is reused so the comparison is like-for-like.
+
 It also records an **observability** point (DESIGN.md §6d): the
 miss-heavy senss machine with and without a ``repro.obs.Tracer``
 attached, asserting the untraced run pays no measurable overhead for
@@ -270,3 +277,109 @@ def test_engine_throughput(benchmark, emit):
         lambda: build_system(configs["baseline"]).run(
             workload(WORKLOAD, CPUS)),
         rounds=1, iterations=1)
+
+
+# -- regression-gate CLI (python bench_perf_engine.py --check) ----------
+
+def _fresh_points(scale: float, repeats: int) -> dict:
+    """Re-measure the six throughput points at ``scale``.
+
+    Returns ``{"configs": {...}, "missheavy": {"configs": {...}}}``
+    shaped like the committed report so the comparison walks both the
+    hit-heavy and miss-heavy sections with one loop.
+    """
+    global REPEATS
+    previous_repeats = REPEATS
+    REPEATS = repeats
+    try:
+        hit_workload = generate(WORKLOAD, CPUS, scale=scale,
+                                seed=BENCH_SEED)
+        miss_workload = generate(MISSHEAVY_WORKLOAD, CPUS, scale=scale,
+                                 seed=BENCH_SEED)
+        configs = {
+            "baseline": baseline_config(CPUS, L2_MB),
+            "senss": senss_config(CPUS, L2_MB),
+            "integrated": integrated_config(),
+        }
+        fresh = {"configs": {}, "missheavy": {"configs": {}}}
+        for kind, config in configs.items():
+            fresh["configs"][kind] = measure(config, hit_workload)
+        for kind, config in missheavy_configs().items():
+            fresh["missheavy"]["configs"][kind] = measure(
+                config, miss_workload)
+        return fresh
+    finally:
+        REPEATS = previous_repeats
+
+
+def _compare(committed: dict, fresh: dict, threshold_pct: float):
+    """Yield one (label, committed, fresh, delta_pct, ok) per config."""
+    sections = [("", committed.get("configs", {}),
+                 fresh.get("configs", {})),
+                ("missheavy/",
+                 committed.get("missheavy", {}).get("configs", {}),
+                 fresh.get("missheavy", {}).get("configs", {}))]
+    for prefix, old_configs, new_configs in sections:
+        for kind, old in old_configs.items():
+            new = new_configs.get(kind)
+            if new is None:
+                continue
+            old_rate = old["accesses_per_second"]
+            new_rate = new["accesses_per_second"]
+            delta_pct = (new_rate / old_rate - 1) * 100
+            ok = new_rate >= old_rate * (1 - threshold_pct / 100)
+            yield prefix + kind, old_rate, new_rate, delta_pct, ok
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Engine-throughput regression gate: fresh run vs "
+                    "the committed BENCH_engine.json.")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed report and "
+                             "exit non-zero on regression")
+    parser.add_argument("--baseline",
+                        default=str(pathlib.Path(__file__).parent.parent
+                                    / "BENCH_engine.json"),
+                        help="committed report to compare against")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="max tolerated slowdown, percent "
+                             "(default 25)")
+    parser.add_argument("--repeats", type=int, default=REPEATS,
+                        help="best-of-N repeats per point")
+    args = parser.parse_args(argv)
+
+    committed_path = pathlib.Path(args.baseline)
+    committed = json.loads(committed_path.read_text())
+    scale = committed.get("scale", BENCH_SCALE)
+    fresh = _fresh_points(scale, args.repeats)
+
+    width = max(len("config"), *(len(label) for label, *_ in
+                                 _compare(committed, fresh, 0)))
+    print(f"{'config':<{width}}  {'committed':>10}  {'fresh':>10}  "
+          f"{'delta':>8}")
+    failures = []
+    for label, old_rate, new_rate, delta_pct, ok in _compare(
+            committed, fresh, args.threshold):
+        flag = "" if ok else "  << REGRESSION"
+        print(f"{label:<{width}}  {old_rate:>10,}  {new_rate:>10,}  "
+              f"{delta_pct:>+7.1f}%{flag}")
+        if not ok:
+            failures.append(label)
+
+    if not args.check:
+        return 0
+    if failures:
+        print(f"FAIL: {', '.join(failures)} slowed down more than "
+              f"{args.threshold:g}% vs {committed_path.name}")
+        return 1
+    print(f"OK: all configs within {args.threshold:g}% of "
+          f"{committed_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -39,6 +39,13 @@ class SharedBus:
                  stats: Optional[StatsRegistry] = None):
         self.config = config
         self.stats = stats if stats is not None else StatsRegistry()
+        # Hot config fields bound once: the issue path runs per bus
+        # transaction and should not chase the config dataclass.
+        self._cycle = config.cycle_cpu_cycles
+        self._line_bytes = config.line_bytes
+        self._c2c_latency = config.cache_to_cache_latency
+        self._mem_latency = config.cache_to_memory_latency
+        self._split = config.split_transaction
         self._free_at = 0
         self._data_free_at = 0  # split-transaction mode only
         self._sequence = 0
@@ -51,11 +58,12 @@ class SharedBus:
         self.fault_hook = None
         # Deferred traffic counters, drained by _flush_stats on any
         # registry read. Only transaction types actually issued get a
-        # _pending_by_type entry, preserving lazy counter creation.
+        # _pending_by_type entry (keyed by the precomputed counter
+        # name), preserving lazy counter creation.
         self._pending_transactions = 0
         self._pending_c2c = 0
         self._pending_with_memory = 0
-        self._pending_by_type: Dict[TransactionType, int] = {}
+        self._pending_by_type: Dict[str, int] = {}
         self.stats.register_flusher(self._flush_stats)
 
     # -- observation -----------------------------------------------------
@@ -110,7 +118,7 @@ class SharedBus:
         """
         if request_cycle < 0:
             raise BusError("request cycle must be non-negative")
-        config = self.config
+        cycle = self._cycle
         tx_type = transaction.type
         transaction.issue_cycle = request_cycle
         grant = max(request_cycle, self._free_at)
@@ -120,11 +128,11 @@ class SharedBus:
 
         carries = tx_type.carries_data and data_bytes > 0
         if tx_type.is_short_message:
-            latency = 2 * config.cycle_cpu_cycles
+            latency = 2 * cycle
         elif transaction.supplied_by_cache:
-            latency = config.cache_to_cache_latency
+            latency = self._c2c_latency
         else:
-            latency = config.cache_to_memory_latency
+            latency = self._mem_latency
 
         security_layer = self.security_layer
         if security_layer is not None:
@@ -133,33 +141,32 @@ class SharedBus:
             # MAC broadcasts, which recursively occupy the bus.
             latency += security_layer.before_transfer(transaction, grant)
 
-        if config.split_transaction:
+        if self._split:
             # Gigaplane-style: the address bus is held for one cycle
             # per transaction; the data phase queues on the separate
             # data bus and the requester waits for its slot.
-            self._free_at = grant + config.cycle_cpu_cycles
+            self._free_at = grant + cycle
             if carries:
-                data_cycles = (-(-data_bytes // config.line_bytes)
-                               * config.cycle_cpu_cycles)
+                data_cycles = -(-data_bytes // self._line_bytes) * cycle
                 data_start = max(grant, self._data_free_at)
                 self._data_free_at = data_start + data_cycles
                 latency += data_start - grant
             transaction.complete_cycle = grant + latency
         else:
-            occupancy = config.cycle_cpu_cycles
+            occupancy = cycle
             if carries:
-                occupancy += (-(-data_bytes // config.line_bytes)
-                              * config.cycle_cpu_cycles)
+                occupancy += -(-data_bytes // self._line_bytes) * cycle
             self._free_at = grant + occupancy
             transaction.complete_cycle = grant + latency
 
         # Deferred traffic accounting (flushed on any stats read).
         self._pending_transactions += 1
         by_type = self._pending_by_type
-        by_type[tx_type] = by_type.get(tx_type, 0) + 1
+        name = tx_type.counter_name
+        by_type[name] = by_type.get(name, 0) + 1
         if transaction.supplied_by_cache and tx_type.carries_data:
             self._pending_c2c += 1
-        elif tx_type in self._MEMORY_DATA_TYPES:
+        elif tx_type.is_memory_data:
             # Line movement to/from memory. Security messages (MAC
             # broadcasts, pad requests) are counted by type only.
             self._pending_with_memory += 1
@@ -174,17 +181,6 @@ class SharedBus:
 
     # -- statistics ----------------------------------------------------------
 
-    _MEMORY_DATA_TYPES = frozenset((TransactionType.BUS_READ,
-                                    TransactionType.BUS_READ_EXCLUSIVE,
-                                    TransactionType.WRITEBACK,
-                                    TransactionType.HASH_FETCH,
-                                    TransactionType.HASH_WRITEBACK))
-
-    #: per-type counter names, computed once instead of an f-string
-    #: per transaction on the issue path
-    _TX_COUNTER_NAMES = {tx_type: f"bus.tx.{tx_type.value}"
-                         for tx_type in TransactionType}
-
     def _flush_stats(self) -> None:
         """Drain pending traffic counts into the registry."""
         add = self.stats.add
@@ -192,9 +188,8 @@ class SharedBus:
             add("bus.transactions", self._pending_transactions)
             self._pending_transactions = 0
         if self._pending_by_type:
-            names = self._TX_COUNTER_NAMES
-            for tx_type, count in self._pending_by_type.items():
-                add(names[tx_type], count)
+            for name, count in self._pending_by_type.items():
+                add(name, count)
             self._pending_by_type.clear()
         if self._pending_c2c:
             add("bus.cache_to_cache", self._pending_c2c)

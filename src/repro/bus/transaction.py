@@ -59,10 +59,24 @@ _SHORT_TYPES = frozenset((
     TransactionType.PAD_INVALIDATE,
     TransactionType.AUTH_MAC,
 ))
+#: line movement to/from memory (everything the ``bus.with_memory``
+#: traffic counter tracks; security messages are counted by type only)
+_MEMORY_DATA_TYPES = frozenset((
+    TransactionType.BUS_READ,
+    TransactionType.BUS_READ_EXCLUSIVE,
+    TransactionType.WRITEBACK,
+    TransactionType.HASH_FETCH,
+    TransactionType.HASH_WRITEBACK,
+))
 for _member in TransactionType:
     #: whether a data block rides with the transaction
     _member.carries_data = _member in _DATA_TYPES
     _member.is_short_message = _member in _SHORT_TYPES
+    _member.is_memory_data = _member in _MEMORY_DATA_TYPES
+    #: per-type stats counter name; also the key the bus's deferred
+    #: traffic accounting buckets by (string hashing is much cheaper
+    #: than Enum.__hash__ on the per-transaction issue path)
+    _member.counter_name = f"bus.tx.{_member.value}"
 
 
 class BusTransaction:

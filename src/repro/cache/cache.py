@@ -14,6 +14,8 @@ from ..config import CacheConfig
 from ..errors import CoherenceError
 from .mesi import MesiState
 
+_INVALID = MesiState.INVALID
+
 
 class CacheLine:
     """Residency record for one cache line."""
@@ -36,6 +38,7 @@ class SetAssociativeCache:
         self.config = config
         self._offset_bits = config.line_bytes.bit_length() - 1
         self._num_sets = config.num_sets
+        self._assoc = config.associativity
         # set index -> list of CacheLine (at most `associativity` long)
         self._sets: Dict[int, List[CacheLine]] = {}
         self._tick = 0
@@ -73,7 +76,7 @@ class SetAssociativeCache:
         index = block % self._num_sets
         tag = block // self._num_sets
         for line in self._sets.get(index, ()):
-            if line.tag == tag and line.state is not MesiState.INVALID:
+            if line.tag == tag and line.state is not _INVALID:
                 if touch:
                     self._tick += 1
                     line.last_used = self._tick
@@ -108,22 +111,34 @@ class SetAssociativeCache:
         block = line_address >> self._offset_bits
         index = block % self._num_sets
         tag = block // self._num_sets
-        ways = self._sets.setdefault(index, [])
-        self._tick += 1
+        sets = self._sets
+        ways = sets.get(index)
+        if ways is None:
+            ways = sets[index] = []
+        tick = self._tick + 1
+        self._tick = tick
         for line in ways:
             if line.tag == tag:
                 line.state = state
-                line.last_used = self._tick
+                line.last_used = tick
                 return None
         victim: Optional[Tuple[int, MesiState]] = None
-        if len(ways) >= self.config.associativity:
+        if len(ways) >= self._assoc:
             # Prefer replacing an INVALID way; else evict true LRU.
-            evict = min(ways, key=lambda l: (l.state.is_valid, l.last_used))
+            # Manual scan (first-wins on ties, like min()) — the
+            # key-function form costs a lambda call per way per miss.
+            evict = ways[0]
+            evict_key = (evict.state is not _INVALID, evict.last_used)
+            for line in ways:
+                key = (line.state is not _INVALID, line.last_used)
+                if key < evict_key:
+                    evict = line
+                    evict_key = key
             if evict.state.is_valid:
                 victim_block = evict.tag * self._num_sets + index
                 victim = (victim_block << self._offset_bits, evict.state)
             ways.remove(evict)
-        ways.append(CacheLine(tag, state, self._tick))
+        ways.append(CacheLine(tag, state, tick))
         return victim
 
     def set_state(self, address: int, state: MesiState) -> None:

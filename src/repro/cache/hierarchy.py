@@ -53,6 +53,11 @@ class CacheHierarchy:
         self.l2 = SetAssociativeCache(l2_config)
         self.stats = stats if stats is not None else StatsRegistry()
         self._prefix = f"cpu{cpu_id}."
+        # L1-line offsets inside one L2 line, precomputed for the
+        # inclusion sweep (a fresh range object per invalidation is
+        # measurable on the snoop path).
+        self._l1_offsets = tuple(range(0, l2_config.line_bytes,
+                                       l1_config.line_bytes))
         # Deferred access-classification counters (flushed into the
         # registry on read; see StatsRegistry.register_flusher).
         self._pending_l1_hit = 0
@@ -162,9 +167,9 @@ class CacheHierarchy:
 
     def _enforce_inclusion(self, l2_line_address: int) -> None:
         """Invalidate all L1 lines covered by an evicted/invalid L2 line."""
-        step = self.l1.config.line_bytes
-        for offset in range(0, self.l2.config.line_bytes, step):
-            self.l1.invalidate_line(l2_line_address + offset)
+        invalidate = self.l1.invalidate_line
+        for offset in self._l1_offsets:
+            invalidate(l2_line_address + offset)
 
     def state_of(self, address: int) -> MesiState:
         return self.l2.state_of(address)

@@ -20,20 +20,20 @@ class MesiState(Enum):
     SHARED = "S"
     INVALID = "I"
 
-    @property
-    def is_valid(self) -> bool:
-        return self is not MesiState.INVALID
-
-    @property
-    def is_dirty(self) -> bool:
-        """Memory is stale: this copy must be written back on eviction."""
-        return self in (MesiState.MODIFIED, MesiState.OWNED)
-
-    @property
-    def can_write(self) -> bool:
-        """Writable without a bus transaction (M or E; E upgrades
-        silently; O must broadcast an upgrade like S)."""
-        return self in (MesiState.MODIFIED, MesiState.EXCLUSIVE)
-
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+# Per-member classification flags, precomputed once (same pattern as
+# TransactionType): every cache lookup, snoop, and eviction scan
+# consults these, so they are plain attributes rather than properties
+# recomputing tuple membership per call.
+for _member in MesiState:
+    #: any resident copy (everything but I)
+    _member.is_valid = _member is not MesiState.INVALID
+    #: memory is stale: this copy must be written back on eviction
+    _member.is_dirty = _member in (MesiState.MODIFIED, MesiState.OWNED)
+    #: writable without a bus transaction (M or E; E upgrades
+    #: silently; O must broadcast an upgrade like S)
+    _member.can_write = _member in (MesiState.MODIFIED,
+                                    MesiState.EXCLUSIVE)

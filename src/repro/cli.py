@@ -110,6 +110,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=["baseline", "senss", "integrated"])
     profile.add_argument("--cprofile", action="store_true",
                          help="also print the hottest functions")
+    profile.add_argument("--breakdown", action="store_true",
+                         help="also run the integrated config once "
+                              "with the memprotect hot paths "
+                              "instrumented and print the wall-time "
+                              "split (verify climb / leaf hashing / "
+                              "pad generation / pad-cache coherence)")
 
     commands.add_parser("overhead",
                         help="section 7.1 hardware cost table")
@@ -266,6 +272,104 @@ def _profile_config(kind: str, args):
     return config
 
 
+class _ExclusiveTimer:
+    """Wall-clock buckets with exclusive (self-time) accounting.
+
+    Wrapped callables form a stack: a child's elapsed time is
+    subtracted from its enclosing wrapped caller, so nested hot paths
+    (a verify climb whose node fetch re-enters the pad machinery) are
+    attributed exactly once.
+    """
+
+    def __init__(self):
+        self.buckets = {}
+        self._stack = []
+
+    def wrap(self, owner, method_name: str, bucket: str) -> None:
+        import time
+
+        func = getattr(owner, method_name)
+        buckets = self.buckets
+        stack = self._stack
+        perf = time.perf_counter
+        buckets.setdefault(bucket, 0.0)
+
+        def wrapper(*args, **kwargs):
+            start = perf()
+            stack.append(0.0)
+            try:
+                return func(*args, **kwargs)
+            finally:
+                elapsed = perf() - start
+                child = stack.pop()
+                buckets[bucket] += elapsed - child
+                if stack:
+                    stack[-1] += elapsed
+
+        setattr(owner, method_name, wrapper)
+
+
+#: breakdown bucket -> the memprotect methods it aggregates
+#: ("verify climb" also absorbs the coherent node fetches a climb or
+#: node update triggers — the CHash cost the paper attributes to L2
+#: pollution and bus contention).
+_BREAKDOWN_BUCKETS = (
+    ("verify climb", "layer", ("_verify_climb", "_update_parent_hash")),
+    ("leaf hashing", "hash_engine", ("issue",)),
+    ("pad generation", "aes_engine", ("issue",)),
+    ("pad-cache coherence", "directory", ("on_fetch", "on_writeback")),
+)
+
+
+def _profile_breakdown(args, workload) -> None:
+    """One instrumented integrated run; prints the memprotect split."""
+    import time
+
+    from .sim.sweep import build_system
+
+    system = build_system(_profile_config("integrated", args))
+    layer = system.memprotect
+    timer = _ExclusiveTimer()
+    owners = {"layer": layer, "hash_engine": layer.hash_engine,
+              "aes_engine": layer.aes_engine,
+              "directory": layer.directory}
+    for bucket, owner_name, methods in _BREAKDOWN_BUCKETS:
+        for method in methods:
+            timer.wrap(owners[owner_name], method, bucket)
+    for pad_cache in layer.pad_caches:
+        for method in ("lookup", "install", "invalidate"):
+            timer.wrap(pad_cache, method, "pad-cache coherence")
+    # The callbacks themselves: what remains after the buckets above
+    # is the layer's own dispatch (directory checks, counter bumps,
+    # pad bus messages).
+    timer.wrap(layer, "on_memory_fetch", "memprotect dispatch")
+    timer.wrap(layer, "on_writeback", "memprotect dispatch")
+
+    start = time.perf_counter()
+    system.run(workload)
+    total = time.perf_counter() - start
+
+    rows = []
+    accounted = 0.0
+    order = [bucket for bucket, _, _ in _BREAKDOWN_BUCKETS]
+    order.append("memprotect dispatch")
+    for bucket in order:
+        seconds = timer.buckets.get(bucket, 0.0)
+        accounted += seconds
+        rows.append([bucket, f"{seconds * 1e3:,.1f}",
+                     f"{seconds / total * 100:5.1f}%"])
+    rows.append(["core simulator (caches/bus/coherence)",
+                 f"{(total - accounted) * 1e3:,.1f}",
+                 f"{(total - accounted) / total * 100:5.1f}%"])
+    rows.append(["total", f"{total * 1e3:,.1f}", "100.0%"])
+    print(format_table(
+        f"Memprotect time split — integrated, {args.workload}, "
+        f"{args.cpus}P, {args.l2_mb}M L2, scale {args.scale:g} "
+        "(one instrumented run; verify climb includes the coherent "
+        "node fetches it triggers)",
+        ["bucket", "ms", "share"], rows))
+
+
 def _cmd_profile(args) -> int:
     import time
 
@@ -293,6 +397,9 @@ def _cmd_profile(args) -> int:
         f"{args.l2_mb}M L2, scale {args.scale:g} "
         f"({accesses} accesses)",
         ["config", "accesses/s", "Mcycles/s", "seconds"], rows))
+
+    if args.breakdown:
+        _profile_breakdown(args, workload)
 
     if args.cprofile:
         import cProfile

@@ -33,7 +33,8 @@ class MoesiProtocol(MesiProtocol):
         supplier: Optional[int] = None
         owner: Optional[int] = None
         any_valid = False
-        for cpu_id, hierarchy in self._remotes(requester):
+        for entry in self._remotes(requester):
+            cpu_id, hierarchy = entry[0], entry[1]
             prior = hierarchy.snoop_read(line_address,
                                          dirty_to_owned=True)
             if not prior.is_valid:
@@ -63,7 +64,8 @@ class MoesiProtocol(MesiProtocol):
         supplier: Optional[int] = None
         had_dirty = False
         invalidated: List[int] = []
-        for cpu_id, hierarchy in self._remotes(requester):
+        for entry in self._remotes(requester):
+            cpu_id, hierarchy = entry[0], entry[1]
             prior = hierarchy.snoop_read_exclusive(line_address)
             if not prior.is_valid:
                 continue

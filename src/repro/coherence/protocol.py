@@ -14,22 +14,42 @@ memory (so its state can drop to SHARED).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..cache.hierarchy import CacheHierarchy
 from ..cache.mesi import MesiState
 from ..errors import CoherenceError
 
+_INVALID = MesiState.INVALID
+_MODIFIED = MesiState.MODIFIED
+_EXCLUSIVE = MesiState.EXCLUSIVE
+_SHARED = MesiState.SHARED
 
-@dataclass
+
 class SnoopOutcome:
-    """Result of broadcasting a coherence request to all remote caches."""
+    """Result of broadcasting a coherence request to all remote caches.
 
-    supplier_cpu: Optional[int]       # None -> memory supplies
-    had_modified_copy: bool           # supplier flushed a dirty line
-    invalidated_cpus: List[int]       # caches that lost their copy
-    fill_state: MesiState             # state the requester installs
+    A ``__slots__`` record (one is built per bus transaction, so it
+    stays off the dataclass machinery like :class:`BusTransaction`).
+    """
+
+    __slots__ = ("supplier_cpu", "had_modified_copy",
+                 "invalidated_cpus", "fill_state")
+
+    def __init__(self, supplier_cpu: Optional[int],
+                 had_modified_copy: bool,
+                 invalidated_cpus: List[int],
+                 fill_state: MesiState):
+        self.supplier_cpu = supplier_cpu        # None -> memory supplies
+        self.had_modified_copy = had_modified_copy  # dirty line flushed
+        self.invalidated_cpus = invalidated_cpus    # caches losing a copy
+        self.fill_state = fill_state            # state requester installs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SnoopOutcome(supplier={self.supplier_cpu}, "
+                f"dirty={self.had_modified_copy}, "
+                f"invalidated={self.invalidated_cpus}, "
+                f"fill={self.fill_state})")
 
 
 class MesiProtocol:
@@ -38,10 +58,15 @@ class MesiProtocol:
     def __init__(self, hierarchies: Sequence[CacheHierarchy]):
         self._hierarchies = list(hierarchies)
         # Snoops broadcast to every cache but the requester's; build
-        # the (cpu_id, hierarchy) remote list per requester once
-        # instead of filtering on every bus transaction.
+        # the (cpu_id, hierarchy, l2_sets, offset_bits, num_sets)
+        # remote list per requester once instead of filtering on every
+        # bus transaction. The L2 tag store and its geometry ride
+        # along so the hot snoop loops can probe it directly instead
+        # of going through two call layers per remote per miss (the
+        # ``_sets`` dict is stable: ``flush`` clears it in place).
         self._remote_lists = [
-            [(cpu_id, hierarchy)
+            [(cpu_id, hierarchy, hierarchy.l2._sets,
+              hierarchy.l2._offset_bits, hierarchy.l2._num_sets)
              for cpu_id, hierarchy in enumerate(self._hierarchies)
              if cpu_id != requester]
             for requester in range(len(self._hierarchies))]
@@ -54,21 +79,40 @@ class MesiProtocol:
         return self._remote_lists[requester]
 
     def bus_read(self, requester: int, line_address: int) -> SnoopOutcome:
-        """Remote effects of a read miss (BusRd)."""
+        """Remote effects of a read miss (BusRd).
+
+        The remote probe is the L2 tag scan from
+        ``SetAssociativeCache.lookup_line`` inlined (touch=False —
+        snoops never perturb remote LRU order), with the MESI
+        downgrade of ``CacheHierarchy.snoop_read`` applied in place:
+        most snoops find nothing, and the two call layers per remote
+        per miss dominate the broadcast cost.
+        """
         supplier: Optional[int] = None
         had_modified = False
         any_shared = False
-        for cpu_id, hierarchy in self._remotes(requester):
-            prior = hierarchy.snoop_read(line_address)
-            if not prior.is_valid:
+        for cpu_id, hierarchy, sets, offset_bits, num_sets \
+                in self._remote_lists[requester]:
+            block = line_address >> offset_bits
+            ways = sets.get(block % num_sets)
+            if not ways:
                 continue
-            any_shared = True
-            if supplier is None:
-                supplier = cpu_id
-            if prior is MesiState.MODIFIED:
-                had_modified = True
-                supplier = cpu_id  # dirty owner always supplies
-        fill_state = MesiState.SHARED if any_shared else MesiState.EXCLUSIVE
+            tag = block // num_sets
+            for line in ways:
+                if line.tag == tag and line.state is not _INVALID:
+                    prior = line.state
+                    if prior is _MODIFIED:
+                        line.state = _SHARED
+                        had_modified = True
+                        supplier = cpu_id  # dirty owner always supplies
+                    else:
+                        if prior is _EXCLUSIVE:
+                            line.state = _SHARED
+                        if supplier is None:
+                            supplier = cpu_id
+                    any_shared = True
+                    break
+        fill_state = _SHARED if any_shared else _EXCLUSIVE
         outcome = SnoopOutcome(supplier_cpu=supplier,
                                had_modified_copy=had_modified,
                                invalidated_cpus=[],
@@ -79,20 +123,33 @@ class MesiProtocol:
 
     def bus_read_exclusive(self, requester: int,
                            line_address: int) -> SnoopOutcome:
-        """Remote effects of a write miss (BusRdX): fetch + invalidate."""
+        """Remote effects of a write miss (BusRdX): fetch + invalidate.
+
+        Same inlined remote probe as :meth:`bus_read`; a hit
+        invalidates in place and enforces L1 inclusion through the
+        hierarchy (the rare path).
+        """
         supplier: Optional[int] = None
         had_modified = False
         invalidated: List[int] = []
-        for cpu_id, hierarchy in self._remotes(requester):
-            prior = hierarchy.snoop_read_exclusive(line_address)
-            if not prior.is_valid:
+        for cpu_id, hierarchy, sets, offset_bits, num_sets \
+                in self._remote_lists[requester]:
+            block = line_address >> offset_bits
+            ways = sets.get(block % num_sets)
+            if not ways:
                 continue
-            invalidated.append(cpu_id)
-            if supplier is None:
-                supplier = cpu_id
-            if prior is MesiState.MODIFIED:
-                had_modified = True
-                supplier = cpu_id
+            tag = block // num_sets
+            for line in ways:
+                if line.tag == tag and line.state is not _INVALID:
+                    prior = line.state
+                    line.state = _INVALID
+                    hierarchy._enforce_inclusion(line_address)
+                    invalidated.append(cpu_id)
+                    if supplier is None or prior is _MODIFIED:
+                        supplier = cpu_id
+                    if prior is _MODIFIED:
+                        had_modified = True
+                    break
         outcome = SnoopOutcome(supplier_cpu=supplier,
                                had_modified_copy=had_modified,
                                invalidated_cpus=invalidated,
@@ -111,7 +168,8 @@ class MesiProtocol:
             raise CoherenceError(
                 f"upgrade from state {requester_state} on cpu {requester}")
         invalidated: List[int] = []
-        for cpu_id, hierarchy in self._remotes(requester):
+        for entry in self._remote_lists[requester]:
+            cpu_id, hierarchy = entry[0], entry[1]
             prior = hierarchy.snoop_read_exclusive(line_address)
             if prior.is_valid:
                 invalidated.append(cpu_id)

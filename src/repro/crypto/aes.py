@@ -411,6 +411,27 @@ class AES:
         return b"".join(t.to_bytes(4, "big") for t in (t0, t1, t2, t3))
 
 
+#: instance cache for hot re-keying paths (MMO hashing re-keys per
+#: block, CBC-MAC sessions share keys); the schedule cache already
+#: makes re-construction cheap — this also skips the object build.
+_INSTANCE_CACHE = {}
+
+
+def cached_aes(key: bytes) -> AES:
+    """A shared :class:`AES` instance for ``key``.
+
+    Safe because AES instances are immutable after construction. The
+    cache is bounded by wholesale clearing, like the schedule cache.
+    """
+    aes = _INSTANCE_CACHE.get(key)
+    if aes is None:
+        if len(_INSTANCE_CACHE) >= _SCHEDULE_CACHE_MAX:
+            _INSTANCE_CACHE.clear()
+        aes = AES(key)
+        _INSTANCE_CACHE[key] = aes
+    return aes
+
+
 def sbox_value(index: int) -> int:
     """Expose S-box entries for tests (e.g. SBOX[0x53] == 0xED)."""
     return _SBOX[index]

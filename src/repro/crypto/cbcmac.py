@@ -18,8 +18,7 @@ Type-2 defence), which callers enforce via distinct ``iv`` arguments.
 from __future__ import annotations
 
 from ..errors import CryptoError
-from .aes import AES, BLOCK_BYTES
-from .otp import xor_bytes
+from .aes import AES, BLOCK_BYTES, cached_aes
 
 
 class CbcMac:
@@ -38,6 +37,16 @@ class CbcMac:
         self._state = bytes(iv)
         self._count = 0
 
+    @classmethod
+    def for_key(cls, key: bytes, iv: bytes) -> "CbcMac":
+        """A MAC chain over a *cached* key schedule.
+
+        Sessions sharing a group key (every SENSS processor in the
+        group runs the same chain) get one shared AES instance
+        instead of re-expanding the schedule per chain.
+        """
+        return cls(cached_aes(key), iv)
+
     @property
     def block_count(self) -> int:
         """Number of blocks absorbed since construction/reset."""
@@ -49,15 +58,29 @@ class CbcMac:
             raise CryptoError(
                 f"CBC-MAC block must be {BLOCK_BYTES} bytes, "
                 f"got {len(block)}")
-        self._state = self._aes.encrypt_block(xor_bytes(self._state, block))
+        # The chaining XOR as one int op (every bus transfer runs
+        # through here, two blocks per data line).
+        chained = (int.from_bytes(self._state, "big")
+                   ^ int.from_bytes(block, "big"))
+        self._state = self._aes.encrypt_block(
+            chained.to_bytes(BLOCK_BYTES, "big"))
         self._count += 1
 
     def update_message(self, message: bytes) -> None:
         """Absorb a multi-block message (bus line = 2 AES blocks)."""
         if len(message) % BLOCK_BYTES != 0:
             raise CryptoError("message length must be a block multiple")
+        encrypt = self._aes.encrypt_block
+        state = int.from_bytes(self._state, "big")
+        count = 0
         for offset in range(0, len(message), BLOCK_BYTES):
-            self.update(message[offset:offset + BLOCK_BYTES])
+            block = message[offset:offset + BLOCK_BYTES]
+            state = int.from_bytes(
+                encrypt((state ^ int.from_bytes(block, "big"))
+                        .to_bytes(BLOCK_BYTES, "big")), "big")
+            count += 1
+        self._state = state.to_bytes(BLOCK_BYTES, "big")
+        self._count += count
 
     def digest(self, prefix_bits: int = 128) -> bytes:
         """Return the m-bit MAC prefix (1 <= m <= 128), as whole bytes.

@@ -15,7 +15,7 @@ with the AES datapath.
 from __future__ import annotations
 
 from ..errors import CryptoError
-from .aes import AES, BLOCK_BYTES
+from .aes import BLOCK_BYTES, cached_aes
 from .otp import xor_bytes
 
 DIGEST_BYTES = BLOCK_BYTES
@@ -38,9 +38,15 @@ def mmo_hash(message: bytes, iv: bytes = _DEFAULT_IV) -> bytes:
         raise CryptoError("hash IV must be one block")
     state = bytes(iv)
     padded = _pad(message)
+    # MMO re-keys on every block; cached_aes turns the per-block key
+    # schedule into a dict probe (tree hashing revisits the same
+    # chaining states constantly), and the XOR is one int op.
     for offset in range(0, len(padded), BLOCK_BYTES):
         block = padded[offset:offset + BLOCK_BYTES]
-        state = xor_bytes(AES(state).encrypt_block(block), block)
+        encrypted = cached_aes(state).encrypt_block(block)
+        state = (int.from_bytes(encrypted, "big")
+                 ^ int.from_bytes(block, "big")).to_bytes(BLOCK_BYTES,
+                                                          "big")
     return state
 
 

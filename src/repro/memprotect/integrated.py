@@ -29,6 +29,7 @@ throughput-bound multiset-hash update.
 from __future__ import annotations
 
 from ..bus.transaction import BusTransaction, TransactionType
+from ..cache.mesi import MesiState
 from ..config import SystemConfig
 from ..crypto.engine import CryptoEngineModel
 from ..errors import SimulationError
@@ -40,6 +41,13 @@ from .pad_cache import PadCache, PadCoherenceDirectory
 HASH_BASE = 1 << 44
 LEVEL_STRIDE = 1 << 38
 DATA_SPAN = 1 << 36  # covered data address space
+
+_PAD_REQUEST = TransactionType.PAD_REQUEST
+_PAD_INVALIDATE = TransactionType.PAD_INVALIDATE
+_INVALID = MesiState.INVALID
+_MODIFIED = MesiState.MODIFIED
+_SHARED = MesiState.SHARED
+_UNSET = object()  # parent-table sentinel (None is a valid parent)
 
 
 class MemProtectLayer:
@@ -60,6 +68,8 @@ class MemProtectLayer:
         self.arity = max(2, self.line_bytes // 16)  # digests per node line
         self.directory = PadCoherenceDirectory(config.num_processors,
                                                memprotect.pad_protocol)
+        self._pad_invalidate_protocol = (
+            memprotect.pad_protocol == "write-invalidate")
         # Per-processor sequence-number/pad caches (section 7.7: the
         # experiments use a perfect SNC; pad_cache_entries=None keeps
         # that default, a finite size models the real structure).
@@ -80,6 +90,11 @@ class MemProtectLayer:
         self.fault_hook = None
         self._writeback_depth = 0
         self._max_writeback_depth = 8
+        # Memoized parent-node addresses: every verify climb and every
+        # hash update starts with the same classify/parent arithmetic
+        # for a working set of line addresses, so the result is
+        # remembered per address (None = parent is on-chip).
+        self._parent_table = {}
         # Levels whose node count is small enough to pin on chip; the
         # root always is. leaves = DATA_SPAN / line_bytes.
         leaves = DATA_SPAN // self.line_bytes
@@ -184,11 +199,17 @@ class MemProtectLayer:
 
     def parent_of(self, address: int):
         """Parent node address, or None when the parent is on-chip."""
-        level, index = self.classify(address)
-        parent_level = level + 1
-        if parent_level > self.internal_level:
-            return None
-        return self.node_address(parent_level, index // self.arity)
+        parent = self._parent_table.get(address, _UNSET)
+        if parent is _UNSET:
+            level, index = self.classify(address)
+            parent_level = level + 1
+            if parent_level > self.internal_level:
+                parent = None
+            else:
+                parent = self.node_address(parent_level,
+                                           index // self.arity)
+            self._parent_table[address] = parent
+        return parent
 
     # -- simulator callbacks -------------------------------------------------
 
@@ -203,9 +224,11 @@ class MemProtectLayer:
             if self.directory.on_fetch(cpu, line_address):
                 # Type-"10" pad request; overlaps the line fetch
                 # itself, so it costs bus occupancy/traffic, not stall.
-                transaction = BusTransaction(
-                    TransactionType.PAD_REQUEST, line_address, cpu,
-                    supplied_by_cache=False)
+                # Pad messages carry no group tag (group_id 0) and are
+                # safe to put on the system's scratch transaction: the
+                # enclosing miss has already read its completion cycle.
+                transaction = system._next_transaction(
+                    _PAD_REQUEST, line_address, cpu, 0, False)
                 system.bus.issue(transaction, clock, data_bytes=16)
                 self._p_pad_requests += 1
             if self.direct_encryption:
@@ -273,19 +296,28 @@ class MemProtectLayer:
         extra = max(0, ready - clock - hash_engine.latency)
         if self.fault_hook is not None:
             extra += self.fault_hook.on_verify_event(cpu, address, clock)
-        parent = self.parent_of(address)
+        parent = self._parent_table.get(address, _UNSET)
+        if parent is _UNSET:
+            parent = self.parent_of(address)
         observer = self.observer
         if parent is None:
             self._p_root_verifications += 1
             if observer is not None:
                 observer.on_hash_verify(cpu, address, clock, 0)
             return extra
+        # Probe the local L2 for the parent node in place (the
+        # ``contains`` scan with touch=False — a trust check, not an
+        # access, so it never perturbs LRU order).
         hierarchy = self.system.hierarchies[cpu]
-        if hierarchy.l2.contains(parent):
-            self._p_node_cache_hits += 1
-            if observer is not None:
-                observer.on_hash_verify(cpu, address, clock, 1)
-            return extra
+        l2 = hierarchy.l2
+        block = parent >> l2._offset_bits
+        tag = block // l2._num_sets
+        for line in l2._sets.get(block % l2._num_sets, ()):
+            if line.tag == tag and line.state is not _INVALID:
+                self._p_node_cache_hits += 1
+                if observer is not None:
+                    observer.on_hash_verify(cpu, address, clock, 1)
+                return extra
         self._p_hash_fetches += 1
         if observer is not None:
             # Reported before the posted fetch so the verify event
@@ -299,7 +331,11 @@ class MemProtectLayer:
         # overlap; the paper attributes the CHash penalty mainly to
         # "the polluted L2 cache ... and the increased bus contention",
         # both of which this posted fetch still produces).
-        self.system._execute(cpu, clock, False, parent)
+        # The L2 probe above just missed and node addresses are
+        # line-aligned, so the generic access classification is skipped:
+        # this IS the miss path (counter bumped as access() would).
+        hierarchy._pending_l2_miss += 1
+        self.system._execute_miss(cpu, clock, False, parent)
         return extra
 
     def on_writeback(self, cpu: int, line_address: int,
@@ -309,7 +345,7 @@ class MemProtectLayer:
         if system is None:
             raise SimulationError("layer not attached to a system")
         if self.encryption:
-            invalidate = self.directory.protocol == "write-invalidate"
+            invalidate = self._pad_invalidate_protocol
             affected = self.directory.on_writeback(cpu, line_address)
             self.pad_caches[cpu].install(line_address, 0)
             for other in affected:
@@ -323,15 +359,13 @@ class MemProtectLayer:
                                                  affected)
             if affected:
                 if invalidate:
-                    transaction = BusTransaction(
-                        TransactionType.PAD_INVALIDATE, line_address,
-                        cpu)
+                    transaction = system._next_transaction(
+                        _PAD_INVALIDATE, line_address, cpu, 0, False)
                     system.bus.issue(transaction, clock, data_bytes=0)
                     self._p_pad_invalidates += 1
                 else:
-                    transaction = BusTransaction(
-                        TransactionType.PAD_REQUEST, line_address, cpu,
-                        supplied_by_cache=True)
+                    transaction = system._next_transaction(
+                        _PAD_REQUEST, line_address, cpu, 0, True)
                     system.bus.issue(transaction, clock, data_bytes=16)
                     self._p_pad_updates += 1
         if self.integrity and not self.lazy:
@@ -343,7 +377,9 @@ class MemProtectLayer:
     def _update_parent_hash(self, cpu: int, address: int,
                             clock: int) -> None:
         """Write the parent node (its stored child digest changed)."""
-        parent = self.parent_of(address)
+        parent = self._parent_table.get(address, _UNSET)
+        if parent is _UNSET:
+            parent = self.parent_of(address)
         observer = self.observer
         if parent is None:
             self._p_root_updates += 1
@@ -359,9 +395,48 @@ class MemProtectLayer:
             return
         self._writeback_depth += 1
         try:
-            self.system._execute(cpu, clock, True, parent)
+            self._node_write(cpu, clock, parent)
             self._p_hash_updates += 1
             if observer is not None:
                 observer.on_hash_update(cpu, address, clock, 1)
         finally:
             self._writeback_depth -= 1
+
+    def _node_write(self, cpu: int, clock: int, parent: int) -> None:
+        """One store to a (line-aligned) hash-tree node.
+
+        ``CacheHierarchy.access`` fused in place for the node-update
+        path: same classification, LRU touches, counter bumps and
+        state transitions, minus the AccessResult object and the call
+        layers (the hit latency is irrelevant — node updates are
+        posted, so the reference path discarded the returned clock).
+        """
+        system = self.system
+        hierarchy = system.hierarchies[cpu]
+        l2 = hierarchy.l2
+        block = parent >> l2._offset_bits
+        tag = block // l2._num_sets
+        entry = None
+        for line in l2._sets.get(block % l2._num_sets, ()):
+            if line.tag == tag and line.state is not _INVALID:
+                entry = line
+                break
+        if entry is None:
+            hierarchy._pending_l2_miss += 1
+            system._execute_miss(cpu, clock, True, parent)
+            return
+        # L2 hit: touch LRU first (access() looks up with touch=True
+        # before checking write permission).
+        l2._tick += 1
+        entry.last_used = l2._tick
+        if not entry.state.can_write:
+            hierarchy._pending_upgrade += 1
+            system._execute_upgrade(cpu, clock, parent)
+            return
+        entry.state = _MODIFIED  # includes the silent E->M upgrade
+        if hierarchy.l1.lookup(parent) is not None:
+            hierarchy._pending_l1_hit += 1
+            return
+        # L1 refill from L2 (no bus traffic; inclusion preserved).
+        hierarchy.l1.insert(parent, _SHARED)
+        hierarchy._pending_l2_hit += 1

@@ -101,9 +101,17 @@ class PadCoherenceDirectory:
 
     def on_writeback(self, writer: int, line_address: int) -> List[int]:
         """Writer re-encrypted the line; returns affected remote PIDs."""
-        self._version[line_address] = self._version.get(line_address,
-                                                        0) + 1
+        version = self._version
+        version[line_address] = version.get(line_address, 0) + 1
         holders = self._holders.setdefault(line_address, set())
+        # Fast path: the writer is the sole holder (or the first) —
+        # nobody's pad goes stale and no message is due. This is the
+        # common case for private data, so it skips the set/sort churn.
+        if not holders:
+            holders.add(writer)
+            return []
+        if writer in holders and len(holders) == 1:
+            return []
         affected = sorted(holders - {writer})
         holders.add(writer)
         if self.protocol == "write-invalidate":

@@ -28,18 +28,77 @@ class FastMemoryEncryption:
     modeled by :class:`repro.memprotect.pad_cache.PadCoherenceDirectory`.
     """
 
-    def __init__(self, session_key: bytes, line_bytes: int = 64):
+    #: how many sequence numbers ahead of the current one the engine
+    #: keeps precomputed per line (the hardware generates the next
+    #: write's pad while the line sits dirty in L2, so the write-back
+    #: XOR never waits on AES)
+    PAD_WINDOW = 2
+
+    def __init__(self, session_key: bytes, line_bytes: int = 64,
+                 pad_window: Optional[int] = None):
         if line_bytes % BLOCK_BYTES != 0:
             raise CryptoError("line size must be a block multiple")
         self._aes = AES(session_key)
         self.line_bytes = line_bytes
+        self._blocks = line_bytes // BLOCK_BYTES
         self._sequences: Dict[int, int] = {}
+        self.pad_window = (self.PAD_WINDOW if pad_window is None
+                           else pad_window)
+        # (line, sequence) -> pad. Holds the memoized current pad plus
+        # the precomputed window ahead; bounded by wholesale clearing.
+        self._pads: Dict[tuple, bytes] = {}
+        self._pad_cap = 1 << 16
 
     def sequence_of(self, line_address: int) -> int:
         return self._sequences.get(line_address, 0)
 
+    @property
+    def precomputed_pads(self) -> int:
+        """Pads currently held (memoized + window-ahead)."""
+        return len(self._pads)
+
+    def _compute_pad(self, line_address: int, sequence: int) -> bytes:
+        """One line's pad, uncached: AES_K(address || seq || block#).
+
+        The 14-byte (address, sequence) prefix is built once and only
+        the 2-byte block counter varies per AES call.
+        """
+        prefix = (line_address.to_bytes(8, "little")
+                  + sequence.to_bytes(6, "little"))
+        encrypt = self._aes.encrypt_block
+        return b"".join(
+            encrypt(prefix + block_index.to_bytes(2, "little"))
+            for block_index in range(self._blocks))
+
     def pad(self, line_address: int, sequence: int) -> bytes:
-        """AES_K(address || sequence || block#), one line's worth."""
+        """AES_K(address || sequence || block#), one line's worth.
+
+        Memoized, and primed a :attr:`pad_window` of future sequence
+        numbers ahead: once a line's pad is requested, the pads its
+        next writes will need are generated eagerly (off the critical
+        path in hardware terms), so the bump-and-encrypt in
+        :meth:`encrypt_line` finds its pad already waiting.
+        """
+        pads = self._pads
+        pad = pads.get((line_address, sequence))
+        if pad is None:
+            if len(pads) >= self._pad_cap:
+                pads.clear()
+            pad = self._compute_pad(line_address, sequence)
+            pads[(line_address, sequence)] = pad
+        for ahead in range(sequence + 1,
+                           sequence + 1 + self.pad_window):
+            if (line_address, ahead) not in pads:
+                pads[(line_address, ahead)] = self._compute_pad(
+                    line_address, ahead)
+        return pad
+
+    def pad_reference(self, line_address: int, sequence: int) -> bytes:
+        """The original per-block pad derivation (byte-wise spec).
+
+        Kept as the executable specification the memoized/windowed
+        :meth:`pad` is cross-checked against.
+        """
         parts = []
         for block_index in range(self.line_bytes // BLOCK_BYTES):
             material = (line_address.to_bytes(8, "little")

@@ -57,8 +57,10 @@ from ..smp.metrics import SimulationResult
 #: Bump when a change alters simulated timing or statistics; cached
 #: results from other versions are never returned.
 #: Version history: 1 = merged fast path; 2 = streamlined slow path +
-#: deferred statistics (bit-identical results, conservatively bumped).
-ENGINE_VERSION = 2
+#: deferred statistics (bit-identical results, conservatively bumped);
+#: 3 = flattened hash tree, fused memprotect node path, fast digest
+#: engines (bit-identical results, conservatively bumped).
+ENGINE_VERSION = 3
 
 DEFAULT_CACHE_DIR = Path(".benchmarks") / "cache"
 

@@ -27,7 +27,11 @@ Misses, upgrades, and everything behind them (coherence protocol, bus
 arbitration, SENSS security layer, memory protection) go through the
 exact reference machinery via ``SmpSystem._execute_miss`` /
 ``_execute_upgrade``, so security layers observe identical
-transactions. Results are bit-identical to the reference engine:
+transactions. The memory-protection layer's hash-node accesses use
+the same two entry points from its own fused classification
+(``MemProtectLayer._verify_climb`` / ``_node_write``), so nested node
+fetches stay on this contract too. Results are bit-identical to the
+reference engine:
 same ``cycles``, same ``per_cpu_cycles``, same stats dict
 (pinned by tests/smp/test_fastpath_equivalence.py against golden
 pre-optimization captures).

@@ -33,6 +33,12 @@ class TestPointKey:
                             ENGINE_VERSION + 1)
         assert point_key(point()) != before
 
+    def test_engine_version_covers_memprotect_rewrite(self):
+        """The flattened hash tree / fused memprotect node path shipped
+        as engine 3; any cache written by an older engine must miss.
+        (Floor, not equality: later bumps must not un-bust this one.)"""
+        assert ENGINE_VERSION >= 3
+
 
 class TestResultCache:
     def test_roundtrip(self, tmp_path):

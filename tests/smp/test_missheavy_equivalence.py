@@ -30,7 +30,8 @@ GOLDEN = json.loads(
     (pathlib.Path(__file__).parent.parent / "data"
      / "golden_missheavy.json").read_text())
 
-KINDS = ("baseline", "senss", "integrated")
+KINDS = ("baseline", "senss", "integrated", "integrated-wu",
+         "integrated-lazy")
 
 
 def config_for(kind: str):
@@ -40,6 +41,14 @@ def config_for(kind: str):
     if kind == "integrated":
         config = config.with_memprotect(encryption_enabled=True,
                                         integrity_enabled=True)
+    elif kind == "integrated-wu":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True,
+                                        pad_protocol="write-update")
+    elif kind == "integrated-lazy":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True,
+                                        lazy_verification=True)
     return config
 
 

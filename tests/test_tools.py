@@ -117,3 +117,73 @@ class TestMergeReports:
         table = collect_results.merge_reports([json_path])
         assert "lu" in table
         assert "real.json" in table
+
+
+def _write_bench(path, hit, miss):
+    """A minimal BENCH_engine.json: {config: accesses/s} per section."""
+    import json
+    payload = {
+        "configs": {kind: {"accesses_per_second": rate}
+                    for kind, rate in hit.items()},
+        "missheavy": {
+            "configs": {kind: {"accesses_per_second": rate}
+                        for kind, rate in miss.items()}},
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestBenchDiff:
+    def test_speedups_per_config_and_section(self, tmp_path):
+        old = _write_bench(tmp_path / "old.json",
+                           {"baseline": 100_000, "integrated": 50_000},
+                           {"integrated": 41_895})
+        new = _write_bench(tmp_path / "new.json",
+                           {"baseline": 100_000, "integrated": 100_000},
+                           {"integrated": 83_790})
+        table = collect_results.bench_diff(old, new)
+        assert "baseline" in table and "1.00x" in table
+        assert "missheavy/integrated" in table
+        assert table.count("2.00x") == 2  # both integrated sections
+        assert "+100.0%" in table
+
+    def test_config_missing_from_one_side(self, tmp_path):
+        old = _write_bench(tmp_path / "old.json",
+                           {"baseline": 100_000}, {})
+        new = _write_bench(tmp_path / "new.json",
+                           {"baseline": 110_000, "senss": 90_000}, {})
+        table = collect_results.bench_diff(old, new)
+        assert "senss" in table  # listed, not dropped
+        assert "1.10x" in table
+        assert "-" in table  # the missing old-side senss cell
+
+    def test_rejects_non_bench_json(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"kind": "repro-report"}')
+        import pytest
+        with pytest.raises(ValueError, match="engine bench"):
+            collect_results.bench_diff(bogus, bogus)
+
+    def test_main_bench_diff_flag(self, tmp_path, capsys):
+        old = _write_bench(tmp_path / "old.json",
+                           {"baseline": 100_000}, {})
+        new = _write_bench(tmp_path / "new.json",
+                           {"baseline": 120_000}, {})
+        code = collect_results.main(["--bench-diff", str(old),
+                                     str(new)])
+        assert code == 0
+        assert "1.20x" in capsys.readouterr().out
+
+    def test_main_bench_diff_bad_file(self, tmp_path, capsys):
+        code = collect_results.main(
+            ["--bench-diff", str(tmp_path / "a.json"),
+             str(tmp_path / "b.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_against_committed_report(self, tmp_path):
+        """The real BENCH_engine.json diffs cleanly against itself."""
+        committed = Path(__file__).parents[1] / "BENCH_engine.json"
+        table = collect_results.bench_diff(committed, committed)
+        assert "missheavy/integrated" in table
+        assert "1.00x" in table

@@ -33,7 +33,12 @@ NUM_CPUS = 4
 L2_KB = 8
 SCALE = 0.05
 SEEDS = (0, 1)
-KINDS = ("baseline", "senss", "integrated")
+# The three bench flavours plus the integrated variants that exercise
+# the remaining memprotect paths (write-update pad coherence; lazy
+# LHash-style verification) — so a hot-path rewrite of the protection
+# layer is pinned on *every* branch it can take.
+KINDS = ("baseline", "senss", "integrated", "integrated-wu",
+         "integrated-lazy")
 
 
 def config_for(kind: str):
@@ -43,6 +48,14 @@ def config_for(kind: str):
     if kind == "integrated":
         config = config.with_memprotect(encryption_enabled=True,
                                         integrity_enabled=True)
+    elif kind == "integrated-wu":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True,
+                                        pad_protocol="write-update")
+    elif kind == "integrated-lazy":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True,
+                                        lazy_verification=True)
     return config
 
 

@@ -11,6 +11,12 @@ With ``--reports``, instead merges ``python -m repro report --json``
 outputs from multiple runs into one comparison table:
 
     python tools/collect_results.py --reports run1.json run2.json
+
+With ``--bench-diff``, compares two ``BENCH_engine.json`` snapshots
+(old first) and prints the per-config throughput speedups — the table
+used in PR descriptions and by the CI regression gate:
+
+    python tools/collect_results.py --bench-diff OLD.json NEW.json
 """
 
 from __future__ import annotations
@@ -125,6 +131,51 @@ def merge_reports(paths) -> str:
         rows)
 
 
+def _bench_sections(payload):
+    """Yield (label-prefix, configs dict) for a BENCH_engine report."""
+    yield "", payload.get("configs", {})
+    yield "missheavy/", payload.get("missheavy", {}).get("configs", {})
+
+
+def bench_diff(old_path, new_path) -> str:
+    """Per-config speedup table between two BENCH_engine.json files.
+
+    Configs present in only one snapshot are listed with a ``-`` in
+    the missing column so renames/additions are visible rather than
+    silently dropped.
+    """
+    payloads = []
+    for path in (old_path, new_path):
+        path = Path(path)
+        payload = json.loads(path.read_text())
+        if "configs" not in payload:
+            raise ValueError(f"{path} is not an engine bench report "
+                             "(missing configs)")
+        payloads.append((path.name, payload))
+    (old_name, old), (new_name, new) = payloads
+    rows = []
+    for (prefix, old_configs), (_, new_configs) in zip(
+            _bench_sections(old), _bench_sections(new)):
+        for kind in dict.fromkeys([*old_configs, *new_configs]):
+            old_rate = old_configs.get(kind, {}).get(
+                "accesses_per_second")
+            new_rate = new_configs.get(kind, {}).get(
+                "accesses_per_second")
+            if old_rate and new_rate:
+                speedup = f"{new_rate / old_rate:.2f}x"
+                delta = f"{(new_rate / old_rate - 1) * 100:+.1f}%"
+            else:
+                speedup = delta = "-"
+            rows.append([prefix + kind,
+                         f"{old_rate:,}" if old_rate else "-",
+                         f"{new_rate:,}" if new_rate else "-",
+                         speedup, delta])
+    return _format_table(
+        f"Engine throughput diff — {old_name} -> {new_name} "
+        "(accesses/s)",
+        ["config", "old", "new", "speedup", "delta"], rows)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quiet", action="store_true",
@@ -136,7 +187,19 @@ def main(argv=None) -> int:
                         help="merge `repro report --json` files into "
                              "one table instead of collecting bench "
                              "tables")
+    parser.add_argument("--bench-diff", nargs=2,
+                        metavar=("OLD", "NEW"),
+                        help="print per-config speedups between two "
+                             "BENCH_engine.json snapshots")
     args = parser.parse_args(argv)
+    if args.bench_diff:
+        try:
+            table = bench_diff(*args.bench_diff)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(table)
+        return 0
     if args.reports:
         try:
             table = merge_reports(args.reports)
