@@ -12,12 +12,25 @@ recorded pre-fastpath engine:
   dominated by the slow path (coherence protocol, bus arbitration,
   security layers), the target of the DESIGN.md §6c streamlining.
 
+It also records **per-backend points** (DESIGN.md §6f): the scalar
+and vector engines on the same hit-heavy and miss-heavy baseline
+machines, asserting the backends simulate bit-identical cycles and
+recording each backend's throughput (and the vector/scalar ratio) so
+either backend regressing is caught. When numpy is unavailable the
+vector rows are skipped — the committed report still carries them,
+and the ``--check`` comparison only walks points present in both.
+The legacy config sections are pinned to the scalar backend so the
+longitudinal time-series (and seed-speedup columns) keep one meaning
+whether or not numpy is installed; ``backends.*`` is where backend
+choice is the variable.
+
 Run directly (``python benchmarks/bench_perf_engine.py --check``) the
 module is a regression gate instead of a pytest bench: it re-measures
-the six throughput points fresh and compares them against the
-committed ``BENCH_engine.json``, failing if any config slowed down by
-more than ``--threshold`` percent (default 25). The committed file's
-own scale is reused so the comparison is like-for-like.
+the throughput points fresh (six config points plus the per-backend
+points) and compares them against the committed
+``BENCH_engine.json``, failing if any point slowed down by more than
+``--threshold`` percent (default 25). The committed file's own scale
+is reused so the comparison is like-for-like.
 
 It also records an **observability** point (DESIGN.md §6d): the
 miss-heavy senss machine with and without a ``repro.obs.Tracer``
@@ -34,6 +47,7 @@ sanity floor rather than the ~3x the rewrite achieves here.
 
 import gc
 import json
+import os
 import pathlib
 import time
 
@@ -47,7 +61,10 @@ from repro.workloads.registry import generate
 CPUS = 4
 L2_MB = 1
 WORKLOAD = "fft"
-REPEATS = 3
+#: best-of-N per point; raise via env on noisy machines — the
+#: observability/fault-hook budgets assert against the measured noise
+#: floor, so they need enough repeats to find a quiet slot.
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
 
 MISSHEAVY_WORKLOAD = "ocean"
 MISSHEAVY_L2_KB = 64
@@ -84,21 +101,55 @@ def measure(config: SystemConfig, bench_workload) -> dict:
 
 
 def missheavy_configs():
+    # Pinned to the scalar backend (like the hit-heavy config section):
+    # these are the longitudinal time-series the seed/§6c comparisons
+    # and the --check gate track, so they must not silently change
+    # meaning with numpy's presence. backends.* holds the vector rows.
     small = MISSHEAVY_L2_KB * KB
     return {
-        "baseline": baseline_config(CPUS, L2_MB).with_l2_size(small),
-        "senss": senss_config(CPUS, L2_MB).with_l2_size(small),
-        "integrated": integrated_config().with_l2_size(small),
+        "baseline": baseline_config(CPUS, L2_MB).with_l2_size(small)
+        .with_engine("scalar"),
+        "senss": senss_config(CPUS, L2_MB).with_l2_size(small)
+        .with_engine("scalar"),
+        "integrated": integrated_config().with_l2_size(small)
+        .with_engine("scalar"),
     }
+
+
+def measure_backends(config, bench_workload) -> dict:
+    """One per-backend section: each engine timed on the same machine.
+
+    Returns ``{"scalar": {...}, "vector": {...}, "vector_speedup": r}``
+    (vector entries absent without numpy). Simulated cycles must be
+    bit-identical across backends — that is the vector engine's
+    contract, and a throughput table comparing diverging simulations
+    would be meaningless.
+    """
+    from repro.smp.engine import numpy_available
+
+    backends = ["scalar"]
+    if numpy_available():
+        backends.append("vector")
+    section = {}
+    for backend in backends:
+        section[backend] = measure(config.with_engine(backend),
+                                   bench_workload)
+    if "vector" in section:
+        assert section["vector"]["cycles"] == \
+            section["scalar"]["cycles"], section
+        section["vector_speedup"] = round(
+            section["vector"]["accesses_per_second"]
+            / section["scalar"]["accesses_per_second"], 2)
+    return section
 
 
 def test_engine_throughput(benchmark, emit):
     from repro.analysis.report import format_table
 
     configs = {
-        "baseline": baseline_config(CPUS, L2_MB),
-        "senss": senss_config(CPUS, L2_MB),
-        "integrated": integrated_config(),
+        "baseline": baseline_config(CPUS, L2_MB).with_engine("scalar"),
+        "senss": senss_config(CPUS, L2_MB).with_engine("scalar"),
+        "integrated": integrated_config().with_engine("scalar"),
     }
     report = {"workload": WORKLOAD, "num_cpus": CPUS, "l2_mb": L2_MB,
               "scale": BENCH_SCALE, "configs": {}}
@@ -139,6 +190,40 @@ def test_engine_throughput(benchmark, emit):
         ["config", "accesses/s", "seconds"], rows)
     emit(table)
 
+    # Per-backend points (DESIGN.md §6f): scalar vs vector on the
+    # baseline machine, hit-heavy and miss-heavy. Honest same-machine
+    # numbers — the table is how a backend-specific regression (or a
+    # vector win evaporating) shows up in CI and PR diffs.
+    report["backends"] = {
+        "hit_heavy": {"workload": WORKLOAD, "num_cpus": CPUS,
+                      "l2_mb": L2_MB, "scale": BENCH_SCALE,
+                      "config": "baseline",
+                      **measure_backends(configs["baseline"],
+                                         workload(WORKLOAD, CPUS))},
+        "miss_heavy": {"workload": MISSHEAVY_WORKLOAD, "num_cpus": CPUS,
+                       "l2_kb": MISSHEAVY_L2_KB, "scale": BENCH_SCALE,
+                       "config": "baseline",
+                       **measure_backends(missheavy_configs()["baseline"],
+                                          missheavy_workload)},
+    }
+    rows = []
+    for point, section in report["backends"].items():
+        for backend in ("scalar", "vector"):
+            measured = section.get(backend)
+            if measured is None:
+                continue
+            ratio = (f"{section['vector_speedup']:.2f}x"
+                     if backend == "vector" else "1.00x")
+            rows.append([point, backend,
+                         f"{measured['accesses_per_second']:,}",
+                         f"{measured['seconds']:.3f}", ratio])
+    table = format_table(
+        f"Engine backends — baseline config, scale {BENCH_SCALE:g} "
+        f"(accesses/s, best of {REPEATS}; identical simulated cycles)",
+        ["point", "backend", "accesses/s", "seconds", "vs scalar"],
+        rows)
+    emit(table)
+
     # Observability point (DESIGN.md §6d): the observer hooks must be
     # ~free when no tracer is attached, and attaching one must not
     # change simulated results. Interleaved best-of-N on the
@@ -146,14 +231,19 @@ def test_engine_throughput(benchmark, emit):
     # and "off" run identical untraced code back to back, so their
     # ratio is the noise floor the disabled-overhead budget is
     # checked against — drift between separate batches would
-    # otherwise swamp the single `is not None` test per hook.
+    # otherwise swamp the single `is not None` test per hook. The
+    # mode order rotates each repeat: allocator/cache drift within
+    # the process is monotonic, so a fixed order would systematically
+    # tax whichever mode runs later in the triple.
     from repro.obs import Tracer
     senss_small = missheavy_configs()["senss"]
     accesses = missheavy_workload.total_accesses
+    modes = ("ref", "off", "on")
     best, cycles = {}, {}
     traced_events = 0
-    for _ in range(REPEATS):
-        for mode in ("ref", "off", "on"):
+    for repeat in range(REPEATS):
+        shift = repeat % len(modes)
+        for mode in modes[shift:] + modes[:shift]:
             system = build_system(senss_small)
             if mode == "on":
                 tracer = Tracer(capacity=1 << 20).attach(system)
@@ -207,7 +297,8 @@ def test_engine_throughput(benchmark, emit):
     # must leave simulated cycles bit-identical. Same interleaved
     # ref/off/on discipline; "on" attaches an injector with one
     # never-firing spec per hook family on the integrated machine so
-    # the bus, pad and verify hook sites all run.
+    # the bus, pad and verify hook sites all run. Same rotating mode
+    # order as above.
     from repro.faults import FaultInjector, FaultKind, FaultPlan, \
         FaultSpec
     integrated_small = missheavy_configs()["integrated"]
@@ -217,8 +308,9 @@ def test_engine_throughput(benchmark, emit):
         FaultSpec(FaultKind.PAD_CORRUPT, never, cpu=0),
         FaultSpec(FaultKind.MERKLE_FLIP, never)))
     best, cycles = {}, {}
-    for _ in range(REPEATS):
-        for mode in ("ref", "off", "on"):
+    for repeat in range(REPEATS):
+        shift = repeat % len(modes)
+        for mode in modes[shift:] + modes[:shift]:
             system = build_system(integrated_small)
             if mode == "on":
                 FaultInjector(idle_plan).attach(system)
@@ -282,11 +374,13 @@ def test_engine_throughput(benchmark, emit):
 # -- regression-gate CLI (python bench_perf_engine.py --check) ----------
 
 def _fresh_points(scale: float, repeats: int) -> dict:
-    """Re-measure the six throughput points at ``scale``.
+    """Re-measure the throughput points at ``scale``.
 
-    Returns ``{"configs": {...}, "missheavy": {"configs": {...}}}``
-    shaped like the committed report so the comparison walks both the
-    hit-heavy and miss-heavy sections with one loop.
+    Returns ``{"configs": {...}, "missheavy": {"configs": {...}},
+    "backends": {...}}`` shaped like the committed report so the
+    comparison walks every section with one loop. Without numpy the
+    per-backend sections carry scalar only; the comparison skips
+    points missing on either side.
     """
     global REPEATS
     previous_repeats = REPEATS
@@ -297,9 +391,9 @@ def _fresh_points(scale: float, repeats: int) -> dict:
         miss_workload = generate(MISSHEAVY_WORKLOAD, CPUS, scale=scale,
                                  seed=BENCH_SEED)
         configs = {
-            "baseline": baseline_config(CPUS, L2_MB),
-            "senss": senss_config(CPUS, L2_MB),
-            "integrated": integrated_config(),
+            "baseline": baseline_config(CPUS, L2_MB).with_engine("scalar"),
+            "senss": senss_config(CPUS, L2_MB).with_engine("scalar"),
+            "integrated": integrated_config().with_engine("scalar"),
         }
         fresh = {"configs": {}, "missheavy": {"configs": {}}}
         for kind, config in configs.items():
@@ -307,6 +401,12 @@ def _fresh_points(scale: float, repeats: int) -> dict:
         for kind, config in missheavy_configs().items():
             fresh["missheavy"]["configs"][kind] = measure(
                 config, miss_workload)
+        fresh["backends"] = {
+            "hit_heavy": measure_backends(configs["baseline"],
+                                          hit_workload),
+            "miss_heavy": measure_backends(
+                missheavy_configs()["baseline"], miss_workload),
+        }
         return fresh
     finally:
         REPEATS = previous_repeats
@@ -319,6 +419,13 @@ def _compare(committed: dict, fresh: dict, threshold_pct: float):
                 ("missheavy/",
                  committed.get("missheavy", {}).get("configs", {}),
                  fresh.get("missheavy", {}).get("configs", {}))]
+    for point in ("hit_heavy", "miss_heavy"):
+        sections.append((
+            f"backends/{point}/",
+            {name: row for name, row in committed.get(
+                "backends", {}).get(point, {}).items()
+             if isinstance(row, dict) and "accesses_per_second" in row},
+            fresh.get("backends", {}).get(point, {})))
     for prefix, old_configs, new_configs in sections:
         for kind, old in old_configs.items():
             new = new_configs.get(kind)

@@ -8,4 +8,8 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    extras_require={
+        "vector": ["numpy"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "numpy"],
+    },
 )

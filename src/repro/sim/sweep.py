@@ -59,8 +59,10 @@ from ..smp.metrics import SimulationResult
 #: Version history: 1 = merged fast path; 2 = streamlined slow path +
 #: deferred statistics (bit-identical results, conservatively bumped);
 #: 3 = flattened hash tree, fused memprotect node path, fast digest
-#: engines (bit-identical results, conservatively bumped).
-ENGINE_VERSION = 3
+#: engines (bit-identical results, conservatively bumped);
+#: 4 = vector backend + engine registry (bit-identical results,
+#: conservatively bumped).
+ENGINE_VERSION = 4
 
 DEFAULT_CACHE_DIR = Path(".benchmarks") / "cache"
 
@@ -161,13 +163,21 @@ def _run_point_timed(point: SweepPoint
 
 
 def point_key(point: SweepPoint) -> str:
-    """Content hash identifying a point's complete simulation input."""
+    """Content hash identifying a point's complete simulation input.
+
+    The engine *backend* choice is excluded on purpose: backends are
+    bit-identical (pinned by tests/smp/test_engine_backends.py), so
+    results computed under scalar and vector are interchangeable and
+    share cache entries.
+    """
+    config_payload = asdict(point.config)
+    config_payload.pop("engine", None)
     payload = {
         "engine": ENGINE_VERSION,
         "workload": point.workload,
         "scale": point.scale,
         "seed": point.seed,
-        "config": asdict(point.config),
+        "config": config_payload,
     }
     canonical = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,88 @@
+"""Engine backend registry: scalar vs vector execution of ``run()``.
+
+Two interchangeable engines execute a workload on an
+:class:`~repro.smp.system.SmpSystem`:
+
+- ``scalar`` — :func:`repro.smp.fastpath.run_fast`, the per-access
+  python loop that is the bit-identical specification (DESIGN.md §6b);
+- ``vector`` — :func:`repro.smp.vectorpath.run_vector`, which executes
+  conflict-free hit windows as batched numpy operations and falls back
+  to the scalar single-access semantics at every bus-visible boundary
+  (DESIGN.md §6f). Requires numpy (the optional ``repro[vector]``
+  extra); results are bit-identical to ``scalar``.
+
+Selection is by :attr:`SystemConfig.engine` (``"auto"`` by default,
+also the CLI ``--engine`` flag). ``auto`` resolves to ``vector`` when
+numpy is importable and silently falls back to ``scalar`` otherwise;
+the ``REPRO_ENGINE`` environment variable overrides the ``auto``
+resolution (handy for CI matrices) but never an explicit config
+choice. Asking for ``vector`` without numpy raises a
+:class:`~repro.errors.SimulationError`.
+
+Because backends are bit-identical, the sweep result cache
+(:mod:`repro.sim.sweep`) deliberately excludes the engine choice from
+its keys: results computed under either backend are interchangeable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Tuple
+
+from ..errors import ConfigError, SimulationError
+
+#: concrete engine implementations, in documentation order
+ENGINE_BACKENDS = ("scalar", "vector")
+
+#: accepted values for SystemConfig.engine / --engine / REPRO_ENGINE
+ENGINE_CHOICES = ("auto",) + ENGINE_BACKENDS
+
+
+def numpy_available() -> bool:
+    """True when the vector backend's only dependency is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def default_backend() -> str:
+    """What ``auto`` resolves to right now (env override included)."""
+    env = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    if env and env != "auto":
+        if env not in ENGINE_BACKENDS:
+            raise ConfigError(
+                f"REPRO_ENGINE must be one of {ENGINE_CHOICES}, "
+                f"got {env!r}")
+        return env
+    return "vector" if numpy_available() else "scalar"
+
+
+def resolve_backend(name: str = "auto") -> Tuple[str, Callable]:
+    """Resolve an engine choice to ``(backend_name, run_callable)``.
+
+    The callable has the engine signature ``run(system, workload) ->
+    SimulationResult``. ``auto`` falls back to ``scalar`` silently;
+    an explicit ``vector`` without numpy raises ``SimulationError``.
+    """
+    if name not in ENGINE_CHOICES:
+        raise ConfigError(
+            f"engine must be one of {ENGINE_CHOICES}, got {name!r}")
+    explicit = name != "auto"
+    if not explicit:
+        name = default_backend()
+    if name == "scalar":
+        from .fastpath import run_fast
+        return "scalar", run_fast
+    try:
+        from .vectorpath import run_vector
+    except ImportError as error:
+        if not explicit:  # auto: degrade gracefully
+            from .fastpath import run_fast
+            return "scalar", run_fast
+        raise SimulationError(
+            "engine backend 'vector' requires numpy, which is not "
+            "installed (pip install 'repro[vector]'), or select "
+            "--engine scalar/auto") from error
+    return "vector", run_vector

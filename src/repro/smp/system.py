@@ -63,6 +63,12 @@ class SmpSystem:
         ]
         self.protocol = make_protocol(config.coherence_protocol,
                                       self.hierarchies)
+        # Engine backend executing run(): resolved once at build time
+        # so a misconfigured machine (vector without numpy) fails fast
+        # and the resolved name is reportable (profile, obs reports).
+        from .engine import resolve_backend
+        self.engine_backend, self._run_impl = \
+            resolve_backend(config.engine)
         self.memprotect = None  # optional MemProtectLayer
         # Per-CPU group IDs (section 4.1 grouping): default one group.
         self._cpu_groups = [0] * config.num_processors
@@ -137,12 +143,14 @@ class SmpSystem:
     def run(self, workload: Workload) -> SimulationResult:
         """Execute the workload to completion and return metrics.
 
-        Delegates to the merged fast path (:mod:`repro.smp.fastpath`):
-        a min-heap scheduler plus fused cache lookups, bit-identical to
-        :meth:`run_reference` but several times faster.
+        Delegates to the engine backend ``config.engine`` selected
+        (:mod:`repro.smp.engine`): the merged scalar fast path
+        (:mod:`repro.smp.fastpath`) or the numpy window engine
+        (:mod:`repro.smp.vectorpath`). Both are bit-identical to
+        :meth:`run_reference` but several times faster; the resolved
+        choice is :attr:`engine_backend`.
         """
-        from .fastpath import run_fast
-        return run_fast(self, workload)
+        return self._run_impl(self, workload)
 
     def run_reference(self, workload: Workload) -> SimulationResult:
         """The layered reference engine (the pre-fast-path semantics).

@@ -1,0 +1,1233 @@
+"""Vector engine backend: batched execution of conflict-free windows.
+
+``run_vector`` executes the same simulation as the scalar engine
+(:mod:`repro.smp.fastpath`) — bit-identical cycles, per-CPU cycles and
+statistics — but advances whole *windows* of accesses per python-level
+step instead of one access at a time. It is selected through the
+backend registry (:mod:`repro.smp.engine`, ``--engine vector``/
+``auto``) and is the only part of the simulator that requires numpy.
+
+The window invariant (DESIGN.md §6f)
+------------------------------------
+
+An access is *provably bus-invisible* when, against the CPU's current
+L2 tag state, it must complete without any bus transaction or remote
+state change:
+
+- its L2 line is resident and valid, **and**
+- if it is a write, the line's state is MODIFIED or EXCLUSIVE (the
+  silent E->M upgrade is a purely local transition).
+
+A *window* is a maximal run of consecutive bus-invisible accesses of
+one CPU. Inside a window the only L2 transitions are E->M, no line is
+inserted or evicted in either cache level of any *other* CPU, and
+nothing the window does is observable on the bus — so windows of
+different CPUs commute, and only the *boundaries* (misses, upgrades,
+writes to SHARED/OWNED lines, end of trace) must execute in the exact
+global scheduler order, which the scalar engine's min-heap defines as
+ascending ``(request_cycle, cpu)``.
+
+Static L1 prediction and per-set perturbation watermarks
+--------------------------------------------------------
+
+Within windows the CPU's L1 sees exactly the per-set (set, tag)
+sequence of the trace — *including* the boundary accesses, which fill
+and evict L1 lines like any other access. L1 hit/miss classification
+is therefore a pure function of the trace's run structure
+(``NumpyColumns.window_statics``):
+
+- an access continuing a same-tag run is a hit;
+- at 2-way associativity, once a set has completed two runs its
+  contents are exactly the tags of the last two runs (LRU with
+  invalid-first eviction preserves this inductively), so a run start
+  hits iff its tag equals the tag two runs back;
+- at direct-mapped, a run start always misses.
+
+The only events this static model cannot see are boundary-side L1
+perturbations: *inclusion sweeps* (L1 lines invalidated because their
+L2 parent was evicted or invalidated), misaligned miss fills, upgrade
+paths (which never refill L1) and memprotect's direct node inserts.
+Each such event raises a *perturbation watermark* on exactly the L1
+sets it touched (``_Cpu.pert``, one position per set); an access whose
+prediction relies on history at or before its set's watermark
+(``hist[i] <= pert[set]``) is live-probed instead, after which the
+in-window run structure re-establishes the static rules. Because a
+prediction depends only on its own set's history, sets that no event
+touched never probe. Probes that contradict the prediction patch the
+window's precomputed timing (a sparse correction list). Timing itself
+derives from whole-trace prefix-sum arrays
+(``NumpyColumns.latency_cumsums``) plus a per-window clock delta —
+detection materializes no per-window arrays unless a probe correction
+forces it.
+
+Execution model
+---------------
+
+Per round: each CPU holds a detected window. The earliest boundary key
+``K = (request_cycle, cpu)`` is located and executed through the exact
+scalar single-access semantics (shared ``SmpSystem._execute_miss`` /
+``_execute_upgrade`` slow path, so coherence, bus, SENSS, memprotect
+and fault layers observe identical transactions in identical order).
+
+Commitment is split by what other CPUs can actually observe:
+
+- **advance** (before every boundary): every other window's prefix of
+  accesses ordered before ``K`` is marked committed, and the silent
+  E->M upgrades of its written lines are applied — the only in-window
+  effect a remote snoop can see.
+- **commit** (once per window, when it ends): the last touch of each
+  L1 set / L2 line lands (located with whole-trace next-occurrence
+  arrays), and clock / LRU ticks / hit counters settle from the
+  prefix sums. Deferring this is safe because no remote event reads
+  L1 state or LRU ages — with one exception, below.
+
+The engine wraps the three ``MesiProtocol`` bus entry points,
+``CacheHierarchy.fill`` and ``CacheHierarchy._enforce_inclusion`` for
+the duration of the run. The wrappers give it three hooks:
+
+- **pre-body**: an *invalidating* event (fetch-exclusive / upgrade)
+  whose line maps into an L1 set some standing window touches forces
+  that window to materialize its committed prefix *before* the
+  protocol body runs, so the inclusion sweep acts on post-access
+  contents exactly as in the scalar order.
+- **sweep**: every ``_enforce_inclusion`` call raises the swept L1
+  sets' perturbation watermarks to the owner's current position.
+- **post-body** (``_fixup``): every line the event touched (requester
+  fetch, remote downgrades/invalidations, fill victims) is re-probed,
+  per-access safety is repaired at exactly the positions referencing
+  it (via cached per-line position lists), and any standing window
+  with a flipped position is *truncated* at the first flip — the flip
+  position becomes the window's new boundary, everything classified
+  before it stays valid, and nothing is ever re-detected.
+
+Equivalence is pinned by tests/smp/test_engine_backends.py (golden
+replays + randomized cross-backend comparison) and by running the
+tier-1 suite under both backends in CI.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+import numpy
+
+from ..cache.cache import CacheLine
+from ..cache.mesi import MesiState
+from ..errors import SimulationError
+from .metrics import SimulationResult
+from .trace import Workload, numpy_columns
+
+_M = MesiState.MODIFIED
+_E = MesiState.EXCLUSIVE
+_S = MesiState.SHARED
+_I = MesiState.INVALID
+
+#: safety-classification granule (accesses per np.unique batch)
+_CHUNK = 2048
+#: window length cap: bounds classification work per detection
+_CAP = 4096
+#: below this window length, plain-python loops beat numpy dispatch
+_SMALL = 64
+
+# window boundary kinds
+_END, _SLOW, _CAPPED = 0, 1, 2
+
+
+class _Window:
+    """One detected conflict-free window and its deferred accounting."""
+
+    __slots__ = ("s", "e", "length", "kind", "bkey", "delta",
+                 "corr", "shadows", "wpos_i", "wpos_hi", "applied",
+                 "next_pend", "base_clock", "base1", "base2")
+
+    def __init__(self, s, e, kind, bkey, delta, corr, shadows,
+                 wpos_i, wpos_hi, next_pend, base_clock, base1, base2):
+        self.s = s                    # [s, e) trace index range
+        self.e = e
+        self.length = e - s
+        self.kind = kind              # _END / _SLOW / _CAPPED
+        self.bkey = bkey              # (request_cycle, cpu) or None
+        self.delta = delta            # request cycle i = pend0[i]+delta
+        self.corr = corr              # [(pos, lat delta, hit delta)];
+                                      # each shifts pends strictly after
+                                      # pos (see _pend)
+        self.shadows = shadows        # L1 set -> probe snapshot/action
+        self.wpos_i = wpos_i          # next unapplied index, wpos_list
+        self.wpos_hi = wpos_hi        # first write index at/past e
+        self.applied = 0              # committed prefix length
+        self.next_pend = next_pend
+        self.base_clock = base_clock  # clock/ticks at window start
+        self.base1 = base1
+        self.base2 = base2
+
+
+class _Cpu:
+    """Per-CPU engine state: columns, cache internals, window, safety."""
+
+    __slots__ = ("id", "n", "cursor", "clock", "window",
+                 "pert", "pert_np",
+                 "cols", "l1", "l2", "l1_sets", "l1_nsets", "l1_assoc",
+                 "l1_shift", "lat1", "l2_sets", "l2_nsets", "l2_shift",
+                 "lat2", "writes_l", "gaps_l", "set1_l", "tag1_l",
+                 "block2_l", "set1_np", "gaps_np", "writes_b",
+                 "runp_l", "runp2_l", "frun_l", "hist_np", "hist_l",
+                 "stat_l", "cum_lat_l", "cum_hit_l",
+                 "pend0_np", "pend0_l",
+                 "next1", "next1_l", "next2", "next2_l", "next12_l",
+                 "wpos_list", "safe",
+                 "safe_upto", "unsafe", "entries", "block_index",
+                 "pos_cache", "set_index", "setpos_cache",
+                 "n_l1", "n_l2", "n_miss", "n_upg", "fill_line")
+
+    def __init__(self, system, cpu_id, trace):
+        columns = numpy_columns(trace)
+        hierarchy = system.hierarchies[cpu_id]
+        l1, l2 = hierarchy.l1, hierarchy.l2
+        self.id = cpu_id
+        self.n = columns.length
+        self.cursor = 0
+        self.clock = 0
+        self.window = None
+        self.cols = columns
+        self.l1 = l1
+        self.l2 = l2
+        self.l1_sets = l1._sets
+        self.l1_nsets = l1._num_sets
+        self.l1_assoc = l1._assoc
+        self.l1_shift = l1._offset_bits
+        self.lat1 = l1.config.hit_latency
+        self.l2_sets = l2._sets
+        self.l2_nsets = l2._num_sets
+        self.l2_shift = l2._offset_bits
+        self.lat2 = l2.config.hit_latency
+        self.writes_l, self.gaps_l = columns.base_lists()
+        self.writes_b = columns.writes_bool
+        self.gaps_np = columns.gaps
+        self.block2_l, _, _ = columns.derived_lists(self.l2_shift,
+                                                    self.l2_nsets)
+        _, self.set1_np, _ = columns.derived(self.l1_shift,
+                                             self.l1_nsets)
+        _, self.set1_l, self.tag1_l = columns.derived_lists(
+            self.l1_shift, self.l1_nsets)
+        assoc = self.l1_assoc
+        self.hist_np, _, _ = columns.window_statics(
+            self.l1_shift, self.l1_nsets, assoc)
+        self.hist_l, self.stat_l, self.frun_l = \
+            columns.window_statics_lists(
+                self.l1_shift, self.l1_nsets, assoc)
+        self.cum_lat_l, self.cum_hit_l = columns.latency_cumsums_lists(
+            self.l1_shift, self.l1_nsets, assoc, self.lat1, self.lat2)
+        self.pend0_np, self.pend0_l = columns.request_times(
+            self.l1_shift, self.l1_nsets, assoc, self.lat1, self.lat2)
+        runs = columns.run_statics_lists(self.l1_shift, self.l1_nsets)
+        self.runp_l = runs[2]
+        self.runp2_l = runs[3]
+        self.next1 = columns.next_set_occurrence(self.l1_shift,
+                                                 self.l1_nsets)
+        self.next1_l = columns.next_set_occurrence_list(self.l1_shift,
+                                                        self.l1_nsets)
+        self.next2 = columns.next_block_occurrence(self.l2_shift)
+        self.next2_l = columns.next_block_occurrence_list(self.l2_shift)
+        self.wpos_list = columns.write_positions_list()
+        # Per-L1-set perturbation watermarks: the last trace position
+        # whose boundary-time effects this set's static predictions
+        # cannot see. Probe exactly the positions whose relied-on
+        # history is at or before their set's watermark (-1 = never
+        # perturbed: only hist == -1 positions probe).
+        self.pert = [-1] * self.l1_nsets
+        self.pert_np = numpy.full(self.l1_nsets, -1, dtype=numpy.int64)
+        self.next12_l = numpy.maximum(self.next1, self.next2).tolist()
+        self.safe = [False] * self.n
+        self.safe_upto = 0
+        self.unsafe = []             # classified-unsafe positions, asc
+        self.entries = {}            # L2 block -> CacheLine (or None)
+        self.block_index = None      # lazy sorted block position index
+        self.pos_cache = {}          # L2 block -> positions list
+        self.set_index = None        # lazy sorted L1-set position index
+        self.setpos_cache = {}       # L1 set -> positions list
+        self.n_l1 = 0
+        self.n_l2 = 0
+        self.n_miss = 0
+        self.n_upg = 0
+        self.fill_line = -1          # boundary's own expected fill
+
+
+_MISSING = object()
+
+
+def _perturb(c, set1, pos):
+    """Raise an L1 set's perturbation watermark to trace position pos.
+
+    A static prediction at position ``i`` is trusted only while the
+    history it relies on (``hist[i]``) is *newer* than every event that
+    touched its L1 set outside the run model; predictions with
+    ``hist[i] <= pert[set]`` are live-probed instead.
+    """
+    if pos > c.pert[set1]:
+        c.pert[set1] = pos
+        c.pert_np[set1] = pos
+
+
+def _probe_l2(c, block):
+    """Current L2 entry for a block, LRU untouched (like snoops)."""
+    ways = c.l2_sets.get(block % c.l2_nsets)
+    if ways:
+        tag = block // c.l2_nsets
+        for line in ways:
+            if line.tag == tag and line.state is not _I:
+                return line
+    return None
+
+
+def _l2_line_any(c, block):
+    """The L2 way holding a block's tag, valid *or invalid*."""
+    ways = c.l2_sets.get(block % c.l2_nsets)
+    if ways:
+        tag = block // c.l2_nsets
+        for line in ways:
+            if line.tag == tag:
+                return line
+    return None
+
+
+def _classify_chunk(c):
+    """Extend the classified region by one chunk; returns new bound.
+
+    Safety against *current* L2 state: one python tag probe per unique
+    line in the chunk, broadcast to per-access (read, write) safety
+    through ``np.unique``'s inverse index. Unsafe positions extend the
+    CPU's sorted ``unsafe`` list (chunks only ever grow the region, so
+    plain appends keep it sorted).
+    """
+    lo = c.safe_upto
+    hi = min(lo + _CHUNK, c.n)
+    segment = c.cols.addresses[lo:hi] >> c.l2_shift
+    uniq, inverse = numpy.unique(segment, return_inverse=True)
+    count = uniq.shape[0]
+    ok_read = numpy.empty(count, dtype=numpy.bool_)
+    ok_write = numpy.empty(count, dtype=numpy.bool_)
+    entries = c.entries
+    missing = _MISSING
+    for j, block in enumerate(uniq.tolist()):
+        # ``entries`` is kept coherent for every known block (_fixup
+        # re-probes each event-touched line), so recurring blocks skip
+        # the tag scan.
+        entry = entries.get(block, missing)
+        if entry is missing:
+            entry = _probe_l2(c, block)
+            entries[block] = entry
+        if entry is None:
+            ok_read[j] = False
+            ok_write[j] = False
+        else:
+            ok_read[j] = True
+            state = entry.state
+            ok_write[j] = state is _M or state is _E
+    writes = c.writes_b[lo:hi]
+    chunk_safe = ok_read[inverse] & (ok_write[inverse] | ~writes)
+    c.safe[lo:hi] = chunk_safe.tolist()
+    bad = (~chunk_safe).nonzero()[0]
+    if bad.size:
+        c.unsafe.extend((lo + bad).tolist())
+    c.safe_upto = hi
+    return hi
+
+
+def _first_action(c, set1, tag1, pos):
+    """Snapshot one live L1 set and compute a run-start's event on it.
+
+    Returns the ``[snapshot, action, pos]`` shadow used by both the
+    live probes and the commit-time stitch: action ``(0, line)`` = hit
+    an existing line, ``(1, line)`` = revived an invalid same-tag way,
+    ``(2, fresh, victim)`` = inserted a new line evicting ``victim``
+    (or filling an invalid/empty way when ``victim`` is None). ``pos``
+    is the trace position the action belongs to — a window truncated
+    below it must ignore the shadow (the event never happened).
+    """
+    real = c.l1_sets.get(set1)
+    snap = list(real) if real else []
+    for line in snap:
+        if line.tag == tag1 and line.state is not _I:
+            return [snap, (0, line), pos]
+    for line in snap:
+        if line.tag == tag1:
+            return [snap, (1, line), pos]
+    victim = None
+    if len(snap) >= c.l1_assoc:
+        victim = snap[0]
+        victim_key = (victim.state is not _I, victim.last_used)
+        for line in snap:
+            key = (line.state is not _I, line.last_used)
+            if key < victim_key:
+                victim = line
+                victim_key = key
+    return [snap, (2, CacheLine(tag1, _S, 0), victim), pos]
+
+
+def _probe_l1(c, w, i, set1, tag1):
+    """Live-probe one dynamic position; returns the L1 hit flag.
+
+    Dynamic positions are the accesses whose static prediction relies
+    on history at or before their set's perturbation watermark — at
+    most each
+    set's first in-window touch and (at 2-way) the second in-window
+    run start. The first probe snapshots the live set and records the
+    first run's action for the commit-time stitch rebuild; the second
+    only needs membership against the post-first-run tags. At
+    associativity > 2 every run start probes against an evolving
+    per-set value shadow.
+    """
+    shadows = w.shadows
+    shadow = shadows.get(set1)
+    if c.l1_assoc > 2:
+        if shadow is None:
+            real = c.l1_sets.get(set1) or ()
+            snap = [(line.tag, line.state is not _I, line.last_used,
+                     line) for line in real]
+            shadow = shadows[set1] = [snap,
+                                      [list(entry[:3]) for entry in snap]]
+        ways = shadow[1]
+        lu = w.base1 + (i - w.s + 1)
+        for way in ways:
+            if way[0] == tag1 and way[1]:
+                way[2] = lu
+                return True
+        for way in ways:
+            if way[0] == tag1:
+                way[1] = True
+                way[2] = lu
+                return False
+        if len(ways) >= c.l1_assoc:
+            evict = ways[0]
+            evict_key = (evict[1], evict[2])
+            for way in ways:
+                key = (way[1], way[2])
+                if key < evict_key:
+                    evict = way
+                    evict_key = key
+            ways.remove(evict)
+        ways.append([tag1, True, lu])
+        return False
+
+    if shadow is None:
+        # First in-window probe of the set: the run's event, recorded
+        # against a snapshot of the live (unmaterialized) set.
+        shadow = shadows[set1] = _first_action(c, set1, tag1, i)
+        return shadow[1][0] == 0
+    snap, action = shadow[0], shadow[1]
+    # Second in-window run start: membership in the post-first-run
+    # tag set (the first run's line is resident whatever its event
+    # was). Tags are unique within a set, so scan instead of building
+    # a set object.
+    kind = action[0]
+    if kind != 0 and action[1].tag == tag1:
+        return True                   # the revived/inserted line
+    if kind == 2 and action[2] is not None and action[2].tag == tag1:
+        return False                  # evicted by the first run
+    for line in snap:
+        if line.tag == tag1:
+            return line.state is not _I
+    return False
+
+
+class _WindowStub:
+    """Minimal stand-in handed to ``_probe_l1`` during detection."""
+
+    __slots__ = ("s", "base1", "shadows")
+
+    def __init__(self, s, base1, shadows):
+        self.s = s
+        self.base1 = base1
+        self.shadows = shadows
+
+
+def _detect(c):
+    """Detect the next window from the cursor; sets ``c.window``."""
+    cursor = c.cursor
+    n = c.n
+    safe = c.safe
+    unsafe = c.unsafe
+    lim = cursor + _CAP
+    bound = None                      # first unsafe index, if any
+    i = bisect_left(unsafe, cursor)
+    entries = c.entries
+    block2_l = c.block2_l
+    writes_l = c.writes_l
+    # Safe-making flips are lazy (see _fixup): each unsafe position is
+    # revalidated against current L2 state before bounding on it.
+    # Consecutive unsafe positions usually share a block (the run behind
+    # one future miss), so the probe verdict is memoized per block; no
+    # event can change ``entries`` mid-detect, and _classify_chunk only
+    # adds blocks, so a memoized verdict never goes stale here.
+    # Resolved positions stay in ``unsafe`` (the cursor bisect skips
+    # them next time) — deleting mid-list is O(len) per hit.
+    memo_block = -1
+    ok_read = ok_write = False
+    while True:
+        while i < len(unsafe):
+            p = unsafe[i]
+            if safe[p]:               # stale: flipped back to safe
+                i += 1
+                continue
+            b = block2_l[p]
+            if b != memo_block:
+                memo_block = b
+                entry = entries[b]
+                ok_read = entry is not None
+                ok_write = ok_read and (entry.state is _M
+                                        or entry.state is _E)
+            if ok_write or (ok_read and not writes_l[p]):
+                safe[p] = True
+                i += 1
+                continue
+            bound = p
+            break
+        if bound is not None or c.safe_upto >= n or c.safe_upto >= lim:
+            break
+        _classify_chunk(c)
+    if bound is not None and bound <= lim:
+        e, kind = bound, _SLOW
+    elif n <= lim:
+        e, kind = n, _END
+    else:
+        e, kind = lim, _CAPPED
+
+    s = cursor
+    base_clock = c.clock
+    shadows = {}
+    corr = []
+    cum_lat_l = c.cum_lat_l
+    delta = base_clock - cum_lat_l[s]
+    end_clock = cum_lat_l[e] + delta
+    pert = c.pert
+    hist_l = c.hist_l
+    set1_l = c.set1_l
+    # Candidate positions: the static prediction relies on history no
+    # newer than the set's last perturbation. Watermarks precede the
+    # window, so in-run accesses with an in-window predecessor never
+    # qualify — candidates are each set's leading touches only.
+    if e - s <= _SMALL:
+        cand = [i for i in range(s, e)
+                if hist_l[i] < s and hist_l[i] <= pert[set1_l[i]]]
+    else:
+        hist_w = c.hist_np[s:e]
+        low = (hist_w < s).nonzero()[0]
+        if low.size:
+            idxs = low + s
+            sel = c.hist_np[idxs] <= c.pert_np[c.set1_np[idxs]]
+            cand = idxs[sel].tolist()
+        else:
+            cand = []
+    if cand:
+        tag1_l = c.tag1_l
+        stat_l = c.stat_l
+        runp2_l = c.runp2_l
+        two_way = c.l1_assoc == 2
+        lat_gap = c.lat2 - c.lat1
+        stub = _WindowStub(s, c.l1._tick, shadows)
+        for i in cand:
+            if two_way and runp2_l[i] >= s:
+                # Run start whose last-two-runs history executes
+                # entirely in-window: both runs leave their lines
+                # resident and valid whatever the pre-window set held,
+                # so the static prediction is exact — no probe.
+                continue
+            hit = _probe_l1(c, stub, i, set1_l[i], tag1_l[i])
+            if hit != stat_l[i]:
+                if hit:
+                    dlat, dhit = -lat_gap, 1
+                else:
+                    dlat, dhit = lat_gap, -1
+                end_clock += dlat
+                corr.append((i, dlat, dhit))
+    wpos_list = c.wpos_list
+    wlo = bisect_left(wpos_list, s)
+    whi = bisect_left(wpos_list, e)
+    next_pend = c.pend0_l[s] + delta if e > s else None
+    bkey = None if kind == _END else (end_clock + c.gaps_l[e], c.id)
+    c.window = _Window(s, e, kind, bkey, delta, corr, shadows,
+                       wlo, whi, next_pend, base_clock, c.l1._tick,
+                       c.l2._tick)
+
+
+def _rebuild_set(c, w, set1, ilast):
+    """Commit one touched L1 set's contents at in-window cutoff.
+
+    ``ilast`` is the set's last committed access. With two or more
+    in-window runs completed the last-two-runs rule rebuilds the set
+    wholesale (valid L1 lines are always SHARED, so fresh lines are
+    indistinguishable from touched ones). Otherwise the first run's
+    action — probe-recorded, or synthesized now against the live set,
+    which no one touched since the window started — is stitched onto
+    it; a run that started before the window moves only its line's
+    LRU age.
+    """
+    s = w.s
+    base1 = w.base1
+    tag1_l = c.tag1_l
+    lu1 = base1 + (ilast - s + 1)
+    assoc = c.l1_assoc
+    if assoc > 2:
+        _replay_set(c, w, set1, ilast)
+        return
+    j = c.runp_l[ilast]
+    if j >= s:
+        tag = tag1_l[ilast]
+        if assoc == 2:
+            c.l1_sets[set1] = [
+                CacheLine(tag1_l[j], _S, base1 + (j - s + 1)),
+                CacheLine(tag, _S, lu1)]
+        else:
+            c.l1_sets[set1] = [CacheLine(tag, _S, lu1)]
+        return
+    shadow = w.shadows.get(set1)
+    if shadow is not None and shadow[2] > ilast:
+        # The probe that built this shadow sits beyond the commit
+        # cutoff (the window was truncated below it): its event never
+        # happened, so the committed prefix saw only unprobed touches.
+        shadow = None
+    if shadow is None:
+        rs = c.frun_l[ilast]
+        if rs < s:
+            # Single straddling run, every access an unprobed hit: the
+            # line is resident (no sweep since before the window), so
+            # only its LRU age moves.
+            tag = tag1_l[ilast]
+            for line in c.l1_sets.get(set1) or ():
+                if line.tag == tag and line.state is not _I:
+                    line.last_used = lu1
+                    return
+            return
+        shadow = _first_action(c, set1, tag1_l[rs], rs)
+    snap, action = shadow[0], shadow[1]
+    kind = action[0]
+    if kind == 0:                     # first run hit an existing line
+        action[1].last_used = lu1
+    elif kind == 1:                   # revived an invalid same-tag way
+        line = action[1]
+        line.state = _S
+        line.last_used = lu1
+    else:                             # inserted (evicting `victim`)
+        fresh = action[1]
+        fresh.last_used = lu1
+        victim = action[2]
+        ways = [line for line in snap if line is not victim]
+        ways.append(fresh)
+        c.l1_sets[set1] = ways
+
+
+def _replay_set(c, w, set1, ilast):
+    """Exact per-access replay of one set (associativity > 2 only).
+
+    The last-two-runs rule needs associativity <= 2; wider L1 sets are
+    committed by replaying the set's in-window positions against the
+    value snapshot taken at first probe. A set with no shadow saw only
+    one straddling run of unprobed hits: its line just ages. O(window
+    ∩ set) per commit, acceptable for the non-default geometry.
+    """
+    s = w.s
+    base1 = w.base1
+    shadow = w.shadows.get(set1)
+    if shadow is None:
+        tag = c.tag1_l[ilast]
+        for line in c.l1_sets.get(set1) or ():
+            if line.tag == tag and line.state is not _I:
+                line.last_used = base1 + (ilast - s + 1)
+                return
+        return
+    positions = (c.set1_np[s:ilast + 1] == set1).nonzero()[0]
+    snap = shadow[0]
+    entries = [[tag, valid, lu, line] for tag, valid, lu, line in snap]
+    tag1_l = c.tag1_l
+    assoc = c.l1_assoc
+    for rel in positions.tolist():
+        i = s + rel
+        tag = tag1_l[i]
+        lu = base1 + rel + 1
+        hit = None
+        for entry in entries:
+            if entry[0] == tag and entry[1]:
+                hit = entry
+                break
+        if hit is not None:
+            hit[2] = lu
+            continue
+        revived = None
+        for entry in entries:
+            if entry[0] == tag:
+                revived = entry
+                break
+        if revived is not None:
+            revived[1] = True
+            revived[2] = lu
+            continue
+        if len(entries) >= assoc:
+            evict = entries[0]
+            evict_key = (evict[1], evict[2])
+            for entry in entries:
+                key = (entry[1], entry[2])
+                if key < evict_key:
+                    evict = entry
+                    evict_key = key
+            entries.remove(evict)
+        entries.append([tag, True, lu, None])
+    ways = []
+    for tag, valid, lu, line in entries:
+        if line is None:
+            line = CacheLine(tag, _S, lu)
+        else:
+            line.last_used = lu
+            if valid and line.state is _I:
+                line.state = _S
+        ways.append(line)
+    c.l1_sets[set1] = ways
+
+
+def _pend(c, w, p):
+    """Request cycle of absolute trace position ``p`` inside ``w``."""
+    v = c.pend0_l[p] + w.delta
+    for pos, dl, _ in w.corr:
+        if pos < p:
+            v += dl
+        else:
+            break
+    return v
+
+
+def _search_pend(c, w, cycle, right):
+    """Relative index of the first in-window access requested at or
+    after ``cycle`` (``right``: strictly after), at least ``applied``.
+
+    Equivalent to a searchsorted over the window's corrected request
+    cycles, computed segment-wise against the shared ``pend0`` prefix
+    array — corrections partition the window into runs of constant
+    offset, and request cycles stay strictly increasing (a negative
+    correction is always smaller than the static latency it replaces).
+    """
+    pend0_l = c.pend0_l
+    s = w.s
+    lo = s + w.applied
+    end = s + w.length
+    cut = bisect_right if right else bisect_left
+    target = cycle - w.delta
+    if not w.corr:
+        return cut(pend0_l, target, lo, end) - s
+    off = 0
+    for pos, dl, _ in w.corr:
+        seg_end = pos + 1             # dl applies strictly after pos
+        if seg_end > lo:
+            hi = seg_end if seg_end < end else end
+            k = cut(pend0_l, target - off, lo, hi)
+            if k < hi:
+                return k - s
+            lo = hi
+            if lo >= end:
+                return w.length
+        off += dl
+    return cut(pend0_l, target - off, lo, end) - s
+
+
+def _advance(c, w, k):
+    """Mark the prefix up to relative index ``k`` committed.
+
+    Applies only the remotely-observable in-window effect — the silent
+    E->M upgrade of each written line — and moves the commit point.
+    Everything else (L1 contents, L2 LRU, clock, stats) is invisible to
+    other CPUs and lands once, in ``_commit``.
+    """
+    i = w.wpos_i
+    hi_idx = w.wpos_hi
+    if i < hi_idx:
+        hi = w.s + k
+        wpos = c.wpos_list
+        entries = c.entries
+        block2_l = c.block2_l
+        while i < hi_idx:
+            p = wpos[i]
+            if p >= hi:
+                break
+            entries[block2_l[p]].state = _M
+            i += 1
+        w.wpos_i = i
+    w.applied = k
+    if k >= w.length:
+        w.next_pend = None
+    elif w.corr:
+        w.next_pend = _pend(c, w, w.s + k)
+    else:
+        w.next_pend = c.pend0_l[w.s + k] + w.delta
+
+
+def _commit(c, w):
+    """Materialize a finished window ``[s, s + length)`` and retire it.
+
+    ``length`` may have been truncated below the detected extent; the
+    next-occurrence arrays locate each touched L1 set's / L2 line's
+    last committed access for whatever the final cutoff is.
+    """
+    k = w.length
+    s = w.s
+    if k:
+        if w.applied < k:
+            _advance(c, w, k)
+        e = s + k
+        set1_l = c.set1_l
+        block2_l = c.block2_l
+        entries = c.entries
+        base2 = w.base2
+        if k <= _SMALL:
+            next1_l = c.next1_l
+            next2_l = c.next2_l
+            next12_l = c.next12_l
+            for i in range(s, e):
+                if next12_l[i] < e:   # not the last window touch of
+                    continue          # its L1 set or its L2 line
+                if next1_l[i] >= e:
+                    _rebuild_set(c, w, set1_l[i], i)
+                if next2_l[i] >= e:
+                    block = block2_l[i]
+                    entry = entries[block]
+                    if entry is None:
+                        # The line was invalidated after the window's
+                        # last (committed) touch of it: the scalar
+                        # order wrote the LRU age first, on the object
+                        # that is now invalid but still resident. Find
+                        # it by tag, valid or not.
+                        entry = _l2_line_any(c, block)
+                        if entry is None:
+                            continue
+                    entry.last_used = base2 + (i - s) + 1
+        else:
+            for rel in (c.next1[s:e] >= e).nonzero()[0].tolist():
+                i = s + rel
+                _rebuild_set(c, w, set1_l[i], i)
+            for rel in (c.next2[s:e] >= e).nonzero()[0].tolist():
+                block = block2_l[s + rel]
+                entry = entries[block]
+                if entry is None:
+                    entry = _l2_line_any(c, block)
+                    if entry is None:
+                        continue
+                entry.last_used = base2 + rel + 1
+        c.l1._tick = w.base1 + k
+        c.l2._tick = base2 + k
+        dlat = 0
+        dhit = 0
+        for pos, dl, dh in w.corr:
+            if pos < e:
+                dlat += dl
+                dhit += dh
+        cum_lat_l = c.cum_lat_l
+        cum_hit_l = c.cum_hit_l
+        hits = cum_hit_l[e] - cum_hit_l[s] + dhit
+        c.clock = w.base_clock + cum_lat_l[e] - cum_lat_l[s] + dlat
+        c.n_l1 += hits
+        c.n_l2 += k - hits
+    c.cursor = s + k
+    c.window = None
+
+
+def _truncate(c, w, p):
+    """Shrink a standing window so position ``p`` becomes its boundary.
+
+    Called when an external event flipped position ``p`` (>= the
+    committed prefix) to unsafe, or re-routed through ``_commit`` when
+    an invalidation swept a touched L1 set. The prefix classification
+    stays valid; last touches are located at commit from whatever the
+    final cutoff is.
+    """
+    k = p - w.s
+    w.e = p
+    w.length = k
+    w.kind = _SLOW
+    w.bkey = (_pend(c, w, p) if w.corr
+              else c.pend0_l[p] + w.delta, c.id)
+    if w.applied >= k:
+        w.next_pend = None
+
+
+def _positions(c, block):
+    """All trace positions referencing an L2 block, ascending.
+
+    Backed by the memoized stable argsort of the block column, then
+    cached per block as a plain list (the lookups are trace-static and
+    hot lines recur across fixups).
+    """
+    positions = c.pos_cache.get(block)
+    if positions is None:
+        index = c.block_index
+        if index is None:
+            index = c.block_index = c.cols.block_order(c.l2_shift)
+        order, sorted_blocks = index
+        lo = int(sorted_blocks.searchsorted(block, side="left"))
+        hi = int(sorted_blocks.searchsorted(block, side="right"))
+        positions = c.pos_cache[block] = order[lo:hi].tolist()
+    return positions
+
+
+def _touches_set(c, w, set1):
+    """True when window ``w`` has an access to L1 set ``set1``."""
+    positions = c.setpos_cache.get(set1)
+    if positions is None:
+        index = c.set_index
+        if index is None:
+            order = c.cols.set_order(c.l1_shift, c.l1_nsets)
+            index = c.set_index = (order, c.set1_np[order])
+        order, sorted_sets = index
+        lo = int(sorted_sets.searchsorted(set1, side="left"))
+        hi = int(sorted_sets.searchsorted(set1, side="right"))
+        positions = c.setpos_cache[set1] = order[lo:hi].tolist()
+    a = bisect_left(positions, w.s)
+    return a < len(positions) and positions[a] < w.e
+
+
+def _force_commit_overlaps(cpus, line_address, requester):
+    """Pre-body hook for invalidating bus events.
+
+    The protocol body will invalidate ``line_address`` in remote L2s
+    and sweep the covering L1 sets (inclusion). Any standing window
+    that touches one of those sets must materialize its committed
+    prefix *first* so the sweep acts on post-access contents — the
+    scalar engine's order. The remainder of the window is discarded
+    (its L1 classification is stale); re-detection resumes from the
+    commit point with the swept sets' watermarks raised by the sweep
+    hook.
+    """
+    sample = cpus[0]
+    ratio = 1 << (sample.l2_shift - sample.l1_shift)
+    block1 = line_address >> sample.l1_shift
+    for c in cpus:
+        if c.id == requester:
+            continue
+        w = c.window
+        if w is None:
+            continue
+        nsets = c.l1_nsets
+        for offset in range(ratio):
+            if _touches_set(c, w, (block1 + offset) % nsets):
+                if w.applied < w.length:
+                    _truncate(c, w, w.s + w.applied)
+                _commit(c, w)
+                break
+
+
+def _fixup(cpus, recorded):
+    """Reconcile standing classifications with one event's effects.
+
+    ``recorded`` lists the line addresses the boundary event touched
+    (requester fetch/upgrade, remote downgrades/invalidations, fill
+    victims). For every CPU whose classified region contains such a
+    line: re-probe it and recompute the per-access safety at exactly
+    the positions that reference it. A standing window with a position
+    flipped to unsafe is truncated there — the flip becomes its new
+    boundary and executes through the always-correct scalar path.
+    """
+    sample = cpus[0]
+    l2_shift = sample.l2_shift
+    for line_address in dict.fromkeys(recorded):
+        block = line_address >> l2_shift
+        for c in cpus:
+            if block not in c.entries:
+                continue
+            entry = _probe_l2(c, block)
+            c.entries[block] = entry
+            w = c.window
+            lo = w.s + w.applied if w is not None else c.cursor
+            hi = c.safe_upto
+            if lo >= hi:
+                continue
+            if entry is not None and (entry.state is _M
+                                      or entry.state is _E):
+                # The event only made positions *safer*; marks are
+                # repaired lazily when detection next meets them.
+                continue
+            positions = _positions(c, block)
+            a = bisect_left(positions, lo)
+            b = bisect_left(positions, hi)
+            if a == b:
+                continue
+            safe = c.safe
+            unsafe = c.unsafe
+            first_flip = None
+            if entry is None:
+                for p in positions[a:b]:
+                    if safe[p]:
+                        safe[p] = False
+                        insort(unsafe, p)
+                        if first_flip is None:
+                            first_flip = p
+            else:
+                # Shared state: writes flipped unsafe now (a standing
+                # window may contain them); reads turn safe lazily.
+                writes_l = c.writes_l
+                for p in positions[a:b]:
+                    if writes_l[p] and safe[p]:
+                        safe[p] = False
+                        insort(unsafe, p)
+                        if first_flip is None:
+                            first_flip = p
+            if (w is not None and first_flip is not None
+                    and first_flip < w.e):
+                _truncate(c, w, first_flip)
+
+
+def _execute_boundary(system, c, pending):
+    """One access through the exact scalar semantics, on live state."""
+    i = c.cursor
+    is_write = c.writes_l[i] != 0
+    block2 = c.block2_l[i]
+    entry = None
+    ways2 = c.l2_sets.get(block2 % c.l2_nsets)
+    if ways2:
+        tag2 = block2 // c.l2_nsets
+        for line in ways2:
+            if line.tag == tag2 and line.state is not _I:
+                entry = line
+                break
+    if entry is None:
+        c.n_miss += 1
+        c.fill_line = block2 << c.l2_shift
+        clock = system._execute_miss(c.id, pending, is_write,
+                                     c.fill_line)
+        c.fill_line = -1
+        # The fill refilled L1 with the *L2-aligned* line. When the
+        # accessed address sits past the L2 line's first L1 block,
+        # this access did not leave its own L1 block resident (a
+        # neighboring set got a foreign line instead) — the one L1
+        # effect the static run model cannot represent. Treat it like
+        # a sweep: predictions relying on either touched set get
+        # live-probed.
+        fblock1 = block2 << (c.l2_shift - c.l1_shift)
+        if fblock1 != c.tag1_l[i] * c.l1_nsets + c.set1_l[i]:
+            _perturb(c, c.set1_l[i], i)
+            _perturb(c, fblock1 % c.l1_nsets, i)
+        return clock
+    l2 = c.l2
+    tick2 = l2._tick + 1
+    l2._tick = tick2
+    entry.last_used = tick2
+    if is_write:
+        state = entry.state
+        if state is _M or state is _E:
+            entry.state = _M          # silent E->M upgrade
+        else:
+            c.n_upg += 1
+            clock = system._execute_upgrade(c.id, pending,
+                                            block2 << c.l2_shift)
+            # The upgrade path never touches L1 (no refill, no LRU
+            # tick) — another boundary effect outside the static run
+            # model; probe anything in this set that relies on it.
+            _perturb(c, c.set1_l[i], i)
+            return clock
+    l1 = c.l1
+    set1 = c.set1_l[i]
+    tag1 = c.tag1_l[i]
+    ways1 = c.l1_sets.get(set1)
+    tick1 = l1._tick + 1
+    l1._tick = tick1
+    hit = None
+    if ways1:
+        for line in ways1:
+            if line.tag == tag1 and line.state is not _I:
+                hit = line
+                break
+    if hit is not None:
+        hit.last_used = tick1
+        c.n_l1 += 1
+        return pending + c.lat1
+    if ways1 is None:
+        ways1 = c.l1_sets[set1] = []
+    revived = False
+    for line in ways1:
+        if line.tag == tag1:
+            line.state = _S
+            line.last_used = tick1
+            revived = True
+            break
+    if not revived:
+        if len(ways1) >= c.l1_assoc:
+            evict = None
+            evict_key = None
+            for line in ways1:
+                key = (line.state is not _I, line.last_used)
+                if evict_key is None or key < evict_key:
+                    evict_key = key
+                    evict = line
+            ways1.remove(evict)
+        ways1.append(CacheLine(tag1, _S, tick1))
+    c.n_l2 += 1
+    return pending + c.lat2
+
+
+def _run_rounds(system, cpus, recorded):
+    """The round loop; see the module docstring's execution model."""
+    while True:
+        for c in cpus:
+            if c.window is None and c.cursor < c.n:
+                _detect(c)
+        boundary_key = None
+        boundary_cpu = None
+        for c in cpus:
+            w = c.window
+            if w is not None and w.bkey is not None and (
+                    boundary_key is None or w.bkey < boundary_key):
+                boundary_key = w.bkey
+                boundary_cpu = c
+        if boundary_key is None:
+            # Every remaining window runs to its trace end: no more
+            # bus-visible events anywhere, commit everything.
+            for c in cpus:
+                if c.window is not None:
+                    _commit(c, c.window)
+            return
+        cycle, owner = boundary_key
+        for c in cpus:
+            w = c.window
+            if w is None or c is boundary_cpu:
+                continue
+            pend = w.next_pend
+            if pend is None or pend > cycle or (pend == cycle
+                                                and c.id > owner):
+                continue
+            k = _search_pend(c, w, cycle, c.id < owner)
+            if k > w.applied:
+                _advance(c, w, k)
+        w = boundary_cpu.window
+        _commit(boundary_cpu, w)
+        if w.kind == _SLOW:
+            boundary_cpu.clock = _execute_boundary(system, boundary_cpu,
+                                                   cycle)
+            boundary_cpu.cursor += 1
+            if recorded:
+                _fixup(cpus, recorded)
+                del recorded[:]
+        # _CAPPED: fully committed above; simply re-detect next round.
+
+
+def run_vector(system, workload: Workload) -> SimulationResult:
+    """Execute ``workload`` on ``system``; see module docstring."""
+    if workload.num_cpus > system.config.num_processors:
+        raise SimulationError(
+            f"workload has {workload.num_cpus} traces but the machine "
+            f"has {system.config.num_processors} processors")
+    num_cpus = workload.num_cpus
+    cpus = [_Cpu(system, cpu_id, workload.accesses_for(cpu_id))
+            for cpu_id in range(num_cpus)]
+
+    # Record which lines each boundary event touches, so _fixup can
+    # reconcile standing windows precisely instead of re-classifying.
+    # The three protocol methods cover the requester's own line and
+    # every remote downgrade/invalidation (nested memprotect node
+    # fetches included, they use the same entry points); the fill
+    # wrapper adds L2 eviction victims. Invalidating events force
+    # overlapped windows to materialize *before* the body runs (see
+    # _force_commit_overlaps), and every inclusion sweep bumps the
+    # swept L1 sets' perturbation watermarks. Instance attributes shadow the
+    # class methods and are removed in the finally block.
+    recorded = []
+    record = recorded.append
+    protocol = system.protocol
+    orig_read = protocol.bus_read
+    orig_read_exclusive = protocol.bus_read_exclusive
+    orig_upgrade = protocol.bus_upgrade
+
+    def bus_read(requester, line_address):
+        record(line_address)
+        return orig_read(requester, line_address)
+
+    def bus_read_exclusive(requester, line_address):
+        record(line_address)
+        _force_commit_overlaps(cpus, line_address, requester)
+        return orig_read_exclusive(requester, line_address)
+
+    def bus_upgrade(requester, line_address):
+        record(line_address)
+        _force_commit_overlaps(cpus, line_address, requester)
+        return orig_upgrade(requester, line_address)
+
+    protocol.bus_read = bus_read
+    protocol.bus_read_exclusive = bus_read_exclusive
+    protocol.bus_upgrade = bus_upgrade
+    wrapped = []
+    for c in cpus:
+        hierarchy = system.hierarchies[c.id]
+
+        def fill(line_address, state, _c=c, _orig=hierarchy.fill):
+            victim = _orig(line_address, state)
+            if victim is not None:
+                # Only the filling CPU's own caches change, and it
+                # never holds a window during its own event.
+                record(victim[0])
+            if line_address != _c.fill_line:
+                # A fill the trace does not contain: a nested hash-tree
+                # node fetch (memprotect) inserted a foreign L1 line —
+                # invisible to the static run model, so live-probe
+                # anything in that set relying on state up to this
+                # boundary.
+                _perturb(_c, (line_address >> _c.l1_shift)
+                         % _c.l1_nsets, _c.cursor)
+            return victim
+
+        def sweep(l2_line_address, _c=c,
+                  _orig=hierarchy._enforce_inclusion):
+            # An inclusion sweep invalidates every L1 line covering the
+            # L2 line — an effect the trace's run structure cannot
+            # predict: raise the swept sets' watermarks so predictions
+            # relying on older history get live-probed. With no live
+            # window the sweep runs inside the CPU's own boundary — a
+            # posted memprotect write-back can evict even the boundary
+            # access's own line, so the watermark covers the boundary
+            # position itself.
+            w = _c.window
+            pos = (w.s + w.applied - 1 if w is not None
+                   else _c.cursor)
+            block1 = l2_line_address >> _c.l1_shift
+            nsets = _c.l1_nsets
+            for off in range(1 << (_c.l2_shift - _c.l1_shift)):
+                _perturb(_c, (block1 + off) % nsets, pos)
+            return _orig(l2_line_address)
+
+        def l1_insert(address, state, _c=c, _orig=hierarchy.l1.insert):
+            # Only memprotect's node writes refill L1 directly during
+            # a vector run (window hits never execute); the inserted
+            # node line may evict a data line the run model relies on.
+            _perturb(_c, (address >> _c.l1_shift) % _c.l1_nsets,
+                     _c.cursor)
+            return _orig(address, state)
+
+        hierarchy.fill = fill
+        hierarchy._enforce_inclusion = sweep
+        hierarchy.l1.insert = l1_insert
+        wrapped.append(hierarchy)
+    try:
+        _run_rounds(system, cpus, recorded)
+    finally:
+        for name in ("bus_read", "bus_read_exclusive", "bus_upgrade"):
+            protocol.__dict__.pop(name, None)
+        for hierarchy in wrapped:
+            hierarchy.__dict__.pop("fill", None)
+            hierarchy.__dict__.pop("_enforce_inclusion", None)
+            hierarchy.l1.__dict__.pop("insert", None)
+
+    stats = system.stats
+    for c in cpus:
+        prefix = system.hierarchies[c.id]._prefix
+        if c.n_l1:
+            stats.add(prefix + "l1_hit", c.n_l1)
+        if c.n_l2:
+            stats.add(prefix + "l2_hit", c.n_l2)
+        if c.n_miss:
+            stats.add(prefix + "l2_miss", c.n_miss)
+        if c.n_upg:
+            stats.add(prefix + "upgrade_needed", c.n_upg)
+
+    clocks = [c.clock for c in cpus]
+    if system._obs is not None:
+        system._obs.on_run_end(workload.name, clocks)
+    return SimulationResult(
+        workload=workload.name,
+        num_cpus=num_cpus,
+        cycles=max(clocks) if clocks else 0,
+        per_cpu_cycles=clocks,
+        stats=stats.as_dict(),
+    )

@@ -1,0 +1,188 @@
+"""Cross-backend equivalence and fallback (DESIGN.md §6f).
+
+The vector engine's contract is *bit-identical* simulation: cycles,
+per-CPU cycles and the full statistics dict must match the scalar
+engine on every machine flavour. Three layers of defence:
+
+- the miss-heavy golden capture (``golden_missheavy.json``) replayed
+  under the vector backend — the backend cannot drift from the pinned
+  pre-streamlining semantics either;
+- hypothesis-randomized traces (unaligned addresses, shared lines,
+  mixed read/write) compared scalar-vs-vector across baseline, senss
+  and memprotect-integrated machines and across L1 geometries,
+  including direct-mapped and associativity > 2;
+- registry behaviour: ``auto`` resolution, the ``REPRO_ENGINE``
+  override, and the no-numpy fallback (``auto`` silently selects
+  scalar, an explicit ``vector`` raises ``SimulationError``).
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import KB, CacheConfig, e6000_config
+from repro.errors import ConfigError, SimulationError
+from repro.sim.sweep import build_system
+from repro.smp.engine import (ENGINE_BACKENDS, ENGINE_CHOICES,
+                              default_backend, numpy_available,
+                              resolve_backend)
+from repro.smp.trace import MemoryAccess, Workload
+from repro.workloads.registry import generate
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="vector backend requires numpy")
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent.parent / "data"
+     / "golden_missheavy.json").read_text())
+
+
+def golden_config(kind: str):
+    config = e6000_config(num_processors=GOLDEN["num_cpus"],
+                          senss_enabled=(kind != "baseline"))
+    config = config.with_l2_size(GOLDEN["l2_kb"] * KB)
+    if kind == "integrated":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True)
+    return config
+
+
+def result_key(result):
+    return (result.cycles, tuple(result.per_cpu_cycles),
+            tuple(sorted(result.stats.items())))
+
+
+# -- golden captures under the vector backend ---------------------------
+
+@requires_numpy
+@pytest.mark.parametrize("kind", ["baseline", "senss", "integrated"])
+def test_golden_missheavy_vector(kind):
+    """The vector backend reproduces the pinned goldens exactly."""
+    workload = generate(GOLDEN["workload"], GOLDEN["num_cpus"],
+                        scale=GOLDEN["scale"], seed=0)
+    config = golden_config(kind).with_engine("vector")
+    system = build_system(config)
+    assert system.engine_backend == "vector"
+    result = system.run(workload)
+    expected = GOLDEN["runs"][f"{kind}|0"]
+    assert result.cycles == expected["cycles"], kind
+    assert list(result.per_cpu_cycles) == expected["per_cpu_cycles"]
+
+
+# -- randomized cross-backend equivalence -------------------------------
+
+GEOMETRIES = {
+    "l1_2way": None,                        # default 64K 2-way
+    "l1_direct": CacheConfig(32 * KB, 1, 32, 2),
+    "l1_4way": CacheConfig(8 * KB, 4, 32, 2),
+}
+
+access_strategy = st.builds(
+    MemoryAccess,
+    is_write=st.booleans(),
+    # A small line pool plus unaligned byte offsets: heavy set reuse,
+    # shared lines across CPUs, and both L1 geometric aliasing cases.
+    address=st.builds(lambda line, off: line * 32 + off,
+                      st.integers(0, 255), st.integers(0, 31)),
+    gap=st.integers(0, 3))
+
+trace_strategy = st.lists(
+    st.lists(access_strategy, min_size=1, max_size=300),
+    min_size=1, max_size=3)
+
+
+@requires_numpy
+@pytest.mark.parametrize("geometry", sorted(GEOMETRIES))
+@pytest.mark.parametrize("flavour", ["baseline", "senss", "integrated"])
+@given(traces=trace_strategy)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_backends_bit_identical(geometry, flavour, traces):
+    """Scalar and vector agree on cycles, per-CPU cycles and stats."""
+    config = e6000_config(num_processors=len(traces),
+                          senss_enabled=(flavour != "baseline"))
+    if flavour == "integrated":
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True)
+    if GEOMETRIES[geometry] is not None:
+        from dataclasses import replace
+        config = replace(config, l1=GEOMETRIES[geometry])
+    workload = Workload("randomized", traces, validate=False)
+    scalar = build_system(config.with_engine("scalar")).run(workload)
+    vector = build_system(config.with_engine("vector")).run(workload)
+    assert result_key(scalar) == result_key(vector)
+
+
+# -- registry resolution ------------------------------------------------
+
+def test_registry_shape():
+    assert ENGINE_BACKENDS == ("scalar", "vector")
+    assert set(ENGINE_CHOICES) == {"auto", "scalar", "vector"}
+
+
+def test_explicit_scalar_resolves():
+    name, impl = resolve_backend("scalar")
+    assert name == "scalar" and callable(impl)
+
+
+def test_invalid_choice_rejected():
+    with pytest.raises(ConfigError):
+        resolve_backend("simd")
+    with pytest.raises(ConfigError):
+        e6000_config().with_engine("simd")
+
+
+@requires_numpy
+def test_auto_prefers_vector(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert default_backend() == "vector"
+    system = build_system(e6000_config())
+    assert system.engine_backend == "vector"
+
+
+def test_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "scalar")
+    assert default_backend() == "scalar"
+    assert resolve_backend("auto")[0] == "scalar"
+    # The override steers auto only; explicit choices win.
+    if numpy_available():
+        assert resolve_backend("vector")[0] == "vector"
+    monkeypatch.setenv("REPRO_ENGINE", "bogus")
+    with pytest.raises(ConfigError):
+        default_backend()
+
+
+# -- no-numpy fallback --------------------------------------------------
+
+def test_auto_without_numpy_selects_scalar(monkeypatch):
+    import repro.smp.engine as engine
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    monkeypatch.setattr(engine, "numpy_available", lambda: False)
+    assert engine.default_backend() == "scalar"
+    name, _ = engine.resolve_backend("auto")
+    assert name == "scalar"
+    workload = generate("fft", 2, scale=0.02, seed=0)
+    config = e6000_config(num_processors=2)
+    system = build_system(config)   # engine: auto
+    assert system.engine_backend == "scalar"
+    assert system.run(workload).cycles > 0
+
+
+def test_vector_without_numpy_raises(monkeypatch):
+    """An explicit vector request without numpy fails loudly."""
+    # Simulate an environment without numpy: evict the vector module
+    # so resolve_backend must re-import it, and make ``import numpy``
+    # fail (None in sys.modules raises ImportError on import).
+    monkeypatch.delitem(sys.modules, "repro.smp.vectorpath",
+                        raising=False)
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    with pytest.raises(SimulationError, match="numpy"):
+        resolve_backend("vector")
+    # auto degrades silently in the same environment.
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    name, _ = resolve_backend("auto")
+    assert name in ENGINE_BACKENDS
