@@ -12,17 +12,21 @@ recorded pre-fastpath engine:
   dominated by the slow path (coherence protocol, bus arbitration,
   security layers), the target of the DESIGN.md §6c streamlining.
 
-It also records **per-backend points** (DESIGN.md §6f): the scalar
-and vector engines on the same hit-heavy and miss-heavy baseline
-machines, asserting the backends simulate bit-identical cycles and
-recording each backend's throughput (and the vector/scalar ratio) so
-either backend regressing is caught. When numpy is unavailable the
-vector rows are skipped — the committed report still carries them,
-and the ``--check`` comparison only walks points present in both.
-The legacy config sections are pinned to the scalar backend so the
-longitudinal time-series (and seed-speedup columns) keep one meaning
-whether or not numpy is installed; ``backends.*`` is where backend
-choice is the variable.
+It also records **per-backend points** (DESIGN.md §6f): the scalar,
+vector and ``auto`` engines on the same hit-heavy and miss-heavy
+baseline machines, asserting the backends simulate bit-identical
+cycles and recording each backend's throughput (and the ratios vs
+scalar) so either backend regressing is caught. The ``auto`` row
+exercises the workload-probing dispatcher: on miss-heavy points it
+must fall back to scalar, and ``auto_vs_scalar`` is gated at
+``AUTO_MIN_VS_SCALAR`` so the probe itself staying cheap is what CI
+enforces. When numpy is unavailable the vector/auto rows are skipped
+— the committed report still carries them, and the ``--check``
+comparison only walks points present in both. The legacy config
+sections are pinned to the scalar backend so the longitudinal
+time-series (and seed-speedup columns) keep one meaning whether or
+not numpy is installed; ``backends.*`` is where backend choice is
+the variable.
 
 Run directly (``python benchmarks/bench_perf_engine.py --check``) the
 module is a regression gate instead of a pytest bench: it re-measures
@@ -30,13 +34,27 @@ the throughput points fresh (six config points plus the per-backend
 points) and compares them against the committed
 ``BENCH_engine.json``, failing if any point slowed down by more than
 ``--threshold`` percent (default 25). The committed file's own scale
-is reused so the comparison is like-for-like.
+is reused so the comparison is like-for-like. Two absolute gates ride
+along: the committed miss-heavy ``auto_vs_scalar`` ratio must clear
+its floor, and when the committed report carries a ``serving``
+section the warm/cold speedup is re-measured fresh and gated at
+``SERVING_MIN_SPEEDUP``.
 
 It also records an **observability** point (DESIGN.md §6d): the
-miss-heavy senss machine with and without a ``repro.obs.Tracer``
-attached, asserting the untraced run pays no measurable overhead for
-the observer hooks (budget: 2%) and that tracing leaves simulated
-cycles bit-identical.
+miss-heavy senss machine untraced, with a full ``repro.obs.Tracer``
+attached, and with a category-filtered tracer (senss+memprotect
+only), asserting the untraced run pays no measurable overhead for
+the observer hooks (budget: 2%), that filtering lands under the
+full-tracing cost, and that tracing leaves simulated cycles
+bit-identical either way.
+
+Finally it records a **serving** point (docs/serving.md): the same
+sweep submitted ``SERVING_SUBMISSIONS`` times, cold (a fresh
+``run_sweep`` pool per client, no cache) vs warm (one persistent
+``repro.serve`` server over localhost HTTP, warm worker pool and
+shared result cache, alternating tenants). Results must be
+bit-identical between the two paths and the warm speedup is gated
+at ``SERVING_MIN_SPEEDUP``.
 
 Reference throughputs were measured on the seed engine (linear-scan
 scheduler, per-access NamedTuples, StatsRegistry on the hot path) on
@@ -76,6 +94,17 @@ SEED_THROUGHPUT = {
     "senss": 176465,
     "integrated": 189117,
 }
+
+#: the auto dispatcher may cost at most the workload probe vs an
+#: explicit scalar pin on miss-heavy points (gated by --check).
+AUTO_MIN_VS_SCALAR = 0.9
+#: the warm server must beat cold per-client sweeps by at least this
+#: factor on repeated submissions (gated by --check).
+SERVING_MIN_SPEEDUP = 3.0
+SERVING_SUBMISSIONS = 3
+SERVING_SEEDS = 4
+SERVING_CPUS = 2
+SERVING_WORKERS = 2
 
 
 def integrated_config() -> SystemConfig:
@@ -119,17 +148,22 @@ def missheavy_configs():
 def measure_backends(config, bench_workload) -> dict:
     """One per-backend section: each engine timed on the same machine.
 
-    Returns ``{"scalar": {...}, "vector": {...}, "vector_speedup": r}``
-    (vector entries absent without numpy). Simulated cycles must be
-    bit-identical across backends — that is the vector engine's
-    contract, and a throughput table comparing diverging simulations
-    would be meaningless.
+    Returns ``{"scalar": {...}, "vector": {...}, "auto": {...},
+    "vector_speedup": r, "auto_vs_scalar": r}`` (vector/auto entries
+    absent without numpy). Simulated cycles must be bit-identical
+    across backends — that is the vector engine's contract, and a
+    throughput table comparing diverging simulations would be
+    meaningless. The ``auto`` row times the workload-probing
+    dispatcher (DESIGN.md §6f): on hit-heavy points it should track
+    vector, on miss-heavy points it must fall back to scalar and
+    cost no more than the probe — ``auto_vs_scalar`` is the gated
+    ratio (:data:`AUTO_MIN_VS_SCALAR`).
     """
     from repro.smp.engine import numpy_available
 
     backends = ["scalar"]
     if numpy_available():
-        backends.append("vector")
+        backends.extend(["vector", "auto"])
     section = {}
     for backend in backends:
         section[backend] = measure(config.with_engine(backend),
@@ -140,7 +174,94 @@ def measure_backends(config, bench_workload) -> dict:
         section["vector_speedup"] = round(
             section["vector"]["accesses_per_second"]
             / section["scalar"]["accesses_per_second"], 2)
+    if "auto" in section:
+        assert section["auto"]["cycles"] == \
+            section["scalar"]["cycles"], section
+        section["auto_vs_scalar"] = round(
+            section["auto"]["accesses_per_second"]
+            / section["scalar"]["accesses_per_second"], 2)
     return section
+
+
+def measure_serving(scale: float) -> dict:
+    """Warm-server vs cold-client throughput on repeated sweeps.
+
+    **Cold**: each of ``SERVING_SUBMISSIONS`` clients runs the same
+    sweep through :func:`run_sweep` with a fresh worker pool and no
+    cache — the pre-service topology, paying interpreter spawn +
+    imports + warmup per client. **Warm**: one ``repro.serve`` server
+    (warm pool booted outside the timed region — that is the point:
+    it survives across jobs) takes the same submissions over HTTP
+    from two alternating tenants; the first executes once on the warm
+    pool, the rest are served from the shared cache/dedup path.
+    ``warm_speedup`` is the gated ratio
+    (:data:`SERVING_MIN_SPEEDUP`).
+    """
+    import asyncio
+    import tempfile
+    import threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.http import ServeHTTP
+    from repro.serve.scheduler import Scheduler
+    from repro.sim.sweep import ResultCache, SweepPoint, run_sweep
+
+    config = baseline_config(SERVING_CPUS, L2_MB)
+    points = [SweepPoint(WORKLOAD, config, scale=scale, seed=seed)
+              for seed in range(SERVING_SEEDS)]
+    total_points = len(points) * SERVING_SUBMISSIONS
+
+    start = time.perf_counter()
+    cold_results = None
+    for _ in range(SERVING_SUBMISSIONS):
+        cold_results = run_sweep(points, cache=None, parallel=True,
+                                 max_workers=SERVING_WORKERS)
+    cold_s = time.perf_counter() - start
+
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        async def boot():
+            scheduler = Scheduler(cache=ResultCache(cache_dir),
+                                  max_workers=SERVING_WORKERS)
+            await scheduler.start()
+            return await ServeHTTP(scheduler, port=0).start()
+
+        server = asyncio.run_coroutine_threadsafe(
+            boot(), loop).result(timeout=120)
+        client = ServeClient(port=server.port)
+        warm_results = None
+        start = time.perf_counter()
+        for index in range(SERVING_SUBMISSIONS):
+            tenant = "alice" if index % 2 == 0 else "bob"
+            job = client.submit(points, tenant=tenant)
+            client.wait(job["id"])
+            warm_results = client.results(job["id"])
+        warm_s = time.perf_counter() - start
+        asyncio.run_coroutine_threadsafe(server.drain(),
+                                         loop).result(timeout=60)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+
+    # Serving is only a win if it serves the same simulation.
+    for served, direct in zip(warm_results, cold_results):
+        assert served.cycles == direct.cycles, (served, direct)
+        assert served.stats == direct.stats, (served, direct)
+
+    cold_pps = total_points / cold_s
+    warm_pps = total_points / warm_s
+    return {
+        "workload": WORKLOAD, "num_cpus": SERVING_CPUS,
+        "scale": scale, "points_per_submission": len(points),
+        "submissions": SERVING_SUBMISSIONS,
+        "workers": SERVING_WORKERS,
+        "cold": {"seconds": round(cold_s, 4),
+                 "points_per_second": round(cold_pps, 2)},
+        "warm": {"seconds": round(warm_s, 4),
+                 "points_per_second": round(warm_pps, 2)},
+        "warm_speedup": round(warm_pps / cold_pps, 2),
+    }
 
 
 def test_engine_throughput(benchmark, emit):
@@ -208,12 +329,14 @@ def test_engine_throughput(benchmark, emit):
     }
     rows = []
     for point, section in report["backends"].items():
-        for backend in ("scalar", "vector"):
+        for backend in ("scalar", "vector", "auto"):
             measured = section.get(backend)
             if measured is None:
                 continue
-            ratio = (f"{section['vector_speedup']:.2f}x"
-                     if backend == "vector" else "1.00x")
+            ratio = {"scalar": "1.00x",
+                     "vector": f"{section.get('vector_speedup', 1):.2f}x",
+                     "auto": f"{section.get('auto_vs_scalar', 1):.2f}x",
+                     }[backend]
             rows.append([point, backend,
                          f"{measured['accesses_per_second']:,}",
                          f"{measured['seconds']:.3f}", ratio])
@@ -223,6 +346,13 @@ def test_engine_throughput(benchmark, emit):
         ["point", "backend", "accesses/s", "seconds", "vs scalar"],
         rows)
     emit(table)
+
+    # The workload probe must keep auto off the vector path on
+    # miss-heavy points: paying the probe is fine, paying the 0.4x
+    # vector slowdown is the regression this gate exists for.
+    miss_auto = report["backends"]["miss_heavy"].get("auto_vs_scalar")
+    if miss_auto is not None:
+        assert miss_auto >= AUTO_MIN_VS_SCALAR, report["backends"]
 
     # Observability point (DESIGN.md §6d): the observer hooks must be
     # ~free when no tracer is attached, and attaching one must not
@@ -235,18 +365,27 @@ def test_engine_throughput(benchmark, emit):
     # mode order rotates each repeat: allocator/cache drift within
     # the process is monotonic, so a fixed order would systematically
     # tax whichever mode runs later in the triple.
+    # The "filtered" mode measures per-category filtering (DESIGN.md
+    # §6d): a tracer recording only the senss/memprotect categories
+    # never hooks the bus, so the engine keeps its scratch-transaction
+    # route — most of the full-tracing cost on miss-heavy runs.
     from repro.obs import Tracer
     senss_small = missheavy_configs()["senss"]
     accesses = missheavy_workload.total_accesses
-    modes = ("ref", "off", "on")
+    modes = ("ref", "off", "on", "filtered")
+    filtered_categories = frozenset({"senss", "memprotect"})
     best, cycles = {}, {}
-    traced_events = 0
+    traced_events = filtered_events = 0
     for repeat in range(REPEATS):
         shift = repeat % len(modes)
         for mode in modes[shift:] + modes[:shift]:
             system = build_system(senss_small)
             if mode == "on":
                 tracer = Tracer(capacity=1 << 20).attach(system)
+            elif mode == "filtered":
+                tracer = Tracer(capacity=1 << 20,
+                                categories=filtered_categories
+                                ).attach(system)
             # Drop the previous iteration's ring before timing — its
             # collection otherwise lands inside the next run.
             gc.collect()
@@ -257,10 +396,14 @@ def test_engine_throughput(benchmark, emit):
             cycles[mode] = result.cycles
             if mode == "on":
                 traced_events = tracer.ring.total_recorded
+            elif mode == "filtered":
+                filtered_events = tracer.ring.total_recorded
     rates = {mode: round(accesses / seconds)
              for mode, seconds in best.items()}
     disabled_pct = round((rates["ref"] / rates["off"] - 1) * 100, 2)
     tracing_pct = round((rates["off"] / rates["on"] - 1) * 100, 2)
+    filtered_pct = round(
+        (rates["off"] / rates["filtered"] - 1) * 100, 2)
     report["observability"] = {
         "workload": MISSHEAVY_WORKLOAD, "num_cpus": CPUS,
         "l2_kb": MISSHEAVY_L2_KB, "scale": BENCH_SCALE,
@@ -274,8 +417,15 @@ def test_engine_throughput(benchmark, emit):
                "accesses_per_second": rates["on"],
                "cycles": cycles["on"],
                "events_recorded": traced_events},
+        "filtered": {"accesses": accesses,
+                     "categories": sorted(filtered_categories),
+                     "seconds": round(best["filtered"], 4),
+                     "accesses_per_second": rates["filtered"],
+                     "cycles": cycles["filtered"],
+                     "events_recorded": filtered_events},
         "overhead_when_disabled_percent": disabled_pct,
         "tracing_overhead_percent": tracing_pct,
+        "filtered_overhead_percent": filtered_pct,
     }
     table = format_table(
         f"Observability overhead — senss, {MISSHEAVY_WORKLOAD}, "
@@ -283,13 +433,21 @@ def test_engine_throughput(benchmark, emit):
         ["mode", "accesses/s", "overhead"],
         [["hooks only (no tracer)", f"{rates['off']:,}",
           f"{disabled_pct:+.2f}%"],
-         ["tracer attached", f"{rates['on']:,}",
-          f"{tracing_pct:+.2f}%"]])
+         ["tracer attached (all categories)", f"{rates['on']:,}",
+          f"{tracing_pct:+.2f}%"],
+         ["tracer attached (senss,memprotect)",
+          f"{rates['filtered']:,}", f"{filtered_pct:+.2f}%"]])
     emit(table)
 
-    # Tracing never changes simulated time.
-    assert cycles["ref"] == cycles["off"] == cycles["on"]
+    # Tracing never changes simulated time — filtered or not.
+    assert cycles["ref"] == cycles["off"] == cycles["on"] \
+        == cycles["filtered"]
     assert disabled_pct <= 2.0, report["observability"]
+    # Filtering must recover most of the armed cost: a senss-only
+    # tracer skips the bus observer, so it has to land well under the
+    # full-tracing overhead.
+    assert filtered_pct <= tracing_pct, report["observability"]
+    assert filtered_events < traced_events, report["observability"]
 
     # Fault-hook point (docs/fault_injection.md): like the observer
     # hooks, the two fault-hook sites must be ~free when no injector
@@ -307,10 +465,11 @@ def test_engine_throughput(benchmark, emit):
         FaultSpec(FaultKind.DROP, never),
         FaultSpec(FaultKind.PAD_CORRUPT, never, cpu=0),
         FaultSpec(FaultKind.MERKLE_FLIP, never)))
+    fault_modes = ("ref", "off", "on")
     best, cycles = {}, {}
     for repeat in range(REPEATS):
-        shift = repeat % len(modes)
-        for mode in modes[shift:] + modes[:shift]:
+        shift = repeat % len(fault_modes)
+        for mode in fault_modes[shift:] + fault_modes[:shift]:
             system = build_system(integrated_small)
             if mode == "on":
                 FaultInjector(idle_plan).attach(system)
@@ -352,6 +511,29 @@ def test_engine_throughput(benchmark, emit):
     # A never-firing plan changes nothing and costs the noise floor.
     assert cycles["ref"] == cycles["off"] == cycles["on"]
     assert disabled_pct <= 2.0, report["fault_hooks"]
+
+    # Serving point (docs/serving.md): warm persistent server vs cold
+    # per-client run_sweep on repeated identical submissions — the
+    # workload repro.serve exists for. A smaller scale keeps the cold
+    # leg (which really spawns a fresh pool per client) affordable.
+    report["serving"] = measure_serving(BENCH_SCALE * 0.2)
+    serving = report["serving"]
+    table = format_table(
+        f"Simulation service — {serving['workload']}, "
+        f"{serving['num_cpus']}P, {serving['points_per_submission']} "
+        f"points x {serving['submissions']} submissions "
+        f"(points/s, {serving['workers']} workers)",
+        ["mode", "points/s", "seconds"],
+        [["cold run_sweep per client",
+          f"{serving['cold']['points_per_second']:,}",
+          f"{serving['cold']['seconds']:.3f}"],
+         ["warm server, shared cache",
+          f"{serving['warm']['points_per_second']:,}",
+          f"{serving['warm']['seconds']:.3f}"]])
+    emit(table)
+    emit(f"warm/cold speedup: {serving['warm_speedup']:.2f}x "
+         f"(floor {SERVING_MIN_SPEEDUP:g}x)")
+    assert serving["warm_speedup"] >= SERVING_MIN_SPEEDUP, serving
 
     out = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
@@ -476,11 +658,37 @@ def main(argv=None) -> int:
         if not ok:
             failures.append(label)
 
+    # Absolute gates travel with the committed report: the auto
+    # dispatcher must not have regressed below scalar on miss-heavy
+    # points, and a committed serving section must still clear the
+    # warm/cold floor when re-measured fresh.
+    miss_auto = committed.get("backends", {}).get(
+        "miss_heavy", {}).get("auto_vs_scalar")
+    if miss_auto is not None:
+        ok = miss_auto >= AUTO_MIN_VS_SCALAR
+        print(f"auto vs scalar (miss-heavy, committed): "
+              f"{miss_auto:.2f}x (floor {AUTO_MIN_VS_SCALAR:g}x)"
+              f"{'' if ok else '  << REGRESSION'}")
+        if not ok:
+            failures.append("backends/miss_heavy/auto_vs_scalar")
+
+    if args.check and "serving" in committed:
+        serving = measure_serving(
+            committed["serving"].get("scale", scale * 0.2))
+        ok = serving["warm_speedup"] >= SERVING_MIN_SPEEDUP
+        print(f"serving warm/cold speedup: "
+              f"{serving['warm_speedup']:.2f}x "
+              f"(committed {committed['serving']['warm_speedup']:.2f}x,"
+              f" floor {SERVING_MIN_SPEEDUP:g}x)"
+              f"{'' if ok else '  << REGRESSION'}")
+        if not ok:
+            failures.append("serving/warm_speedup")
+
     if not args.check:
         return 0
     if failures:
-        print(f"FAIL: {', '.join(failures)} slowed down more than "
-              f"{args.threshold:g}% vs {committed_path.name}")
+        print(f"FAIL: {', '.join(failures)} regressed vs "
+              f"{committed_path.name}")
         return 1
     print(f"OK: all configs within {args.threshold:g}% of "
           f"{committed_path.name}")

@@ -18,6 +18,12 @@ Commands
               recovery-policy detection matrix; see
               docs/fault_injection.md).
 ``workloads`` list available workload generators.
+``serve``     run the sweep service: async HTTP server with a
+              per-tenant fair queue, warm worker pool and shared
+              result cache (docs/serving.md).
+``submit``    submit a sweep job to a running server and optionally
+              follow its NDJSON progress stream.
+``jobs``      list a running server's jobs.
 """
 
 from __future__ import annotations
@@ -88,6 +94,12 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_machine_arguments(trace, default_scale=0.1)
     trace.add_argument("--capacity", type=int, default=65536,
                        help="event ring size (oldest events drop)")
+    trace.add_argument("--trace-categories", default=None,
+                       metavar="CATS",
+                       help="comma-separated event categories to "
+                            "record (bus,mem,senss,memprotect,run,"
+                            "faults; default all). Filtered runs only "
+                            "pay for what they record.")
     trace.add_argument("--out", default="trace.json",
                        help="output path ('-' for stdout)")
 
@@ -158,6 +170,46 @@ def _build_parser() -> argparse.ArgumentParser:
                              "leaves results bit-identical")
 
     commands.add_parser("workloads", help="list workload generators")
+
+    serve = commands.add_parser(
+        "serve", help="run the sweep service (docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = ephemeral, printed)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="warm worker-process count")
+    serve.add_argument("--cache-dir", default=".benchmarks/cache",
+                       metavar="PATH",
+                       help="shared result cache directory")
+    serve.add_argument("--max-queued", type=int, default=1024,
+                       metavar="N",
+                       help="per-tenant queued-point budget; a job "
+                            "that would exceed it is rejected whole "
+                            "with HTTP 429")
+    serve.add_argument("--no-warmup", action="store_true",
+                       help="skip the worker warmup pass")
+
+    submit = commands.add_parser(
+        "submit", help="submit a sweep job to a running server")
+    _add_machine_arguments(submit, default_scale=0.1)
+    submit.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="submit N points with seeds "
+                             "seed..seed+N-1")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--weight", type=int, default=1,
+                        help="fair-share weight (>=1)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8642)
+    submit.add_argument("--follow", action="store_true",
+                        help="stream NDJSON progress events until "
+                             "the job finishes and print a result "
+                             "table")
+
+    jobs = commands.add_parser(
+        "jobs", help="list a running server's jobs")
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, default=8642)
+    jobs.add_argument("--tenant", default=None)
     return parser
 
 
@@ -196,10 +248,13 @@ def _cmd_run(args) -> int:
 
 def _cmd_trace(args) -> int:
     from .obs import Tracer, to_chrome_trace, validate_chrome_trace
+    from .obs.tracer import parse_categories
 
     config, workload = _machine_inputs(args)
     system = build_secure_system(config)
-    tracer = Tracer(capacity=args.capacity).attach(system)
+    tracer = Tracer(capacity=args.capacity,
+                    categories=parse_categories(
+                        args.trace_categories)).attach(system)
     system.run(workload)
     payload = to_chrome_trace(tracer)
     # Self-check the export against the published schema before it
@@ -528,6 +583,105 @@ def _cmd_faults(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .serve.http import ServeHTTP
+    from .serve.scheduler import Scheduler
+    from .sim.sweep import ResultCache
+
+    async def main() -> None:
+        scheduler = Scheduler(cache=ResultCache(args.cache_dir),
+                              max_workers=args.workers,
+                              max_queued_per_tenant=args.max_queued,
+                              warmup=not args.no_warmup)
+        await scheduler.start()
+        server = await ServeHTTP(scheduler, args.host,
+                                 args.port).start()
+        print(f"repro serve listening on "
+              f"http://{args.host}:{server.port} "
+              f"({scheduler.max_workers} warm workers, "
+              f"cache {args.cache_dir})", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - win32
+                pass
+        await stop.wait()
+        print("draining: finishing accepted jobs...", file=sys.stderr)
+        await server.drain()
+        print("drained.", file=sys.stderr)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - no signal handler
+        pass
+    return 0
+
+
+def _submit_points(args):
+    from .sim.sweep import SweepPoint
+    if args.workload.endswith(".trace"):
+        raise SystemExit("submit needs a registry workload name; "
+                         ".trace files are local to this process")
+    config = e6000_config(num_processors=args.cpus, l2_mb=args.l2_mb,
+                          auth_interval=args.interval)
+    config = config.with_masks(args.masks or None)
+    config = config.with_engine(args.engine)
+    if args.memprotect:
+        config = config.with_memprotect(encryption_enabled=True,
+                                        integrity_enabled=True)
+    return [SweepPoint(args.workload, config, scale=args.scale,
+                       seed=args.seed + offset)
+            for offset in range(max(1, args.seeds))]
+
+
+def _cmd_submit(args) -> int:
+    from .serve.client import ServeClient
+
+    client = ServeClient(args.host, args.port)
+    job = client.submit(_submit_points(args), tenant=args.tenant,
+                        weight=args.weight)
+    print(f"{job['id']}: {job['points']} points queued as tenant "
+          f"{job['tenant']!r} (weight {job['weight']})",
+          file=sys.stderr)
+    if not args.follow:
+        print(job["id"])
+        return 0
+    for event in client.stream_events(job["id"]):
+        print(json.dumps(event, sort_keys=True))
+    final = client.job(job["id"])
+    rows = []
+    for index, result in enumerate(client.results(job["id"])):
+        rows.append([index, args.seed + index,
+                     f"{result.cycles:,}" if result else "-",
+                     f"{result.total_bus_transactions:,}"
+                     if result else "-"])
+    print(format_table(
+        f"{job['id']} — {args.workload}, {args.cpus}P "
+        f"[{final['state']}]",
+        ["point", "seed", "cycles", "bus tx"], rows),
+        file=sys.stderr)
+    return 0 if final["state"] == "done" else 1
+
+
+def _cmd_jobs(args) -> int:
+    from .serve.client import ServeClient
+
+    rows = []
+    for job in ServeClient(args.host, args.port).jobs(args.tenant):
+        rows.append([job["id"], job["tenant"], job["state"],
+                     f"{job['completed']}/{job['points']}",
+                     job["failed"] or ""])
+    print(format_table(f"jobs @ {args.host}:{args.port}",
+                       ["id", "tenant", "state", "done", "failed"],
+                       rows))
+    return 0
+
+
 def _cmd_workloads() -> int:
     for name in SPLASH2_NAMES:
         workload = generate(name, 2, scale=0.05)
@@ -557,6 +711,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_faults(args)
         if args.command == "workloads":
             return _cmd_workloads()
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "jobs":
+            return _cmd_jobs(args)
     except BrokenPipeError:
         # Output truncated by a closed pipe (e.g. `| head`): not an
         # error from the user's point of view.

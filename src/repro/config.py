@@ -23,7 +23,7 @@ All latencies are in CPU cycles of the 1 GHz clock unless noted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Optional
 
 from .errors import ConfigError
@@ -280,6 +280,65 @@ class SystemConfig:
         ]
         width = max(len(name) for name, _ in rows)
         return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+#: section name -> nested config dataclass, for wire round-trips
+_NESTED_SECTIONS = {
+    "l1": CacheConfig,
+    "l2": CacheConfig,
+    "bus": BusConfig,
+    "crypto": CryptoConfig,
+    "senss": SenssConfig,
+    "memprotect": MemProtectConfig,
+}
+
+
+def config_to_dict(config: SystemConfig) -> dict:
+    """Serialize a config to plain JSON-safe dicts (wire format).
+
+    The output round-trips through :func:`config_from_dict`; it is the
+    shape ``repro.serve`` jobs carry per sweep point.
+    """
+    return asdict(config)
+
+
+def _section_from_dict(cls, name: str, payload) -> object:
+    if not isinstance(payload, dict):
+        raise ConfigError(f"config section {name!r} must be an object, "
+                          f"got {type(payload).__name__}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ConfigError(f"config section {name!r} has unknown "
+                          f"fields {sorted(unknown)}")
+    return cls(**payload)
+
+
+def config_from_dict(payload: dict) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from its dict serialization.
+
+    Accepts partial dicts — omitted fields (and omitted nested
+    sections) take their defaults, so clients may send just the knobs
+    they changed. Unknown field names raise :class:`ConfigError`
+    (mapped to HTTP 400 by the service) rather than being silently
+    dropped: a typoed knob must not simulate the wrong machine.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError("config must be an object, "
+                          f"got {type(payload).__name__}")
+    allowed = {f.name for f in fields(SystemConfig)}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ConfigError(f"config has unknown fields {sorted(unknown)}")
+    kwargs = {}
+    for name, value in payload.items():
+        section = _NESTED_SECTIONS.get(name)
+        kwargs[name] = value if section is None else \
+            _section_from_dict(section, name, value)
+    try:
+        return SystemConfig(**kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"invalid config: {exc}") from None
 
 
 def e6000_config(num_processors: int = 4,

@@ -88,3 +88,27 @@ class GroupTableFull(ReproError):
 
 class TraceError(ReproError):
     """A malformed access trace was supplied to the simulator."""
+
+
+class ServeError(ReproError):
+    """A sweep-service request failed (repro.serve).
+
+    ``status`` is the HTTP status code the server maps the failure to;
+    the client re-raises the service's error body as this type, so
+    both sides of the wire speak one exception.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class BackpressureError(ServeError):
+    """A tenant's queued-point budget is exhausted (HTTP 429).
+
+    The whole job is rejected — the service never admits a job
+    partially — and the client should back off and resubmit.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, status=429)

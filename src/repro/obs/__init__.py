@@ -36,17 +36,19 @@ from .ring import EventKind, EventRing, TraceEvent
 from .schema import (TRACE_EVENT_SCHEMA, event_names,
                      validate_chrome_trace)
 from .timers import PhaseTimer
-from .tracer import Tracer
+from .tracer import TRACE_CATEGORIES, Tracer, parse_categories
 
 __all__ = [
     "EventKind",
     "EventRing",
     "PhaseTimer",
     "REPORT_SCHEMA_VERSION",
+    "TRACE_CATEGORIES",
     "TRACE_EVENT_SCHEMA",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "Tracer",
+    "parse_categories",
     "build_report",
     "event_names",
     "format_report",

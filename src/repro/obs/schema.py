@@ -73,6 +73,20 @@ TRACE_EVENT_SCHEMA: Dict[str, Dict[str, object]] = {
     "fault_detect": {"cat": "faults", "ph": "i",
                      "args": {"kind": str, "mechanism": str,
                               "latency_cycles": int}},
+    # sweep-service job lifecycle (repro.serve): the NDJSON stream a
+    # server emits per job reuses this schema as its wire format, so
+    # a captured stream loads directly in Perfetto. ts is µs since
+    # server start, pid the job serial, tid the point index.
+    "job_accepted": {"cat": "serve", "ph": "i",
+                     "args": {"job": str, "tenant": str,
+                              "points": int}},
+    "point_done": {"cat": "serve", "ph": "X",
+                   "args": {"index": int, "cycles": int,
+                            "source": str}},
+    "point_failed": {"cat": "serve", "ph": "i",
+                     "args": {"index": int, "error": str}},
+    "job_done": {"cat": "serve", "ph": "i",
+                 "args": {"job": str, "state": str}},
 }
 
 #: names allowed for phase-"M" track metadata events
@@ -90,6 +104,8 @@ ARG_ENUMS = {
                                "seq-corrupt", "merkle-flip"),
     ("fault_detect", "mechanism"): ("mac_interval", "spoof_self",
                                     "pad_coherence", "merkle_verify"),
+    ("point_done", "source"): ("executed", "cache", "dedup"),
+    ("job_done", "state"): ("done", "failed", "cancelled"),
 }
 
 

@@ -1,0 +1,128 @@
+"""Weighted fair queuing over tenants (virtual-time scheduling).
+
+The server must not let one chatty tenant starve everyone else: a
+tenant who submits a 500-point sweep and a tenant who submits 5
+points should both make progress, proportionally to their weights.
+This is classic weighted fair queuing, implemented with virtual
+finish times (stride scheduling):
+
+- each tenant carries a virtual time; popping one of its items
+  advances it by ``1 / weight``, so a weight-2 tenant's clock runs at
+  half speed and it is picked twice as often;
+- the queue always pops the active tenant with the smallest virtual
+  time (ties broken deterministically by tenant name);
+- a tenant that went idle and returns resumes at
+  ``max(own vtime, global vclock)`` — it does not accumulate credit
+  while idle and cannot monopolize the queue on return.
+
+The structure is a plain heap over active tenants plus one FIFO per
+tenant, so every operation is O(log tenants). Not thread-safe by
+design: the scheduler drives it from a single asyncio loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class _Tenant:
+    __slots__ = ("name", "weight", "vtime", "items", "in_heap")
+
+    def __init__(self, name: str, weight: int, vtime: float):
+        self.name = name
+        self.weight = weight
+        self.vtime = vtime
+        self.items: deque = deque()
+        self.in_heap = False
+
+
+class WeightedFairQueue:
+    """Per-tenant FIFOs drained in weighted virtual-time order."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, _Tenant] = {}
+        self._heap: List[Tuple[float, str]] = []
+        self._vclock = 0.0
+        self._size = 0
+
+    def push(self, tenant: str, item, weight: int = 1) -> None:
+        """Append ``item`` to ``tenant``'s FIFO (weight >= 1 applies
+        to this and subsequent pops)."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _Tenant(tenant, max(1, weight), self._vclock)
+            self._tenants[tenant] = state
+        else:
+            state.weight = max(1, weight)
+        if not state.in_heap:
+            # (Re-)activation: no credit for idle time, no penalty
+            # for having been fast earlier.
+            state.vtime = max(state.vtime, self._vclock)
+            heapq.heappush(self._heap, (state.vtime, tenant))
+            state.in_heap = True
+        state.items.append(item)
+        self._size += 1
+
+    def pop(self):
+        """Pop ``(tenant, item)`` from the lowest-vtime active tenant."""
+        while self._heap:
+            vtime, name = heapq.heappop(self._heap)
+            state = self._tenants[name]
+            if not state.items:
+                state.in_heap = False  # drained by remove(); skip
+                continue
+            item = state.items.popleft()
+            self._size -= 1
+            self._vclock = vtime
+            state.vtime = vtime + 1.0 / state.weight
+            if state.items:
+                heapq.heappush(self._heap, (state.vtime, name))
+            else:
+                state.in_heap = False
+            return name, item
+        raise IndexError("pop from an empty fair queue")
+
+    def remove(self, predicate: Callable[[object], bool]) -> int:
+        """Drop every queued item matching ``predicate``; returns how
+        many were dropped (job cancellation)."""
+        removed = 0
+        for state in self._tenants.values():
+            if not state.items:
+                continue
+            kept = deque(item for item in state.items
+                         if not predicate(item))
+            removed += len(state.items) - len(kept)
+            state.items = kept
+        self._size -= removed
+        return removed
+
+    def depth(self, tenant: str) -> int:
+        state = self._tenants.get(tenant)
+        return len(state.items) if state is not None else 0
+
+    def depths(self) -> Dict[str, int]:
+        """Queued-item count per tenant with a non-empty FIFO."""
+        return {name: len(state.items)
+                for name, state in sorted(self._tenants.items())
+                if state.items}
+
+    def drain(self) -> Iterator[Tuple[str, object]]:
+        """Pop everything, in fair order."""
+        while self._size:
+            yield self.pop()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def vclock(self) -> float:
+        return self._vclock
+
+    def weight_of(self, tenant: str) -> Optional[int]:
+        state = self._tenants.get(tenant)
+        return state.weight if state is not None else None

@@ -1,0 +1,417 @@
+"""The sweep-service scheduler: fair queue + warm pool + dedup.
+
+One :class:`Scheduler` owns all the serving state and is driven
+entirely from a single asyncio event loop:
+
+- **admission** — :meth:`Scheduler.submit` validates the per-tenant
+  queued-point budget (backpressure: a job that would exceed it is
+  rejected whole with :class:`~repro.errors.BackpressureError`,
+  HTTP 429) and enqueues every point on the weighted fair queue;
+- **dispatch** — whenever a worker slot is free, the point from the
+  lowest-virtual-time tenant is popped. Before costing a slot it is
+  checked against the shared :class:`~repro.sim.sweep.ResultCache`
+  (cross-job *and* cross-run reuse) and against the in-flight table
+  keyed on :func:`~repro.sim.sweep.point_key` (two tenants asking for
+  the same point share one execution — both get the result, and the
+  bill for the slot is paid once);
+- **execution** — points run on a **warm pool**: one
+  ``ProcessPoolExecutor`` created at :meth:`start` and reused for the
+  server's whole life, with warmup tasks that pre-import the
+  simulator in every worker, so repeated sweeps never pay interpreter
+  spawn + import + AES key-schedule startup again (the
+  ``serving`` section of ``BENCH_engine.json`` measures the win);
+- **completion** — results are stored in the cache (atomic publish;
+  see ResultCache) and fanned out to every subscribed job; a job
+  whose last point lands becomes ``done`` (or ``failed`` if any
+  point errored).
+
+Cancellation (:meth:`cancel`) drops the job's *queued* points and
+unsubscribes it from in-flight ones; an execution whose subscribers
+all cancelled still runs to completion and its result is cached —
+simulations are deterministic and paid-for work is worth keeping.
+:meth:`drain` stops admission (503), waits for every accepted job to
+reach a terminal state, then shuts the pool down.
+
+Progress is recorded per job as Chrome trace events (``cat:
+"serve"``, validated against ``TRACE_EVENT_SCHEMA``) — the NDJSON
+stream the HTTP layer serves is exactly this list.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import BackpressureError, ServeError
+from ..sim.sweep import ResultCache, SweepPoint, _run_point_timed, \
+    point_key
+from .fairqueue import WeightedFairQueue
+from .jobs import JobSpec, result_to_dict
+
+#: job lifecycle states (terminal: done / failed / cancelled)
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+def _warm_worker() -> int:
+    """Run one micro-simulation so the worker has imported every hot
+    module and built its first system before real points arrive."""
+    from ..config import SystemConfig
+    from ..sim.sweep import build_system
+    from ..workloads.registry import generate
+    workload = generate("fft", 1, scale=0.01, seed=0)
+    return build_system(SystemConfig(num_processors=1)).run(
+        workload).cycles
+
+
+class Job:
+    """One accepted submission and everything observable about it."""
+
+    def __init__(self, spec: JobSpec, serial: int):
+        self.id = f"job-{serial:06d}"
+        self.serial = serial
+        self.spec = spec
+        self.state = "queued"
+        count = len(spec.points)
+        self.results: List[Optional[dict]] = [None] * count
+        self.errors: List[Optional[str]] = [None] * count
+        self.pending = count
+        self.created_s = time.time()
+        self.started_s: Optional[float] = None
+        self.finished_s: Optional[float] = None
+        self.events: List[dict] = []
+        self.new_event = asyncio.Event()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for result in self.results if result is not None)
+
+    def describe(self) -> dict:
+        return {
+            "id": self.id,
+            "tenant": self.spec.tenant,
+            "weight": self.spec.weight,
+            "state": self.state,
+            "points": len(self.spec.points),
+            "completed": self.completed,
+            "failed": sum(1 for error in self.errors
+                          if error is not None),
+            "created_s": round(self.created_s, 3),
+            "started_s": None if self.started_s is None
+            else round(self.started_s, 3),
+            "finished_s": None if self.finished_s is None
+            else round(self.finished_s, 3),
+        }
+
+
+class _QueuedPoint:
+    """One (job, point index) awaiting dispatch or an in-flight result."""
+
+    __slots__ = ("job", "index", "point", "key")
+
+    def __init__(self, job: Job, index: int, point: SweepPoint,
+                 key: str):
+        self.job = job
+        self.index = index
+        self.point = point
+        self.key = key
+
+
+class _Execution:
+    """One running point and the (job, index) pairs wanting its result."""
+
+    __slots__ = ("key", "point", "subscribers", "started_us")
+
+    def __init__(self, key: str, point: SweepPoint, started_us: int):
+        self.key = key
+        self.point = point
+        self.subscribers: Set[Tuple[Job, int]] = set()
+        self.started_us = started_us
+
+
+class Scheduler:
+    """Fair-queued, deduplicating executor of sweep jobs.
+
+    ``executor``/``runner`` are injectable for tests (a thread pool
+    plus a controllable runner gives deterministic contention); the
+    production path is a warm ``ProcessPoolExecutor`` running
+    :func:`repro.sim.sweep._run_point_timed`.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 max_workers: int = 2,
+                 max_queued_per_tenant: int = 1024,
+                 executor=None, runner=None, warmup: bool = True):
+        self.cache = cache
+        self.max_workers = max(1, max_workers)
+        self.max_queued_per_tenant = max_queued_per_tenant
+        self.queue = WeightedFairQueue()
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[Job] = []
+        self._inflight: Dict[str, _Execution] = {}
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._runner = runner if runner is not None \
+            else _run_point_timed
+        self._warmup = warmup
+        self._running = 0
+        self._serial = 0
+        self._draining = False
+        # Created lazily inside the running loop: on Python 3.9 an
+        # Event built before asyncio.run() binds to the wrong loop.
+        self._idle: Optional[asyncio.Event] = None
+        self._start_monotonic = time.monotonic()
+        self.counters = {
+            "serve.jobs_accepted": 0,
+            "serve.jobs_rejected": 0,
+            "serve.jobs_completed": 0,
+            "serve.jobs_failed": 0,
+            "serve.jobs_cancelled": 0,
+            "serve.points_executed": 0,
+            "serve.points_cache_hits": 0,
+            "serve.points_deduped": 0,
+            "serve.points_failed": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "Scheduler":
+        """Create (and warm) the worker pool; returns self."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers)
+        if self._warmup:
+            loop = asyncio.get_running_loop()
+            await asyncio.gather(*(
+                loop.run_in_executor(self._executor, _warm_worker)
+                for _ in range(self.max_workers)))
+        return self
+
+    async def drain(self) -> None:
+        """Stop admission, wait for accepted work, stop the pool."""
+        self._draining = True
+        await self._idle_event().wait()
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=False)
+
+    def _is_idle(self) -> bool:
+        return not self.queue and not self._inflight and \
+            all(job.terminal for job in self._order)
+
+    def _idle_event(self) -> asyncio.Event:
+        if self._idle is None:
+            self._idle = asyncio.Event()
+            if self._is_idle():
+                self._idle.set()
+        return self._idle
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit a job whole or reject it whole (backpressure)."""
+        if self._draining:
+            self.counters["serve.jobs_rejected"] += 1
+            raise ServeError("server is draining", status=503)
+        queued = self.queue.depth(spec.tenant)
+        budget = self.max_queued_per_tenant
+        if queued + len(spec.points) > budget:
+            self.counters["serve.jobs_rejected"] += 1
+            raise BackpressureError(
+                f"tenant {spec.tenant!r} has {queued} points queued; "
+                f"admitting {len(spec.points)} more would exceed the "
+                f"budget of {budget}")
+        self._serial += 1
+        job = Job(spec, self._serial)
+        self.jobs[job.id] = job
+        self._order.append(job)
+        self.counters["serve.jobs_accepted"] += 1
+        if self._idle is not None:
+            self._idle.clear()
+        self._emit(job, "job_accepted", "i",
+                   {"job": job.id, "tenant": spec.tenant,
+                    "points": len(spec.points)})
+        for index, point in enumerate(spec.points):
+            self.queue.push(spec.tenant,
+                            _QueuedPoint(job, index, point,
+                                         point_key(point)),
+                            weight=spec.weight)
+        self._pump()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: drop its queued points, unsubscribe it from
+        shared executions (which run on — results are still cached)."""
+        job = self.get(job_id)
+        if job.terminal:
+            return job
+        self.queue.remove(lambda queued: queued.job is job)
+        for execution in self._inflight.values():
+            execution.subscribers = {
+                (subscriber, index)
+                for subscriber, index in execution.subscribers
+                if subscriber is not job}
+        self.counters["serve.jobs_cancelled"] += 1
+        self._finish_job(job, "cancelled")
+        return job
+
+    def get(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"no such job: {job_id}", status=404)
+        return job
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Job]:
+        return [job for job in self._order
+                if tenant is None or job.spec.tenant == tenant]
+
+    # -- dispatch ------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Dispatch queued points while worker slots are free.
+
+        Cache hits and dedup attaches consume no slot, so one pump
+        call drains any run of free work before blocking on capacity.
+        """
+        while self.queue and self._running < self.max_workers:
+            tenant, queued = self.queue.pop()
+            job = queued.job
+            if job.terminal:
+                continue  # cancelled between push and pop
+            if job.state == "queued":
+                job.state = "running"
+                job.started_s = time.time()
+            execution = self._inflight.get(queued.key)
+            if execution is not None:
+                self.counters["serve.points_deduped"] += 1
+                execution.subscribers.add((job, queued.index))
+                continue
+            cached = self.cache.load(queued.point) \
+                if self.cache is not None else None
+            if cached is not None:
+                self.counters["serve.points_cache_hits"] += 1
+                self._complete_point(job, queued.index,
+                                     result_to_dict(cached),
+                                     source="cache", dur_us=0)
+                continue
+            execution = _Execution(queued.key, queued.point,
+                                   self._now_us())
+            execution.subscribers.add((job, queued.index))
+            self._inflight[queued.key] = execution
+            self._running += 1
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(self._executor, self._runner,
+                                          queued.point)
+            future.add_done_callback(
+                lambda done, execution=execution:
+                self._on_execution_done(execution, done))
+
+    def _on_execution_done(self, execution: _Execution,
+                           future) -> None:
+        self._running -= 1
+        self._inflight.pop(execution.key, None)
+        dur_us = self._now_us() - execution.started_us
+        try:
+            result, _seconds = future.result()
+        except Exception as exc:
+            self.counters["serve.points_failed"] += 1
+            error = f"{type(exc).__name__}: {exc}"
+            for job, index in sorted(execution.subscribers,
+                                     key=lambda s: (s[0].serial, s[1])):
+                self._fail_point(job, index, error)
+        else:
+            self.counters["serve.points_executed"] += 1
+            if self.cache is not None:
+                self.cache.store(execution.point, result)
+            payload = result_to_dict(result)
+            for position, (job, index) in enumerate(sorted(
+                    execution.subscribers,
+                    key=lambda s: (s[0].serial, s[1]))):
+                self._complete_point(
+                    job, index, payload,
+                    source="executed" if position == 0 else "dedup",
+                    dur_us=dur_us)
+        self._pump()
+        self._check_idle()
+
+    # -- point / job completion ----------------------------------------
+
+    def _complete_point(self, job: Job, index: int, payload: dict,
+                        source: str, dur_us: int) -> None:
+        if job.terminal or job.results[index] is not None:
+            return
+        job.results[index] = payload
+        job.pending -= 1
+        self._emit(job, "point_done", "X",
+                   {"index": index, "cycles": payload["cycles"],
+                    "source": source},
+                   dur_us=dur_us, tid=index)
+        if job.pending == 0:
+            self._finish_job(
+                job, "failed" if any(error is not None
+                                     for error in job.errors)
+                else "done")
+
+    def _fail_point(self, job: Job, index: int, error: str) -> None:
+        if job.terminal or job.errors[index] is not None:
+            return
+        job.errors[index] = error
+        job.pending -= 1
+        self._emit(job, "point_failed", "i",
+                   {"index": index, "error": error}, tid=index)
+        if job.pending == 0:
+            self._finish_job(job, "failed")
+
+    def _finish_job(self, job: Job, state: str) -> None:
+        job.state = state
+        job.finished_s = time.time()
+        if state == "done":
+            self.counters["serve.jobs_completed"] += 1
+        elif state == "failed":
+            self.counters["serve.jobs_failed"] += 1
+        self._emit(job, "job_done", "i",
+                   {"job": job.id, "state": state})
+        self._check_idle()
+
+    def _check_idle(self) -> None:
+        if self._idle is not None and self._is_idle():
+            self._idle.set()
+
+    # -- progress events -----------------------------------------------
+
+    def _now_us(self) -> int:
+        return int((time.monotonic() - self._start_monotonic) * 1e6)
+
+    def _emit(self, job: Job, name: str, phase: str, args: dict,
+              dur_us: int = 0, tid: int = 0) -> None:
+        event = {"name": name, "cat": "serve", "ph": phase,
+                 "ts": self._now_us(), "pid": job.serial, "tid": tid,
+                 "args": args}
+        if phase == "X":
+            event["dur"] = max(0, dur_us)
+        elif phase == "i":
+            event["s"] = "p"
+        job.events.append(event)
+        job.new_event.set()
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters plus live gauges (the ``/v1/stats`` payload)."""
+        payload = dict(self.counters)
+        payload.update({
+            "serve.queue_depth": len(self.queue),
+            "serve.inflight": len(self._inflight),
+            "serve.active_jobs": sum(
+                1 for job in self._order if not job.terminal),
+            "serve.workers": self.max_workers,
+            "serve.draining": self._draining,
+            "serve.uptime_s": round(
+                time.monotonic() - self._start_monotonic, 3),
+            "serve.tenants": self.queue.depths(),
+        })
+        return payload

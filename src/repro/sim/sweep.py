@@ -40,8 +40,10 @@ Environment knobs:
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
@@ -192,11 +194,25 @@ class ResultCache:
     (counted in :attr:`quarantined`) so the damage is inspectable and
     the sweep re-simulates the point exactly once instead of
     re-tripping on the same bad file every run.
+
+    The cache is safe for **concurrent writers and readers** — sweep
+    worker processes, server threads and an asyncio loop may all share
+    one directory. Writers stage into a uniquely-named temp file
+    (pid + thread id + a process-local counter, so same-process
+    threads never collide) and publish with atomic ``os.replace``;
+    readers therefore only ever see absent or complete entries, never
+    torn JSON. Two writers racing on the same key both publish a
+    complete entry and the last rename wins — entries for a key are
+    identical by construction (same simulation input), so either
+    winner is correct. Counter updates are lock-protected so shared
+    instances report exact quarantine/eviction counts.
     """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
         self.root = Path(root)
         self.quarantined = 0
+        self._lock = threading.Lock()
+        self._scratch_serial = itertools.count()
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -211,7 +227,8 @@ class ResultCache:
             path.replace(path.with_name(path.name + ".corrupt"))
         except OSError:
             return  # already moved or removed by a concurrent sweep
-        self.quarantined += 1
+        with self._lock:
+            self.quarantined += 1
 
     def load(self, point: SweepPoint) -> Optional[SimulationResult]:
         path = self._path(point_key(point))
@@ -251,17 +268,34 @@ class ResultCache:
             "stats": dict(result.stats),
         }
         payload["checksum"] = self._checksum(payload)
-        # Write-then-rename so concurrent workers never read torn JSON.
-        scratch = path.with_suffix(f".tmp{os.getpid()}")
-        scratch.write_text(json.dumps(payload, sort_keys=True))
-        scratch.replace(path)
+        # Stage-then-rename so concurrent readers never observe torn
+        # JSON. The scratch name is unique per (process, thread,
+        # call): a bare pid suffix would collide across threads of
+        # one server process, leaving interleaved bytes to publish.
+        scratch = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}."
+            f"{next(self._scratch_serial)}")
+        try:
+            scratch.write_text(json.dumps(payload, sort_keys=True))
+            scratch.replace(path)
+        finally:
+            # A failed write (disk full, interrupt) must not leave
+            # scratch litter that later globs could trip over.
+            if scratch.exists():
+                try:
+                    scratch.unlink()
+                except OSError:
+                    pass
 
     def clear(self) -> int:
         """Delete all cached entries; returns how many were removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
-                path.unlink()
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue  # a concurrent clear got there first
                 removed += 1
         return removed
 

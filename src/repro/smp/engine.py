@@ -12,11 +12,18 @@ Two interchangeable engines execute a workload on an
   extra); results are bit-identical to ``scalar``.
 
 Selection is by :attr:`SystemConfig.engine` (``"auto"`` by default,
-also the CLI ``--engine`` flag). ``auto`` resolves to ``vector`` when
-numpy is importable and silently falls back to ``scalar`` otherwise;
-the ``REPRO_ENGINE`` environment variable overrides the ``auto``
-resolution (handy for CI matrices) but never an explicit config
-choice. Asking for ``vector`` without numpy raises a
+also the CLI ``--engine`` flag). ``auto`` is *workload-aware*: when
+numpy is importable it defers the choice to run time and probes the
+workload with :func:`probe_backend` — a prefix sample per CPU
+estimating whether conflict-free hit windows will actually form
+(footprint vs. L2 capacity, line-reuse fraction). Miss-heavy
+workloads, where the vector engine's window search is pure overhead
+(the ``backends.miss_heavy`` regression in BENCH_engine.json), fall
+back to the scalar engine. Without numpy ``auto`` silently resolves
+to ``scalar``. The ``REPRO_ENGINE`` environment variable overrides
+the ``auto`` resolution *including the probe* (handy for CI matrices
+that need one exact backend) but never an explicit config choice.
+Asking for ``vector`` without numpy raises a
 :class:`~repro.errors.SimulationError`.
 
 Because backends are bit-identical, the sweep result cache
@@ -48,7 +55,13 @@ def numpy_available() -> bool:
 
 
 def default_backend() -> str:
-    """What ``auto`` resolves to right now (env override included)."""
+    """The backend ``auto`` *prefers* right now (env override included).
+
+    With numpy present the actual ``auto`` choice is per-workload
+    (:func:`probe_backend`); this is the answer absent a workload —
+    what ``--version`` reports and what observability reports fall
+    back to when no system is attached.
+    """
     env = os.environ.get("REPRO_ENGINE", "").strip().lower()
     if env and env != "auto":
         if env not in ENGINE_BACKENDS:
@@ -59,19 +72,104 @@ def default_backend() -> str:
     return "vector" if numpy_available() else "scalar"
 
 
+#: probe geometry (DESIGN.md §6f): accesses sampled per CPU, and the
+#: two window-formation conditions the sample must meet for ``auto``
+#: to pick the vector backend.
+PROBE_SAMPLE = 4096
+#: sampled distinct-line footprint must stay under this fraction of
+#: L2 capacity — beyond it, capacity misses break windows apart
+#: (ocean on a 64 KB L2 samples at ~1.1x; hit-heavy kernels at <0.05).
+VECTOR_FOOTPRINT_RATIO = 0.5
+#: fraction of sampled accesses that revisit an already-seen line —
+#: a cheap stand-in for the hit rate the windows are made of (ocean
+#: ~0.72, fft ~0.96; windows barely form below the high-80s).
+VECTOR_MIN_REUSE = 0.85
+
+
+def probe_backend(config, workload) -> str:
+    """Pick ``scalar`` or ``vector`` for one workload, cheaply.
+
+    The vector engine only wins when long conflict-free hit runs form
+    (DESIGN.md §6f); on miss-heavy traffic its window search is pure
+    overhead (~0.4x scalar on the ocean/64K bench point). This probe
+    samples the first :data:`PROBE_SAMPLE` accesses of each CPU's
+    trace and requires, for *every* CPU, that (a) the sampled
+    distinct-line footprint fits in ``VECTOR_FOOTPRINT_RATIO`` of the
+    L2 and (b) at least ``VECTOR_MIN_REUSE`` of sampled accesses
+    revisit a line already seen. Cost is O(sample) set inserts —
+    microseconds against runs that take fractions of a second.
+    """
+    from .trace import as_columns
+    line_bytes = config.l2.line_bytes
+    shift = line_bytes.bit_length() - 1
+    footprint_budget = config.l2.size_bytes * VECTOR_FOOTPRINT_RATIO
+    for cpu in range(workload.num_cpus):
+        trace = workload.accesses_for(cpu)
+        take = min(len(trace), PROBE_SAMPLE)
+        if take == 0:
+            continue
+        _, addresses, _ = as_columns(trace)
+        seen = set()
+        add = seen.add
+        for address in addresses[:take]:
+            add(address >> shift)
+        distinct = len(seen)
+        if distinct * line_bytes > footprint_budget:
+            return "scalar"      # capacity pressure: windows break up
+        if take - distinct < VECTOR_MIN_REUSE * take:
+            return "scalar"      # low reuse: not enough hits to batch
+    return "vector"
+
+
+def run_auto(system, workload):
+    """The deferred ``auto`` engine: probe the workload, then run.
+
+    Stamps the concrete choice on ``system.engine_backend`` so
+    profile/report/trace output names the backend that actually
+    executed. Degrades to scalar if the vector backend fails to
+    import despite numpy appearing available.
+    """
+    if probe_backend(system.config, workload) == "vector":
+        try:
+            from .vectorpath import run_vector
+        except ImportError:
+            pass  # numpy present but vectorpath broken: use scalar
+        else:
+            system.engine_backend = "vector"
+            return run_vector(system, workload)
+    from .fastpath import run_fast
+    system.engine_backend = "scalar"
+    return run_fast(system, workload)
+
+
 def resolve_backend(name: str = "auto") -> Tuple[str, Callable]:
     """Resolve an engine choice to ``(backend_name, run_callable)``.
 
     The callable has the engine signature ``run(system, workload) ->
-    SimulationResult``. ``auto`` falls back to ``scalar`` silently;
-    an explicit ``vector`` without numpy raises ``SimulationError``.
+    SimulationResult``. ``auto`` with numpy resolves to the deferred
+    :func:`run_auto` dispatcher (name ``"auto"``): the scalar/vector
+    decision happens per run, once the workload is known. ``auto``
+    without numpy falls back to ``scalar`` silently, and a
+    ``REPRO_ENGINE`` override pins ``auto`` to one concrete backend
+    (no probe). An explicit ``vector`` without numpy raises
+    ``SimulationError``.
     """
     if name not in ENGINE_CHOICES:
         raise ConfigError(
             f"engine must be one of {ENGINE_CHOICES}, got {name!r}")
     explicit = name != "auto"
     if not explicit:
-        name = default_backend()
+        env = os.environ.get("REPRO_ENGINE", "").strip().lower()
+        if env and env != "auto":
+            if env not in ENGINE_BACKENDS:
+                raise ConfigError(
+                    f"REPRO_ENGINE must be one of {ENGINE_CHOICES}, "
+                    f"got {env!r}")
+            name = env  # pinned by env: bypass the probe
+        elif numpy_available():
+            return "auto", run_auto
+        else:
+            name = "scalar"
     if name == "scalar":
         from .fastpath import run_fast
         return "scalar", run_fast

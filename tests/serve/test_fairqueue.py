@@ -1,0 +1,119 @@
+"""WeightedFairQueue: proportional sharing, reactivation, removal."""
+
+import pytest
+
+from repro.serve.fairqueue import WeightedFairQueue
+
+
+def drain_tenants(queue):
+    return [tenant for tenant, _item in queue.drain()]
+
+
+class TestFairOrder:
+    def test_equal_weights_round_robin(self):
+        queue = WeightedFairQueue()
+        for index in range(3):
+            queue.push("a", f"a{index}")
+            queue.push("b", f"b{index}")
+        assert drain_tenants(queue) == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weighted_tenant_gets_proportional_share(self):
+        """Weight 2 drains twice as often as weight 1."""
+        queue = WeightedFairQueue()
+        for index in range(4):
+            queue.push("heavy", index, weight=2)
+            queue.push("light", index, weight=1)
+        order = drain_tenants(queue)
+        # In any prefix the heavy tenant is never behind the light
+        # one by more than its weight ratio allows.
+        for cut in range(1, len(order) + 1):
+            heavy = order[:cut].count("heavy")
+            light = order[:cut].count("light")
+            assert heavy >= light
+        assert order.count("heavy") == order.count("light") == 4
+
+    def test_fifo_within_tenant(self):
+        queue = WeightedFairQueue()
+        for index in range(5):
+            queue.push("a", index)
+        assert [item for _, item in queue.drain()] == [0, 1, 2, 3, 4]
+
+    def test_tie_breaks_by_tenant_name(self):
+        queue = WeightedFairQueue()
+        queue.push("beta", 1)
+        queue.push("alpha", 1)
+        assert queue.pop()[0] == "alpha"
+        assert queue.pop()[0] == "beta"
+
+    def test_late_arrival_does_not_monopolize(self):
+        """A tenant joining after others have drained work resumes at
+        the global virtual clock — no accumulated idle credit."""
+        queue = WeightedFairQueue()
+        for index in range(10):
+            queue.push("early", index)
+        for _ in range(8):
+            queue.pop()
+        for index in range(3):
+            queue.push("late", index)
+        order = drain_tenants(queue)
+        # The late tenant interleaves; it does not drain all three
+        # items before "early" gets a slot.
+        assert order[:2] != ["late", "late"]
+        assert order.count("late") == 3 and order.count("early") == 2
+
+
+class TestLifecycle:
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            WeightedFairQueue().pop()
+
+    def test_len_and_depths(self):
+        queue = WeightedFairQueue()
+        queue.push("a", 1)
+        queue.push("a", 2)
+        queue.push("b", 3)
+        assert len(queue) == 3
+        assert queue.depth("a") == 2
+        assert queue.depth("missing") == 0
+        assert queue.depths() == {"a": 2, "b": 1}
+
+    def test_remove_drops_matching_items(self):
+        queue = WeightedFairQueue()
+        for index in range(4):
+            queue.push("a", ("x", index))
+            queue.push("b", ("y", index))
+        removed = queue.remove(lambda item: item[0] == "x")
+        assert removed == 4
+        assert len(queue) == 4
+        assert drain_tenants(queue) == ["b"] * 4
+
+    def test_remove_then_push_stays_consistent(self):
+        """Emptying a tenant via remove() leaves a stale heap entry;
+        pushes and pops afterwards must still work and stay fair."""
+        queue = WeightedFairQueue()
+        queue.push("a", 1)
+        queue.push("b", 2)
+        assert queue.remove(lambda item: item == 1) == 1
+        queue.push("a", 3)
+        popped = [queue.pop(), queue.pop()]
+        assert sorted(item for _, item in popped) == [2, 3]
+        assert len(queue) == 0
+
+    def test_reactivation_resumes_at_vclock(self):
+        queue = WeightedFairQueue()
+        queue.push("a", 1)
+        queue.pop()
+        vclock = queue.vclock
+        queue.push("a", 2)
+        tenant, _ = queue.pop()
+        assert tenant == "a"
+        assert queue.vclock >= vclock
+
+    def test_weight_update_applies_to_later_pops(self):
+        queue = WeightedFairQueue()
+        for index in range(6):
+            queue.push("a", index, weight=1)
+            queue.push("b", index, weight=1)
+        # Re-pushing with a new weight takes effect for future pops.
+        queue.push("a", 6, weight=4)
+        assert queue.weight_of("a") == 4

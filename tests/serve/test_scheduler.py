@@ -1,0 +1,281 @@
+"""Scheduler semantics: fairness, dedup, backpressure, cancel, drain.
+
+These tests inject a single-threaded executor and a *gated* runner
+(every execution blocks until the test releases it), so contention,
+queue order and in-flight windows are fully deterministic — no real
+worker processes, no timing races.
+"""
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.config import e6000_config
+from repro.errors import BackpressureError, ServeError
+from repro.serve.jobs import JobSpec
+from repro.serve.scheduler import Scheduler
+from repro.sim.sweep import ResultCache, SweepPoint
+from repro.smp.metrics import SimulationResult
+
+
+class GatedRunner:
+    """Executor-side callable that blocks until released; records the
+    order executions actually started in."""
+
+    def __init__(self):
+        self._gate = threading.Semaphore(0)
+        self._lock = threading.Lock()
+        self.order = []
+
+    def __call__(self, point):
+        with self._lock:
+            self.order.append((point.workload, point.seed))
+        assert self._gate.acquire(timeout=10), "runner never released"
+        result = SimulationResult(
+            workload=point.workload, num_cpus=2,
+            cycles=100_000 + point.seed,
+            per_cpu_cycles=[100_000 + point.seed, 99_000],
+            stats={"bus.transactions": 10 + point.seed})
+        return result, 0.001
+
+    def release(self, count=1):
+        for _ in range(count):
+            self._gate.release()
+
+
+def spec(tenant, seeds, weight=1, workload="fft"):
+    config = e6000_config(num_processors=2)
+    return JobSpec(tenant=tenant, weight=weight,
+                   points=tuple(SweepPoint(workload, config,
+                                           scale=0.05, seed=seed)
+                                for seed in seeds))
+
+
+async def wait_until(predicate, timeout=10.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        assert asyncio.get_running_loop().time() < deadline, \
+            "condition never became true"
+        await asyncio.sleep(0.005)
+
+
+def make_scheduler(runner, cache=None, max_workers=1, **kwargs):
+    pool = ThreadPoolExecutor(max_workers=max_workers)
+    scheduler = Scheduler(cache=cache, max_workers=max_workers,
+                          executor=pool, runner=runner, **kwargs)
+    return scheduler, pool
+
+
+class TestFairness:
+    def test_weighted_share_under_contention(self):
+        async def scenario():
+            runner = GatedRunner()
+            scheduler, pool = make_scheduler(runner, max_workers=1)
+            try:
+                # One point occupies the single slot, so both
+                # tenants' work queues up entirely behind it.
+                blocker = scheduler.submit(spec("zz", [99]))
+                light = scheduler.submit(spec("light", [0, 1, 2, 3]))
+                heavy = scheduler.submit(
+                    spec("heavy", [10, 11, 12, 13], weight=2))
+                runner.release(9)
+                await wait_until(lambda: blocker.terminal
+                                 and light.terminal and heavy.terminal)
+                order = [seed for _, seed in runner.order[1:]]
+                # FIFO within each tenant...
+                assert [s for s in order if s < 10] == [0, 1, 2, 3]
+                assert [s for s in order if s >= 10] == \
+                    [10, 11, 12, 13]
+                # ...and the weight-2 tenant is never behind: in every
+                # prefix it has had at least as many slots.
+                for cut in range(1, len(order) + 1):
+                    heavy_slots = sum(1 for s in order[:cut]
+                                      if s >= 10)
+                    assert heavy_slots >= cut - heavy_slots
+                assert light.state == heavy.state == "done"
+            finally:
+                pool.shutdown(wait=False)
+        asyncio.run(scenario())
+
+
+class TestDedup:
+    def test_inflight_point_shared_across_tenants(self, tmp_path):
+        """Two tenants submitting the same point: one execution, two
+        completed jobs with identical results."""
+        async def scenario():
+            runner = GatedRunner()
+            cache = ResultCache(tmp_path)
+            scheduler, pool = make_scheduler(runner, cache=cache,
+                                             max_workers=2)
+            try:
+                alice = scheduler.submit(spec("alice", [5]))
+                await wait_until(lambda: len(runner.order) == 1)
+                bob = scheduler.submit(spec("bob", [5]))
+                await wait_until(lambda: scheduler.counters[
+                    "serve.points_deduped"] == 1)
+                runner.release(1)
+                await wait_until(lambda: alice.terminal
+                                 and bob.terminal)
+                assert alice.state == bob.state == "done"
+                assert len(runner.order) == 1
+                assert scheduler.counters["serve.points_executed"] == 1
+                assert alice.results[0] == bob.results[0]
+                assert alice.results[0]["cycles"] == 100_005
+                # The shared execution was cached exactly once.
+                assert len(cache) == 1
+                sources = {
+                    job.events[-2]["args"]["source"]
+                    for job in (alice, bob)}
+                assert sources == {"executed", "dedup"}
+            finally:
+                pool.shutdown(wait=False)
+        asyncio.run(scenario())
+
+    def test_second_job_hits_cache(self, tmp_path):
+        async def scenario():
+            runner = GatedRunner()
+            cache = ResultCache(tmp_path)
+            scheduler, pool = make_scheduler(runner, cache=cache)
+            try:
+                runner.release(2)
+                first = scheduler.submit(spec("a", [1, 2]))
+                await wait_until(lambda: first.terminal)
+                second = scheduler.submit(spec("b", [1, 2]))
+                await wait_until(lambda: second.terminal)
+                assert second.state == "done"
+                assert len(runner.order) == 2  # nothing re-executed
+                assert scheduler.counters[
+                    "serve.points_cache_hits"] == 2
+                assert second.results == first.results
+            finally:
+                pool.shutdown(wait=False)
+        asyncio.run(scenario())
+
+
+class TestBackpressure:
+    def test_tenant_budget_rejects_whole_job(self):
+        async def scenario():
+            runner = GatedRunner()
+            scheduler, pool = make_scheduler(
+                runner, max_workers=1, max_queued_per_tenant=4)
+            try:
+                blocker = scheduler.submit(spec("a", [99]))
+                accepted = scheduler.submit(spec("a", [0, 1, 2, 3]))
+                with pytest.raises(BackpressureError) as info:
+                    scheduler.submit(spec("a", [4]))
+                assert info.value.status == 429
+                # Another tenant still has its full budget.
+                other = scheduler.submit(spec("b", [0]))
+                assert scheduler.counters["serve.jobs_rejected"] == 1
+                runner.release(6)
+                await wait_until(lambda: blocker.terminal
+                                 and accepted.terminal
+                                 and other.terminal)
+                assert accepted.state == other.state == "done"
+            finally:
+                pool.shutdown(wait=False)
+        asyncio.run(scenario())
+
+
+class TestCancellation:
+    def test_mid_job_cancel_drops_queued_keeps_inflight(self,
+                                                        tmp_path):
+        async def scenario():
+            runner = GatedRunner()
+            cache = ResultCache(tmp_path)
+            scheduler, pool = make_scheduler(runner, cache=cache,
+                                             max_workers=1)
+            try:
+                job = scheduler.submit(spec("a", [0, 1, 2]))
+                await wait_until(lambda: len(runner.order) == 1)
+                cancelled = scheduler.cancel(job.id)
+                assert cancelled.state == "cancelled"
+                assert job.terminal
+                assert len(scheduler.queue) == 0
+                assert job.events[-1]["args"]["state"] == "cancelled"
+                # The in-flight execution runs on; its result is
+                # cached (paid-for, deterministic work) but never
+                # fanned into the cancelled job.
+                runner.release(1)
+                await wait_until(lambda: len(cache) == 1)
+                assert job.results == [None, None, None]
+                assert scheduler.counters[
+                    "serve.jobs_cancelled"] == 1
+                # A later identical job reuses the salvaged point.
+                runner.release(2)
+                retry = scheduler.submit(spec("a", [0, 1, 2]))
+                await wait_until(lambda: retry.terminal)
+                assert retry.state == "done"
+                assert [seed for _, seed in runner.order] == \
+                    [0, 1, 2]
+                assert scheduler.counters[
+                    "serve.points_cache_hits"] == 1
+            finally:
+                pool.shutdown(wait=False)
+        asyncio.run(scenario())
+
+    def test_cancel_unknown_job_404(self):
+        async def scenario():
+            runner = GatedRunner()
+            scheduler, pool = make_scheduler(runner)
+            try:
+                with pytest.raises(ServeError) as info:
+                    scheduler.cancel("job-999999")
+                assert info.value.status == 404
+            finally:
+                pool.shutdown(wait=False)
+        asyncio.run(scenario())
+
+
+class TestDrain:
+    def test_drain_waits_for_accepted_work_then_rejects(self):
+        async def scenario():
+            runner = GatedRunner()
+            scheduler, pool = make_scheduler(runner, max_workers=1)
+            try:
+                job = scheduler.submit(spec("a", [0, 1]))
+                drainer = asyncio.ensure_future(scheduler.drain())
+                await asyncio.sleep(0.02)
+                assert not drainer.done()  # still waiting on the job
+                with pytest.raises(ServeError) as info:
+                    scheduler.submit(spec("b", [0]))
+                assert info.value.status == 503
+                runner.release(2)
+                await asyncio.wait_for(drainer, timeout=10)
+                assert job.state == "done"
+            finally:
+                pool.shutdown(wait=False)
+        asyncio.run(scenario())
+
+
+class TestFailures:
+    def test_failing_point_fails_only_its_job(self):
+        async def scenario():
+            def runner(point):
+                if point.seed == 1:
+                    raise ValueError("boom")
+                return SimulationResult(
+                    workload=point.workload, num_cpus=2, cycles=7,
+                    per_cpu_cycles=[7, 7], stats={}), 0.0
+
+            pool = ThreadPoolExecutor(max_workers=1)
+            scheduler = Scheduler(cache=None, max_workers=1,
+                                  executor=pool, runner=runner)
+            try:
+                bad = scheduler.submit(spec("a", [0, 1]))
+                good = scheduler.submit(spec("b", [2]))
+                await wait_until(lambda: bad.terminal
+                                 and good.terminal)
+                assert bad.state == "failed"
+                assert good.state == "done"
+                assert bad.errors[1] == "ValueError: boom"
+                assert bad.results[0] is not None
+                assert scheduler.counters["serve.points_failed"] == 1
+                failed_events = [event for event in bad.events
+                                 if event["name"] == "point_failed"]
+                assert len(failed_events) == 1
+            finally:
+                pool.shutdown(wait=False)
+        asyncio.run(scenario())

@@ -11,9 +11,10 @@ engine on every machine flavour. Three layers of defence:
   mixed read/write) compared scalar-vs-vector across baseline, senss
   and memprotect-integrated machines and across L1 geometries,
   including direct-mapped and associativity > 2;
-- registry behaviour: ``auto`` resolution, the ``REPRO_ENGINE``
-  override, and the no-numpy fallback (``auto`` silently selects
-  scalar, an explicit ``vector`` raises ``SimulationError``).
+- registry behaviour: ``auto`` resolution (now a run-time workload
+  probe, see ``probe_backend``), the ``REPRO_ENGINE`` override, and
+  the no-numpy fallback (``auto`` silently selects scalar, an
+  explicit ``vector`` raises ``SimulationError``).
 """
 
 import json
@@ -29,7 +30,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.sim.sweep import build_system
 from repro.smp.engine import (ENGINE_BACKENDS, ENGINE_CHOICES,
                               default_backend, numpy_available,
-                              resolve_backend)
+                              probe_backend, resolve_backend)
 from repro.smp.trace import MemoryAccess, Workload
 from repro.workloads.registry import generate
 
@@ -137,10 +138,52 @@ def test_invalid_choice_rejected():
 
 
 @requires_numpy
-def test_auto_prefers_vector(monkeypatch):
+def test_auto_defers_to_workload_probe(monkeypatch):
+    """auto resolves to the run-time dispatcher, not a fixed backend."""
     monkeypatch.delenv("REPRO_ENGINE", raising=False)
-    assert default_backend() == "vector"
+    assert default_backend() == "vector"   # availability preference
+    name, impl = resolve_backend("auto")
+    assert name == "auto" and callable(impl)
     system = build_system(e6000_config())
+    assert system.engine_backend == "auto"
+
+
+@requires_numpy
+def test_auto_picks_vector_on_hit_heavy(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    workload = generate("fft", 2, scale=0.05, seed=0)
+    config = e6000_config(num_processors=2)
+    assert probe_backend(config, workload) == "vector"
+    system = build_system(config)
+    auto = system.run(workload)
+    assert system.engine_backend == "vector"
+    scalar = build_system(config.with_engine("scalar")).run(workload)
+    assert result_key(auto) == result_key(scalar)
+
+
+@requires_numpy
+def test_auto_falls_back_to_scalar_on_miss_heavy(monkeypatch):
+    """Capacity-pressured workloads must not pay the window search."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    workload = generate("ocean", 2, scale=0.05, seed=0)
+    config = e6000_config(num_processors=2).with_l2_size(64 * KB)
+    assert probe_backend(config, workload) == "scalar"
+    system = build_system(config)
+    auto = system.run(workload)
+    assert system.engine_backend == "scalar"
+    scalar = build_system(config.with_engine("scalar")).run(workload)
+    assert result_key(auto) == result_key(scalar)
+
+
+@requires_numpy
+def test_env_override_bypasses_probe(monkeypatch):
+    """A pinned REPRO_ENGINE wins over the workload probe (CI)."""
+    monkeypatch.setenv("REPRO_ENGINE", "vector")
+    config = e6000_config(num_processors=2).with_l2_size(64 * KB)
+    system = build_system(config)
+    assert system.engine_backend == "vector"
+    workload = generate("ocean", 2, scale=0.02, seed=0)
+    system.run(workload)
     assert system.engine_backend == "vector"
 
 
