@@ -17,6 +17,15 @@ Commands
 ``faults``    run the timing-layer fault-injection campaign (kind x
               recovery-policy detection matrix; see
               docs/fault_injection.md).
+``record``    persist one run as a deterministic recording file
+              (events, stats snapshots, config fingerprint; see
+              docs/record_replay.md).
+``replay``    re-run a recording with exactly one perturbed knob and
+              write the resulting recording.
+``diff``      structured divergence report between two recordings:
+              first-divergence event, per-phase and per-counter
+              deltas, cycle-skew histogram. Exits 0 when identical,
+              1 when diverged (like diff(1)).
 ``workloads`` list available workload generators.
 ``serve``     run the sweep service: async HTTP server with a
               per-tenant fair queue, warm worker pool and shared
@@ -168,6 +177,57 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--verify-identity", action="store_true",
                         help="also assert a never-triggering injector "
                              "leaves results bit-identical")
+    faults.add_argument("--record-diff", action="store_true",
+                        help="record each faulted run and diff it "
+                             "against the clean run (adds a "
+                             "divergence column / report field)")
+
+    record = commands.add_parser(
+        "record", help="record one run as a deterministic recording "
+                       "(docs/record_replay.md)")
+    _add_machine_arguments(record, default_scale=0.1)
+    record.add_argument("--snapshot-every", type=int, default=1,
+                        metavar="N",
+                        help="stats snapshot every Nth auth "
+                             "checkpoint (default every one)")
+    record.add_argument("--out", default="run.rec.json",
+                        help="recording output path")
+    record.add_argument("--timings", action="store_true",
+                        help="embed wall-clock phase timings "
+                             "(excluded from the checksum, but "
+                             "breaks byte-identity across repeats)")
+
+    replay = commands.add_parser(
+        "replay", help="re-run a recording with one perturbed knob")
+    replay.add_argument("recording", help="recording file to replay")
+    replay.add_argument("--perturb", default=None,
+                        metavar="NAME=VALUE",
+                        help="exactly one knob to change "
+                             "(auth_interval, masks, engine, "
+                             "aes_latency, hash_latency, seed, scale, "
+                             "fault=kind[:trigger]); omitted = pure "
+                             "determinism check")
+    replay.add_argument("--out", default=None, metavar="PATH",
+                        help="replay recording output path (default "
+                             "<recording>.replay.json)")
+    replay.add_argument("--snapshot-every", type=int, default=None,
+                        metavar="N",
+                        help="override the source recording's "
+                             "snapshot cadence")
+    replay.add_argument("--diff", action="store_true",
+                        help="also print the diff against the source "
+                             "recording (exit 1 if diverged)")
+
+    diff = commands.add_parser(
+        "diff", help="structured diff of two recordings (exit 0 "
+                     "identical, 1 diverged)")
+    diff.add_argument("recording_a", help="reference recording")
+    diff.add_argument("recording_b", help="recording to compare")
+    diff.add_argument("--json", dest="json_out", default=None,
+                      metavar="PATH",
+                      help="also write the diff report as JSON "
+                           "(mergeable via tools/collect_results.py "
+                           "--diffs)")
 
     commands.add_parser("workloads", help="list workload generators")
 
@@ -188,6 +248,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "with HTTP 429")
     serve.add_argument("--no-warmup", action="store_true",
                        help="skip the worker warmup pass")
+    serve.add_argument("--record-dir", default=None, metavar="PATH",
+                       help="directory for job-requested recordings; "
+                            "unset = jobs asking to record are "
+                            "rejected (400)")
 
     submit = commands.add_parser(
         "submit", help="submit a sweep job to a running server")
@@ -204,6 +268,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="stream NDJSON progress events until "
                              "the job finishes and print a result "
                              "table")
+    submit.add_argument("--record", action="store_true",
+                        help="ask the server to record each point "
+                             "(needs a server started with "
+                             "--record-dir); fetch recordings via "
+                             "GET /v1/jobs/{id}/recordings/{index}")
 
     jobs = commands.add_parser(
         "jobs", help="list a running server's jobs")
@@ -213,8 +282,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _machine_inputs(args):
-    """Resolve the (config, workload) pair the machine flags describe."""
+def _machine_config(args):
+    """The SystemConfig the shared machine flags describe."""
     config = e6000_config(num_processors=args.cpus, l2_mb=args.l2_mb,
                           auth_interval=args.interval)
     config = config.with_masks(args.masks or None)
@@ -222,6 +291,12 @@ def _machine_inputs(args):
     if args.memprotect:
         config = config.with_memprotect(encryption_enabled=True,
                                         integrity_enabled=True)
+    return config
+
+
+def _machine_inputs(args):
+    """Resolve the (config, workload) pair the machine flags describe."""
+    config = _machine_config(args)
     if args.workload.endswith(".trace"):
         from .workloads.tracefile import load_workload
         workload = load_workload(args.workload)
@@ -281,11 +356,23 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    from .errors import TraceError
     from .obs import PhaseTimer, Tracer, build_report, format_report
 
     timer = PhaseTimer()
     with timer.phase("setup"):
-        config, workload = _machine_inputs(args)
+        try:
+            config, workload = _machine_inputs(args)
+        except TraceError as exc:
+            # A zero-event trace file (or any unloadable trace) must
+            # exit with a message, not a traceback — a report over no
+            # events has no baseline to divide by anyway.
+            print(f"report: {exc}", file=sys.stderr)
+            return 1
+    if workload.total_accesses == 0:
+        print(f"report: workload {workload.name!r} contains no "
+              "memory accesses; nothing to report", file=sys.stderr)
+        return 1
     with timer.phase("simulate.baseline"):
         baseline = SmpSystem(config.with_senss(False)).run(workload)
     with timer.phase("simulate.secured"):
@@ -543,7 +630,7 @@ def _cmd_faults(args) -> int:
         kinds=tuple(args.kinds) if args.kinds else FaultKind.ALL,
         policies=tuple(args.policies), workload=args.workload,
         cpus=args.cpus, scale=args.scale, seed=args.seed,
-        interval=args.interval)
+        interval=args.interval, record_diff=args.record_diff)
     if args.verify_identity:
         identity = verify_identity(workload=args.workload,
                                    cpus=args.cpus, scale=args.scale,
@@ -552,7 +639,7 @@ def _cmd_faults(args) -> int:
 
     rows = []
     for entry in report["entries"]:
-        rows.append([
+        row = [
             entry["kind"], entry["policy"],
             "yes" if entry["detected"] else
             ("masked" if entry["masked"] else "NO"),
@@ -560,12 +647,21 @@ def _cmd_faults(args) -> int:
             str(entry["latency_tx"]) if entry["detected"] else "-",
             f"{entry['latency_cycles']:,}" if entry["detected"] else "-",
             "completed" if entry["completed"] else "halted",
-        ])
+        ]
+        if args.record_diff:
+            divergence = entry["divergence"]
+            first = divergence.get("first_divergence")
+            row.append("none" if first is None else
+                       f"@{first['cycle']:,} ({first['event']})")
+        rows.append(row)
+    headers = ["fault", "policy", "detected", "mechanism",
+               "latency(tx)", "latency(cyc)", "run"]
+    if args.record_diff:
+        headers.append("diverges vs clean")
     print(format_table(
         f"Fault-injection campaign — {args.workload}, {args.cpus}P, "
         f"auth interval {args.interval}",
-        ["fault", "policy", "detected", "mechanism", "latency(tx)",
-         "latency(cyc)", "run"], rows))
+        headers, rows))
     print(f"all detected      : {report['all_detected']}")
     print(f"within interval   : {report['within_interval']}")
     if args.verify_identity:
@@ -583,6 +679,93 @@ def _cmd_faults(args) -> int:
     return 0 if ok else 1
 
 
+def _record_point(args):
+    """The SweepPoint the record-command machine flags describe."""
+    from .sim.sweep import SweepPoint
+    if args.workload.endswith(".trace"):
+        raise SystemExit("record needs a registry workload name; "
+                         ".trace files cannot be re-generated by a "
+                         "replay")
+    return SweepPoint(args.workload, _machine_config(args),
+                      scale=args.scale, seed=args.seed)
+
+
+def _print_recording_summary(recording, path) -> None:
+    snapshot_count = len(recording.snapshots)
+    cycles = recording.cycles
+    print(f"wrote {path}: {recording.events_total:,} events, "
+          f"{snapshot_count} stats snapshots, "
+          + (f"{cycles:,} cycles" if cycles is not None
+             else f"halted ({recording.halted})")
+          + f", fingerprint {recording.fingerprint[:12]}",
+          file=sys.stderr)
+
+
+def _cmd_record(args) -> int:
+    from .obs import PhaseTimer, record_run
+
+    point = _record_point(args)
+    timer = PhaseTimer()
+    with timer.phase("record"):
+        recording = record_run(point,
+                               snapshot_every=args.snapshot_every)
+    if args.timings:
+        # Timings are outside the checksum, so stamping them post-hoc
+        # keeps the recording valid (but breaks byte-identity between
+        # repeat recordings — hence opt-in).
+        recording.payload["timings"] = timer.as_dict()
+    path = recording.save(args.out)
+    _print_recording_summary(recording, path)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .errors import ConfigError, TraceError
+    from .obs import Recording, diff_recordings, format_diff, \
+        replay_recording
+
+    try:
+        source = Recording.load(args.recording)
+        replayed = replay_recording(source, perturb=args.perturb,
+                                    snapshot_every=args.snapshot_every)
+    except (ConfigError, TraceError) as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 1
+    out = args.out
+    if out is None:
+        base = args.recording
+        if base.endswith(".json"):
+            base = base[:-len(".json")]
+        out = f"{base}.replay.json"
+    path = replayed.save(out)
+    _print_recording_summary(replayed, path)
+    if not args.diff:
+        return 0
+    report = diff_recordings(source, replayed)
+    print(format_diff(report))
+    return 0 if report["identical"] else 1
+
+
+def _cmd_diff(args) -> int:
+    from .errors import TraceError
+    from .obs import Recording, diff_recordings, format_diff
+
+    try:
+        report = diff_recordings(Recording.load(args.recording_a),
+                                 Recording.load(args.recording_b))
+    except TraceError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    # Write the JSON before printing (pipe-truncation safety, same
+    # rationale as report/faults).
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    print(format_diff(report))
+    return 0 if report["identical"] else 1
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import signal
@@ -595,14 +778,17 @@ def _cmd_serve(args) -> int:
         scheduler = Scheduler(cache=ResultCache(args.cache_dir),
                               max_workers=args.workers,
                               max_queued_per_tenant=args.max_queued,
-                              warmup=not args.no_warmup)
+                              warmup=not args.no_warmup,
+                              record_dir=args.record_dir)
         await scheduler.start()
         server = await ServeHTTP(scheduler, args.host,
                                  args.port).start()
         print(f"repro serve listening on "
               f"http://{args.host}:{server.port} "
               f"({scheduler.max_workers} warm workers, "
-              f"cache {args.cache_dir})", file=sys.stderr)
+              f"cache {args.cache_dir}"
+              + (f", recordings {args.record_dir}"
+                 if args.record_dir else "") + ")", file=sys.stderr)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -627,13 +813,7 @@ def _submit_points(args):
     if args.workload.endswith(".trace"):
         raise SystemExit("submit needs a registry workload name; "
                          ".trace files are local to this process")
-    config = e6000_config(num_processors=args.cpus, l2_mb=args.l2_mb,
-                          auth_interval=args.interval)
-    config = config.with_masks(args.masks or None)
-    config = config.with_engine(args.engine)
-    if args.memprotect:
-        config = config.with_memprotect(encryption_enabled=True,
-                                        integrity_enabled=True)
+    config = _machine_config(args)
     return [SweepPoint(args.workload, config, scale=args.scale,
                        seed=args.seed + offset)
             for offset in range(max(1, args.seeds))]
@@ -644,7 +824,7 @@ def _cmd_submit(args) -> int:
 
     client = ServeClient(args.host, args.port)
     job = client.submit(_submit_points(args), tenant=args.tenant,
-                        weight=args.weight)
+                        weight=args.weight, record=args.record)
     print(f"{job['id']}: {job['points']} points queued as tenant "
           f"{job['tenant']!r} (weight {job['weight']})",
           file=sys.stderr)
@@ -709,6 +889,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_attacks()
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "record":
+            return _cmd_record(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
         if args.command == "workloads":
             return _cmd_workloads()
         if args.command == "serve":

@@ -96,9 +96,17 @@ def run_campaign(kinds: Sequence[str] = FaultKind.ALL,
                  workload: str = "ocean", cpus: int = 4,
                  scale: float = 0.05, seed: int = 0,
                  interval: int = 10,
-                 config: Optional[SystemConfig] = None
+                 config: Optional[SystemConfig] = None,
+                 record_diff: bool = False
                  ) -> Dict[str, object]:
-    """One run per (kind, policy) cell; returns the matrix report."""
+    """One run per (kind, policy) cell; returns the matrix report.
+
+    With ``record_diff=True`` the clean (fault-free) run is recorded
+    once, every cell additionally records its faulted run, and each
+    entry gains a ``divergence`` summary — where the faulted timeline
+    first departs from the clean one and by how much (the full
+    machinery is ``repro.obs.diff``; see docs/record_replay.md).
+    """
     from ..sim.sweep import build_system
     from ..workloads.registry import generate
 
@@ -109,14 +117,30 @@ def run_campaign(kinds: Sequence[str] = FaultKind.ALL,
         config = campaign_config(cpus=cpus, interval=interval)
     bench_workload = generate(workload, cpus, scale=scale, seed=seed)
 
+    clean_recording = None
+    clean_point = None
+    if record_diff:
+        from ..obs.recording import record_run
+        from ..sim.sweep import SweepPoint
+        clean_point = SweepPoint(workload, config, scale=scale,
+                                 seed=seed)
+        clean_recording = record_run(clean_point)
+
     entries: List[Dict[str, object]] = []
     for kind in kinds:
         for policy in policies:
             plan = FaultPlan(specs=(default_spec(kind, cpus),),
                              seed=seed)
             system = build_system(config)
+            recorder = None
+            if record_diff:
+                from ..obs.recording import Recorder
+                # Recorder first, injector second: the injector's
+                # inject/detect events route through system._obs.
+                recorder = Recorder().attach(system)
             injector = FaultInjector(plan, policy=policy).attach(system)
             halted, error, cycles = False, "", -1
+            result = None
             try:
                 result = system.run(bench_workload)
                 cycles = result.cycles
@@ -143,10 +167,14 @@ def run_campaign(kinds: Sequence[str] = FaultKind.ALL,
                 "cycles": cycles,
                 "penalty_cycles": scoreboard.penalty_cycles,
             })
+            if record_diff:
+                entries[-1]["divergence"] = _divergence_summary(
+                    clean_recording, clean_point, recorder, result,
+                    error or None, plan, policy)
 
     detected_all = all(entry["detected"] for entry in entries)
     within_interval = _all_within_interval(entries, interval)
-    return {
+    report = {
         "workload": workload,
         "num_cpus": cpus,
         "scale": scale,
@@ -158,6 +186,39 @@ def run_campaign(kinds: Sequence[str] = FaultKind.ALL,
         "all_detected": detected_all,
         "within_interval": within_interval,
     }
+    if record_diff:
+        report["record_diff"] = True
+        report["clean_cycles"] = clean_recording.cycles
+    return report
+
+
+def _divergence_summary(clean_recording, clean_point, recorder,
+                        result, halted: Optional[str], plan: FaultPlan,
+                        policy: str) -> Dict[str, object]:
+    """Reduce a cell's diff-vs-clean to the campaign-report fields."""
+    from ..obs.diff import diff_recordings
+    from ..obs.recording import Recording
+    faulted = Recording.build(clean_point, recorder, result,
+                              halted=halted, fault_plan=plan,
+                              fault_policy=policy)
+    diff = diff_recordings(clean_recording, faulted)
+    first = diff["first_divergence"]
+    summary: Dict[str, object] = {
+        "identical": diff["identical"],
+        "counters_changed": len(diff["counters"]),
+        "cycles_delta": None if diff["cycles"] is None
+        else diff["cycles"]["delta"],
+    }
+    if first is not None:
+        side = first["b"] or first["a"]
+        summary["first_divergence"] = {
+            "index": first["index"],
+            "event": side["name"],
+            "category": side["category"],
+            "cycle": side["cycle"],
+            "cpu": side["cpu"],
+        }
+    return summary
 
 
 def verify_identity(config: Optional[SystemConfig] = None,

@@ -14,6 +14,11 @@ Three pieces, usable independently:
 - :class:`PhaseTimer` + :func:`build_report` — wall-clock phase
   accounting and the mergeable JSON run reports behind
   ``python -m repro report``.
+- :func:`record_run` / :func:`replay_recording` /
+  :func:`diff_recordings` — deterministic run recordings, one-knob
+  perturbation replays and structured divergence diffs
+  (docs/record_replay.md) behind ``python -m repro
+  record|replay|diff``.
 
 The defining constraint (DESIGN.md §6d): with no tracer attached the
 engine keeps its scratch-transaction fast route and results stay
@@ -30,28 +35,45 @@ Quick start::
     payload = to_chrome_trace(tracer)   # load in ui.perfetto.dev
 """
 
+from .diff import DIFF_SCHEMA_VERSION, diff_recordings, format_diff
 from .export import TRACE_SCHEMA_VERSION, to_chrome_trace
+from .recording import (RECORDING_SCHEMA_VERSION, Recorder, Recording,
+                        record_run)
+from .replay import (PERTURBATIONS, apply_perturbation,
+                     parse_perturbation, replay_recording)
 from .report import REPORT_SCHEMA_VERSION, build_report, format_report
-from .ring import EventKind, EventRing, TraceEvent
+from .ring import EventKind, EventLog, EventRing, TraceEvent
 from .schema import (TRACE_EVENT_SCHEMA, event_names,
                      validate_chrome_trace)
 from .timers import PhaseTimer
 from .tracer import TRACE_CATEGORIES, Tracer, parse_categories
 
 __all__ = [
+    "DIFF_SCHEMA_VERSION",
     "EventKind",
+    "EventLog",
     "EventRing",
+    "PERTURBATIONS",
     "PhaseTimer",
+    "RECORDING_SCHEMA_VERSION",
     "REPORT_SCHEMA_VERSION",
+    "Recorder",
+    "Recording",
     "TRACE_CATEGORIES",
     "TRACE_EVENT_SCHEMA",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "Tracer",
-    "parse_categories",
+    "apply_perturbation",
     "build_report",
+    "diff_recordings",
     "event_names",
+    "format_diff",
     "format_report",
+    "parse_categories",
+    "parse_perturbation",
+    "record_run",
+    "replay_recording",
     "to_chrome_trace",
     "validate_chrome_trace",
 ]

@@ -17,7 +17,9 @@ from ..smp.metrics import (SimulationResult, slowdown_percent,
                            traffic_increase_percent)
 
 #: report dict schema version (bump with any shape change)
-REPORT_SCHEMA_VERSION = 1
+#: Version history: 1 = initial shape; 2 = histogram summaries carry
+#: p95 (additive — version-1 readers still parse version-2 reports).
+REPORT_SCHEMA_VERSION = 2
 
 #: counters surfaced in the report (absent counters are omitted)
 KEY_COUNTERS = (
@@ -115,12 +117,15 @@ def format_report(report: Dict[str, object]) -> str:
     histograms = report.get("histograms") or {}
     if histograms:
         rows = [[name, summary["count"], summary["mean"],
-                 summary["p50"], summary["p90"], summary["p99"],
+                 summary["p50"], summary["p90"],
+                 # version-1 reports predate p95
+                 summary.get("p95", "-"), summary["p99"],
                  summary["max"]]
                 for name, summary in sorted(histograms.items())]
         sections.append(format_table(
             "Latency / distribution metrics (cycles)",
-            ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+            ["histogram", "count", "mean", "p50", "p90", "p95", "p99",
+             "max"],
             rows))
 
     counters = report["configs"]["secured"].get("counters") or {}

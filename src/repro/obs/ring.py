@@ -124,3 +124,76 @@ class EventRing:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"EventRing({len(self)}/{self.capacity} events, "
                 f"{self.dropped} dropped)")
+
+
+class EventLog:
+    """Unbounded columnar event store (the recording backend).
+
+    Same recording/reading surface as :class:`EventRing` but
+    append-only and lossless: recordings (repro.obs.recording) must
+    keep *every* event or the replay aligner would report ring
+    wrap-around as divergence. Columns are the same ``array('q')``
+    layout, so memory stays one machine word per field per event.
+    """
+
+    __slots__ = ("_kind", "_cycle", "_dur", "_cpu", "_a0", "_a1",
+                 "_a2")
+
+    #: mirror of EventRing.capacity for surface compatibility
+    capacity = None
+
+    def __init__(self):
+        self._kind = array("q")
+        self._cycle = array("q")
+        self._dur = array("q")
+        self._cpu = array("q")
+        self._a0 = array("q")
+        self._a1 = array("q")
+        self._a2 = array("q")
+
+    def record(self, kind: int, cycle: int, dur: int, cpu: int,
+               a0: int = 0, a1: int = 0, a2: int = 0) -> None:
+        self._kind.append(kind)
+        self._cycle.append(cycle)
+        self._dur.append(dur)
+        self._cpu.append(cpu)
+        self._a0.append(a0)
+        self._a1.append(a1)
+        self._a2.append(a2)
+
+    @property
+    def total_recorded(self) -> int:
+        return len(self._kind)
+
+    @property
+    def dropped(self) -> int:
+        return 0  # never drops; that is the point
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for position in range(len(self._kind)):
+            yield TraceEvent(self._kind[position], self._cycle[position],
+                            self._dur[position], self._cpu[position],
+                            self._a0[position], self._a1[position],
+                            self._a2[position])
+
+    def counts_by_kind(self) -> dict:
+        counts: dict = {}
+        for kind in self._kind:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def columns(self) -> dict:
+        """JSON-ready ``{column: [int, ...]}`` of every event."""
+        return {"kind": list(self._kind), "cycle": list(self._cycle),
+                "dur": list(self._dur), "cpu": list(self._cpu),
+                "a0": list(self._a0), "a1": list(self._a1),
+                "a2": list(self._a2)}
+
+    def clear(self) -> None:
+        self.__init__()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventLog({len(self)} events)"

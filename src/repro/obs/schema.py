@@ -16,7 +16,9 @@ Shape of a valid payload::
 
 where every event carries ``name``/``cat``/``ph``/``ts``/``pid``/
 ``tid``; ``ph == "X"`` adds a non-negative ``dur``; ``ph == "i"``
-adds scope ``s``; ``ph == "M"`` is track metadata.
+adds scope ``s``; ``ph == "C"`` is a counter sample (all-integer
+``args`` render as a Perfetto counter track); ``ph == "M"`` is track
+metadata.
 """
 
 from __future__ import annotations
@@ -87,6 +89,13 @@ TRACE_EVENT_SCHEMA: Dict[str, Dict[str, object]] = {
                      "args": {"index": int, "error": str}},
     "job_done": {"cat": "serve", "ph": "i",
                  "args": {"job": str, "state": str}},
+    # server-wide counter sample (Chrome counter track, ph "C"),
+    # emitted right before each job_done so Perfetto renders the
+    # serve.* counters as a track alongside job lifecycles
+    "serve.counters": {"cat": "serve", "ph": "C",
+                       "args": {"queue_depth": int, "inflight": int,
+                                "executed": int, "cache_hits": int,
+                                "deduped": int, "failed": int}},
 }
 
 #: names allowed for phase-"M" track metadata events

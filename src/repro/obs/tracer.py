@@ -98,13 +98,18 @@ class Tracer:
     ``python -m repro report`` uses); ``metrics=False`` skips the
     histograms (pure timeline); ``categories`` restricts recording to
     a subset of :data:`TRACE_CATEGORIES` (``None`` = record all) by
-    not hooking the filtered-out layers at attach time.
+    not hooking the filtered-out layers at attach time. ``store``
+    replaces the ring with any object sharing its surface — the
+    recorder (repro.obs.recording) passes a lossless
+    :class:`~repro.obs.ring.EventLog`.
     """
 
     def __init__(self, capacity: int = 65536, events: bool = True,
                  metrics: bool = True,
-                 categories: Optional[Iterable[str]] = None):
-        self.ring = EventRing(capacity if events else 1)
+                 categories: Optional[Iterable[str]] = None,
+                 store=None):
+        self.ring = store if store is not None \
+            else EventRing(capacity if events else 1)
         self.events_enabled = events
         self.metrics_enabled = metrics
         if categories is None:

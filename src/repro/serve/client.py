@@ -108,12 +108,24 @@ class ServeClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
+    def metrics(self) -> dict:
+        """The live metrics plane (``/v1/metrics``; schema in
+        docs/serving.md)."""
+        return self._request("GET", "/v1/metrics")
+
     def submit(self, points: Sequence[SweepPoint],
-               tenant: str = "default", weight: int = 1) -> dict:
-        """Submit SweepPoints as one job; returns the job summary."""
+               tenant: str = "default", weight: int = 1,
+               record: bool = False) -> dict:
+        """Submit SweepPoints as one job; returns the job summary.
+
+        ``record=True`` asks the server to keep a deterministic
+        recording per point (needs a server started with
+        ``--record-dir``); fetch them with :meth:`recording`.
+        """
         return self._request(
             "POST", "/v1/jobs",
-            job_request_dict(points, tenant=tenant, weight=weight))
+            job_request_dict(points, tenant=tenant, weight=weight,
+                             record=record))
 
     def submit_raw(self, payload: dict) -> dict:
         """Submit an already-serialized job request body."""
@@ -141,6 +153,13 @@ class ServeClient:
     def errors(self, job_id: str) -> List[Optional[str]]:
         payload = self._request("GET", f"/v1/jobs/{job_id}/results")
         return payload["errors"]
+
+    def recording(self, job_id: str, index: int) -> dict:
+        """The raw recording payload for one point of a record job
+        (load it with ``repro.obs.Recording(payload)`` or save the
+        JSON and use ``repro replay``/``repro diff``)."""
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/recordings/{index}")
 
     def stream_events(self, job_id: str) -> Iterator[dict]:
         """Yield the job's NDJSON progress events; the stream replays

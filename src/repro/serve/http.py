@@ -11,6 +11,10 @@ Endpoints (all under ``/v1``)::
 
     GET    /v1/healthz            liveness ("ok", never queued)
     GET    /v1/stats              scheduler counters + gauges
+    GET    /v1/metrics            live metrics plane: queue depth,
+                                  warm-pool state, cache hit rate,
+                                  per-tenant throughput (JSON schema
+                                  in docs/serving.md)
     POST   /v1/jobs               submit a job (201 / 400 / 429 / 503)
     GET    /v1/jobs[?tenant=t]    job summaries
     GET    /v1/jobs/{id}          one job summary
@@ -18,6 +22,10 @@ Endpoints (all under ``/v1``)::
     GET    /v1/jobs/{id}/events   NDJSON progress stream (replays the
                                   job's history, then follows live
                                   until the job is terminal)
+    GET    /v1/jobs/{id}/recordings/{index}
+                                  the point's deterministic recording
+                                  (jobs submitted with "record": true
+                                  on a server with --record-dir)
     DELETE /v1/jobs/{id}          cancel
 
 Errors are JSON bodies ``{"error": message}`` with the status carried
@@ -172,6 +180,10 @@ class ServeHTTP:
             await self._send_json(writer, 200,
                                   self.scheduler.stats())
             return
+        if rest == ["metrics"] and method == "GET":
+            await self._send_json(writer, 200,
+                                  self.scheduler.metrics())
+            return
         if rest == ["jobs"]:
             if method == "POST":
                 await self._submit(body, writer)
@@ -203,6 +215,16 @@ class ServeHTTP:
                 return
             if tail == ["events"] and method == "GET":
                 await self._stream_events(job_id, writer)
+                return
+            if len(tail) == 2 and tail[0] == "recordings" \
+                    and method == "GET":
+                try:
+                    index = int(tail[1])
+                except ValueError:
+                    raise ServeError(
+                        f"bad recording index {tail[1]!r}",
+                        status=404) from None
+                await self._send_recording(job_id, index, writer)
                 return
         raise ServeError(f"unknown path {path!r}", status=404)
 
@@ -238,6 +260,17 @@ class ServeHTTP:
             if job.terminal and cursor >= len(job.events):
                 return
             await job.new_event.wait()
+
+    async def _send_recording(self, job_id: str, index: int,
+                              writer) -> None:
+        """Ship a point's recording file verbatim (it is already
+        canonical JSON, checksum included — re-encoding could only
+        break byte-identity with the server-side artifact)."""
+        path = self.scheduler.recording_path(job_id, index)
+        body = path.read_bytes()
+        writer.write(_response_head(200, "application/json",
+                                    len(body)) + body)
+        await writer.drain()
 
     @staticmethod
     async def _send_json(writer, status: int, payload: dict) -> None:

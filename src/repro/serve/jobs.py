@@ -4,6 +4,9 @@ A job request is::
 
     {"tenant": "alice",            # optional, default "default"
      "weight": 2,                  # optional fair-share weight, >= 1
+     "record": true,               # optional: also keep a per-point
+                                   # deterministic recording (needs
+                                   # the server's --record-dir)
      "points": [                   # required, non-empty
         {"workload": "fft",        # required registry name
          "scale": 0.1,             # optional, default 1.0
@@ -48,6 +51,7 @@ class JobSpec:
     tenant: str
     weight: int
     points: Tuple[SweepPoint, ...]
+    record: bool = False
 
 
 def point_to_dict(point: SweepPoint) -> Dict[str, object]:
@@ -107,9 +111,13 @@ def parse_job_request(payload) -> JobSpec:
     shape errors — the scheduler only ever sees well-formed jobs)."""
     if not isinstance(payload, dict):
         raise ServeError("job request must be a JSON object")
-    unknown = set(payload) - {"tenant", "weight", "points"}
+    unknown = set(payload) - {"tenant", "weight", "points", "record"}
     if unknown:
         raise ServeError(f"job has unknown fields {sorted(unknown)}")
+    record = payload.get("record", False)
+    if not isinstance(record, bool):
+        raise ServeError(
+            f"record must be a boolean, got {record!r}")
     tenant = payload.get("tenant", "default")
     if not isinstance(tenant, str) or not tenant \
             or len(tenant) > MAX_TENANT_LENGTH \
@@ -130,11 +138,17 @@ def parse_job_request(payload) -> JobSpec:
         raise ServeError(
             f"job exceeds {MAX_POINTS_PER_JOB} points per request")
     points = tuple(point_from_dict(raw) for raw in raw_points)
-    return JobSpec(tenant=tenant, weight=weight, points=points)
+    return JobSpec(tenant=tenant, weight=weight, points=points,
+                   record=record)
 
 
 def job_request_dict(points, tenant: str = "default",
-                     weight: int = 1) -> Dict[str, object]:
+                     weight: int = 1,
+                     record: bool = False) -> Dict[str, object]:
     """Client-side helper: SweepPoints -> submission body."""
-    return {"tenant": tenant, "weight": weight,
-            "points": [point_to_dict(point) for point in points]}
+    body: Dict[str, object] = {
+        "tenant": tenant, "weight": weight,
+        "points": [point_to_dict(point) for point in points]}
+    if record:
+        body["record"] = True
+    return body

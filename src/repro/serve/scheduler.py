@@ -40,13 +40,15 @@ stream the HTTP layer serves is exactly this list.
 from __future__ import annotations
 
 import asyncio
+import functools
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..errors import BackpressureError, ServeError
-from ..sim.sweep import ResultCache, SweepPoint, _run_point_timed, \
-    point_key
+from ..sim.sweep import ResultCache, SweepPoint, _recorded_runner, \
+    _run_point_timed, point_key
 from .fairqueue import WeightedFairQueue
 from .jobs import JobSpec, result_to_dict
 
@@ -146,8 +148,18 @@ class Scheduler:
     def __init__(self, cache: Optional[ResultCache] = None,
                  max_workers: int = 2,
                  max_queued_per_tenant: int = 1024,
-                 executor=None, runner=None, warmup: bool = True):
+                 executor=None, runner=None, warmup: bool = True,
+                 record_dir: Optional[Union[str, Path]] = None,
+                 record_runner=None):
         self.cache = cache
+        self.record_dir = None if record_dir is None else Path(record_dir)
+        if record_runner is not None:
+            self._record_runner = record_runner
+        elif record_dir is not None:
+            self._record_runner = functools.partial(
+                _recorded_runner, str(record_dir))
+        else:
+            self._record_runner = None
         self.max_workers = max(1, max_workers)
         self.max_queued_per_tenant = max_queued_per_tenant
         self.queue = WeightedFairQueue()
@@ -176,7 +188,10 @@ class Scheduler:
             "serve.points_cache_hits": 0,
             "serve.points_deduped": 0,
             "serve.points_failed": 0,
+            "serve.recordings_written": 0,
         }
+        #: per-tenant completed/failed point totals (metrics plane)
+        self.tenant_counters: Dict[str, Dict[str, int]] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -217,6 +232,12 @@ class Scheduler:
         if self._draining:
             self.counters["serve.jobs_rejected"] += 1
             raise ServeError("server is draining", status=503)
+        if spec.record and self._record_runner is None:
+            self.counters["serve.jobs_rejected"] += 1
+            raise ServeError(
+                "job requests recordings but the server has no "
+                "record directory (start with --record-dir)",
+                status=400)
         queued = self.queue.depth(spec.tenant)
         budget = self.max_queued_per_tenant
         if queued + len(spec.points) > budget:
@@ -285,26 +306,37 @@ class Scheduler:
             if job.state == "queued":
                 job.state = "running"
                 job.started_s = time.time()
-            execution = self._inflight.get(queued.key)
+            # Record-requesting points execute under a distinct key:
+            # they must not attach to a plain execution (it would
+            # leave no recording artifact behind).
+            recording = job.spec.record
+            exec_key = queued.key + ":rec" if recording else queued.key
+            execution = self._inflight.get(exec_key)
             if execution is not None:
                 self.counters["serve.points_deduped"] += 1
                 execution.subscribers.add((job, queued.index))
                 continue
             cached = self.cache.load(queued.point) \
                 if self.cache is not None else None
-            if cached is not None:
+            # A cache hit satisfies a record point only when its
+            # recording artifact already exists (recordings are
+            # content-addressed by the same key, so reuse is sound).
+            if cached is not None and (
+                    not recording
+                    or self._recording_path(queued.key).is_file()):
                 self.counters["serve.points_cache_hits"] += 1
                 self._complete_point(job, queued.index,
                                      result_to_dict(cached),
                                      source="cache", dur_us=0)
                 continue
-            execution = _Execution(queued.key, queued.point,
+            execution = _Execution(exec_key, queued.point,
                                    self._now_us())
             execution.subscribers.add((job, queued.index))
-            self._inflight[queued.key] = execution
+            self._inflight[exec_key] = execution
             self._running += 1
             loop = asyncio.get_running_loop()
-            future = loop.run_in_executor(self._executor, self._runner,
+            runner = self._record_runner if recording else self._runner
+            future = loop.run_in_executor(self._executor, runner,
                                           queued.point)
             future.add_done_callback(
                 lambda done, execution=execution:
@@ -325,6 +357,8 @@ class Scheduler:
                 self._fail_point(job, index, error)
         else:
             self.counters["serve.points_executed"] += 1
+            if execution.key.endswith(":rec"):
+                self.counters["serve.recordings_written"] += 1
             if self.cache is not None:
                 self.cache.store(execution.point, result)
             payload = result_to_dict(result)
@@ -346,6 +380,7 @@ class Scheduler:
             return
         job.results[index] = payload
         job.pending -= 1
+        self._tenant_entry(job.spec.tenant)["completed"] += 1
         self._emit(job, "point_done", "X",
                    {"index": index, "cycles": payload["cycles"],
                     "source": source},
@@ -361,6 +396,7 @@ class Scheduler:
             return
         job.errors[index] = error
         job.pending -= 1
+        self._tenant_entry(job.spec.tenant)["failed"] += 1
         self._emit(job, "point_failed", "i",
                    {"index": index, "error": error}, tid=index)
         if job.pending == 0:
@@ -373,6 +409,18 @@ class Scheduler:
             self.counters["serve.jobs_completed"] += 1
         elif state == "failed":
             self.counters["serve.jobs_failed"] += 1
+        # Counter sample right before the terminal event, so a
+        # Perfetto load of the job's stream shows the server-wide
+        # serve.* counters at the moment the job finished (job_done
+        # stays the stream's last event — pinned by tests).
+        self._emit(job, "serve.counters", "C", {
+            "queue_depth": len(self.queue),
+            "inflight": len(self._inflight),
+            "executed": self.counters["serve.points_executed"],
+            "cache_hits": self.counters["serve.points_cache_hits"],
+            "deduped": self.counters["serve.points_deduped"],
+            "failed": self.counters["serve.points_failed"],
+        })
         self._emit(job, "job_done", "i",
                    {"job": job.id, "state": state})
         self._check_idle()
@@ -398,7 +446,83 @@ class Scheduler:
         job.events.append(event)
         job.new_event.set()
 
+    # -- recordings ----------------------------------------------------
+
+    def _recording_path(self, key: str) -> Path:
+        return self.record_dir / f"{key}.rec.json"
+
+    def recording_path(self, job_id: str, index: int) -> Path:
+        """The on-disk recording for one point of a record job; 404s
+        (ServeError) when the job didn't record, the index is out of
+        range, or the artifact isn't written yet."""
+        job = self.get(job_id)
+        if not job.spec.record or self.record_dir is None:
+            raise ServeError(
+                f"job {job_id} did not request recordings", status=404)
+        if not 0 <= index < len(job.spec.points):
+            raise ServeError(
+                f"job {job_id} has no point {index}", status=404)
+        path = self._recording_path(point_key(job.spec.points[index]))
+        if not path.is_file():
+            raise ServeError(
+                f"recording for job {job_id} point {index} is not "
+                "available yet", status=404)
+        return path
+
     # -- observability -------------------------------------------------
+
+    def _tenant_entry(self, tenant: str) -> Dict[str, int]:
+        return self.tenant_counters.setdefault(
+            tenant, {"completed": 0, "failed": 0})
+
+    def metrics(self) -> dict:
+        """The ``/v1/metrics`` payload (docs/serving.md documents the
+        schema): queue depth, worker/warm-pool state, cache hit rate,
+        per-tenant queue depth and throughput, recording plane."""
+        uptime_s = time.monotonic() - self._start_monotonic
+        hits = self.counters["serve.points_cache_hits"]
+        executed = self.counters["serve.points_executed"]
+        lookups = hits + executed
+        depths = self.queue.depths()
+        tenants = {}
+        for tenant in sorted(set(depths) | set(self.tenant_counters)):
+            entry = self.tenant_counters.get(
+                tenant, {"completed": 0, "failed": 0})
+            tenants[tenant] = {
+                "queued": depths.get(tenant, 0),
+                "completed": entry["completed"],
+                "failed": entry["failed"],
+                "throughput_per_s": round(
+                    entry["completed"] / uptime_s, 6)
+                if uptime_s > 0 else 0.0,
+            }
+        return {
+            "schema_version": 1,
+            "uptime_s": round(uptime_s, 3),
+            "draining": self._draining,
+            "queue": {
+                "depth": len(self.queue),
+                "per_tenant": depths,
+            },
+            "workers": {
+                "max": self.max_workers,
+                "busy": self._running,
+                "inflight": len(self._inflight),
+                "warm": self._executor is not None,
+            },
+            "cache": {
+                "enabled": self.cache is not None,
+                "hits": hits,
+                "executed": executed,
+                "hit_rate": round(hits / lookups, 6) if lookups else 0.0,
+            },
+            "recordings": {
+                "enabled": self._record_runner is not None,
+                "written": self.counters["serve.recordings_written"],
+            },
+            "tenants": tenants,
+            "counters": dict(self.counters),
+        }
 
     def stats(self) -> dict:
         """Counters plus live gauges (the ``/v1/stats`` payload)."""

@@ -140,6 +140,7 @@ class Histogram:
             "mean": round(self.mean, 3),
             "p50": self.percentile(0.50),
             "p90": self.percentile(0.90),
+            "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
             "buckets": [list(bucket) for bucket in self.buckets()],
         }

@@ -39,6 +39,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import itertools
 import json
@@ -162,6 +163,26 @@ def _run_point_timed(point: SweepPoint
     start = time.perf_counter()
     result = run_point(point)
     return result, time.perf_counter() - start
+
+
+def _recorded_runner(record_dir: str, point: SweepPoint
+                     ) -> Tuple[SimulationResult, float]:
+    """``_run_point_timed`` that also persists a deterministic
+    recording (docs/record_replay.md) of the run as a sweep artifact.
+
+    Module-level (wrapped in ``functools.partial`` with a string
+    directory) so it pickles into worker processes. The artifact is
+    named by :func:`point_key`, matching the result cache's naming, so
+    a recording pairs with its cache entry by filename. Attaching the
+    recorder never changes simulated timing (DESIGN.md §6d), so the
+    returned result is bit-identical to an unrecorded run and safe to
+    cache as usual.
+    """
+    from ..obs.recording import record_run
+    start = time.perf_counter()
+    recording = record_run(point)
+    recording.save(Path(record_dir) / f"{point_key(point)}.rec.json")
+    return recording.to_result(), time.perf_counter() - start
 
 
 def point_key(point: SweepPoint) -> str:
@@ -323,11 +344,12 @@ class _Outcome(NamedTuple):
     timed_out: bool
 
 
-def _round_serial(points: Sequence[SweepPoint]) -> List[_Outcome]:
+def _round_serial(points: Sequence[SweepPoint],
+                  runner=_run_point_timed) -> List[_Outcome]:
     outcomes = []
     for point in points:
         try:
-            result, seconds = _run_point_timed(point)
+            result, seconds = runner(point)
         except Exception as exc:
             outcomes.append(_Outcome(
                 None, 0.0, f"{type(exc).__name__}: {exc}", False))
@@ -337,7 +359,8 @@ def _round_serial(points: Sequence[SweepPoint]) -> List[_Outcome]:
 
 
 def _round_parallel(points: Sequence[SweepPoint], workers: int,
-                    timeout: Optional[float]) -> List[_Outcome]:
+                    timeout: Optional[float],
+                    runner=_run_point_timed) -> List[_Outcome]:
     """One attempt per point on a fresh pool; captures every failure.
 
     A fresh pool per round means a worker crash (BrokenProcessPool
@@ -348,7 +371,7 @@ def _round_parallel(points: Sequence[SweepPoint], workers: int,
     waited on.
     """
     pool = ProcessPoolExecutor(max_workers=min(workers, len(points)))
-    futures = [pool.submit(_run_point_timed, point) for point in points]
+    futures = [pool.submit(runner, point) for point in points]
     outcomes = []
     try:
         for future in futures:
@@ -376,7 +399,8 @@ def run_sweep(points: Sequence[SweepPoint],
               timeout: Optional[float] = None,
               retries: int = 1,
               backoff_s: float = 0.05,
-              on_error: str = "raise"
+              on_error: str = "raise",
+              record_dir: Optional[Union[str, Path]] = None
               ) -> List[Optional[SimulationResult]]:
     """Run every point, in parallel where possible; results in order.
 
@@ -396,6 +420,11 @@ def run_sweep(points: Sequence[SweepPoint],
     listing them; ``on_error="none"`` returns ``None`` in the failed
     points' slots. ``timeout`` needs worker processes and is ignored
     on the in-process serial path.
+
+    With ``record_dir``, every point that actually *runs* (cache hits
+    don't re-run, so they leave no recording) also writes a
+    deterministic recording to ``<record_dir>/<point_key>.rec.json``
+    — replayable and diffable via ``repro replay`` / ``repro diff``.
     """
     if on_error not in ("raise", "none"):
         raise ConfigError(
@@ -434,6 +463,11 @@ def run_sweep(points: Sequence[SweepPoint],
         use_pool = parallel and workers > 1 and len(pending) > 1
         if not use_pool:
             workers = 1
+        runner = _run_point_timed
+        if record_dir is not None:
+            Path(record_dir).mkdir(parents=True, exist_ok=True)
+            runner = functools.partial(_recorded_runner,
+                                       str(record_dir))
         remaining = list(pending)
         attempts: Dict[str, int] = {}
         for round_number in range(max(0, retries) + 1):
@@ -442,8 +476,11 @@ def run_sweep(points: Sequence[SweepPoint],
             if round_number:
                 retried_keys.update(point_key(p) for p in remaining)
                 time.sleep(backoff_s * (2 ** (round_number - 1)))
-            outcomes = (_round_parallel(remaining, workers, timeout)
-                        if use_pool else _round_serial(remaining))
+            outcomes = (
+                _round_parallel(remaining, workers, timeout,
+                                runner=runner)
+                if use_pool else _round_serial(remaining,
+                                               runner=runner))
             next_round: List[SweepPoint] = []
             for point, outcome in zip(remaining, outcomes):
                 key = point_key(point)

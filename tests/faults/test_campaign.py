@@ -34,3 +34,32 @@ def test_matrix_detects_and_reports(config):
 def test_unknown_policy_rejected():
     with pytest.raises(ReproError):
         run_campaign(policies=("pray",))
+
+
+def test_record_diff_pinpoints_divergence(config):
+    """`repro faults --record-diff`: every cell carries a divergence
+    summary against the clean (fault-free) recording."""
+    report = run_campaign(kinds=(FaultKind.DROP,),
+                          policies=("halt", "rekey-replay"),
+                          scale=SCALE, config=config,
+                          record_diff=True)
+    assert report["record_diff"] is True
+    assert report["clean_cycles"] > 0
+    by_policy = {entry["policy"]: entry["divergence"]
+                 for entry in report["entries"]}
+    for policy, divergence in by_policy.items():
+        assert divergence["identical"] is False
+        first = divergence["first_divergence"]
+        assert first is not None and first["cycle"] >= 0
+    # rekey-replay completes, so its cycle delta is measurable; the
+    # halt cell stops early and reports no delta.
+    assert by_policy["rekey-replay"]["cycles_delta"] is not None
+    assert by_policy["halt"]["cycles_delta"] is None
+
+
+def test_without_record_diff_entries_stay_lean(config):
+    report = run_campaign(kinds=(FaultKind.DROP,),
+                          policies=("halt",), scale=SCALE,
+                          config=config)
+    assert "record_diff" not in report
+    assert "divergence" not in report["entries"][0]

@@ -97,6 +97,17 @@ class TestJobRequest:
     def test_defaults(self):
         spec = parse_job_request({"points": self._points()})
         assert spec.tenant == "default" and spec.weight == 1
+        assert spec.record is False
+
+    def test_record_flag(self):
+        spec = parse_job_request({"points": self._points(),
+                                  "record": True})
+        assert spec.record is True
+
+    def test_record_must_be_bool(self):
+        with pytest.raises(ServeError, match="record"):
+            parse_job_request({"points": self._points(),
+                               "record": "yes"})
 
     @pytest.mark.parametrize("payload,match", [
         ([], "object"),
@@ -118,3 +129,10 @@ class TestJobRequest:
         spec = parse_job_request(job_request_dict(
             points, tenant="bob", weight=3))
         assert spec.points == tuple(points)
+
+    def test_helper_carries_record_flag(self):
+        points = [SweepPoint("fft", e6000_config(), scale=0.1)]
+        plain = job_request_dict(points)
+        assert "record" not in plain
+        spec = parse_job_request(job_request_dict(points, record=True))
+        assert spec.record is True

@@ -126,7 +126,9 @@ class TestDedup:
                 # The shared execution was cached exactly once.
                 assert len(cache) == 1
                 sources = {
-                    job.events[-2]["args"]["source"]
+                    [event for event in job.events
+                     if event["name"] == "point_done"][-1]
+                    ["args"]["source"]
                     for job in (alice, bob)}
                 assert sources == {"executed", "dedup"}
             finally:

@@ -131,6 +131,7 @@ def test_report_command(capsys):
     assert "Run report" in out
     assert "slowdown" in out
     assert "obs.miss_latency" in out
+    assert "p95" in out
     assert "Wall-clock phases" in out
 
 
@@ -169,3 +170,76 @@ def test_faults_command_verify_identity(capsys):
     assert main(["faults", "--scale", "0.02", "--kinds", "merkle-flip",
                  "--policies", "halt", "--verify-identity"]) == 0
     assert "identity w/o fault: True" in capsys.readouterr().out
+
+
+def test_report_empty_trace_exits_cleanly(tmp_path, capsys):
+    from repro.smp.trace import Workload
+    from repro.workloads.tracefile import save_workload
+    trace_path = tmp_path / "empty.trace"
+    save_workload(Workload("empty", [[], []]), trace_path)
+    assert main(["report", str(trace_path), "--cpus", "2"]) == 1
+    err = capsys.readouterr().err
+    assert "no memory accesses" in err or "contains no" in err
+
+
+def test_record_replay_diff_workflow(tmp_path, capsys):
+    """The tentpole loop: record, replay perturbed, diff pinpoints."""
+    import json
+    rec = tmp_path / "run.rec.json"
+    assert main(["record", "fft", "--cpus", "2", "--scale", "0.05",
+                 "--interval", "10", "--memprotect",
+                 "--out", str(rec)]) == 0
+    streams = capsys.readouterr()
+    combined = (streams.out + streams.err).lower()
+    assert "recorded" in combined or "events" in combined
+
+    replayed = tmp_path / "perturbed.replay.json"
+    # the perturbed replay diverges, so --diff exits 1 (like diff(1))
+    assert main(["replay", str(rec), "--perturb", "auth_interval=50",
+                 "--out", str(replayed), "--diff"]) == 1
+    out = capsys.readouterr().out
+    assert "First divergence" in out
+
+    diff_json = tmp_path / "diff.json"
+    assert main(["diff", str(rec), str(replayed),
+                 "--json", str(diff_json)]) == 1
+    payload = json.loads(diff_json.read_text())
+    assert payload["kind"] == "repro-recording-diff"
+    assert payload["identical"] is False
+    assert payload["first_divergence"] is not None
+    assert payload["perturbation"]["name"] == "auth_interval"
+
+
+def test_diff_identical_recordings_exit_zero(tmp_path, capsys):
+    first = tmp_path / "a.rec.json"
+    second = tmp_path / "b.rec.json"
+    for path in (first, second):
+        assert main(["record", "lu", "--cpus", "2", "--scale", "0.05",
+                     "--out", str(path)]) == 0
+    assert main(["diff", str(first), str(second)]) == 0
+    out = capsys.readouterr().out
+    assert "identical" in out
+
+
+def test_diff_missing_file_exits_two(tmp_path, capsys):
+    assert main(["diff", str(tmp_path / "a.json"),
+                 str(tmp_path / "b.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_record_rejects_trace_workloads(tmp_path):
+    from repro.workloads.registry import generate
+    from repro.workloads.tracefile import save_workload
+    trace_path = tmp_path / "t.trace"
+    save_workload(generate("fft", 2, scale=0.05), trace_path)
+    with pytest.raises(SystemExit, match="registry workload"):
+        main(["record", str(trace_path), "--cpus", "2"])
+
+
+def test_faults_record_diff_column(capsys):
+    assert main(["faults", "--scale", "0.02", "--kinds", "drop",
+                 "--policies", "rekey-replay",
+                 "--record-diff"]) == 0
+    out = capsys.readouterr().out
+    assert "diverges vs clean" in out
+    assert "fault_inject" in out

@@ -187,3 +187,80 @@ class TestBenchDiff:
         table = collect_results.bench_diff(committed, committed)
         assert "missheavy/integrated" in table
         assert "1.00x" in table
+
+
+class TestMergeDiffs:
+    def _write_diff(self, path, workload="fft", perturbation=None,
+                    identical=False):
+        import json
+        payload = {
+            "kind": "repro-recording-diff",
+            "schema_version": 1,
+            "workload": {"name": workload, "cpus": 2},
+            "perturbation": perturbation,
+            "identical": identical,
+            "first_divergence": None if identical else {
+                "index": 10,
+                "a": {"name": "miss", "cycle": 900},
+                "b": {"name": "auth", "cycle": 1_000}},
+            "cycles": {"a": 50_000, "b": 51_000, "delta": 1_000},
+            "counters": {} if identical
+            else {"bus.tx.Auth00": {"a": 4, "b": 7, "delta": 3}},
+        }
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_merges_sorted_by_workload_and_perturbation(
+            self, tmp_path):
+        ocean = self._write_diff(tmp_path / "o.json",
+                                 workload="ocean")
+        fft = self._write_diff(
+            tmp_path / "f.json",
+            perturbation={"name": "auth_interval", "value": "32"})
+        table = collect_results.merge_diffs([ocean, fft])
+        assert table.index("fft") < table.index("ocean")
+        assert "auth_interval=32" in table
+        assert "@1,000 (auth)" in table
+        assert "+1,000" in table
+
+    def test_identical_row(self, tmp_path):
+        diff = self._write_diff(tmp_path / "same.json",
+                                identical=True)
+        table = collect_results.merge_diffs([diff])
+        assert "identical" in table
+
+    def test_rejects_non_diff_json(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"kind": "repro-report"}')
+        import pytest
+        with pytest.raises(ValueError, match="recording diff"):
+            collect_results.merge_diffs([bogus])
+
+    def test_main_diffs_flag(self, tmp_path, capsys):
+        diff = self._write_diff(tmp_path / "d.json")
+        assert collect_results.main(["--diffs", str(diff)]) == 0
+        assert "Merged recording diffs" in capsys.readouterr().out
+
+    def test_main_diffs_bad_file(self, tmp_path, capsys):
+        code = collect_results.main(
+            ["--diffs", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_against_real_cli_output(self, tmp_path):
+        """repro record → replay → diff --json merges cleanly."""
+        from repro.cli import main as repro_main
+        rec = tmp_path / "run.rec.json"
+        assert repro_main(["record", "fft", "--cpus", "2",
+                           "--scale", "0.05", "--interval", "10",
+                           "--out", str(rec)]) == 0
+        replayed = tmp_path / "p.replay.json"
+        assert repro_main(["replay", str(rec), "--perturb",
+                           "auth_interval=50",
+                           "--out", str(replayed)]) == 0
+        diff_json = tmp_path / "d.json"
+        assert repro_main(["diff", str(rec), str(replayed),
+                           "--json", str(diff_json)]) == 1
+        table = collect_results.merge_diffs([diff_json])
+        assert "auth_interval=50" in table
+        assert "fft" in table

@@ -17,6 +17,13 @@ With ``--bench-diff``, compares two ``BENCH_engine.json`` snapshots
 used in PR descriptions and by the CI regression gate:
 
     python tools/collect_results.py --bench-diff OLD.json NEW.json
+
+With ``--diffs``, merges ``repro diff --json`` recording-diff reports
+(docs/record_replay.md) from a perturbation study into one table —
+one row per diff: the perturbed knob, first-divergence location,
+cycle delta and changed-counter count:
+
+    python tools/collect_results.py --diffs d1.json d2.json ...
 """
 
 from __future__ import annotations
@@ -188,6 +195,60 @@ def bench_diff(old_path, new_path) -> str:
         ["config", "old", "new", "speedup", "delta"], rows)
 
 
+def merge_diffs(paths) -> str:
+    """Merge ``repro diff --json`` reports into one divergence table.
+
+    Each input must be a ``kind: "repro-recording-diff"`` dict. Rows
+    are ordered by (workload, perturbation, source name) so repeated
+    collections are stable.
+    """
+    reports = []
+    for path in paths:
+        path = Path(path)
+        payload = json.loads(path.read_text())
+        if payload.get("kind") != "repro-recording-diff":
+            raise ValueError(f"{path} is not a recording diff "
+                             "(missing kind: repro-recording-diff)")
+        reports.append((path.name, payload))
+
+    def _perturb_label(payload):
+        perturbation = payload.get("perturbation")
+        if not perturbation:
+            return "none"
+        return f"{perturbation['name']}={perturbation['value']}"
+
+    reports.sort(key=lambda item: (
+        item[1].get("workload", {}).get("name", ""),
+        _perturb_label(item[1]), item[0]))
+    rows = []
+    for name, payload in reports:
+        workload = payload.get("workload", {})
+        first = payload.get("first_divergence")
+        cycles = payload.get("cycles")
+        if payload.get("identical"):
+            where = "identical"
+        elif first is None:
+            where = "?"
+        else:
+            side = first.get("b") or first.get("a") or {}
+            where = (f"@{side.get('cycle', 0):,} "
+                     f"({side.get('name', '?')})")
+        rows.append([
+            workload.get("name", "?"),
+            workload.get("cpus", "?"),
+            _perturb_label(payload),
+            where,
+            f"{cycles['delta']:+,}" if cycles else "-",
+            len(payload.get("counters", {})),
+            name,
+        ])
+    return _format_table(
+        f"Merged recording diffs ({len(reports)} runs)",
+        ["workload", "cpus", "perturbation", "first divergence",
+         "cycles delta", "counters", "source"],
+        rows)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quiet", action="store_true",
@@ -203,7 +264,18 @@ def main(argv=None) -> int:
                         metavar=("OLD", "NEW"),
                         help="print per-config speedups between two "
                              "BENCH_engine.json snapshots")
+    parser.add_argument("--diffs", nargs="+", metavar="JSON",
+                        help="merge `repro diff --json` recording "
+                             "diffs into one divergence table")
     args = parser.parse_args(argv)
+    if args.diffs:
+        try:
+            table = merge_diffs(args.diffs)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(table)
+        return 0
     if args.bench_diff:
         try:
             table = bench_diff(*args.bench_diff)
