@@ -1,0 +1,140 @@
+"""Chaos plans: which fault hits which point, derived from a seed.
+
+A plan is a plain JSON document so it crosses the process boundary to
+the serve subprocess and its workers through one environment variable
+(``REPRO_CHAOS_PLAN`` = path to the plan file). Target selection is a
+pure function of ``(seed, fault kinds, point keys)`` — re-running the
+harness with the same seed injects the same faults into the same
+points, which is what makes a chaos failure reproducible.
+
+Worker-side faults (``worker-kill``, ``point-hang``) carry the target
+point's :func:`~repro.sim.sweep.point_key`; the worker hook matches
+on it. Harness-side faults (``server-restart``, ``cache-corrupt``,
+``client-drop``) are executed by the orchestrator itself and carry no
+worker payload — they appear in the plan for the record.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+#: every fault the harness knows how to inject
+FAULT_KINDS = ("worker-kill", "point-hang", "cache-corrupt",
+               "server-restart", "client-drop")
+
+#: faults injected inside a worker process via the sweep-runner seam
+WORKER_FAULT_KINDS = ("worker-kill", "point-hang")
+
+#: how long a hung point sleeps — must dwarf any sane --point-timeout
+DEFAULT_HANG_S = 120.0
+
+
+@dataclass
+class ChaosPlan:
+    """The faults one chaos run will inject."""
+
+    seed: int
+    marker_dir: str
+    faults: List[Dict[str, object]] = field(default_factory=list)
+
+    def worker_faults(self) -> List[Dict[str, object]]:
+        return [fault for fault in self.faults
+                if fault["kind"] in WORKER_FAULT_KINDS]
+
+    def kinds(self) -> List[str]:
+        return sorted({str(fault["kind"]) for fault in self.faults})
+
+    def targets(self, kind: str) -> List[str]:
+        return [str(fault["point"]) for fault in self.faults
+                if fault["kind"] == kind and "point" in fault]
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "marker_dir": self.marker_dir,
+                "faults": self.faults}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChaosPlan":
+        return cls(seed=int(payload["seed"]),
+                   marker_dir=str(payload["marker_dir"]),
+                   faults=list(payload.get("faults", [])))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), sort_keys=True,
+                                   indent=1))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ChaosPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def build_plan(seed: int, point_keys: Sequence[str],
+               kinds: Sequence[str], marker_dir: Union[str, Path],
+               hang_s: float = DEFAULT_HANG_S) -> ChaosPlan:
+    """Assign each requested fault kind a deterministic target point.
+
+    One fault per kind; targets are drawn without replacement where
+    possible (a point both killed and hung would conflate the two
+    recovery paths being tested), falling back to reuse when there
+    are more fault kinds than points.
+    """
+    unknown = sorted(set(kinds) - set(FAULT_KINDS))
+    if unknown:
+        raise ValueError(
+            f"unknown fault kinds {unknown}; "
+            f"choose from {sorted(FAULT_KINDS)}")
+    if not point_keys:
+        raise ValueError("chaos plan needs at least one point")
+    rng = random.Random(f"chaos-plan:{seed}")
+    pool = list(point_keys)
+    rng.shuffle(pool)
+    plan = ChaosPlan(seed=seed, marker_dir=str(marker_dir))
+    cursor = 0
+    # Deterministic order regardless of caller's kind ordering.
+    for kind in sorted(set(kinds), key=FAULT_KINDS.index):
+        fault: Dict[str, object] = {"kind": kind}
+        if kind in WORKER_FAULT_KINDS or kind == "cache-corrupt":
+            fault["point"] = pool[cursor % len(pool)]
+            cursor += 1
+        if kind == "point-hang":
+            fault["hang_s"] = hang_s
+        plan.faults.append(fault)
+    return plan
+
+
+def _point_keys(points) -> List[str]:
+    from ..sim.sweep import point_key
+    return [point_key(point) for point in points]
+
+
+def plan_for_points(seed: int, points, kinds: Sequence[str],
+                    marker_dir: Union[str, Path],
+                    hang_s: float = DEFAULT_HANG_S,
+                    ) -> ChaosPlan:
+    """:func:`build_plan` over SweepPoints instead of raw keys."""
+    return build_plan(seed, _point_keys(points), kinds, marker_dir,
+                      hang_s=hang_s)
+
+
+def describe_plan(plan: ChaosPlan,
+                  key_to_index: Optional[Dict[str, int]] = None
+                  ) -> List[str]:
+    """Human-readable fault lines for logs and the CLI report."""
+    lines = []
+    for fault in plan.faults:
+        kind = fault["kind"]
+        target = fault.get("point")
+        if target is None:
+            lines.append(f"{kind}: orchestrator-level")
+            continue
+        where = f"point {key_to_index[target]}" \
+            if key_to_index and target in key_to_index \
+            else f"key {str(target)[:12]}…"
+        lines.append(f"{kind}: {where}")
+    return lines

@@ -32,7 +32,13 @@ Commands
               result cache (docs/serving.md).
 ``submit``    submit a sweep job to a running server and optionally
               follow its NDJSON progress stream.
-``jobs``      list a running server's jobs.
+``jobs``      list a running server's jobs, with per-point failure
+              reasons and quarantine status.
+``chaos``     deterministic chaos harness: inject seeded faults
+              (worker kill, point hang, cache corruption, server
+              restart, client drop) into a live serve subprocess and
+              assert results stay bit-identical to a clean run
+              (docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -252,6 +258,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="directory for job-requested recordings; "
                             "unset = jobs asking to record are "
                             "rejected (400)")
+    serve.add_argument("--state-dir", default=None, metavar="PATH",
+                       help="server state directory: enables the "
+                            "durable job journal "
+                            "(journal.jsonl WAL; docs/resilience.md)")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay the journal on startup and "
+                            "re-admit jobs that never finished "
+                            "(needs --state-dir)")
+    serve.add_argument("--point-timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-point deadline in seconds; a point "
+                            "past it is presumed hung, the worker "
+                            "pool is respawned and the point retried")
+    serve.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="per-point retry budget before the "
+                            "failure is final (default 2)")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="S",
+                       help="max seconds to wait for accepted jobs "
+                            "on shutdown; unfinished work stays "
+                            "journalled for --resume")
 
     submit = commands.add_parser(
         "submit", help="submit a sweep job to a running server")
@@ -275,10 +302,45 @@ def _build_parser() -> argparse.ArgumentParser:
                              "GET /v1/jobs/{id}/recordings/{index}")
 
     jobs = commands.add_parser(
-        "jobs", help="list a running server's jobs")
+        "jobs", help="list a running server's jobs with per-point "
+                     "failure reasons and quarantine status")
     jobs.add_argument("--host", default="127.0.0.1")
     jobs.add_argument("--port", type=int, default=8642)
     jobs.add_argument("--tenant", default=None)
+    jobs.add_argument("--no-reasons", action="store_true",
+                      help="skip fetching per-point failure reasons "
+                           "for failed jobs")
+
+    chaos = commands.add_parser(
+        "chaos", help="seeded fault injection against a live serve "
+                      "subprocess (docs/resilience.md)")
+    chaos.add_argument("--workload", default="fft",
+                       help="registry workload for the chaos sweep")
+    chaos.add_argument("--cpus", type=int, default=2)
+    chaos.add_argument("--scale", type=float, default=0.05)
+    chaos.add_argument("--points", type=int, default=4, metavar="N",
+                       help="sweep points (seeds 0..N-1)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="chaos plan seed: same seed, same faults "
+                            "on the same points")
+    chaos.add_argument("--faults", default=",".join(
+        ("worker-kill", "point-hang", "cache-corrupt",
+         "server-restart", "client-drop")),
+        help="comma-separated fault kinds to inject")
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--point-timeout", type=float, default=5.0,
+                       metavar="S",
+                       help="server per-point deadline (the hang "
+                            "fault must blow it)")
+    chaos.add_argument("--record", action="store_true",
+                       help="also run record jobs and assert "
+                            "recording bytes are identical to a "
+                            "clean run")
+    chaos.add_argument("--dir", default=None, metavar="PATH",
+                       help="scratch directory (default: a temp dir "
+                            "wiped afterwards)")
+    chaos.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the chaos report as JSON")
     return parser
 
 
@@ -774,13 +836,32 @@ def _cmd_serve(args) -> int:
     from .serve.scheduler import Scheduler
     from .sim.sweep import ResultCache
 
+    if args.resume and args.state_dir is None:
+        raise SystemExit("--resume needs --state-dir (the journal "
+                         "lives there)")
+
     async def main() -> None:
+        journal = None
+        if args.state_dir is not None:
+            from .serve.journal import JobJournal
+            journal = JobJournal(args.state_dir)
         scheduler = Scheduler(cache=ResultCache(args.cache_dir),
                               max_workers=args.workers,
                               max_queued_per_tenant=args.max_queued,
                               warmup=not args.no_warmup,
-                              record_dir=args.record_dir)
+                              record_dir=args.record_dir,
+                              journal=journal,
+                              point_timeout=args.point_timeout,
+                              retries=args.retries)
         await scheduler.start()
+        if args.resume:
+            resumed = scheduler.resume()
+            if resumed:
+                print("resumed "
+                      + ", ".join(job.id for job in resumed)
+                      + " from the journal", file=sys.stderr)
+        elif journal is not None:
+            journal.rotate()  # archive a stale journal, don't replay
         server = await ServeHTTP(scheduler, args.host,
                                  args.port).start()
         print(f"repro serve listening on "
@@ -788,7 +869,9 @@ def _cmd_serve(args) -> int:
               f"({scheduler.max_workers} warm workers, "
               f"cache {args.cache_dir}"
               + (f", recordings {args.record_dir}"
-                 if args.record_dir else "") + ")", file=sys.stderr)
+                 if args.record_dir else "")
+              + (f", journal {args.state_dir}"
+                 if args.state_dir else "") + ")", file=sys.stderr)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -798,8 +881,11 @@ def _cmd_serve(args) -> int:
                 pass
         await stop.wait()
         print("draining: finishing accepted jobs...", file=sys.stderr)
-        await server.drain()
-        print("drained.", file=sys.stderr)
+        if await server.drain(timeout=args.drain_timeout):
+            print("drained.", file=sys.stderr)
+        else:
+            print("drain timed out; unfinished jobs remain "
+                  "journalled for --resume.", file=sys.stderr)
 
     try:
         asyncio.run(main())
@@ -851,15 +937,54 @@ def _cmd_submit(args) -> int:
 def _cmd_jobs(args) -> int:
     from .serve.client import ServeClient
 
+    client = ServeClient(args.host, args.port)
+    jobs = client.jobs(args.tenant)
     rows = []
-    for job in ServeClient(args.host, args.port).jobs(args.tenant):
+    for job in jobs:
+        quarantined = job.get("quarantined", [])
         rows.append([job["id"], job["tenant"], job["state"],
                      f"{job['completed']}/{job['points']}",
-                     job["failed"] or ""])
+                     job["failed"] or "",
+                     len(quarantined) or ""])
     print(format_table(f"jobs @ {args.host}:{args.port}",
-                       ["id", "tenant", "state", "done", "failed"],
+                       ["id", "tenant", "state", "done", "failed",
+                        "quar"],
                        rows))
+    if args.no_reasons:
+        return 0
+    # Failure reasons used to be visible only in server logs /
+    # SweepError.failures; surface them per point here.
+    for job in jobs:
+        if not job["failed"]:
+            continue
+        quarantined = set(job.get("quarantined", []))
+        for index, error in enumerate(client.errors(job["id"])):
+            if error is None:
+                continue
+            marker = " [quarantined]" if index in quarantined else ""
+            print(f"  {job['id']} point {index}{marker}: {error}")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from pathlib import Path
+
+    from .chaos import run_chaos
+
+    kinds = [kind.strip() for kind in args.faults.split(",")
+             if kind.strip()]
+    report = run_chaos(
+        workload=args.workload, cpus=args.cpus, scale=args.scale,
+        points=args.points, seed=args.seed, faults=kinds,
+        workers=args.workers, point_timeout=args.point_timeout,
+        record=args.record, work_dir=args.dir)
+    print(report.format())
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=1, sort_keys=True)
+            + "\n")
+        print(f"chaos report written to {args.json}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_workloads() -> int:
@@ -903,6 +1028,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_submit(args)
         if args.command == "jobs":
             return _cmd_jobs(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
     except BrokenPipeError:
         # Output truncated by a closed pipe (e.g. `| head`): not an
         # error from the user's point of view.

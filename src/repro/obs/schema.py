@@ -87,6 +87,14 @@ TRACE_EVENT_SCHEMA: Dict[str, Dict[str, object]] = {
                             "source": str}},
     "point_failed": {"cat": "serve", "ph": "i",
                      "args": {"index": int, "error": str}},
+    # resilience plane (docs/resilience.md): a point re-entering the
+    # queue after a failure, and a journalled job re-admitted by
+    # `repro serve --resume`
+    "point_retry": {"cat": "serve", "ph": "i",
+                    "args": {"index": int, "attempt": int,
+                             "error": str}},
+    "job_resumed": {"cat": "serve", "ph": "i",
+                    "args": {"job": str, "points": int}},
     "job_done": {"cat": "serve", "ph": "i",
                  "args": {"job": str, "state": str}},
     # server-wide counter sample (Chrome counter track, ph "C"),

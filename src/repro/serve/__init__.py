@@ -16,7 +16,13 @@ warmup again. This package turns that into a long-lived service:
   HTTP/1.1 front end (``POST /v1/jobs``, NDJSON progress streams,
   429 backpressure, graceful drain);
 - :class:`~repro.serve.client.ServeClient` — the blocking client the
-  ``repro submit`` / ``repro jobs`` CLI commands use.
+  ``repro submit`` / ``repro jobs`` CLI commands use, with seeded
+  transport retries and a resumable event stream;
+- :class:`~repro.serve.journal.JobJournal` — the append-only JSONL
+  WAL behind ``repro serve --state-dir``/``--resume`` (crashed
+  servers re-admit incomplete jobs; docs/resilience.md);
+- :class:`~repro.serve.supervisor.WorkerSupervisor` — deadline
+  watchdog + kill-and-respawn over the worker pool.
 
 Results served over the wire are bit-identical — cycles, per-CPU
 clocks and every statistic — to a direct :func:`run_sweep` call
@@ -30,14 +36,19 @@ from .client import ServeClient
 from .fairqueue import WeightedFairQueue
 from .jobs import JobSpec, parse_job_request, point_from_dict, \
     point_to_dict, result_from_dict, result_to_dict
+from .journal import JobJournal, JournaledJob
 from .scheduler import Job, Scheduler
+from .supervisor import WorkerSupervisor
 
 __all__ = [
     "Job",
+    "JobJournal",
     "JobSpec",
+    "JournaledJob",
     "Scheduler",
     "ServeClient",
     "WeightedFairQueue",
+    "WorkerSupervisor",
     "parse_job_request",
     "point_from_dict",
     "point_to_dict",

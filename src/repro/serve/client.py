@@ -14,16 +14,31 @@ Typical use::
     final = client.wait(job["id"])          # follows the event stream
     results = client.results(job["id"])     # SimulationResults
 
+Resilience (docs/resilience.md): connect and read phases carry
+separate timeouts, transport-level failures (refused / reset /
+timed-out connections) are retried with seeded exponential backoff,
+and the event stream is **resumable** — a connection dropped
+mid-NDJSON-line reconnects and skips the events already seen (the
+server replays a job's full history on every stream request), so
+``repro jobs --follow`` survives a server restart instead of dying
+mid-stream. ``POST`` is only retried when the failure happened
+before the request was sent — a submission that *might* have been
+accepted is never silently re-sent.
+
 Service-side failures (400/404/429/503) re-raise as
 :class:`~repro.errors.ServeError` carrying the HTTP status, so
 ``except BackpressureError`` works the same on both sides of the
-wire.
+wire. Transport failures re-raise the *original* ``OSError`` once
+retries are exhausted — callers probing for an up server keep their
+``except OSError`` semantics.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import BackpressureError, ServeError
@@ -34,16 +49,38 @@ from .jobs import job_request_dict, result_from_dict
 
 class ServeClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0,
+                 connect_timeout: Optional[float] = None,
+                 read_timeout: Optional[float] = None,
+                 retries: int = 2, backoff_s: float = 0.2,
+                 seed: int = 0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: connect/read phases fall back to the blanket timeout
+        self.connect_timeout = connect_timeout \
+            if connect_timeout is not None else timeout
+        self.read_timeout = read_timeout \
+            if read_timeout is not None else timeout
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.seed = seed
 
     # -- HTTP plumbing -------------------------------------------------
 
     def _connect(self) -> socket.socket:
-        return socket.create_connection((self.host, self.port),
-                                        timeout=self.timeout)
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout)
+        sock.settimeout(self.read_timeout)
+        return sock
+
+    def _backoff_delay(self, what: str, attempt: int) -> float:
+        """Seeded exponential backoff with jitter — deterministic per
+        (client seed, operation, attempt), so retry traffic is
+        reproducible in tests and decorrelated across clients."""
+        rng = random.Random(f"{self.seed}:{what}:{attempt}")
+        return self.backoff_s * (2 ** (attempt - 1)) \
+            * (1.0 + rng.random())
 
     @staticmethod
     def _send_request(sock: socket.socket, method: str, path: str,
@@ -88,22 +125,49 @@ class ServeClient:
 
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None) -> dict:
+        """One request with transport-level retry.
+
+        Idempotent methods retry on any transport failure; ``POST``
+        retries only when the connection itself failed (the request
+        was provably never sent, so a duplicate submission is
+        impossible). Exhausted retries re-raise the original error.
+        """
         body = None if payload is None else \
             json.dumps(payload).encode("utf-8")
-        with self._connect() as sock:
-            self._send_request(sock, method, path, body)
-            with sock.makefile("rb") as handle:
-                status, headers = self._read_head(handle)
-                length = headers.get("content-length")
-                data = handle.read(int(length)) \
-                    if length is not None else handle.read()
-        self._raise_for_status(status, data)
-        return json.loads(data.decode("utf-8")) if data else {}
+        idempotent = method in ("GET", "DELETE")
+        for attempt in range(self.retries + 1):
+            connected = False
+            try:
+                with self._connect() as sock:
+                    connected = True
+                    self._send_request(sock, method, path, body)
+                    with sock.makefile("rb") as handle:
+                        status, headers = self._read_head(handle)
+                        length = headers.get("content-length")
+                        data = handle.read(int(length)) \
+                            if length is not None else handle.read()
+            except OSError:
+                # socket.timeout is an OSError subclass, so both
+                # connect- and read-phase timeouts land here.
+                retryable = idempotent or not connected
+                if attempt >= self.retries or not retryable:
+                    raise
+                time.sleep(self._backoff_delay(
+                    f"{method} {path}", attempt + 1))
+                continue
+            self._raise_for_status(status, data)
+            return json.loads(data.decode("utf-8")) if data else {}
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- API -----------------------------------------------------------
 
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")
+
+    def readyz(self) -> dict:
+        """Readiness verdict: ``{"ready": bool, "reason": str}``.
+        Raises ServeError(503) when the server answers not-ready."""
+        return self._request("GET", "/v1/readyz")
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
@@ -161,24 +225,88 @@ class ServeClient:
         return self._request(
             "GET", f"/v1/jobs/{job_id}/recordings/{index}")
 
+    def recording_bytes(self, job_id: str, index: int) -> bytes:
+        """The recording exactly as served — the server ships the
+        artifact verbatim, so these bytes equal the on-disk file
+        (the chaos harness compares them byte-for-byte against a
+        clean run's recordings)."""
+        path = f"/v1/jobs/{job_id}/recordings/{index}"
+        for attempt in range(self.retries + 1):
+            try:
+                with self._connect() as sock:
+                    self._send_request(sock, "GET", path, None)
+                    with sock.makefile("rb") as handle:
+                        status, headers = self._read_head(handle)
+                        length = headers.get("content-length")
+                        data = handle.read(int(length)) \
+                            if length is not None else handle.read()
+            except OSError:
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self._backoff_delay(
+                    f"GET {path}", attempt + 1))
+                continue
+            self._raise_for_status(status, data)
+            return data
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def stream_events(self, job_id: str) -> Iterator[dict]:
         """Yield the job's NDJSON progress events; the stream replays
         history first, then follows live and ends when the job is
-        terminal. Events are schema-valid Chrome trace events."""
-        with self._connect() as sock:
-            # The stream follows the job live: quiet stretches between
-            # points are expected, so no read timeout here.
-            sock.settimeout(None)
-            self._send_request(sock, "GET",
-                               f"/v1/jobs/{job_id}/events", None)
-            with sock.makefile("rb") as handle:
-                status, _headers = self._read_head(handle)
-                if status >= 400:
-                    self._raise_for_status(status, handle.read())
-                for line in handle:
-                    line = line.strip()
-                    if line:
-                        yield json.loads(line.decode("utf-8"))
+        terminal. Events are schema-valid Chrome trace events.
+
+        Resumable: if the connection drops mid-stream (server
+        restart, reset), the client reconnects with backoff and
+        skips the events it already yielded — the server replays the
+        job's full history on every stream request, so the cursor is
+        just a line count. Gives up (ServeError 503) after the
+        retry budget.
+        """
+        seen = 0
+        drops = 0
+        while True:
+            terminal = False
+            try:
+                with self._connect() as sock:
+                    # The stream follows the job live: quiet
+                    # stretches between points are expected, so no
+                    # read timeout here.
+                    sock.settimeout(None)
+                    self._send_request(
+                        sock, "GET", f"/v1/jobs/{job_id}/events",
+                        None)
+                    with sock.makefile("rb") as handle:
+                        status, _headers = self._read_head(handle)
+                        if status >= 400:
+                            self._raise_for_status(status,
+                                                   handle.read())
+                        cursor = 0
+                        for line in handle:
+                            line = line.strip()
+                            if not line:
+                                continue
+                            try:
+                                event = json.loads(
+                                    line.decode("utf-8"))
+                            except ValueError:
+                                break  # torn line: treat as a drop
+                            cursor += 1
+                            if event.get("name") == "job_done":
+                                terminal = True
+                            if cursor > seen:
+                                seen = cursor
+                                yield event
+            except OSError:
+                pass  # dropped connection: fall through to retry
+            if terminal:
+                return
+            drops += 1
+            if drops > self.retries:
+                raise ServeError(
+                    f"event stream for {job_id} dropped "
+                    f"{drops} times; giving up", status=503)
+            time.sleep(self._backoff_delay(
+                f"stream {job_id}", drops))
 
     def wait(self, job_id: str) -> dict:
         """Block until the job is terminal (via the event stream);

@@ -65,6 +65,22 @@ class WeightedFairQueue:
         state.items.append(item)
         self._size += 1
 
+    def push_front(self, tenant: str, item, weight: int = 1) -> None:
+        """Prepend ``item`` to ``tenant``'s FIFO — used to requeue a
+        point being retried so it runs before the tenant's newer
+        work. Fairness across tenants is untouched (the tenant's
+        virtual time already charged for the first attempt)."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _Tenant(tenant, max(1, weight), self._vclock)
+            self._tenants[tenant] = state
+        if not state.in_heap:
+            state.vtime = max(state.vtime, self._vclock)
+            heapq.heappush(self._heap, (state.vtime, tenant))
+            state.in_heap = True
+        state.items.appendleft(item)
+        self._size += 1
+
     def pop(self):
         """Pop ``(tenant, item)`` from the lowest-vtime active tenant."""
         while self._heap:

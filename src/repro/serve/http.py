@@ -10,6 +10,9 @@ browser's ``fetch`` can all consume without a framework.
 Endpoints (all under ``/v1``)::
 
     GET    /v1/healthz            liveness ("ok", never queued)
+    GET    /v1/readyz             readiness (200 only when the server
+                                  is admitting work and its pool is
+                                  alive; 503 with a reason otherwise)
     GET    /v1/stats              scheduler counters + gauges
     GET    /v1/metrics            live metrics plane: queue depth,
                                   warm-pool state, cache hit rate,
@@ -124,13 +127,15 @@ class ServeHTTP:
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 
-    async def drain(self) -> None:
+    async def drain(self, timeout: Optional[float] = None) -> bool:
         """Graceful shutdown: stop listening, let the scheduler
-        finish every accepted job, then stop the pool."""
+        finish every accepted job (up to ``timeout`` seconds — the
+        journal keeps whatever didn't make it), then stop the pool.
+        Returns True when everything finished in time."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self.scheduler.drain()
+        return await self.scheduler.drain(timeout=timeout)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -175,6 +180,12 @@ class ServeHTTP:
         rest = segments[1:]
         if rest == ["healthz"] and method == "GET":
             await self._send_json(writer, 200, {"status": "ok"})
+            return
+        if rest == ["readyz"] and method == "GET":
+            ready, reason = self.scheduler.ready()
+            await self._send_json(
+                writer, 200 if ready else 503,
+                {"ready": ready, "reason": reason})
             return
         if rest == ["stats"] and method == "GET":
             await self._send_json(writer, 200,

@@ -25,12 +25,28 @@ entirely from a single asyncio event loop:
   whose last point lands becomes ``done`` (or ``failed`` if any
   point errored).
 
+Resilience (docs/resilience.md): the pool is owned by a
+:class:`~repro.serve.supervisor.WorkerSupervisor` — a dead worker
+(``BrokenProcessPool``) or a point past its ``point_timeout``
+deadline triggers kill-and-respawn of the pool and the affected
+points re-enter the fair queue with seeded exponential backoff +
+jitter (``serve.retries``). A point that keeps failing is
+**quarantined** after ``quarantine_after`` consecutive failures
+(``serve.quarantined_points``): it fails fast with the recorded
+error, poisoning neither its job's other points nor other tenants.
+Every admission / dispatch / completion / failure is appended to the
+:class:`~repro.serve.journal.JobJournal` WAL (when configured), so a
+crashed server can :meth:`resume` incomplete jobs — completed points
+short-circuit through the cache, only genuinely unfinished work
+re-executes.
+
 Cancellation (:meth:`cancel`) drops the job's *queued* points and
 unsubscribes it from in-flight ones; an execution whose subscribers
 all cancelled still runs to completion and its result is cached —
 simulations are deterministic and paid-for work is worth keeping.
 :meth:`drain` stops admission (503), waits for every accepted job to
-reach a terminal state, then shuts the pool down.
+reach a terminal state (up to an optional timeout — the journal
+keeps whatever didn't finish), then shuts the pool down.
 
 Progress is recorded per job as Chrome trace events (``cat:
 "serve"``, validated against ``TRACE_EVENT_SCHEMA``) — the NDJSON
@@ -41,8 +57,8 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -50,21 +66,15 @@ from ..errors import BackpressureError, ServeError
 from ..sim.sweep import ResultCache, SweepPoint, _recorded_runner, \
     _run_point_timed, point_key
 from .fairqueue import WeightedFairQueue
-from .jobs import JobSpec, result_to_dict
+from .jobs import JobSpec, job_request_dict, parse_job_request, \
+    result_to_dict
+from .journal import JobJournal
+from .supervisor import WorkerSupervisor, _warm_worker  # noqa: F401
+# (_warm_worker re-exported: it lived here before the supervisor
+# split and external callers warm pools through it.)
 
 #: job lifecycle states (terminal: done / failed / cancelled)
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
-
-
-def _warm_worker() -> int:
-    """Run one micro-simulation so the worker has imported every hot
-    module and built its first system before real points arrive."""
-    from ..config import SystemConfig
-    from ..sim.sweep import build_system
-    from ..workloads.registry import generate
-    workload = generate("fft", 1, scale=0.01, seed=0)
-    return build_system(SystemConfig(num_processors=1)).run(
-        workload).cycles
 
 
 class Job:
@@ -84,6 +94,8 @@ class Job:
         self.finished_s: Optional[float] = None
         self.events: List[dict] = []
         self.new_event = asyncio.Event()
+        #: indexes failed by the poisoned-point circuit breaker
+        self.quarantined_indexes: Set[int] = set()
 
     @property
     def terminal(self) -> bool:
@@ -103,6 +115,7 @@ class Job:
             "completed": self.completed,
             "failed": sum(1 for error in self.errors
                           if error is not None),
+            "quarantined": sorted(self.quarantined_indexes),
             "created_s": round(self.created_s, 3),
             "started_s": None if self.started_s is None
             else round(self.started_s, 3),
@@ -127,22 +140,36 @@ class _QueuedPoint:
 class _Execution:
     """One running point and the (job, index) pairs wanting its result."""
 
-    __slots__ = ("key", "point", "subscribers", "started_us")
+    __slots__ = ("key", "point", "subscribers", "started_us",
+                 "settled")
 
     def __init__(self, key: str, point: SweepPoint, started_us: int):
         self.key = key
         self.point = point
         self.subscribers: Set[Tuple[Job, int]] = set()
         self.started_us = started_us
+        # An execution settles exactly once: either its future
+        # completes or the watchdog declares it timed out —
+        # whichever comes second is ignored (the slot was already
+        # refunded, the subscribers already routed).
+        self.settled = False
+
+    @property
+    def base_key(self) -> str:
+        return self.key[:-4] if self.key.endswith(":rec") else self.key
 
 
 class Scheduler:
-    """Fair-queued, deduplicating executor of sweep jobs.
+    """Fair-queued, deduplicating, self-healing executor of sweep jobs.
 
     ``executor``/``runner`` are injectable for tests (a thread pool
     plus a controllable runner gives deterministic contention); the
     production path is a warm ``ProcessPoolExecutor`` running
-    :func:`repro.sim.sweep._run_point_timed`.
+    :func:`repro.sim.sweep._run_point_timed` under worker
+    supervision. ``journal`` (a :class:`JobJournal` or a path) turns
+    on the durable WAL; ``point_timeout`` arms the per-point
+    deadline; ``retries``/``backoff_s``/``seed`` shape the seeded
+    retry schedule and ``quarantine_after`` the circuit breaker.
     """
 
     def __init__(self, cache: Optional[ResultCache] = None,
@@ -150,7 +177,12 @@ class Scheduler:
                  max_queued_per_tenant: int = 1024,
                  executor=None, runner=None, warmup: bool = True,
                  record_dir: Optional[Union[str, Path]] = None,
-                 record_runner=None):
+                 record_runner=None,
+                 journal: Optional[Union[JobJournal, str, Path]] = None,
+                 point_timeout: Optional[float] = None,
+                 retries: int = 2, backoff_s: float = 0.05,
+                 seed: int = 0, quarantine_after: int = 5,
+                 executor_factory=None, heartbeat_s: float = 0.1):
         self.cache = cache
         self.record_dir = None if record_dir is None else Path(record_dir)
         if record_runner is not None:
@@ -162,18 +194,35 @@ class Scheduler:
             self._record_runner = None
         self.max_workers = max(1, max_workers)
         self.max_queued_per_tenant = max_queued_per_tenant
+        if journal is None or isinstance(journal, JobJournal):
+            self.journal = journal
+        else:
+            self.journal = JobJournal(journal)
+        self.point_timeout = point_timeout
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.seed = seed
+        self.quarantine_after = max(1, quarantine_after)
         self.queue = WeightedFairQueue()
         self.jobs: Dict[str, Job] = {}
         self._order: List[Job] = []
         self._inflight: Dict[str, _Execution] = {}
-        self._executor = executor
-        self._owns_executor = executor is None
+        self._supervisor = WorkerSupervisor(
+            max_workers=self.max_workers, warmup=warmup,
+            executor=executor, executor_factory=executor_factory,
+            heartbeat_s=heartbeat_s)
+        self._supervisor.on_restart = self._on_worker_restart
         self._runner = runner if runner is not None \
             else _run_point_timed
-        self._warmup = warmup
         self._running = 0
         self._serial = 0
         self._draining = False
+        #: consecutive failures per point key (reset on success)
+        self._failures: Dict[str, int] = {}
+        #: quarantined point key -> the final error served for it
+        self.quarantined: Dict[str, str] = {}
+        self._retry_handles: Set[asyncio.TimerHandle] = set()
+        self._pending_retries = 0
         # Created lazily inside the running loop: on Python 3.9 an
         # Event built before asyncio.run() binds to the wrong loop.
         self._idle: Optional[asyncio.Event] = None
@@ -189,33 +238,83 @@ class Scheduler:
             "serve.points_deduped": 0,
             "serve.points_failed": 0,
             "serve.recordings_written": 0,
+            "serve.retries": 0,
+            "serve.worker_restarts": 0,
+            "serve.journal_replays": 0,
+            "serve.quarantined_points": 0,
         }
         #: per-tenant completed/failed point totals (metrics plane)
         self.tenant_counters: Dict[str, Dict[str, int]] = {}
 
     # -- lifecycle -----------------------------------------------------
 
+    @property
+    def supervisor(self) -> WorkerSupervisor:
+        return self._supervisor
+
     async def start(self) -> "Scheduler":
         """Create (and warm) the worker pool; returns self."""
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.max_workers)
-        if self._warmup:
-            loop = asyncio.get_running_loop()
-            await asyncio.gather(*(
-                loop.run_in_executor(self._executor, _warm_worker)
-                for _ in range(self.max_workers)))
+        await self._supervisor.start()
         return self
 
-    async def drain(self) -> None:
-        """Stop admission, wait for accepted work, stop the pool."""
+    def resume(self) -> List[Job]:
+        """Replay the journal: re-admit every job that never reached
+        a terminal state before the last shutdown/crash.
+
+        Each resumed job keeps its original id and is re-journalled
+        into the (rotated-fresh) WAL, so a second crash still
+        recovers. Its points re-enter the fair queue where completed
+        ones short-circuit through the shared cache — only work that
+        genuinely never finished re-executes. Admission control is
+        bypassed: this work was already accepted once.
+        """
+        if self.journal is None:
+            return []
+        resumed: List[Job] = []
+        for entry in self.journal.replay_and_rotate():
+            if not entry.incomplete:
+                continue
+            try:
+                spec = parse_job_request(entry.payload)
+            except ServeError:
+                continue  # journalled by a different schema; skip
+            job = self._admit(spec, job_id=entry.job_id)
+            self.counters["serve.journal_replays"] += 1
+            self._emit(job, "job_resumed", "i",
+                       {"job": job.id, "points": len(spec.points)})
+            resumed.append(job)
+        return resumed
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission, wait for accepted work, stop the pool.
+
+        With a ``timeout``, gives up waiting after that many seconds
+        and returns False — incomplete jobs stay in the journal for
+        a later ``--resume`` (drain-under-fire: a hung worker must
+        not hold shutdown hostage).
+        """
         self._draining = True
-        await self._idle_event().wait()
-        if self._owns_executor and self._executor is not None:
-            self._executor.shutdown(wait=False)
+        drained = True
+        try:
+            if timeout is None:
+                await self._idle_event().wait()
+            else:
+                await asyncio.wait_for(
+                    self._idle_event().wait(), timeout)
+        except asyncio.TimeoutError:
+            drained = False
+        for handle in list(self._retry_handles):
+            handle.cancel()
+        self._retry_handles.clear()
+        self._pending_retries = 0
+        self._supervisor.stop()
+        if self.journal is not None:
+            self.journal.close()
+        return drained
 
     def _is_idle(self) -> bool:
         return not self.queue and not self._inflight and \
+            self._pending_retries == 0 and \
             all(job.terminal for job in self._order)
 
     def _idle_event(self) -> asyncio.Event:
@@ -246,11 +345,27 @@ class Scheduler:
                 f"tenant {spec.tenant!r} has {queued} points queued; "
                 f"admitting {len(spec.points)} more would exceed the "
                 f"budget of {budget}")
-        self._serial += 1
-        job = Job(spec, self._serial)
+        return self._admit(spec)
+
+    def _admit(self, spec: JobSpec,
+               job_id: Optional[str] = None) -> Job:
+        """Enqueue a validated job (fresh serial, or a resumed job's
+        original id — the serial counter advances past it either way
+        so ids never collide)."""
+        if job_id is None:
+            self._serial += 1
+            serial = self._serial
+        else:
+            serial = int(job_id.rsplit("-", 1)[1])
+            self._serial = max(self._serial, serial)
+        job = Job(spec, serial)
         self.jobs[job.id] = job
         self._order.append(job)
         self.counters["serve.jobs_accepted"] += 1
+        if self.journal is not None:
+            self.journal.job_submitted(job.id, job_request_dict(
+                spec.points, tenant=spec.tenant, weight=spec.weight,
+                record=spec.record))
         if self._idle is not None:
             self._idle.clear()
         self._emit(job, "job_accepted", "i",
@@ -277,6 +392,8 @@ class Scheduler:
                 for subscriber, index in execution.subscribers
                 if subscriber is not job}
         self.counters["serve.jobs_cancelled"] += 1
+        if self.journal is not None:
+            self.journal.job_cancelled(job.id)
         self._finish_job(job, "cancelled")
         return job
 
@@ -295,8 +412,9 @@ class Scheduler:
     def _pump(self) -> None:
         """Dispatch queued points while worker slots are free.
 
-        Cache hits and dedup attaches consume no slot, so one pump
-        call drains any run of free work before blocking on capacity.
+        Cache hits, dedup attaches and quarantine fast-fails consume
+        no slot, so one pump call drains any run of free work before
+        blocking on capacity.
         """
         while self.queue and self._running < self.max_workers:
             tenant, queued = self.queue.pop()
@@ -306,6 +424,14 @@ class Scheduler:
             if job.state == "queued":
                 job.state = "running"
                 job.started_s = time.time()
+            # Circuit breaker: a quarantined point fails fast with
+            # its recorded error — no slot, no worker risk.
+            if queued.key in self.quarantined:
+                self.counters["serve.points_failed"] += 1
+                self._fail_point(job, queued.index,
+                                 self.quarantined[queued.key],
+                                 quarantined=True)
+                continue
             # Record-requesting points execute under a distinct key:
             # they must not attach to a plain execution (it would
             # leave no recording artifact behind).
@@ -334,29 +460,75 @@ class Scheduler:
             execution.subscribers.add((job, queued.index))
             self._inflight[exec_key] = execution
             self._running += 1
-            loop = asyncio.get_running_loop()
+            if self.journal is not None:
+                self.journal.point_started(
+                    job.id, queued.index, queued.key,
+                    self._failures.get(queued.key, 0) + 1)
             runner = self._record_runner if recording else self._runner
-            future = loop.run_in_executor(self._executor, runner,
-                                          queued.point)
+            future = self._supervisor.submit(
+                runner, queued.point, deadline_s=self.point_timeout,
+                on_timeout=functools.partial(
+                    self._on_execution_timeout, execution))
             future.add_done_callback(
                 lambda done, execution=execution:
                 self._on_execution_done(execution, done))
 
-    def _on_execution_done(self, execution: _Execution,
-                           future) -> None:
+    def _retire(self, execution: _Execution) -> None:
+        """Refund the slot and drop the in-flight entry — once."""
+        execution.settled = True
         self._running -= 1
         self._inflight.pop(execution.key, None)
+
+    def _on_execution_timeout(self, execution: _Execution) -> None:
+        """Watchdog verdict: the point blew its deadline. The worker
+        under it is presumed hung, so the whole pool is killed and
+        respawned (a hung process future can never complete); other
+        in-flight points die with it and take the retry path as
+        worker-loss failures."""
+        if execution.settled:
+            return
+        self._retire(execution)
+        error = ("TimeoutError: point exceeded the "
+                 f"{self.point_timeout}s deadline")
+        self._supervisor.restart(reason="point deadline exceeded",
+                                 force=True)
+        self._route_failure(execution, error)
+        self._pump()
+        self._check_idle()
+
+    def _on_execution_done(self, execution: _Execution,
+                           future) -> None:
+        if execution.settled:
+            # Timed out earlier; the slot is already refunded and the
+            # subscribers rerouted. A straggler result that still
+            # made it out of the dying pool is worth caching — the
+            # retry then lands as a cache hit.
+            try:
+                result, _seconds = future.result()
+            except BaseException:
+                return
+            if self.cache is not None:
+                self.cache.store(execution.point, result)
+            return
+        self._retire(execution)
         dur_us = self._now_us() - execution.started_us
         try:
             result, _seconds = future.result()
-        except Exception as exc:
-            self.counters["serve.points_failed"] += 1
-            error = f"{type(exc).__name__}: {exc}"
-            for job, index in sorted(execution.subscribers,
-                                     key=lambda s: (s[0].serial, s[1])):
-                self._fail_point(job, index, error)
+        except BaseException as exc:
+            # BrokenProcessPool (worker died) and CancelledError
+            # (pool torn down under this future) mean worker loss,
+            # not a bad point — restart the pool (idempotent: only a
+            # genuinely broken pool is replaced) and retry.
+            if isinstance(exc, asyncio.CancelledError):
+                error = "CancelledError: worker pool restarted"
+                self._supervisor.restart(reason="execution cancelled")
+            else:
+                error = f"{type(exc).__name__}: {exc}"
+                self._supervisor.restart(reason=error)
+            self._route_failure(execution, error)
         else:
             self.counters["serve.points_executed"] += 1
+            self._failures.pop(execution.base_key, None)
             if execution.key.endswith(":rec"):
                 self.counters["serve.recordings_written"] += 1
             if self.cache is not None:
@@ -372,6 +544,84 @@ class Scheduler:
         self._pump()
         self._check_idle()
 
+    # -- retry / quarantine policy -------------------------------------
+
+    def _route_failure(self, execution: _Execution,
+                       error: str) -> None:
+        """Decide what a failed execution means for its subscribers:
+        quarantine the point, schedule a retry, or fail it for good."""
+        key = execution.base_key
+        self._failures[key] = self._failures.get(key, 0) + 1
+        failures = self._failures[key]
+        live = [(job, index) for job, index in sorted(
+                    execution.subscribers,
+                    key=lambda s: (s[0].serial, s[1]))
+                if not job.terminal
+                and job.results[index] is None
+                and job.errors[index] is None]
+        if failures >= self.quarantine_after:
+            final = (f"quarantined after {failures} failed "
+                     f"attempts: {error}")
+            self.quarantined[key] = final
+            self.counters["serve.quarantined_points"] += 1
+            self.counters["serve.points_failed"] += 1
+            for job, index in live:
+                self._fail_point(job, index, final, quarantined=True)
+        elif failures <= self.retries and live:
+            self.counters["serve.retries"] += 1
+            attempt = failures + 1
+            for job, index in live:
+                self._emit(job, "point_retry", "i",
+                           {"index": index, "attempt": attempt,
+                            "error": error}, tid=index)
+                if self.journal is not None:
+                    self.journal.point_retry(job.id, index, attempt,
+                                             error)
+            self._schedule_retry(execution, live)
+        else:
+            self.counters["serve.points_failed"] += 1
+            for job, index in live:
+                self._fail_point(job, index, error)
+
+    def _backoff_delay(self, key: str, failures: int) -> float:
+        """Exponential backoff with seeded jitter: deterministic for
+        a given (scheduler seed, point, attempt), decorrelated across
+        points so a mass worker loss doesn't thunder back as one
+        herd."""
+        rng = random.Random(f"{self.seed}:{key}:{failures}")
+        return self.backoff_s * (2 ** (failures - 1)) \
+            * (1.0 + rng.random())
+
+    def _schedule_retry(self, execution: _Execution,
+                        pairs: List[Tuple[Job, int]]) -> None:
+        delay = self._backoff_delay(execution.base_key,
+                                    self._failures[execution.base_key])
+        loop = asyncio.get_running_loop()
+        self._pending_retries += 1
+        handle_box: List[asyncio.TimerHandle] = []
+
+        def fire() -> None:
+            self._pending_retries -= 1
+            if handle_box:
+                self._retry_handles.discard(handle_box[0])
+            for job, index in pairs:
+                if job.terminal:
+                    continue
+                self.queue.push_front(
+                    job.spec.tenant,
+                    _QueuedPoint(job, index, execution.point,
+                                 execution.base_key),
+                    weight=job.spec.weight)
+            self._pump()
+            self._check_idle()
+
+        handle = loop.call_later(delay, fire)
+        handle_box.append(handle)
+        self._retry_handles.add(handle)
+
+    def _on_worker_restart(self, reason: str) -> None:
+        self.counters["serve.worker_restarts"] += 1
+
     # -- point / job completion ----------------------------------------
 
     def _complete_point(self, job: Job, index: int, payload: dict,
@@ -381,6 +631,8 @@ class Scheduler:
         job.results[index] = payload
         job.pending -= 1
         self._tenant_entry(job.spec.tenant)["completed"] += 1
+        if self.journal is not None:
+            self.journal.point_done(job.id, index, source)
         self._emit(job, "point_done", "X",
                    {"index": index, "cycles": payload["cycles"],
                     "source": source},
@@ -391,14 +643,21 @@ class Scheduler:
                                      for error in job.errors)
                 else "done")
 
-    def _fail_point(self, job: Job, index: int, error: str) -> None:
+    def _fail_point(self, job: Job, index: int, error: str,
+                    quarantined: bool = False) -> None:
         if job.terminal or job.errors[index] is not None:
             return
         job.errors[index] = error
         job.pending -= 1
+        if quarantined:
+            job.quarantined_indexes.add(index)
         self._tenant_entry(job.spec.tenant)["failed"] += 1
+        if self.journal is not None:
+            self.journal.point_failed(job.id, index, error,
+                                      quarantined=quarantined)
         self._emit(job, "point_failed", "i",
-                   {"index": index, "error": error}, tid=index)
+                   {"index": index, "error": error,
+                    "quarantined": quarantined}, tid=index)
         if job.pending == 0:
             self._finish_job(job, "failed")
 
@@ -409,6 +668,8 @@ class Scheduler:
             self.counters["serve.jobs_completed"] += 1
         elif state == "failed":
             self.counters["serve.jobs_failed"] += 1
+        if self.journal is not None:
+            self.journal.job_done(job.id, state)
         # Counter sample right before the terminal event, so a
         # Perfetto load of the job's stream shows the server-wide
         # serve.* counters at the moment the job finished (job_done
@@ -420,6 +681,9 @@ class Scheduler:
             "cache_hits": self.counters["serve.points_cache_hits"],
             "deduped": self.counters["serve.points_deduped"],
             "failed": self.counters["serve.points_failed"],
+            "retries": self.counters["serve.retries"],
+            "worker_restarts": self.counters["serve.worker_restarts"],
+            "quarantined": self.counters["serve.quarantined_points"],
         })
         self._emit(job, "job_done", "i",
                    {"job": job.id, "state": state})
@@ -471,6 +735,17 @@ class Scheduler:
 
     # -- observability -------------------------------------------------
 
+    def ready(self) -> Tuple[bool, str]:
+        """Readiness verdict for ``/v1/readyz``: can this server
+        accept and run a job right now?"""
+        if self._draining:
+            return False, "draining"
+        if self._supervisor.executor is None:
+            return False, "worker pool not started"
+        if not self._supervisor.alive:
+            return False, "worker pool broken"
+        return True, "ok"
+
     def _tenant_entry(self, tenant: str) -> Dict[str, int]:
         return self.tenant_counters.setdefault(
             tenant, {"completed": 0, "failed": 0})
@@ -478,7 +753,8 @@ class Scheduler:
     def metrics(self) -> dict:
         """The ``/v1/metrics`` payload (docs/serving.md documents the
         schema): queue depth, worker/warm-pool state, cache hit rate,
-        per-tenant queue depth and throughput, recording plane."""
+        per-tenant queue depth and throughput, recording plane, and
+        the resilience plane (journal / retries / quarantine)."""
         uptime_s = time.monotonic() - self._start_monotonic
         hits = self.counters["serve.points_cache_hits"]
         executed = self.counters["serve.points_executed"]
@@ -497,7 +773,7 @@ class Scheduler:
                 if uptime_s > 0 else 0.0,
             }
         return {
-            "schema_version": 1,
+            "schema_version": 2,
             "uptime_s": round(uptime_s, 3),
             "draining": self._draining,
             "queue": {
@@ -508,7 +784,7 @@ class Scheduler:
                 "max": self.max_workers,
                 "busy": self._running,
                 "inflight": len(self._inflight),
-                "warm": self._executor is not None,
+                "warm": self._supervisor.executor is not None,
             },
             "cache": {
                 "enabled": self.cache is not None,
@@ -519,6 +795,24 @@ class Scheduler:
             "recordings": {
                 "enabled": self._record_runner is not None,
                 "written": self.counters["serve.recordings_written"],
+            },
+            "resilience": {
+                "journal": {
+                    "enabled": self.journal is not None,
+                    "path": None if self.journal is None
+                    else str(self.journal.path),
+                    "records": 0 if self.journal is None
+                    else self.journal.records_written,
+                },
+                "point_timeout_s": self.point_timeout,
+                "retries": self.counters["serve.retries"],
+                "pending_retries": self._pending_retries,
+                "worker_restarts":
+                    self.counters["serve.worker_restarts"],
+                "journal_replays":
+                    self.counters["serve.journal_replays"],
+                "quarantined_points": sorted(self.quarantined),
+                "supervisor": self._supervisor.describe(),
             },
             "tenants": tenants,
             "counters": dict(self.counters),
@@ -534,6 +828,8 @@ class Scheduler:
                 1 for job in self._order if not job.terminal),
             "serve.workers": self.max_workers,
             "serve.draining": self._draining,
+            "serve.pending_retries": self._pending_retries,
+            "serve.pool_alive": self._supervisor.alive,
             "serve.uptime_s": round(
                 time.monotonic() - self._start_monotonic, 3),
             "serve.tenants": self.queue.depths(),

@@ -44,6 +44,7 @@ import hashlib
 import itertools
 import json
 import os
+import random
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -160,6 +161,11 @@ def _run_point_timed(point: SweepPoint
     the measurement back with the result so the coordinator can
     aggregate per-point timings across process boundaries.
     """
+    # Chaos-harness seam (repro.chaos): one env lookup when disabled,
+    # so the production path stays at the noise floor.
+    if "REPRO_CHAOS_PLAN" in os.environ:
+        from ..chaos.hooks import apply_worker_faults
+        apply_worker_faults(point)
     start = time.perf_counter()
     result = run_point(point)
     return result, time.perf_counter() - start
@@ -179,6 +185,9 @@ def _recorded_runner(record_dir: str, point: SweepPoint
     cache as usual.
     """
     from ..obs.recording import record_run
+    if "REPRO_CHAOS_PLAN" in os.environ:
+        from ..chaos.hooks import apply_worker_faults
+        apply_worker_faults(point)
     start = time.perf_counter()
     recording = record_run(point)
     recording.save(Path(record_dir) / f"{point_key(point)}.rec.json")
@@ -399,6 +408,7 @@ def run_sweep(points: Sequence[SweepPoint],
               timeout: Optional[float] = None,
               retries: int = 1,
               backoff_s: float = 0.05,
+              backoff_seed: Optional[int] = None,
               on_error: str = "raise",
               record_dir: Optional[Union[str, Path]] = None
               ) -> List[Optional[SimulationResult]]:
@@ -414,8 +424,12 @@ def run_sweep(points: Sequence[SweepPoint],
     dies or takes longer than ``timeout`` seconds — never aborts the
     sweep: it is retried up to ``retries`` more times with exponential
     backoff (``backoff_s`` doubling per round, on a fresh worker pool
-    so one crashed worker cannot poison the retry). Results completed
-    before a failure are cached regardless. If failures remain,
+    so one crashed worker cannot poison the retry). The backoff jitter
+    is **seeded** — from ``backoff_seed`` when given, else from the
+    content hash of the pending points — so a crash-recovery run's
+    retry schedule is deterministic and reproducible under ``repro
+    record``, yet decorrelated across different sweeps. Results
+    completed before a failure are cached regardless. If failures remain,
     ``on_error="raise"`` raises :class:`~repro.errors.SweepError`
     listing them; ``on_error="none"`` returns ``None`` in the failed
     points' slots. ``timeout`` needs worker processes and is ignored
@@ -470,12 +484,24 @@ def run_sweep(points: Sequence[SweepPoint],
                                        str(record_dir))
         remaining = list(pending)
         attempts: Dict[str, int] = {}
+        # Seeded jitter: a fixed seed (or, by default, the content
+        # hash of what's pending) makes the retry schedule a pure
+        # function of the sweep's input — identical on a recorded
+        # re-run, different across unrelated sweeps so their retries
+        # don't synchronize.
+        if backoff_seed is None:
+            digest = hashlib.sha256("\n".join(
+                sorted(pending_keys)).encode()).hexdigest()
+            backoff_rng = random.Random(int(digest[:16], 16))
+        else:
+            backoff_rng = random.Random(backoff_seed)
         for round_number in range(max(0, retries) + 1):
             if not remaining:
                 break
             if round_number:
                 retried_keys.update(point_key(p) for p in remaining)
-                time.sleep(backoff_s * (2 ** (round_number - 1)))
+                time.sleep(backoff_s * (2 ** (round_number - 1))
+                           * (1.0 + backoff_rng.random()))
             outcomes = (
                 _round_parallel(remaining, workers, timeout,
                                 runner=runner)

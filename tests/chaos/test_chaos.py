@@ -1,0 +1,179 @@
+"""Chaos plan determinism, fire-once hooks, and one real campaign.
+
+The units pin what makes chaos *deterministic* (plans are a pure
+function of the seed; faults fire exactly once). The smoke test at
+the bottom runs a real ``run_chaos`` campaign — server subprocess,
+worker SIGKILL, mid-job server kill + ``--resume`` — and asserts the
+headline invariant: completed jobs' results are identical to a clean
+``run_sweep``.
+"""
+
+import json
+import os
+from multiprocessing import Process
+
+import pytest
+
+from repro.chaos.harness import run_chaos
+from repro.chaos.hooks import _claim, apply_worker_faults
+from repro.chaos.plan import (FAULT_KINDS, ChaosPlan, build_plan,
+                              describe_plan)
+from repro.config import e6000_config
+from repro.sim.sweep import SweepPoint, point_key
+
+
+def keys(count=4):
+    return [f"{'%02x' % n}" * 32 for n in range(count)]
+
+
+class TestPlan:
+    def test_same_seed_same_plan(self):
+        one = build_plan(3, keys(), FAULT_KINDS, "/tmp/m")
+        two = build_plan(3, keys(), FAULT_KINDS, "/tmp/m")
+        assert one.to_dict() == two.to_dict()
+
+    def test_different_seed_different_targets(self):
+        plans = [build_plan(seed, keys(16), ("worker-kill",), "/m")
+                 for seed in range(8)]
+        targets = {plan.targets("worker-kill")[0] for plan in plans}
+        assert len(targets) > 1
+
+    def test_kind_order_does_not_matter(self):
+        forward = build_plan(0, keys(), FAULT_KINDS, "/m")
+        backward = build_plan(0, keys(), tuple(reversed(FAULT_KINDS)),
+                              "/m")
+        assert forward.to_dict() == backward.to_dict()
+
+    def test_worker_faults_get_distinct_points(self):
+        plan = build_plan(0, keys(4), FAULT_KINDS, "/m")
+        targeted = [fault["point"] for fault in plan.faults
+                    if "point" in fault]
+        assert len(targeted) == len(set(targeted))
+
+    def test_fewer_points_than_faults_reuses_targets(self):
+        plan = build_plan(0, keys(1), FAULT_KINDS, "/m")
+        for fault in plan.worker_faults():
+            assert fault["point"] == keys(1)[0]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            build_plan(0, keys(), ("zombie-apocalypse",), "/m")
+
+    def test_no_points_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            build_plan(0, [], FAULT_KINDS, "/m")
+
+    def test_round_trips_through_json_file(self, tmp_path):
+        plan = build_plan(5, keys(), FAULT_KINDS, str(tmp_path))
+        path = plan.save(tmp_path / "plan.json")
+        loaded = ChaosPlan.load(path)
+        assert loaded.to_dict() == plan.to_dict()
+
+    def test_describe_names_point_indexes(self):
+        plan = build_plan(0, keys(4), ("worker-kill",
+                                       "server-restart"), "/m")
+        lines = describe_plan(
+            plan, {key: index for index, key in enumerate(keys(4))})
+        assert any(line.startswith("worker-kill: point ")
+                   for line in lines)
+        assert "server-restart: orchestrator-level" in lines
+
+
+class TestHooks:
+    def test_claim_is_exclusive(self, tmp_path):
+        assert _claim(str(tmp_path), "fault-x") is True
+        assert _claim(str(tmp_path), "fault-x") is False
+        assert _claim(str(tmp_path), "fault-y") is True
+
+    def test_claim_exclusive_across_processes(self, tmp_path):
+        """The marker must arbitrate between concurrent worker
+        processes, not just calls in one process."""
+        winners = []
+
+        def contender(marker_dir, out):
+            result = _claim(marker_dir, "contested")
+            with open(out, "a") as handle:
+                handle.write(f"{int(result)}\n")
+
+        out = tmp_path / "winners"
+        processes = [Process(target=contender,
+                             args=(str(tmp_path), str(out)))
+                     for _ in range(4)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+        winners = out.read_text().split()
+        assert sorted(winners) == ["0", "0", "0", "1"]
+
+    def test_no_plan_env_is_inert(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_PLAN", raising=False)
+        point = SweepPoint("fft", e6000_config(num_processors=2),
+                           scale=0.05, seed=0)
+        apply_worker_faults(point)  # must not raise, must not act
+
+    def test_malformed_plan_runs_clean(self, tmp_path, monkeypatch):
+        bad = tmp_path / "plan.json"
+        bad.write_text("{not json")
+        monkeypatch.setenv("REPRO_CHAOS_PLAN", str(bad))
+        point = SweepPoint("fft", e6000_config(num_processors=2),
+                           scale=0.05, seed=0)
+        apply_worker_faults(point)
+
+    def test_untargeted_point_untouched(self, tmp_path, monkeypatch):
+        point = SweepPoint("fft", e6000_config(num_processors=2),
+                           scale=0.05, seed=0)
+        plan = ChaosPlan(seed=0, marker_dir=str(tmp_path / "m"),
+                         faults=[{"kind": "worker-kill",
+                                  "point": "not-this-point"}])
+        path = plan.save(tmp_path / "plan.json")
+        monkeypatch.setenv("REPRO_CHAOS_PLAN", str(path))
+        apply_worker_faults(point)  # alive = the fault didn't fire
+        assert not os.listdir(tmp_path / "m") \
+            if (tmp_path / "m").exists() else True
+
+    def test_targeted_fault_claims_marker_once(self, tmp_path,
+                                               monkeypatch):
+        """A hang fault (0s, so it returns) claims its marker on the
+        first hit and is inert on the second."""
+        point = SweepPoint("fft", e6000_config(num_processors=2),
+                           scale=0.05, seed=0)
+        key = point_key(point)
+        plan = ChaosPlan(seed=0, marker_dir=str(tmp_path / "m"),
+                         faults=[{"kind": "point-hang", "point": key,
+                                  "hang_s": 0.0}])
+        path = plan.save(tmp_path / "plan.json")
+        monkeypatch.setenv("REPRO_CHAOS_PLAN", str(path))
+        apply_worker_faults(point)
+        assert os.listdir(tmp_path / "m") == [f"point-hang-{key}"]
+        apply_worker_faults(point)  # marker held: no second fire
+        assert len(os.listdir(tmp_path / "m")) == 1
+
+
+class TestCampaign:
+    def test_worker_kill_and_restart_campaign(self, tmp_path):
+        """One real chaos campaign: a worker SIGKILLs itself mid-
+        point and the server is SIGKILLed mid-job then resumed from
+        its journal — and every completed job's results are byte-
+        identical to a clean in-process sweep."""
+        report = run_chaos(points=2, scale=0.03, seed=0,
+                           faults=["worker-kill", "server-restart"],
+                           workers=2, point_timeout=10.0,
+                           work_dir=str(tmp_path))
+        assert report.ok, report.format()
+        names = [check["name"] for check in report.checks]
+        assert "worker-faults results identical" in names
+        assert "server-restart results identical" in names
+        # The report is JSON-serializable for --json consumers.
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+
+    def test_report_format_flags_failures(self):
+        from repro.chaos.harness import ChaosReport
+        report = ChaosReport(seed=1, faults=["worker-kill"],
+                             plan_lines=["worker-kill: point 0"])
+        report.check("results identical", False, "point 1 diverged")
+        assert not report.ok
+        text = report.format()
+        assert "[FAIL] results identical" in text
+        assert "INVARIANT VIOLATED" in text

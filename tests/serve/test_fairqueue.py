@@ -117,3 +117,39 @@ class TestLifecycle:
         # Re-pushing with a new weight takes effect for future pops.
         queue.push("a", 6, weight=4)
         assert queue.weight_of("a") == 4
+
+
+class TestPushFront:
+    def test_push_front_jumps_the_tenant_line(self):
+        """A retried point re-enters at the head of its tenant's
+        queue, ahead of work that arrived after it."""
+        queue = WeightedFairQueue()
+        queue.push("a", 1)
+        queue.push("a", 2)
+        queue.push_front("a", 0)
+        assert [item for _, item in queue.drain()] == [0, 1, 2]
+
+    def test_push_front_reactivates_drained_tenant(self):
+        queue = WeightedFairQueue()
+        queue.push("a", 1)
+        queue.pop()
+        queue.push_front("a", 2)
+        assert queue.pop() == ("a", 2)
+
+    def test_push_front_counts_and_charges_fairly(self):
+        """push_front changes position within the tenant, not the
+        tenant's fair share against others."""
+        queue = WeightedFairQueue()
+        for index in range(3):
+            queue.push("a", f"a{index}")
+            queue.push("b", f"b{index}")
+        queue.push_front("a", "retry")
+        assert len(queue) == 7
+        assert queue.depth("a") == 4
+        order = list(queue.drain())
+        # The retry is tenant a's first item...
+        firsts = [item for tenant, item in order if tenant == "a"]
+        assert firsts[0] == "retry"
+        # ...but tenant b still interleaves; no starvation.
+        tenants = [tenant for tenant, _item in order]
+        assert "b" in tenants[:2]

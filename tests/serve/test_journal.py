@@ -1,0 +1,186 @@
+"""The job journal: WAL append, replay, torn tails, rotation.
+
+Pure file-level tests — no scheduler, no event loop. The scheduler's
+use of the journal (resume semantics, drain-under-fire) is covered in
+test_resilience.py.
+"""
+
+import json
+
+from repro.serve.journal import (JOURNAL_NAME, JobJournal,
+                                 JournaledJob)
+
+
+def payload(seeds=(0, 1)):
+    return {"tenant": "t", "weight": 1,
+            "points": [{"workload": "fft", "scale": 0.05,
+                        "seed": seed, "config": {}}
+                       for seed in seeds]}
+
+
+class TestAppendReplay:
+    def test_replay_reconstructs_incomplete_job(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        journal.point_started("job-000001", 0, "k0", attempt=1)
+        journal.point_done("job-000001", 0, source="executed")
+        journal.close()
+
+        entries = JobJournal.replay(tmp_path)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert isinstance(entry, JournaledJob)
+        assert entry.job_id == "job-000001"
+        assert entry.payload == payload()
+        assert entry.incomplete
+        assert entry.done == {0}
+        assert entry.inflight == set()
+
+    def test_terminal_job_not_incomplete(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        journal.point_done("job-000001", 0, source="executed")
+        journal.point_done("job-000001", 1, source="cache")
+        journal.job_done("job-000001", "done")
+        journal.close()
+
+        entries = JobJournal.replay(tmp_path)
+        assert entries[0].state == "done"
+        assert not entries[0].incomplete
+
+    def test_cancelled_job_not_resumed(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        journal.job_cancelled("job-000001")
+        journal.close()
+        entries = JobJournal.replay(tmp_path)
+        assert entries[0].state == "cancelled"
+        assert not entries[0].incomplete
+
+    def test_inflight_is_started_minus_settled(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload((0, 1, 2)))
+        journal.point_started("job-000001", 0, "k0", attempt=1)
+        journal.point_started("job-000001", 1, "k1", attempt=1)
+        journal.point_started("job-000001", 2, "k2", attempt=1)
+        journal.point_done("job-000001", 0, source="executed")
+        journal.point_failed("job-000001", 1, "boom",
+                             quarantined=False)
+        journal.close()
+        entry = JobJournal.replay(tmp_path)[0]
+        assert entry.inflight == {2}
+        assert entry.failed == {1}
+
+    def test_replay_preserves_submission_order(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        for serial in (1, 2, 3):
+            journal.job_submitted(f"job-{serial:06d}", payload())
+        journal.close()
+        ids = [entry.job_id
+               for entry in JobJournal.replay(tmp_path)]
+        assert ids == ["job-000001", "job-000002", "job-000003"]
+
+
+class TestDurability:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        """A crash mid-append leaves a half-written last line; replay
+        must keep everything before it."""
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        journal.point_done("job-000001", 0, source="executed")
+        journal.close()
+        path = tmp_path / JOURNAL_NAME
+        with path.open("ab") as handle:
+            handle.write(b'{"rec": "point", "kind": "do')  # torn
+        entry = JobJournal.replay(tmp_path)[0]
+        assert entry.done == {0}
+        assert entry.incomplete
+
+    def test_unknown_record_kinds_are_ignored(self, tmp_path):
+        """Forward compatibility: a journal written by a newer version
+        with extra record kinds still replays."""
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        journal.close()
+        path = tmp_path / JOURNAL_NAME
+        with path.open("a") as handle:
+            handle.write(json.dumps({"rec": "job", "kind": "hover",
+                                     "job": "job-000001"}) + "\n")
+            handle.write(json.dumps({"rec": "telemetry",
+                                     "v": 99}) + "\n")
+        entries = JobJournal.replay(tmp_path)
+        assert len(entries) == 1
+        assert entries[0].incomplete
+
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        assert JobJournal.replay(tmp_path / "nowhere") == []
+
+    def test_records_flushed_per_append(self, tmp_path):
+        """Another process (replay after a SIGKILL) must see every
+        record appended so far without a clean close."""
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        # No close(): read the file out from under the writer.
+        entries = JobJournal.replay(tmp_path)
+        assert [entry.job_id for entry in entries] == ["job-000001"]
+        journal.close()
+
+
+class TestRotation:
+    def test_rotate_archives_and_resets(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        journal.rotate()
+        assert (tmp_path / (JOURNAL_NAME + ".prev")).exists()
+        assert JobJournal.replay(tmp_path) == []
+        # The journal keeps working after rotation.
+        journal.job_submitted("job-000002", payload())
+        assert [entry.job_id
+                for entry in JobJournal.replay(tmp_path)] == \
+            ["job-000002"]
+        journal.close()
+
+    def test_replay_and_rotate_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        entries = journal.replay_and_rotate()
+        assert [entry.job_id for entry in entries] == ["job-000001"]
+        assert JobJournal.replay(tmp_path) == []
+        journal.close()
+
+
+class TestPaths:
+    def test_dir_path_appends_journal_name(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        journal.close()
+        assert (tmp_path / JOURNAL_NAME).exists()
+
+    def test_explicit_file_path_used_verbatim(self, tmp_path):
+        path = tmp_path / "custom.jsonl"
+        journal = JobJournal(path)
+        journal.job_submitted("job-000001", payload())
+        journal.close()
+        assert path.exists()
+
+    def test_unborn_state_dir_is_created(self, tmp_path):
+        """``--state-dir`` paths that don't exist yet are directories
+        to create, not journal file names."""
+        state = tmp_path / "state"
+        journal = JobJournal(state)
+        journal.job_submitted("job-000001", payload())
+        journal.close()
+        assert state.is_dir()
+        assert (state / JOURNAL_NAME).exists()
+        assert len(JobJournal.replay(state)) == 1
+
+    def test_header_carries_schema_version(self, tmp_path):
+        """A fresh journal opens with a versioned header record."""
+        journal = JobJournal(tmp_path)
+        journal.job_submitted("job-000001", payload())
+        journal.close()
+        lines = [json.loads(line) for line in
+                 (tmp_path / JOURNAL_NAME).read_text().splitlines()]
+        assert lines[0]["rec"] == "open"
+        assert lines[0]["v"] == 1
+        assert all("ts" in record for record in lines)
