@@ -62,8 +62,22 @@ from .workloads.registry import SPLASH2_NAMES, generate
 def _version_string() -> str:
     from .sim.sweep import ENGINE_VERSION
     from .smp.engine import default_backend
-    return (f"repro {__version__} (engine {ENGINE_VERSION}, "
+    base = (f"repro {__version__} (engine {ENGINE_VERSION}, "
             f"backend {default_backend()})")
+    return base + _checkpoint_suffix()
+
+
+def _checkpoint_suffix() -> str:
+    """Checkpoint-store stats for --version, '' when the default
+    store directory does not exist (fresh checkout)."""
+    from .sim.checkpoint import DEFAULT_CHECKPOINT_DIR, CheckpointStore
+    if not DEFAULT_CHECKPOINT_DIR.is_dir():
+        return ""
+    stats = CheckpointStore(DEFAULT_CHECKPOINT_DIR).stats()
+    rate = stats["hit_rate"]
+    return (f" [checkpoints {stats['count']}, "
+            f"{stats['bytes'] / 1e6:.1f} MB, "
+            f"hit rate {'-' if rate is None else format(rate, '.0%')}]")
 
 
 def _add_engine_argument(command) -> None:
@@ -187,6 +201,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="record each faulted run and diff it "
                              "against the clean run (adds a "
                              "divergence column / report field)")
+    faults.add_argument("--no-fork", action="store_true",
+                        help="disable checkpoint forking: simulate "
+                             "every cell's clean prefix from cold "
+                             "instead of restoring a shared snapshot "
+                             "(docs/checkpointing.md)")
+    faults.add_argument("--trigger", type=int, default=None,
+                        metavar="N",
+                        help="inject each fault at event index N "
+                             "instead of the per-kind default; "
+                             "deeper triggers make forking pay more")
 
     record = commands.add_parser(
         "record", help="record one run as a deterministic recording "
@@ -247,6 +271,21 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=".benchmarks/cache",
                        metavar="PATH",
                        help="shared result cache directory")
+    serve.add_argument("--cache-max-mb", type=float, default=None,
+                       metavar="MB",
+                       help="result-cache disk budget; least-"
+                            "recently-used entries are evicted past "
+                            "it (default: unbounded)")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       metavar="PATH",
+                       help="enable checkpoint/fork execution: warm "
+                            "workers fork points from shared "
+                            "simulation prefixes stored here, across "
+                            "jobs and tenants (docs/checkpointing.md)")
+    serve.add_argument("--checkpoint-hot", type=int, default=8,
+                       metavar="N",
+                       help="per-worker in-memory hot-snapshot LRU "
+                            "capacity (default 8)")
     serve.add_argument("--max-queued", type=int, default=1024,
                        metavar="N",
                        help="per-tenant queued-point budget; a job "
@@ -620,6 +659,16 @@ def _cmd_profile(args) -> int:
         ["config", "backend", "accesses/s", "Mcycles/s", "seconds"],
         rows))
 
+    from .sim.checkpoint import DEFAULT_CHECKPOINT_DIR, CheckpointStore
+    if DEFAULT_CHECKPOINT_DIR.is_dir():
+        stats = CheckpointStore(DEFAULT_CHECKPOINT_DIR).stats()
+        rate = stats["hit_rate"]
+        print(f"checkpoint store  : {stats['count']} snapshots, "
+              f"{stats['bytes'] / 1e6:.1f} MB, "
+              f"hit rate "
+              f"{'-' if rate is None else format(rate, '.0%')} "
+              f"({stats['hits']} hits / {stats['misses']} misses)")
+
     if args.breakdown:
         _profile_breakdown(args, workload)
 
@@ -692,7 +741,8 @@ def _cmd_faults(args) -> int:
         kinds=tuple(args.kinds) if args.kinds else FaultKind.ALL,
         policies=tuple(args.policies), workload=args.workload,
         cpus=args.cpus, scale=args.scale, seed=args.seed,
-        interval=args.interval, record_diff=args.record_diff)
+        interval=args.interval, record_diff=args.record_diff,
+        fork=not args.no_fork, trigger=args.trigger)
     if args.verify_identity:
         identity = verify_identity(workload=args.workload,
                                    cpus=args.cpus, scale=args.scale,
@@ -726,6 +776,9 @@ def _cmd_faults(args) -> int:
         headers, rows))
     print(f"all detected      : {report['all_detected']}")
     print(f"within interval   : {report['within_interval']}")
+    if report.get("fork"):
+        print(f"forked cells      : {report['forked_cells']}"
+              f"/{len(report['entries'])}")
     if args.verify_identity:
         print(f"identity w/o fault: {report['identity']['identical']}")
 
@@ -845,14 +898,18 @@ def _cmd_serve(args) -> int:
         if args.state_dir is not None:
             from .serve.journal import JobJournal
             journal = JobJournal(args.state_dir)
-        scheduler = Scheduler(cache=ResultCache(args.cache_dir),
+        scheduler = Scheduler(cache=ResultCache(
+                                  args.cache_dir,
+                                  max_mb=args.cache_max_mb),
                               max_workers=args.workers,
                               max_queued_per_tenant=args.max_queued,
                               warmup=not args.no_warmup,
                               record_dir=args.record_dir,
                               journal=journal,
                               point_timeout=args.point_timeout,
-                              retries=args.retries)
+                              retries=args.retries,
+                              checkpoint_dir=args.checkpoint_dir,
+                              checkpoint_hot=args.checkpoint_hot)
         await scheduler.start()
         if args.resume:
             resumed = scheduler.resume()
@@ -870,6 +927,8 @@ def _cmd_serve(args) -> int:
               f"cache {args.cache_dir}"
               + (f", recordings {args.record_dir}"
                  if args.record_dir else "")
+              + (f", checkpoints {args.checkpoint_dir}"
+                 if args.checkpoint_dir else "")
               + (f", journal {args.state_dir}"
                  if args.state_dir else "") + ")", file=sys.stderr)
         stop = asyncio.Event()

@@ -82,6 +82,12 @@ class SweepError(ReproError):
         self.failures = list(failures)
 
 
+class CheckpointError(ReproError):
+    """A machine checkpoint could not be captured, read, or resumed
+    (wrong version, digest mismatch, corrupt blob; see
+    docs/checkpointing.md)."""
+
+
 class GroupTableFull(ReproError):
     """All group information table entries are occupied (section 5.2)."""
 

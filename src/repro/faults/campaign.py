@@ -8,6 +8,18 @@ reduces the scoreboards into a JSON-ready report. ``python -m repro
 faults`` is a thin CLI over it; CI runs it as the fault-matrix smoke
 job and fails on any undetected fault.
 
+Every cell is identical up to its fault trigger, so with ``fork=True``
+(the default) the campaign simulates the **clean prefix once**: a
+counting hook mirrors the injector's deterministic stream cursors
+while the run pauses every few thousand accesses to capture in-memory
+machine snapshots (``repro.sim.checkpoint``). Each cell then forks
+from the deepest snapshot that still precedes its trigger, and the
+injector's cursors are primed from the snapshot's counts — cell
+results, scoreboards and recordings stay bit-identical to cold runs
+(pinned by tests/sim/test_checkpoint.py). Cells whose trigger falls
+before the first snapshot simply run cold, so the default shallow
+triggers lose nothing.
+
 ``verify_identity`` is the bit-identity half of the acceptance
 criterion: a system with an injector attached whose plan never
 triggers must produce results identical to an untouched system.
@@ -17,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..bus.transaction import TransactionType
 from ..config import KB, SystemConfig, e6000_config
 from ..errors import ReproError
 from .injector import FaultInjector
@@ -63,6 +76,135 @@ def default_spec(kind: str, num_cpus: int,
     return FaultSpec(kind, trigger)
 
 
+class _PrefixCountingHook:
+    """Mirrors the injector's deterministic stream cursors, perturbing
+    nothing.
+
+    Sits on the same two seams the injector uses
+    (``SharedBus.fault_hook`` + ``MemProtectLayer.fault_hook``) and
+    counts exactly what the injector counts — protected data messages
+    per group, pad consultations per CPU, hash-tree verifies — plus
+    the last MAC checkpoint cycle per group, which seeds the recovery
+    engine's replay windows at fork time. Module-level and
+    state-only, so it pickles inside captured snapshots.
+    """
+
+    def __init__(self):
+        self.stream: Dict[int, int] = {}    # group -> data messages
+        self.pad: Dict[int, int] = {}       # cpu -> pad consultations
+        self.verify = 0                     # hash-tree verifies
+        self.mac: Dict[int, int] = {}       # group -> last MAC cycle
+
+    def counts(self) -> Dict[str, object]:
+        return {"stream": dict(self.stream), "pad": dict(self.pad),
+                "verify": self.verify, "mac": dict(self.mac)}
+
+    # bus seam — the counting condition matches FaultInjector._on_bus_tx
+    def __call__(self, transaction) -> None:
+        if transaction.type is TransactionType.AUTH_MAC:
+            self.mac[transaction.group_id] = transaction.grant_cycle
+            return
+        if (transaction.type.carries_data
+                and transaction.supplied_by_cache):
+            group = transaction.group_id
+            self.stream[group] = self.stream.get(group, 0) + 1
+
+    # memprotect seam — zero penalties, counts only
+    def on_pad_event(self, cpu, line_address, clock, hit) -> int:
+        self.pad[cpu] = self.pad.get(cpu, 0) + 1
+        return 0
+
+    def on_pad_writeback(self, cpu, line_address, affected) -> None:
+        return None
+
+    def on_verify_event(self, cpu, address, clock) -> int:
+        self.verify += 1
+        return 0
+
+
+def _count_for(counts: Dict[str, object], spec: FaultSpec) -> int:
+    """The cursor a spec's trigger is measured against."""
+    if spec.kind in FaultKind.BUS:
+        return counts["stream"].get(spec.group_id, 0)
+    if spec.kind == FaultKind.MERKLE_FLIP:
+        return counts["verify"]
+    return counts["pad"].get(spec.cpu, 0)
+
+
+def _pick_snapshot(snapshots, spec: FaultSpec):
+    """Deepest snapshot strictly before the spec's trigger event.
+
+    ``count <= trigger`` is the soundness condition: counts are
+    events-already-happened, the fault fires on event index
+    ``trigger``, so equality still precedes the injection.
+    """
+    usable = [snapshot for snapshot in snapshots
+              if _count_for(snapshot.meta["extra"], spec)
+              <= spec.trigger]
+    if not usable:
+        return None
+    return max(usable, key=lambda snapshot: snapshot.accesses)
+
+
+def _simulate_prefix(config: SystemConfig, bench_workload, point,
+                     specs: Sequence[FaultSpec], record_diff: bool,
+                     chunk: Optional[int] = None):
+    """Run the clean (fault-free) prefix once, snapshotting as it goes.
+
+    Returns ``(snapshots, clean_recording)``. Without ``record_diff``
+    the run stops as soon as every spec's trigger has passed (no later
+    snapshot could be forked from); with it, the run continues to
+    completion so its recording replaces the separate clean
+    ``record_run`` the un-forked path pays for.
+    """
+    from ..sim.checkpoint import capture
+    from ..sim.sweep import build_system
+    from ..smp.fastpath import _finish_run, _run_loop, new_counters
+
+    system = build_system(config)
+    recorder = None
+    if record_diff:
+        from ..obs.recording import Recorder
+        # Recorder first, hook second — mirrors the cold cells, and
+        # the recorder travels inside every captured snapshot.
+        recorder = Recorder().attach(system)
+    hook = _PrefixCountingHook()
+    system.bus.fault_hook = hook
+    if system.memprotect is not None:
+        system.memprotect.fault_hook = hook
+
+    num_cpus = bench_workload.num_cpus
+    clocks = [0] * num_cpus
+    cursors = [0] * num_cpus
+    counters = new_counters(num_cpus)
+    if chunk is None:
+        chunk = max(512, bench_workload.total_accesses // 12)
+
+    snapshots = []
+    running = True
+    snapshotting = True
+    while running:
+        running = _run_loop(system, bench_workload, clocks, cursors,
+                            counters, stop_accesses=chunk)
+        if snapshotting:
+            snapshots.append(capture(
+                system, bench_workload, point, clocks, cursors,
+                counters, tag=f"prefix-{sum(cursors)}",
+                recorded=record_diff, extra=hook.counts()))
+            if all(_count_for(hook.counts(), spec) > spec.trigger
+                   for spec in specs):
+                snapshotting = False  # nothing later is forkable
+                if not record_diff:
+                    break
+
+    clean_recording = None
+    if record_diff:
+        from ..obs.recording import Recording
+        result = _finish_run(system, bench_workload, clocks, counters)
+        clean_recording = Recording.build(point, recorder, result)
+    return snapshots, clean_recording
+
+
 def _all_within_interval(entries: Sequence[Dict[str, object]],
                          interval: int) -> bool:
     """Was every detection within one authentication interval?
@@ -97,17 +239,26 @@ def run_campaign(kinds: Sequence[str] = FaultKind.ALL,
                  scale: float = 0.05, seed: int = 0,
                  interval: int = 10,
                  config: Optional[SystemConfig] = None,
-                 record_diff: bool = False
+                 record_diff: bool = False,
+                 fork: bool = True,
+                 trigger: Optional[int] = None
                  ) -> Dict[str, object]:
     """One run per (kind, policy) cell; returns the matrix report.
 
+    With ``fork=True`` the shared clean prefix is simulated once and
+    every cell forks from the deepest snapshot preceding its trigger
+    (module docstring); ``fork=False`` forces the historical
+    every-cell-cold behavior. ``trigger`` overrides every kind's
+    default trigger index (deep triggers are where forking pays).
+
     With ``record_diff=True`` the clean (fault-free) run is recorded
-    once, every cell additionally records its faulted run, and each
-    entry gains a ``divergence`` summary — where the faulted timeline
-    first departs from the clean one and by how much (the full
-    machinery is ``repro.obs.diff``; see docs/record_replay.md).
+    once — in fork mode it *is* the prefix run, not a separate
+    simulation — every cell additionally records its faulted run, and
+    each entry gains a ``divergence`` summary — where the faulted
+    timeline first departs from the clean one and by how much (the
+    full machinery is ``repro.obs.diff``; see docs/record_replay.md).
     """
-    from ..sim.sweep import build_system
+    from ..sim.sweep import SweepPoint, build_system
     from ..workloads.registry import generate
 
     for policy in policies:
@@ -116,43 +267,70 @@ def run_campaign(kinds: Sequence[str] = FaultKind.ALL,
     if config is None:
         config = campaign_config(cpus=cpus, interval=interval)
     bench_workload = generate(workload, cpus, scale=scale, seed=seed)
+    clean_point = SweepPoint(workload, config, scale=scale, seed=seed)
+    cell_specs = {kind: default_spec(kind, cpus, trigger)
+                  for kind in kinds}
 
+    snapshots = []
     clean_recording = None
-    clean_point = None
-    if record_diff:
+    if fork:
+        snapshots, clean_recording = _simulate_prefix(
+            config, bench_workload, clean_point,
+            list(cell_specs.values()), record_diff)
+    elif record_diff:
         from ..obs.recording import record_run
-        from ..sim.sweep import SweepPoint
-        clean_point = SweepPoint(workload, config, scale=scale,
-                                 seed=seed)
         clean_recording = record_run(clean_point)
 
     entries: List[Dict[str, object]] = []
     for kind in kinds:
         for policy in policies:
-            plan = FaultPlan(specs=(default_spec(kind, cpus),),
-                             seed=seed)
-            system = build_system(config)
-            recorder = None
-            if record_diff:
-                from ..obs.recording import Recorder
-                # Recorder first, injector second: the injector's
-                # inject/detect events route through system._obs.
-                recorder = Recorder().attach(system)
-            injector = FaultInjector(plan, policy=policy).attach(system)
+            spec = cell_specs[kind]
+            plan = FaultPlan(specs=(spec,), seed=seed)
+            snapshot = _pick_snapshot(snapshots, spec)
             halted, error, cycles = False, "", -1
             result = None
-            try:
-                result = system.run(bench_workload)
-                cycles = result.cycles
-            except ReproError as exc:
-                halted = True
-                error = f"{type(exc).__name__}: {exc}"
+            if snapshot is not None:
+                from ..sim.checkpoint import restore
+                from ..smp.fastpath import _finish_run, _run_loop
+                system, clocks, cursors, counters = restore(snapshot)
+                # The recorder (when present) rides inside the
+                # snapshot; injector second, as in the cold path.
+                recorder = system._obs if record_diff else None
+                injector = FaultInjector(plan,
+                                         policy=policy).attach(system)
+                injector.prime(**snapshot.meta["extra"])
+                try:
+                    _run_loop(system, bench_workload, clocks,
+                              cursors, counters)
+                    result = _finish_run(system, bench_workload,
+                                         clocks, counters)
+                    cycles = result.cycles
+                except ReproError as exc:
+                    halted = True
+                    error = f"{type(exc).__name__}: {exc}"
+            else:
+                system = build_system(config)
+                recorder = None
+                if record_diff:
+                    from ..obs.recording import Recorder
+                    # Recorder first, injector second: the injector's
+                    # inject/detect events route through system._obs.
+                    recorder = Recorder().attach(system)
+                injector = FaultInjector(plan,
+                                         policy=policy).attach(system)
+                try:
+                    result = system.run(bench_workload)
+                    cycles = result.cycles
+                except ReproError as exc:
+                    halted = True
+                    error = f"{type(exc).__name__}: {exc}"
             scoreboard = injector.finalize()
             records = scoreboard.records
             record = records[0] if records else None
             entries.append({
                 "kind": kind,
                 "policy": policy,
+                "forked": snapshot is not None,
                 "triggered": bool(records),
                 "detected": record.detected if record else False,
                 "mechanism": record.mechanism if record else None,
@@ -185,6 +363,9 @@ def run_campaign(kinds: Sequence[str] = FaultKind.ALL,
         "entries": entries,
         "all_detected": detected_all,
         "within_interval": within_interval,
+        "fork": fork,
+        "forked_cells": sum(1 for entry in entries
+                            if entry["forked"]),
     }
     if record_diff:
         report["record_diff"] = True

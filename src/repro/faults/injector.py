@@ -142,6 +142,29 @@ class FaultInjector:
         system.stats.register_flusher(self._flush_stats)
         return self
 
+    def prime(self, stream=None, pad=None, verify: int = 0,
+              mac=None) -> "FaultInjector":
+        """Fast-forward the deterministic stream cursors to a
+        checkpointed clean prefix (``repro.faults.campaign`` fork
+        mode; call after :meth:`attach`).
+
+        ``stream``/``pad``/``verify`` are the counts a
+        ``_PrefixCountingHook`` observed up to the snapshot — the
+        injector's trigger arithmetic continues from them exactly as
+        if it had watched the prefix itself. ``mac`` carries the last
+        MAC checkpoint cycle per group into the recovery engine, so a
+        ``rekey-replay`` recovery computes the same replay window a
+        cold run would.
+        """
+        self._stream_index = {int(group): int(count)
+                              for group, count in (stream or {}).items()}
+        self._pad_index = {int(cpu): int(count)
+                           for cpu, count in (pad or {}).items()}
+        self._verify_index = int(verify)
+        for group, cycle in (mac or {}).items():
+            self.recovery.on_checkpoint(int(group), int(cycle))
+        return self
+
     def detach(self) -> None:
         if self.system is None:
             return

@@ -182,9 +182,13 @@ class Scheduler:
                  point_timeout: Optional[float] = None,
                  retries: int = 2, backoff_s: float = 0.05,
                  seed: int = 0, quarantine_after: int = 5,
-                 executor_factory=None, heartbeat_s: float = 0.1):
+                 executor_factory=None, heartbeat_s: float = 0.1,
+                 checkpoint_dir: Optional[Union[str, Path]] = None,
+                 checkpoint_hot: int = 8):
         self.cache = cache
         self.record_dir = None if record_dir is None else Path(record_dir)
+        self.checkpoint_dir = None if checkpoint_dir is None \
+            else Path(checkpoint_dir)
         if record_runner is not None:
             self._record_runner = record_runner
         elif record_dir is not None:
@@ -212,8 +216,20 @@ class Scheduler:
             executor=executor, executor_factory=executor_factory,
             heartbeat_s=heartbeat_s)
         self._supervisor.on_restart = self._on_worker_restart
-        self._runner = runner if runner is not None \
-            else _run_point_timed
+        if runner is not None:
+            self._runner = runner
+        elif checkpoint_dir is not None:
+            # Prefix-sharing execution (docs/checkpointing.md): the
+            # worker probes its in-process hot LRU, then the shared
+            # disk store, and forks instead of re-simulating warm-up.
+            # Checkpoints are keyed by prefix fingerprint, not tenant,
+            # so they are shared across tenants like the result cache.
+            from ..sim.checkpoint import serve_checkpoint_runner
+            self._runner = functools.partial(
+                serve_checkpoint_runner, str(checkpoint_dir),
+                max(1, checkpoint_hot))
+        else:
+            self._runner = _run_point_timed
         self._running = 0
         self._serial = 0
         self._draining = False
@@ -242,6 +258,9 @@ class Scheduler:
             "serve.worker_restarts": 0,
             "serve.journal_replays": 0,
             "serve.quarantined_points": 0,
+            "serve.checkpoint_hits": 0,
+            "serve.checkpoint_misses": 0,
+            "serve.checkpoint_stores": 0,
         }
         #: per-tenant completed/failed point totals (metrics plane)
         self.tenant_counters: Dict[str, Dict[str, int]] = {}
@@ -504,16 +523,17 @@ class Scheduler:
             # made it out of the dying pool is worth caching — the
             # retry then lands as a cache hit.
             try:
-                result, _seconds = future.result()
+                result, _seconds, *extra = future.result()
             except BaseException:
                 return
+            self._merge_worker_counters(extra)
             if self.cache is not None:
                 self.cache.store(execution.point, result)
             return
         self._retire(execution)
         dur_us = self._now_us() - execution.started_us
         try:
-            result, _seconds = future.result()
+            result, _seconds, *extra = future.result()
         except BaseException as exc:
             # BrokenProcessPool (worker died) and CancelledError
             # (pool torn down under this future) mean worker loss,
@@ -528,6 +548,7 @@ class Scheduler:
             self._route_failure(execution, error)
         else:
             self.counters["serve.points_executed"] += 1
+            self._merge_worker_counters(extra)
             self._failures.pop(execution.base_key, None)
             if execution.key.endswith(":rec"):
                 self.counters["serve.recordings_written"] += 1
@@ -543,6 +564,18 @@ class Scheduler:
                     dur_us=dur_us)
         self._pump()
         self._check_idle()
+
+    def _merge_worker_counters(self, extra) -> None:
+        """Fold counter deltas a runner shipped back alongside its
+        result (third tuple element, e.g. ``serve.checkpoint_*`` from
+        :func:`repro.sim.checkpoint.serve_checkpoint_runner`) into the
+        scheduler's counters. Plain two-tuple runners ship none."""
+        for delta in extra:
+            if not isinstance(delta, dict):
+                continue
+            for name, value in delta.items():
+                self.counters[name] = \
+                    self.counters.get(name, 0) + int(value)
 
     # -- retry / quarantine policy -------------------------------------
 
@@ -684,6 +717,9 @@ class Scheduler:
             "retries": self.counters["serve.retries"],
             "worker_restarts": self.counters["serve.worker_restarts"],
             "quarantined": self.counters["serve.quarantined_points"],
+            "checkpoint_hits": self.counters["serve.checkpoint_hits"],
+            "checkpoint_stores":
+                self.counters["serve.checkpoint_stores"],
         })
         self._emit(job, "job_done", "i",
                    {"job": job.id, "state": state})
@@ -759,6 +795,9 @@ class Scheduler:
         hits = self.counters["serve.points_cache_hits"]
         executed = self.counters["serve.points_executed"]
         lookups = hits + executed
+        ckpt_hits = self.counters["serve.checkpoint_hits"]
+        ckpt_misses = self.counters["serve.checkpoint_misses"]
+        ckpt_probes = ckpt_hits + ckpt_misses
         depths = self.queue.depths()
         tenants = {}
         for tenant in sorted(set(depths) | set(self.tenant_counters)):
@@ -773,7 +812,7 @@ class Scheduler:
                 if uptime_s > 0 else 0.0,
             }
         return {
-            "schema_version": 2,
+            "schema_version": 3,
             "uptime_s": round(uptime_s, 3),
             "draining": self._draining,
             "queue": {
@@ -795,6 +834,16 @@ class Scheduler:
             "recordings": {
                 "enabled": self._record_runner is not None,
                 "written": self.counters["serve.recordings_written"],
+            },
+            "checkpoints": {
+                "enabled": self.checkpoint_dir is not None,
+                "dir": None if self.checkpoint_dir is None
+                else str(self.checkpoint_dir),
+                "hits": ckpt_hits,
+                "misses": ckpt_misses,
+                "stores": self.counters["serve.checkpoint_stores"],
+                "hit_rate": round(ckpt_hits / ckpt_probes, 6)
+                if ckpt_probes else 0.0,
             },
             "resilience": {
                 "journal": {

@@ -65,8 +65,12 @@ from ..smp.metrics import SimulationResult
 #: 3 = flattened hash tree, fused memprotect node path, fast digest
 #: engines (bit-identical results, conservatively bumped);
 #: 4 = vector backend + engine registry (bit-identical results,
-#: conservatively bumped).
-ENGINE_VERSION = 4
+#: conservatively bumped);
+#: 5 = checkpoint/fork prefix-sharing executor — resumable engine
+#: loop and snapshot-forked runs (bit-identical results,
+#: conservatively bumped so result and checkpoint stores roll
+#: together).
+ENGINE_VERSION = 5
 
 DEFAULT_CACHE_DIR = Path(".benchmarks") / "cache"
 
@@ -194,6 +198,41 @@ def _recorded_runner(record_dir: str, point: SweepPoint
     return recording.to_result(), time.perf_counter() - start
 
 
+def lru_gc(root: Path, max_bytes: int, pattern: str) -> int:
+    """Evict oldest-``mtime`` files matching ``pattern`` under ``root``
+    until their total size fits ``max_bytes``; returns eviction count.
+
+    Shared by the :class:`ResultCache` and the
+    :class:`~repro.sim.checkpoint.CheckpointStore` (loads touch mtime,
+    so "oldest mtime" is least-recently-used). Tolerant of concurrent
+    sweeps racing on the same directory: a file vanishing mid-scan or
+    mid-unlink is someone else's eviction, not an error.
+    """
+    if not root.is_dir():
+        return 0
+    entries = []
+    total = 0
+    for path in root.glob(pattern):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+        total += stat.st_size
+    entries.sort()
+    evicted = 0
+    for _mtime, size, path in entries:
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        evicted += 1
+    return evicted
+
+
 def point_key(point: SweepPoint) -> str:
     """Content hash identifying a point's complete simulation input.
 
@@ -236,11 +275,19 @@ class ResultCache:
     identical by construction (same simulation input), so either
     winner is correct. Counter updates are lock-protected so shared
     instances report exact quarantine/eviction counts.
+
+    ``max_mb`` bounds the directory: every :meth:`store` runs an LRU
+    sweep (loads touch mtime) evicting oldest entries until under
+    budget; evictions are counted in :attr:`evicted`. Unbounded by
+    default for compatibility — the CLI surfaces ``--cache-max-mb``.
     """
 
-    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
+                 max_mb: Optional[float] = None):
         self.root = Path(root)
+        self.max_mb = max_mb
         self.quarantined = 0
+        self.evicted = 0
         self._lock = threading.Lock()
         self._scratch_serial = itertools.count()
 
@@ -275,6 +322,10 @@ class ResultCache:
         if checksum is not None and checksum != self._checksum(payload):
             self._quarantine(path)  # bit-rot or a tampered entry
             return None
+        try:
+            os.utime(path)  # LRU recency for gc()
+        except OSError:
+            pass
         try:
             return SimulationResult(
                 workload=payload["workload"],
@@ -316,6 +367,18 @@ class ResultCache:
                     scratch.unlink()
                 except OSError:
                     pass
+        self.gc()
+
+    def gc(self) -> int:
+        """Evict least-recently-used entries until under ``max_mb``."""
+        if self.max_mb is None:
+            return 0
+        evicted = lru_gc(self.root, int(self.max_mb * 1024 * 1024),
+                         "*.json")
+        if evicted:
+            with self._lock:
+                self.evicted += evicted
+        return evicted
 
     def clear(self) -> int:
         """Delete all cached entries; returns how many were removed."""
@@ -400,6 +463,89 @@ def _round_parallel(points: Sequence[SweepPoint], workers: int,
     return outcomes
 
 
+def _family_units(points: Sequence[SweepPoint],
+                  recorded: bool = False) -> List[List[SweepPoint]]:
+    """Group points into prefix-sharing chains, smallest scale first.
+
+    Units are keyed by :func:`~repro.sim.checkpoint.family_key`
+    (everything but scale) in first-seen order; within a unit the
+    scale ordering is what makes each point's first-exhaustion
+    snapshot the next point's warm prefix. ``point_key`` breaks scale
+    ties deterministically.
+    """
+    from .checkpoint import family_key
+    units: Dict[str, List[SweepPoint]] = {}
+    for point in points:
+        units.setdefault(family_key(point, recorded=recorded),
+                         []).append(point)
+    return [sorted(unit, key=lambda p: (p.scale, point_key(p)))
+            for unit in units.values()]
+
+
+def _chain_runner(checkpoint_dir: str, cache_dir: Optional[str],
+                  record_dir: Optional[str],
+                  points: Sequence[SweepPoint]):
+    """Worker-side entry for one family chain (partial-able, like
+    ``_run_point_timed``). Builds fresh store/cache handles in the
+    worker — only strings cross the process boundary."""
+    from .checkpoint import CheckpointStore, run_chain
+    store = CheckpointStore(checkpoint_dir)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return run_chain(points, store, cache=cache,
+                     record_dir=record_dir)
+
+
+def _units_serial(units: Sequence[Sequence[SweepPoint]],
+                  runner) -> List[List[_Outcome]]:
+    unit_outcomes = []
+    for unit in units:
+        try:
+            rows = runner(unit)
+        except Exception as exc:
+            rows = [(None, 0.0, f"{type(exc).__name__}: {exc}")] \
+                * len(unit)
+        unit_outcomes.append([
+            _Outcome(result, seconds, error, False)
+            for result, seconds, error in rows])
+    return unit_outcomes
+
+
+def _units_parallel(units: Sequence[Sequence[SweepPoint]],
+                    workers: int, timeout: Optional[float],
+                    runner) -> List[List[_Outcome]]:
+    """One chain per pool task; a unit's timeout budget scales with
+    its length (``timeout`` stays per-point, as in ``_round_parallel``).
+    A failed or timed-out chain fails all its points — they retry on
+    the next round, cheaply, because the chain's worker-side cache
+    stores and checkpoints survive the crash."""
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(units)))
+    futures = [pool.submit(runner, list(unit)) for unit in units]
+    unit_outcomes = []
+    try:
+        for unit, future in zip(units, futures):
+            budget = timeout * len(unit) if timeout is not None \
+                else None
+            try:
+                rows = future.result(timeout=budget)
+            except _FutureTimeout:
+                future.cancel()
+                unit_outcomes.append([_Outcome(
+                    None, 0.0,
+                    f"chain timed out after {budget:g}s", True)]
+                    * len(unit))
+            except Exception as exc:
+                unit_outcomes.append([_Outcome(
+                    None, 0.0, f"{type(exc).__name__}: {exc}",
+                    False)] * len(unit))
+            else:
+                unit_outcomes.append([
+                    _Outcome(result, seconds, error, False)
+                    for result, seconds, error in rows])
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return unit_outcomes
+
+
 def run_sweep(points: Sequence[SweepPoint],
               cache: Optional[ResultCache] = None,
               parallel: Optional[bool] = None,
@@ -410,7 +556,8 @@ def run_sweep(points: Sequence[SweepPoint],
               backoff_s: float = 0.05,
               backoff_seed: Optional[int] = None,
               on_error: str = "raise",
-              record_dir: Optional[Union[str, Path]] = None
+              record_dir: Optional[Union[str, Path]] = None,
+              checkpoint_dir: Optional[Union[str, Path]] = None
               ) -> List[Optional[SimulationResult]]:
     """Run every point, in parallel where possible; results in order.
 
@@ -439,6 +586,16 @@ def run_sweep(points: Sequence[SweepPoint],
     don't re-run, so they leave no recording) also writes a
     deterministic recording to ``<record_dir>/<point_key>.rec.json``
     — replayable and diffable via ``repro replay`` / ``repro diff``.
+
+    With ``checkpoint_dir``, pending points are grouped into
+    prefix-sharing *family chains* (same workload/seed/config,
+    different scale) and executed smallest→largest through
+    :func:`repro.sim.checkpoint.run_chain`: each point forks from the
+    deepest stored snapshot that validates against its traces instead
+    of re-simulating the shared warm-up, and results stay
+    bit-identical to cold runs (docs/checkpointing.md). Parallelism is
+    then across chains rather than points, and ``timeout`` budgets a
+    whole chain at ``timeout × len(chain)``.
     """
     if on_error not in ("raise", "none"):
         raise ConfigError(
@@ -482,6 +639,12 @@ def run_sweep(points: Sequence[SweepPoint],
             Path(record_dir).mkdir(parents=True, exist_ok=True)
             runner = functools.partial(_recorded_runner,
                                        str(record_dir))
+        chain_runner = None
+        if checkpoint_dir is not None:
+            chain_runner = functools.partial(
+                _chain_runner, str(checkpoint_dir),
+                str(cache.root) if cache is not None else None,
+                str(record_dir) if record_dir is not None else None)
         remaining = list(pending)
         attempts: Dict[str, int] = {}
         # Seeded jitter: a fixed seed (or, by default, the content
@@ -502,13 +665,27 @@ def run_sweep(points: Sequence[SweepPoint],
                 retried_keys.update(point_key(p) for p in remaining)
                 time.sleep(backoff_s * (2 ** (round_number - 1))
                            * (1.0 + backoff_rng.random()))
-            outcomes = (
-                _round_parallel(remaining, workers, timeout,
-                                runner=runner)
-                if use_pool else _round_serial(remaining,
-                                               runner=runner))
+            if chain_runner is not None:
+                units = _family_units(
+                    remaining, recorded=record_dir is not None)
+                unit_outcomes = (
+                    _units_parallel(units, workers, timeout,
+                                    chain_runner)
+                    if use_pool
+                    else _units_serial(units, chain_runner))
+                round_points = [point for unit in units
+                                for point in unit]
+                outcomes = [outcome for unit in unit_outcomes
+                            for outcome in unit]
+            else:
+                round_points = remaining
+                outcomes = (
+                    _round_parallel(remaining, workers, timeout,
+                                    runner=runner)
+                    if use_pool else _round_serial(remaining,
+                                                   runner=runner))
             next_round: List[SweepPoint] = []
-            for point, outcome in zip(remaining, outcomes):
+            for point, outcome in zip(round_points, outcomes):
                 key = point_key(point)
                 attempts[key] = attempts.get(key, 0) + 1
                 if outcome.error is None:

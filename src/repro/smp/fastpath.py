@@ -35,6 +35,35 @@ reference engine:
 same ``cycles``, same ``per_cpu_cycles``, same stats dict
 (pinned by tests/smp/test_fastpath_equivalence.py against golden
 pre-optimization captures).
+
+Resumable slices (docs/checkpointing.md)
+----------------------------------------
+
+``run_fast`` is a thin wrapper over :func:`_run_loop` +
+:func:`_finish_run`, which together make the engine *resumable*: all
+scheduling state lives in ``(clocks, cursors)`` plus the machine
+itself, so a run can be paused after an exact global access count
+(``stop_accesses``) and continued later — by the same process or a
+different one — with bit-identical results. The scheduler heap is
+never part of the persisted state: every heap entry is exactly
+``(clocks[cpu] + gap[cursors[cpu]], cpu)``, so the heap is rebuilt
+from the clocks and cursors at each (re)entry, and because entries
+are unique tuples under a total order, pop order — and therefore
+execution order — is independent of the heap's internal array layout.
+
+``on_first_exhaustion`` is the scale-chain seam: it fires exactly once,
+the moment the first CPU consumes its last trace access (with every
+local written back into the machine), which is the last instant a run
+at this scale is state-identical to a run of any larger scale of the
+same workload family. ``repro.sim.checkpoint`` snapshots there.
+
+The raw hit/miss counters are *not* flushed into the
+:class:`~repro.sim.stats.StatsRegistry` at a pause — an uninterrupted
+run keeps them in locals until the end, so mid-run observers (recorder
+stats snapshots at auth checkpoints) never see them; a pause flushing
+them early would make a forked run's recording diverge from a cold
+one. They travel alongside the snapshot instead and are materialized
+once, in :func:`_finish_run`.
 """
 
 from __future__ import annotations
@@ -53,15 +82,24 @@ _S = MesiState.SHARED
 _I = MesiState.INVALID
 
 
-def run_fast(system, workload: Workload) -> SimulationResult:
-    """Execute ``workload`` on ``system``; see module docstring."""
-    if workload.num_cpus > system.config.num_processors:
-        raise SimulationError(
-            f"workload has {workload.num_cpus} traces but the machine "
-            f"has {system.config.num_processors} processors")
+def new_counters(num_cpus: int):
+    """Fresh raw per-access counters: (l1_hits, l2_hits, l2_misses,
+    upgrades), one slot per CPU, flushed by :func:`_finish_run`."""
+    return ([0] * num_cpus, [0] * num_cpus,
+            [0] * num_cpus, [0] * num_cpus)
+
+
+def _run_loop(system, workload: Workload, clocks, cursors, counters,
+              stop_accesses=None, on_first_exhaustion=None) -> bool:
+    """Execute ``workload`` from ``(clocks, cursors)`` onward.
+
+    Mutates ``clocks``/``cursors``/``counters`` and the machine in
+    place. Returns ``True`` when paused by ``stop_accesses`` with
+    work remaining, ``False`` when every trace is exhausted. See the
+    module docstring for the resume contract.
+    """
     num_cpus = workload.num_cpus
-    clocks = [0] * num_cpus
-    cursors = [0] * num_cpus
+    l1_hits, l2_hits, l2_misses, upgrades = counters
 
     # Per-CPU execution context: columnar trace plus the hot cache
     # internals, unpacked once per scheduling quantum.
@@ -79,21 +117,22 @@ def run_fast(system, workload: Workload) -> SimulationResult:
             l1, l2,
         ))
 
-    # Raw per-access counters, flushed into the registry at run end.
-    l1_hits = [0] * num_cpus
-    l2_hits = [0] * num_cpus
-    l2_misses = [0] * num_cpus
-    upgrades = [0] * num_cpus
-
     execute_miss = system._execute_miss
     execute_upgrade = system._execute_upgrade
 
     # Heap of (next request cycle, cpu): the reference scheduler picks
     # the earliest pending request, lowest CPU on ties — exactly the
-    # tuple ordering of this heap.
-    heap = [(contexts[cpu][2][0], cpu) for cpu in range(num_cpus)
-            if contexts[cpu][3]]
+    # tuple ordering of this heap. Rebuilt from (clocks, cursors) so
+    # resumed runs see the identical frontier.
+    heap = [(clocks[cpu] + contexts[cpu][2][cursors[cpu]], cpu)
+            for cpu in range(num_cpus)
+            if cursors[cpu] < contexts[cpu][3]]
     heapify(heap)
+
+    remaining = stop_accesses
+    if remaining is not None and remaining <= 0:
+        return bool(heap)
+    fired = on_first_exhaustion is None
 
     while heap:
         pending, cpu = heappop(heap)
@@ -102,6 +141,9 @@ def run_fast(system, workload: Workload) -> SimulationResult:
          l2_sets, l2_shift, l2_nsets, l2_latency,
          l1, l2) = contexts[cpu]
         index = cursors[cpu]
+        start = index
+        limit = length if remaining is None \
+            else min(length, index + remaining)
         tick1 = l1._tick
         tick2 = l2._tick
         clock = clocks[cpu]
@@ -195,11 +237,17 @@ def run_fast(system, workload: Workload) -> SimulationResult:
                         clock = pending + l2_latency
 
             index += 1
-            if index == length:
+            if index == limit:
                 cursors[cpu] = index
                 clocks[cpu] = clock
                 l1._tick = tick1
                 l2._tick = tick2
+                if index == length and not fired:
+                    # First trace exhaustion: the machine state at
+                    # this instant is shared with every larger run of
+                    # the same family — the checkpoint seam.
+                    fired = True
+                    on_first_exhaustion()
                 break
             entry_key = (clock + gap_col[index], cpu)
             if heap and heap[0] < entry_key:
@@ -211,6 +259,23 @@ def run_fast(system, workload: Workload) -> SimulationResult:
                 heappush(heap, entry_key)
                 break
             pending = entry_key[0]
+
+        if remaining is not None:
+            remaining -= index - start
+            if remaining <= 0:
+                if cursors[cpu] < length:
+                    # Budget pause mid-trace: the heap is discarded
+                    # and rebuilt on resume, so no push needed.
+                    return True
+                return bool(heap)
+    return False
+
+
+def _finish_run(system, workload: Workload, clocks,
+                counters) -> SimulationResult:
+    """Flush the raw counters, emit run-end spans, build the result."""
+    num_cpus = workload.num_cpus
+    l1_hits, l2_hits, l2_misses, upgrades = counters
 
     # Flush the raw counters into the shared registry (names and
     # totals identical to the reference per-access stats.add calls;
@@ -240,3 +305,17 @@ def run_fast(system, workload: Workload) -> SimulationResult:
         per_cpu_cycles=clocks,
         stats=stats.as_dict(),
     )
+
+
+def run_fast(system, workload: Workload) -> SimulationResult:
+    """Execute ``workload`` on ``system``; see module docstring."""
+    if workload.num_cpus > system.config.num_processors:
+        raise SimulationError(
+            f"workload has {workload.num_cpus} traces but the machine "
+            f"has {system.config.num_processors} processors")
+    num_cpus = workload.num_cpus
+    clocks = [0] * num_cpus
+    cursors = [0] * num_cpus
+    counters = new_counters(num_cpus)
+    _run_loop(system, workload, clocks, cursors, counters)
+    return _finish_run(system, workload, clocks, counters)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from collections import OrderedDict
+from typing import Callable, Dict, Tuple
 
 from ..errors import TraceError
 from ..smp.trace import Workload
@@ -19,14 +20,45 @@ WORKLOADS: Dict[str, Callable[..., Workload]] = {
 }
 
 
+#: process-wide memo of generated workloads. Trace synthesis is pure
+#: (a seeded RNG walk) but costs more than simulating small points, so
+#: repeated generation — every sweep point, every serve submission,
+#: every checkpoint-chain fork — would otherwise dominate exactly the
+#: runs the prefix-sharing executor speeds up. Generated workloads are
+#: immutable by convention (nothing in the tree writes to a trace
+#: after assembly), so sharing one object across runs is sound.
+_MEMO_CAPACITY = 8
+_MEMO: "OrderedDict[Tuple[str, int, float, int], Workload]" \
+    = OrderedDict()
+
+
+def clear_memo() -> None:
+    """Drop every memoized workload (frees their trace columns).
+
+    For callers about to run timing-sensitive measurements that the
+    retained heap would perturb, and for tests that need cold
+    generation."""
+    _MEMO.clear()
+
+
 def generate(name: str, num_cpus: int, scale: float = 1.0,
              seed: int = 0) -> Workload:
     """Build the named workload (paper ordering: fft radix barnes lu
-    ocean)."""
+    ocean). Results are memoized per process (bounded LRU) — callers
+    must treat the returned workload as read-only."""
     factory = WORKLOADS.get(name)
     if factory is None:
         raise TraceError(
             f"unknown workload {name!r}; choose from "
             f"{sorted(WORKLOADS)}")
+    key = (name, int(num_cpus), float(scale), int(seed))
+    cached = _MEMO.get(key)
+    if cached is not None:
+        _MEMO.move_to_end(key)
+        return cached
     # Each generator has its own default seed; offset by the caller's.
-    return factory(num_cpus, scale=scale, seed=seed + 1)
+    workload = factory(num_cpus, scale=scale, seed=seed + 1)
+    _MEMO[key] = workload
+    while len(_MEMO) > _MEMO_CAPACITY:
+        _MEMO.popitem(last=False)
+    return workload

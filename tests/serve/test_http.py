@@ -161,7 +161,7 @@ class TestEndToEnd:
     def test_metrics_endpoint(self, service):
         _, client = service
         metrics = client.metrics()
-        assert metrics["schema_version"] == 2
+        assert metrics["schema_version"] == 3
         assert metrics["workers"]["max"] == 2
         assert metrics["cache"]["enabled"] is True
         assert 0.0 <= metrics["cache"]["hit_rate"] <= 1.0
