@@ -73,9 +73,15 @@ from ..smp.trace import Workload, as_columns
 from .sweep import (ENGINE_VERSION, ResultCache, SweepPoint,
                     build_system, lru_gc, point_key)
 
-#: Bump when the snapshot payload or meta layout changes; snapshots
-#: from other versions are never restored (they miss on family_key).
-CHECKPOINT_VERSION = 1
+#: Bump when the snapshot payload or meta layout changes — or when a
+#: soundness fix must bust stores written by older code; snapshots
+#: from other versions are never restored (they miss on family_key and
+#: fail validates_against).
+#: History: 1 = initial format; 2 = same layout, invalidates stores
+#: that may hold seam snapshots poisoned by pre-fix same-scale resumes
+#: (a resumed run used to re-emit at a *later* exhaustion under the
+#: same scale tag — see fork_point's seam rule).
+CHECKPOINT_VERSION = 2
 
 #: First line of every checkpoint file; readable without unpickling.
 MAGIC = b"repro-checkpoint 1\n"
@@ -487,9 +493,14 @@ def fork_point(point: SweepPoint,
     validation and the run went cold. With a ``store`` (and/or a
     ``hot`` in-memory LRU), a new snapshot is emitted at the run's
     first-trace-exhaustion instant, tagged by this point's scale,
-    extending the family's prefix chain for larger scales (no emission
-    when the snapshot already covers the whole trace — nothing new to
-    say).
+    extending the family's prefix chain for larger scales — **unless**
+    some cursor already sits at its trace end when the run starts
+    (e.g. resuming from this scale's own seam snapshot): the run's
+    next exhaustion event is then a *later* one, not the
+    family-shared seam, so emitting would overwrite the valid
+    same-tag snapshot with a state no cold run of a larger scale
+    ever passes through. In that case nothing is emitted; the seam
+    for this scale is already stored.
     """
     if workload is None:
         workload = _generate(point)
@@ -502,9 +513,18 @@ def fork_point(point: SweepPoint,
         system, clocks, cursors, counters = _fresh_state(
             point, workload, recorded)
 
+    # Seam rule (docstring above): a cursor already at its trace end
+    # means the loop's on_first_exhaustion fires at a later, non-seam
+    # exhaustion — reachable via serve resubmission of one scale or a
+    # chain retry after a crash between snapshot emit and cache store.
+    # Emitting there would poison the stored seam snapshot.
+    past_seam = any(
+        cursors[cpu] >= len(workload.accesses_for(cpu))
+        for cpu in range(workload.num_cpus))
+
     emit = None
     emitted = []
-    if store is not None or hot is not None:
+    if (store is not None or hot is not None) and not past_seam:
         def emit() -> None:
             shot = capture(system, workload, point, clocks, cursors,
                            counters, tag=_scale_tag(point.scale),

@@ -47,8 +47,8 @@ import os
 import random
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, \
@@ -430,6 +430,80 @@ def _round_serial(points: Sequence[SweepPoint],
     return outcomes
 
 
+def _await_with_deadlines(futures, budgets: Sequence[Optional[float]],
+                          workers: int) -> Tuple[list, bool]:
+    """Resolve every future against a per-future absolute deadline.
+
+    Future ``i``'s clock starts at submission, not at its sequential
+    collection turn: ``deadline_i = start + (sum of earlier budgets) /
+    workers + budget_i``. The prefix-sum term is the worst-case list
+    scheduling start bound (some worker frees once the earlier
+    futures' budgets, spread across the pool, are spent), so a task
+    that respects its own budget never falsely times out behind
+    queue-mates — while a hung worker can no longer grant every later
+    future unbounded wall-clock the way sequential
+    ``result(timeout=...)`` collection did.
+
+    Returns ``(slots, hung)`` where ``slots[i]`` is ``("ok", value)``,
+    ``("error", message)`` or ``("timeout", None)`` in input order,
+    and ``hung`` is True when a timed-out future could not be
+    cancelled (its worker is still running and should be reaped).
+    """
+    start = time.monotonic()
+    ahead = 0.0
+    deadlines: List[Optional[float]] = []
+    for budget in budgets:
+        if budget is None:
+            deadlines.append(None)
+        else:
+            deadlines.append(start + ahead / max(1, workers) + budget)
+            ahead += budget
+    slots: list = [None] * len(futures)
+    pending = set(range(len(futures)))
+    hung = False
+    while pending:
+        live = [deadlines[i] for i in pending
+                if deadlines[i] is not None]
+        wait_s = max(0.0, min(live) - time.monotonic()) if live \
+            else None
+        done, _ = _futures_wait({futures[i] for i in pending},
+                                timeout=wait_s,
+                                return_when=FIRST_COMPLETED)
+        now = time.monotonic()
+        for i in sorted(pending):
+            future = futures[i]
+            if future in done:
+                try:
+                    slots[i] = ("ok", future.result())
+                except Exception as exc:
+                    slots[i] = ("error",
+                                f"{type(exc).__name__}: {exc}")
+            elif deadlines[i] is not None and now >= deadlines[i]:
+                if not future.cancel():
+                    hung = True
+                slots[i] = ("timeout", None)
+            else:
+                continue
+            pending.discard(i)
+    return slots, hung
+
+
+def _reap(pool: ProcessPoolExecutor, hung: bool) -> None:
+    """Shut the pool down; terminate workers left running by abandoned
+    (timed-out, uncancellable) futures. Only called once every tracked
+    future is resolved, so no live work can be lost — worker-side
+    cache/checkpoint writes publish atomically, so a terminate mid-
+    write leaves at most a stale temp file."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    if hung:
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except OSError:
+                pass
+
+
 def _round_parallel(points: Sequence[SweepPoint], workers: int,
                     timeout: Optional[float],
                     runner=_run_point_timed) -> List[_Outcome]:
@@ -438,28 +512,30 @@ def _round_parallel(points: Sequence[SweepPoint], workers: int,
     A fresh pool per round means a worker crash (BrokenProcessPool
     poisons the whole executor) costs at most the current round: every
     in-flight future fails fast, is captured, and retries run on a
-    clean pool. Timed-out futures are cancelled if still queued; a
-    truly hung worker is abandoned (``shutdown(wait=False)``), not
-    waited on.
+    clean pool. Per-point budgets are enforced as absolute deadlines
+    from submission (:func:`_await_with_deadlines`); timed-out futures
+    are cancelled if still queued, and a truly hung worker is
+    terminated at round end (:func:`_reap`), not waited on.
     """
-    pool = ProcessPoolExecutor(max_workers=min(workers, len(points)))
-    futures = [pool.submit(runner, point) for point in points]
-    outcomes = []
+    count = min(workers, len(points))
+    pool = ProcessPoolExecutor(max_workers=count)
+    hung = False
     try:
-        for future in futures:
-            try:
-                result, seconds = future.result(timeout=timeout)
-            except _FutureTimeout:
-                future.cancel()
-                outcomes.append(_Outcome(
-                    None, 0.0, f"timed out after {timeout:g}s", True))
-            except Exception as exc:
-                outcomes.append(_Outcome(
-                    None, 0.0, f"{type(exc).__name__}: {exc}", False))
-            else:
-                outcomes.append(_Outcome(result, seconds, None, False))
+        futures = [pool.submit(runner, point) for point in points]
+        slots, hung = _await_with_deadlines(
+            futures, [timeout] * len(points), count)
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        _reap(pool, hung)
+    outcomes = []
+    for status, value in slots:
+        if status == "ok":
+            result, seconds = value
+            outcomes.append(_Outcome(result, seconds, None, False))
+        elif status == "timeout":
+            outcomes.append(_Outcome(
+                None, 0.0, f"timed out after {timeout:g}s", True))
+        else:
+            outcomes.append(_Outcome(None, 0.0, value, False))
     return outcomes
 
 
@@ -514,35 +590,37 @@ def _units_parallel(units: Sequence[Sequence[SweepPoint]],
                     workers: int, timeout: Optional[float],
                     runner) -> List[List[_Outcome]]:
     """One chain per pool task; a unit's timeout budget scales with
-    its length (``timeout`` stays per-point, as in ``_round_parallel``).
-    A failed or timed-out chain fails all its points — they retry on
-    the next round, cheaply, because the chain's worker-side cache
-    stores and checkpoints survive the crash."""
-    pool = ProcessPoolExecutor(max_workers=min(workers, len(units)))
-    futures = [pool.submit(runner, list(unit)) for unit in units]
-    unit_outcomes = []
+    its length (``timeout`` stays per-point, as in ``_round_parallel``)
+    and is enforced as an absolute deadline from submission
+    (:func:`_await_with_deadlines`), so a slow or hung chain cannot
+    grant later chains unbounded wall-clock. A failed or timed-out
+    chain fails all its points — they retry on the next round,
+    cheaply, because the chain's worker-side cache stores and
+    checkpoints survive the crash (and its worker, if hung, is
+    terminated by :func:`_reap`)."""
+    count = min(workers, len(units))
+    pool = ProcessPoolExecutor(max_workers=count)
+    budgets = [timeout * len(unit) if timeout is not None else None
+               for unit in units]
+    hung = False
     try:
-        for unit, future in zip(units, futures):
-            budget = timeout * len(unit) if timeout is not None \
-                else None
-            try:
-                rows = future.result(timeout=budget)
-            except _FutureTimeout:
-                future.cancel()
-                unit_outcomes.append([_Outcome(
-                    None, 0.0,
-                    f"chain timed out after {budget:g}s", True)]
-                    * len(unit))
-            except Exception as exc:
-                unit_outcomes.append([_Outcome(
-                    None, 0.0, f"{type(exc).__name__}: {exc}",
-                    False)] * len(unit))
-            else:
-                unit_outcomes.append([
-                    _Outcome(result, seconds, error, False)
-                    for result, seconds, error in rows])
+        futures = [pool.submit(runner, list(unit)) for unit in units]
+        slots, hung = _await_with_deadlines(futures, budgets, count)
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        _reap(pool, hung)
+    unit_outcomes = []
+    for unit, budget, (status, value) in zip(units, budgets, slots):
+        if status == "ok":
+            unit_outcomes.append([
+                _Outcome(result, seconds, error, False)
+                for result, seconds, error in value])
+        elif status == "timeout":
+            unit_outcomes.append([_Outcome(
+                None, 0.0, f"chain timed out after {budget:g}s",
+                True)] * len(unit))
+        else:
+            unit_outcomes.append([_Outcome(None, 0.0, value, False)]
+                                 * len(unit))
     return unit_outcomes
 
 

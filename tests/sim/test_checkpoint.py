@@ -441,6 +441,35 @@ class TestServeRunner:
         assert counters_b["serve.checkpoint_hits"] == 1
         assert_same_result(cold_b, result_b)
 
+    def test_resubmit_then_larger_scale_is_bit_identical(
+            self, tmp_path, monkeypatch):
+        """Snapshot-poisoning regression, the serve-plane pattern: one
+        scale submitted twice (the second forks from the first's seam
+        snapshot, so a cursor starts already at its trace end), then a
+        larger scale of the same family. The resumed run's *later*
+        exhaustion must not be re-emitted under the same scale tag —
+        its machine state is unreachable by a cold run of the larger
+        scale (one CPU idled at a trace end the larger trace extends),
+        and the larger fork would silently diverge (lu exposes this;
+        the per-CPU prefix digests alone cannot catch it)."""
+        monkeypatch.setattr("repro.sim.checkpoint._HOT", None)
+        small = point(name="lu", scale=0.02)
+        big = point(name="lu", scale=0.06)
+        cold_small = run_point(small)
+        cold_big = run_point(big)
+        first, _, _ = serve_checkpoint_runner(str(tmp_path), 4, small)
+        second, _, counters = serve_checkpoint_runner(
+            str(tmp_path), 4, small)
+        assert counters["serve.checkpoint_hits"] == 1
+        # The seam snapshot for this scale is already stored; the
+        # resumed run must emit nothing, not overwrite it.
+        assert counters["serve.checkpoint_stores"] == 0
+        forked_big, _, _ = serve_checkpoint_runner(
+            str(tmp_path), 4, big)
+        assert_same_result(cold_small, first)
+        assert_same_result(cold_small, second)
+        assert_same_result(cold_big, forked_big)
+
     def test_hot_lru_bounds_and_prefers_deepest(self):
         lru = HotSnapshotLRU(capacity=2)
         shots = []

@@ -1,6 +1,7 @@
 """The sweep runner and its content-addressed result cache."""
 
 import json
+import time
 
 import pytest
 
@@ -280,6 +281,62 @@ class TestSweepCrashes:
         from repro.errors import ConfigError
         with pytest.raises(ConfigError):
             run_sweep([point()], on_error="explode")
+
+
+def _sleep_point_runner(seconds):
+    """Fake point runner: the 'point' is its own sleep duration."""
+    time.sleep(seconds)
+    return "done", 0.01
+
+
+def _sleep_chain_runner(points):
+    """Fake chain runner: the unit's first 'point' is the sleep."""
+    time.sleep(points[0])
+    return [("done", 0.01, None)] * len(points)
+
+
+class TestDeadlineCollection:
+    """Per-future deadlines run from submission, not from each
+    future's sequential collection turn — a hung chain/point must not
+    grant later ones unbounded wall-clock, and its abandoned worker
+    must be terminated rather than left running."""
+
+    def test_units_hung_chains_time_out_others_succeed(self):
+        from repro.sim.sweep import _units_parallel
+        start = time.perf_counter()
+        outcomes = _units_parallel([[30.0], [0.01], [30.0]],
+                                   workers=3, timeout=0.5,
+                                   runner=_sleep_chain_runner)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10  # nobody waited on the 30s sleepers
+        assert outcomes[0][0].timed_out
+        assert "chain timed out" in outcomes[0][0].error
+        assert outcomes[1][0].result == "done"
+        assert outcomes[1][0].error is None
+        assert outcomes[2][0].timed_out
+
+    def test_round_hung_points_time_out_others_succeed(self):
+        from repro.sim.sweep import _round_parallel
+        start = time.perf_counter()
+        outcomes = _round_parallel([30.0, 0.01], workers=2,
+                                   timeout=0.5,
+                                   runner=_sleep_point_runner)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10
+        assert outcomes[0].timed_out
+        assert "timed out" in outcomes[0].error
+        assert outcomes[1].result == "done"
+
+    def test_queued_chains_get_packing_allowance_not_false_timeouts(
+            self):
+        """More chains than workers: queued chains must not burn
+        their budget while waiting for a slot (the deadline carries
+        the earlier chains' budgets spread across the pool)."""
+        from repro.sim.sweep import _units_parallel
+        outcomes = _units_parallel([[0.05]] * 6, workers=2,
+                                   timeout=2.0,
+                                   runner=_sleep_chain_runner)
+        assert all(unit[0].error is None for unit in outcomes)
 
 
 class TestCacheQuarantine:
